@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Ablation: insert-on-miss vs write-no-allocate for LLC writes at the
+ * 2LM cache. The paper's reverse engineering finds the hardware
+ * "always inserts on a miss (regardless of whether that miss was a
+ * read or a write)" — which turns every missing store into an NVRAM
+ * read, two DRAM writes and (if the victim was dirty) an NVRAM write.
+ * This bench quantifies what the alternative policy would buy on the
+ * paper's write-miss microbenchmark and on DenseNet training, whose
+ * backward pass writes dirty-but-dead data.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/csv.hh"
+#include "dnn/executor.hh"
+#include "dnn/networks.hh"
+#include "kernels/kernels.hh"
+
+using namespace nvsim;
+using namespace nvsim::bench;
+using namespace nvsim::dnn;
+
+namespace
+{
+
+KernelResult
+writeMissStream(bool insert_on_miss)
+{
+    SystemConfig cfg;
+    cfg.mode = MemoryMode::TwoLm;
+    cfg.scale = 4096;
+    cfg.insertOnWriteMiss = insert_on_miss;
+    MemorySystem sys(cfg);
+    Region arr = sys.allocate(cfg.dramTotal() * 22 / 10, "arr");
+    primeDirty(sys, arr, 8);
+    sys.resetCounters();
+    KernelConfig k;
+    k.op = KernelOp::WriteOnly;
+    k.nontemporal = true;
+    k.threads = 24;
+    return runKernel(sys, arr, k);
+}
+
+IterationResult
+densenet(bool insert_on_miss)
+{
+    SystemConfig cfg;
+    cfg.mode = MemoryMode::TwoLm;
+    cfg.scale = 1u << 14;
+    cfg.insertOnWriteMiss = insert_on_miss;
+    MemorySystem sys(cfg);
+    ComputeGraph g = buildDenseNet264(2304);
+    ExecutorConfig ecfg;
+    ecfg.threads = 24;
+    Executor ex(sys, g, ecfg);
+    ex.runIteration();
+    sys.resetCounters();
+    return ex.runIteration();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation: insert-on-miss vs write-no-allocate (2LM writes)",
+           "insert-on-miss costs 4-5 accesses per missing store; "
+           "write-no-allocate drops that to 2 on pure write streams, "
+           "at the cost of losing future read hits");
+
+    CsvWriter csv("ablation_write_policy.csv");
+    csv.row(std::vector<std::string>{"workload", "policy", "effective",
+                                     "amplification", "seconds"});
+
+    std::printf("--- nontemporal write-miss stream (Figure 4b setup) "
+                "---\n");
+    Table t({"policy", "effective", "amplification", "NVRAM rd",
+             "NVRAM wr"});
+    for (bool insert : {true, false}) {
+        KernelResult r = writeMissStream(insert);
+        const char *name = insert ? "insert_on_miss" : "no_allocate";
+        t.row({name, gbs(r.effectiveBandwidth),
+               fmt("%.2f", r.counters.amplification()),
+               gbs(r.nvramReadBandwidth()),
+               gbs(r.nvramWriteBandwidth())});
+        csv.row(std::vector<std::string>{
+            "write_stream", name,
+            fmt("%f", r.effectiveBandwidth / 1e9),
+            fmt("%f", r.counters.amplification()),
+            fmt("%f", r.seconds)});
+    }
+    t.print();
+
+    std::printf("\n--- DenseNet 264 training iteration ---\n");
+    Table t2({"policy", "iteration(s)", "amplification",
+              "dirty miss frac"});
+    for (bool insert : {true, false}) {
+        IterationResult r = densenet(insert);
+        const char *name = insert ? "insert_on_miss" : "no_allocate";
+        double demand = static_cast<double>(r.counters.demand());
+        t2.row({name, fmt("%.4f", r.seconds),
+                fmt("%.2f", r.counters.amplification()),
+                fmt("%.3f", r.counters.tagMissDirty / demand)});
+        csv.row(std::vector<std::string>{
+            "densenet", name, "",
+            fmt("%f", r.counters.amplification()),
+            fmt("%f", r.seconds)});
+    }
+    t2.print();
+
+    std::printf("\nNote: no-allocate is not a pure win — streams that "
+                "are later re-read lose their hits. The paper's point "
+                "stands: one fixed hardware policy cannot match "
+                "software knowledge of data lifetimes.\n");
+    std::printf("rows written to ablation_write_policy.csv\n");
+    return 0;
+}

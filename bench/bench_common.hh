@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared console-table and CSV helpers for the paper-reproduction
+ * bench binaries. Every binary prints the rows/series its table or
+ * figure reports, plus the paper's qualitative expectation, so the
+ * output is self-checking by eye (EXPERIMENTS.md records the
+ * comparison).
+ */
+
+#ifndef NVSIM_BENCH_COMMON_HH
+#define NVSIM_BENCH_COMMON_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nvsim::bench
+{
+
+/** Banner with the experiment id and the paper's expectation. */
+inline void
+banner(const std::string &title, const std::string &expectation)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    if (!expectation.empty())
+        std::printf("paper expectation: %s\n", expectation.c_str());
+    std::printf("\n");
+}
+
+/** Simple aligned console table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {
+    }
+
+    void
+    row(std::vector<std::string> fields)
+    {
+        rows_.push_back(std::move(fields));
+    }
+
+    void
+    print() const
+    {
+        std::vector<std::size_t> width(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            width[c] = headers_[c].size();
+        for (const auto &r : rows_) {
+            for (std::size_t c = 0; c < r.size() && c < width.size();
+                 ++c)
+                width[c] = std::max(width[c], r[c].size());
+        }
+        auto print_row = [&](const std::vector<std::string> &r) {
+            for (std::size_t c = 0; c < headers_.size(); ++c) {
+                const std::string &f = c < r.size() ? r[c] : "";
+                std::printf("%-*s  ", static_cast<int>(width[c]),
+                            f.c_str());
+            }
+            std::printf("\n");
+        };
+        print_row(headers_);
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            total += width[c] + 2;
+        std::printf("%s\n", std::string(total, '-').c_str());
+        for (const auto &r : rows_)
+            print_row(r);
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf into a std::string (bench-local convenience). */
+inline std::string
+fmt(const char *f, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, f);
+    std::vsnprintf(buf, sizeof(buf), f, ap);
+    va_end(ap);
+    return buf;
+}
+
+/** Format bytes as GB with 1 decimal. */
+inline std::string
+gb(double bytes)
+{
+    return fmt("%.2f", bytes / 1e9);
+}
+
+/** Format a bandwidth in GB/s with 2 decimals. */
+inline std::string
+gbs(double bytes_per_sec)
+{
+    return fmt("%.2f", bytes_per_sec / 1e9);
+}
+
+} // namespace nvsim::bench
+
+#endif // NVSIM_BENCH_COMMON_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 6 reproduction: per-kernel view of two consecutive dense
+ * blocks during the DenseNet forward pass in 2LM. The paper finds the
+ * memory-bound Concat and (first) BatchNorm kernels are the
+ * bottleneck, while convolutions are compute bound.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hh"
+#include "core/csv.hh"
+#include "core/units.hh"
+#include "dnn/executor.hh"
+#include "dnn/networks.hh"
+
+using namespace nvsim;
+using namespace nvsim::bench;
+using namespace nvsim::dnn;
+
+int
+main()
+{
+    constexpr std::uint64_t kScale = 1u << 14;
+    constexpr std::uint64_t kBatch = 2304;
+
+    SystemConfig cfg;
+    cfg.mode = MemoryMode::TwoLm;
+    cfg.scale = kScale;
+    cfg.scatterPages = true;  // OS demand paging (2 MiB THP)
+    MemorySystem sys(cfg);
+
+    ComputeGraph g = buildDenseNet264(kBatch);
+    ExecutorConfig ecfg;
+    ecfg.threads = 24;
+    Executor ex(sys, g, ecfg);
+
+    ex.runIteration();
+    sys.resetCounters();
+    IterationResult res = ex.runIteration();
+
+    banner("Figure 6: kernel snapshot of two dense blocks (forward)",
+           "Concat and the first (wide) BatchNorm are the memory-bound "
+           "bottlenecks; convolutions are compute bound");
+
+    // Pick two dense layers in the middle of the forward pass: find
+    // the 3rd-from-middle Concat and print the following ~12 kernels.
+    std::size_t fwd = g.forwardOps();
+    std::size_t start = 0;
+    unsigned concats_seen = 0;
+    for (std::size_t i = fwd / 2; i < fwd; ++i) {
+        if (res.kernels[i].kind == OpKind::Concat) {
+            start = i;
+            if (++concats_seen == 1)
+                break;
+        }
+    }
+
+    Table t({"kernel", "type", "duration(ms)", "bytes", "GB/s",
+             "GFLOP/s"});
+    CsvWriter csv("fig6_kernel_snapshot.csv");
+    csv.row(std::vector<std::string>{"index", "kernel", "type", "start",
+                                     "end", "bytes", "flops"});
+    for (std::size_t i = start; i < start + 14 && i < fwd; ++i) {
+        const KernelEvent &k = res.kernels[i];
+        double dt = k.end - k.start;
+        t.row({k.name, opKindName(k.kind), fmt("%.4f", dt * 1e3),
+               formatBytes(k.bytesTouched),
+               dt > 0 ? gbs(static_cast<double>(k.bytesTouched) / dt)
+                      : "-",
+               dt > 0 ? fmt("%.1f", k.flops / dt / 1e9) : "-"});
+        csv.row(std::vector<std::string>{
+            fmt("%zu", i), k.name, opKindName(k.kind),
+            fmt("%f", k.start), fmt("%f", k.end),
+            fmt("%llu", static_cast<unsigned long long>(k.bytesTouched)),
+            fmt("%f", k.flops)});
+    }
+    t.print();
+
+    // Aggregate: which kernel families eat the forward pass?
+    std::map<std::string, double> time_by_kind;
+    double fwd_total = 0;
+    for (std::size_t i = 0; i < fwd; ++i) {
+        const KernelEvent &k = res.kernels[i];
+        time_by_kind[opKindName(k.kind)] += k.end - k.start;
+        fwd_total += k.end - k.start;
+    }
+    std::printf("\nforward-pass time by kernel family:\n");
+    for (const auto &[kind, secs] : time_by_kind) {
+        std::printf("  %-12s %6.2f%%\n", kind.c_str(),
+                    100.0 * secs / fwd_total);
+    }
+
+    std::printf("\nsnapshot written to fig6_kernel_snapshot.csv\n");
+    return 0;
+}

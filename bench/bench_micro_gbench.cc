@@ -1,0 +1,116 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own hot paths:
+ * how many simulated accesses per second each layer sustains. These
+ * guard the simulator's throughput (the figure benches stream hundreds
+ * of millions of lines) rather than reproducing a paper result.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/lfsr.hh"
+#include "imc/dram_cache.hh"
+#include "kernels/pattern.hh"
+#include "sys/memsys.hh"
+
+using namespace nvsim;
+
+namespace
+{
+
+void
+BM_LfsrNext(benchmark::State &state)
+{
+    Lfsr lfsr(32, 12345);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lfsr.next());
+}
+BENCHMARK(BM_LfsrNext);
+
+void
+BM_OffsetSequenceRandom(benchmark::State &state)
+{
+    OffsetSequence seq(AccessPattern::Random,
+                       static_cast<std::uint64_t>(state.range(0)), 3);
+    for (auto _ : state) {
+        auto v = seq.next();
+        if (!v) {
+            seq.reset();
+            v = seq.next();
+        }
+        benchmark::DoNotOptimize(*v);
+    }
+}
+BENCHMARK(BM_OffsetSequenceRandom)->Arg(1 << 10)->Arg(1 << 20);
+
+void
+BM_DramCacheReadHit(benchmark::State &state)
+{
+    DramCacheParams p;
+    p.capacity = 1 * kMiB;
+    DramCache cache(p);
+    cache.read(0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.read(0));
+}
+BENCHMARK(BM_DramCacheReadHit);
+
+void
+BM_DramCacheMissStream(benchmark::State &state)
+{
+    DramCacheParams p;
+    p.capacity = 1 * kMiB;
+    DramCache cache(p);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.read(a));
+        a += kLineSize;
+    }
+}
+BENCHMARK(BM_DramCacheMissStream);
+
+void
+BM_MemorySystemLoadLine(benchmark::State &state)
+{
+    SystemConfig cfg;
+    cfg.mode = static_cast<MemoryMode>(state.range(0));
+    cfg.scale = 4096;
+    MemorySystem sys(cfg);
+    Region r = sys.allocate(16 * kMiB, "arr");
+    Addr a = r.base;
+    for (auto _ : state) {
+        sys.touchLine(0, CpuOp::Load, a);
+        a += kLineSize;
+        if (a >= r.base + r.size)
+            a = r.base;
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineSize);
+}
+BENCHMARK(BM_MemorySystemLoadLine)
+    ->Arg(static_cast<int>(MemoryMode::OneLm))
+    ->Arg(static_cast<int>(MemoryMode::TwoLm));
+
+void
+BM_MemorySystemNtStoreLine(benchmark::State &state)
+{
+    SystemConfig cfg;
+    cfg.mode = MemoryMode::TwoLm;
+    cfg.scale = 4096;
+    MemorySystem sys(cfg);
+    Region r = sys.allocate(16 * kMiB, "arr");
+    Addr a = r.base;
+    for (auto _ : state) {
+        sys.touchLine(0, CpuOp::NtStore, a);
+        a += kLineSize;
+        if (a >= r.base + r.size)
+            a = r.base;
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineSize);
+}
+BENCHMARK(BM_MemorySystemNtStoreLine);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Example: interactive-style exploration of the 2LM DRAM cache's
+ * behavioral cliffs. Sweeps the working-set size across the cache
+ * capacity boundary and reports hit rate, access amplification and
+ * effective bandwidth — the transition the paper's Figure 7 observes
+ * between kron30 (fits) and wdc12 (does not fit) and the
+ * microbenchmark cliffs of Figure 4.
+ */
+
+#include <cstdio>
+
+#include "core/units.hh"
+#include "kernels/kernels.hh"
+#include "sys/memsys.hh"
+
+using namespace nvsim;
+
+namespace
+{
+
+void
+sweepOp(KernelOp op, const char *title, bool prime_dirty)
+{
+    std::printf("\n--- %s ---\n", title);
+    std::printf("%-12s %-10s %-10s %-14s %-10s\n", "workingset/$",
+                "hit rate", "amp", "effective", "NVRAM wr");
+    for (int pct : {25, 50, 90, 110, 150, 220, 400}) {
+        SystemConfig cfg;
+        cfg.mode = MemoryMode::TwoLm;
+        cfg.scale = 8192;
+        MemorySystem sys(cfg);
+        Bytes size = cfg.dramTotal() * static_cast<Bytes>(pct) / 100;
+        Region arr = sys.allocate(size, "ws");
+        if (prime_dirty)
+            primeDirty(sys, arr);
+        else
+            primeClean(sys, arr);
+        sys.resetCounters();
+
+        KernelConfig k;
+        k.op = op;
+        k.threads = 16;
+        KernelResult r = runKernel(sys, arr, k);
+        double demand = static_cast<double>(
+            std::max<std::uint64_t>(r.counters.demand(), 1));
+        double hits = static_cast<double>(r.counters.tagHit +
+                                          r.counters.ddoHit);
+        std::printf("%-12s %-10.3f %-10.2f %-14s %-10s\n",
+                    (std::to_string(pct) + "%").c_str(), hits / demand,
+                    r.counters.amplification(),
+                    formatBandwidth(r.effectiveBandwidth).c_str(),
+                    formatBytes(r.counters.nvramWrite * kLineSize)
+                        .c_str());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("2LM behavior vs working-set size (as %% of the DRAM "
+                "cache)\n");
+    std::printf("the cache is direct mapped with insert-on-miss: "
+                "crossing 100%% of capacity turns hits into 3-5x "
+                "amplified misses\n");
+
+    sweepOp(KernelOp::ReadOnly, "read-only loop (clean data)", false);
+    sweepOp(KernelOp::WriteOnly,
+            "nontemporal write loop (dirty data: adds NVRAM "
+            "writebacks)", true);
+
+    std::printf("\nNote the sharpness of the cliff: a direct-mapped "
+                "cache offers no graceful degradation, which is the "
+                "paper's first key limitation.\n");
+    return 0;
+}

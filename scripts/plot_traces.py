@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Plot the CSV series the bench binaries emit.
+
+Each figure-reproduction bench writes a tidy CSV (either
+time,channel,value traces or per-experiment rows). This script turns
+them into PNGs resembling the paper's figures.
+
+Usage:
+    python3 scripts/plot_traces.py fig5_traces.csv [out.png]
+    python3 scripts/plot_traces.py fig2_nvram_bw.csv
+
+Requires matplotlib (not needed for the simulation itself).
+"""
+
+import csv
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    return rows[0], rows[1:]
+
+
+def plot_trace(header, rows, out):
+    """time,channel,value traces (fig5, fig9, fig10)."""
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    series = defaultdict(lambda: ([], []))
+    for time, channel, value in rows:
+        xs, ys = series[channel]
+        xs.append(float(time))
+        ys.append(float(value))
+
+    bw = {k: v for k, v in series.items() if k.endswith("_bw")}
+    tags = {k: v for k, v in series.items() if k.endswith("_frac")}
+    n = 1 + bool(tags)
+    fig, axes = plt.subplots(n, 1, figsize=(10, 3.2 * n), sharex=True)
+    if n == 1:
+        axes = [axes]
+
+    for name, (xs, ys) in sorted(bw.items()):
+        axes[0].plot(xs, ys, label=name, linewidth=0.9)
+    axes[0].set_ylabel("GB/s")
+    axes[0].legend(fontsize=7, ncol=2)
+    if tags:
+        for name, (xs, ys) in sorted(tags.items()):
+            axes[1].plot(xs, ys, label=name, linewidth=0.9)
+        axes[1].set_ylabel("fraction of requests")
+        axes[1].legend(fontsize=7, ncol=2)
+    axes[-1].set_xlabel("simulated seconds")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_sweep(header, rows, out):
+    """threads-on-x sweeps (fig2)."""
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    figures = defaultdict(lambda: defaultdict(lambda: ([], [])))
+    for figure, variant, threads, gbs in rows:
+        xs, ys = figures[figure][variant]
+        xs.append(int(threads))
+        ys.append(float(gbs))
+
+    fig, axes = plt.subplots(1, len(figures),
+                             figsize=(5.5 * len(figures), 3.6))
+    if len(figures) == 1:
+        axes = [axes]
+    for ax, (figname, variants) in zip(axes, sorted(figures.items())):
+        for variant, (xs, ys) in sorted(variants.items()):
+            ax.plot(xs, ys, marker="o", markersize=3, label=variant)
+        ax.set_title(f"Figure {figname}")
+        ax.set_xlabel("threads")
+        ax.set_ylabel("GB/s")
+        ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    path = sys.argv[1]
+    out = sys.argv[2] if len(sys.argv) > 2 else path.rsplit(".", 1)[0] + ".png"
+    header, rows = load(path)
+    if header[:2] == ["time", "channel"]:
+        plot_trace(header, rows, out)
+    elif header[:2] == ["figure", "variant"]:
+        plot_sweep(header, rows, out)
+    else:
+        print(f"don't know how to plot columns {header}; "
+              "see EXPERIMENTS.md for the semantics")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+#include "core/csv.hh"
+
+#include "core/logging.hh"
+#include "core/timeseries.hh"
+
+namespace nvsim
+{
+
+CsvWriter::CsvWriter(const std::string &path) : out_(path)
+{
+    if (!out_)
+        fatal("cannot open CSV output file '%s'", path.c_str());
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string quoted = "\"";
+    for (char c : field) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &fields)
+{
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(fields[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::row(const std::vector<double> &fields)
+{
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << fields[i];
+    }
+    out_ << '\n';
+}
+
+void
+writeTimeSeriesCsv(const std::string &path, const TimeSeries &series)
+{
+    CsvWriter csv(path);
+    csv.row(std::vector<std::string>{"time", "channel", "value"});
+    for (const auto &name : series.names()) {
+        for (const auto &s : series.channel(name)) {
+            csv.row(std::vector<std::string>{
+                std::to_string(s.time), name, std::to_string(s.value)});
+        }
+    }
+}
+
+} // namespace nvsim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal CSV emission so every bench can dump the series behind each
+ * reproduced figure for external plotting.
+ */
+
+#ifndef NVSIM_CORE_CSV_HH
+#define NVSIM_CORE_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace nvsim
+{
+
+class TimeSeries;
+
+/** Streaming CSV writer. */
+class CsvWriter
+{
+  public:
+    /** Opens @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write a header / data row. Fields are quoted when needed. */
+    void row(const std::vector<std::string> &fields);
+
+    /** Convenience: numeric row. */
+    void row(const std::vector<double> &fields);
+
+  private:
+    static std::string escape(const std::string &field);
+
+    std::ofstream out_;
+};
+
+/**
+ * Dump a TimeSeries as tidy CSV: time,channel,value — one row per
+ * sample, suitable for direct plotting.
+ */
+void writeTimeSeriesCsv(const std::string &path, const TimeSeries &series);
+
+} // namespace nvsim
+
+#endif // NVSIM_CORE_CSV_HH

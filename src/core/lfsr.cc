@@ -1,0 +1,112 @@
+#include "core/lfsr.hh"
+
+#include <bit>
+
+namespace nvsim
+{
+
+namespace
+{
+
+/**
+ * Maximum-length tap masks (Fibonacci form), indexed by width. Bit n of
+ * the mask is (1 << (n-1)) for a tap at position n. Tap positions follow
+ * the classic XAPP052 table, so each width yields a full 2^w - 1 period.
+ */
+constexpr std::uint64_t kTaps[] = {
+    0, 0,
+    0x3,                // 2:  2,1
+    0x6,                // 3:  3,2
+    0xC,                // 4:  4,3
+    0x14,               // 5:  5,3
+    0x30,               // 6:  6,5
+    0x60,               // 7:  7,6
+    0xB8,               // 8:  8,6,5,4
+    0x110,              // 9:  9,5
+    0x240,              // 10: 10,7
+    0x500,              // 11: 11,9
+    0x829,              // 12: 12,6,4,1
+    0x100D,             // 13: 13,4,3,1
+    0x2015,             // 14: 14,5,3,1
+    0x6000,             // 15: 15,14
+    0xD008,             // 16: 16,15,13,4
+    0x12000,            // 17: 17,14
+    0x20400,            // 18: 18,11
+    0x40023,            // 19: 19,6,2,1
+    0x90000,            // 20: 20,17
+    0x140000,           // 21: 21,19
+    0x300000,           // 22: 22,21
+    0x420000,           // 23: 23,18
+    0xE10000,           // 24: 24,23,22,17
+    0x1200000,          // 25: 25,22
+    0x2000023ull,       // 26: 26,6,2,1
+    0x4000013ull,       // 27: 27,5,2,1
+    0x9000000ull,       // 28: 28,25
+    0x14000000ull,      // 29: 29,27
+    0x20000029ull,      // 30: 30,6,4,1
+    0x48000000ull,      // 31: 31,28
+    0x80200003ull,      // 32: 32,22,2,1
+    0x100080000ull,     // 33: 33,20
+    0x204000003ull,     // 34: 34,27,2,1
+    0x500000000ull,     // 35: 35,33
+    0x801000000ull,     // 36: 36,25
+    0x100000001Full,    // 37: 37,5,4,3,2,1
+    0x2000000031ull,    // 38: 38,6,5,1
+    0x4400000000ull,    // 39: 39,35
+    0xA000140000ull,    // 40: 40,38,21,19
+    0x12000000000ull,   // 41: 41,38
+    0x300000C0000ull,   // 42: 42,41,20,19
+    0x63000000000ull,   // 43: 43,42,38,37
+    0xC0000030000ull,   // 44: 44,43,18,17
+    0x1B0000000000ull,  // 45: 45,44,42,41
+    0x300003000000ull,  // 46: 46,45,26,25
+    0x420000000000ull,  // 47: 47,42
+    0xC00000180000ull,  // 48: 48,47,21,20
+};
+
+} // namespace
+
+Lfsr::Lfsr(unsigned width, std::uint64_t seed)
+    : width_(width), taps_(tapMask(width)),
+      mask_((1ull << width) - 1),
+      state_(seed & mask_)
+{
+    if (state_ == 0)
+        state_ = 1;
+}
+
+std::uint64_t
+Lfsr::next()
+{
+    // Left-shift Fibonacci form: the new low bit is the XOR of the
+    // tapped bits. With maximal taps this walks all 2^w - 1 nonzero
+    // states.
+    std::uint64_t feedback =
+        static_cast<std::uint64_t>(std::popcount(state_ & taps_) & 1);
+    state_ = ((state_ << 1) | feedback) & mask_;
+    return state_;
+}
+
+std::uint64_t
+Lfsr::tapMask(unsigned width)
+{
+    if (width < 2 || width > 48)
+        fatal("LFSR width %u unsupported (need 2..48)", width);
+    return kTaps[width];
+}
+
+unsigned
+Lfsr::widthFor(std::uint64_t n)
+{
+    // The period is 2^w - 1, so the register must be wide enough that
+    // all indices [1, n] appear (the caller maps states onto [0, n)).
+    unsigned w = 2;
+    while ((1ull << w) - 1 < n)
+        ++w;
+    if (w > 48)
+        fatal("LFSR index space too large: %llu",
+              static_cast<unsigned long long>(n));
+    return w;
+}
+
+} // namespace nvsim

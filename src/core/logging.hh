@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Error / status reporting in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated; this is a simulator bug.
+ * fatal()  — the user asked for something unsupported (bad configuration).
+ * warn()   — something is modelled approximately; results may be affected.
+ * inform() — neutral status for the console.
+ */
+
+#ifndef NVSIM_CORE_LOGGING_HH
+#define NVSIM_CORE_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace nvsim
+{
+
+/** Abort with a message: internal invariant violation (simulator bug). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a message: unusable user configuration. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Status message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace nvsim
+
+#define nvsim_assert(cond, ...)                                           \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::nvsim::panic("assertion '%s' failed at %s:%d", #cond,       \
+                           __FILE__, __LINE__);                           \
+        }                                                                 \
+    } while (0)
+
+#endif // NVSIM_CORE_LOGGING_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Small deterministic PRNG utilities (xoshiro-style) for workload
+ * generation. std::mt19937_64 is avoided in hot paths for speed; this
+ * generator is reproducible across platforms.
+ */
+
+#ifndef NVSIM_CORE_RNG_HH
+#define NVSIM_CORE_RNG_HH
+
+#include <cstdint>
+
+namespace nvsim
+{
+
+/** splitmix64 step; used to seed and to hash. */
+inline std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** xoshiro256** PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x243F6A8885A308D3ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : s_)
+            word = splitmix64(x);
+    }
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform in [0, bound). */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return bound ? next() % bound : 0;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4];
+};
+
+} // namespace nvsim
+
+#endif // NVSIM_CORE_RNG_HH

@@ -1,0 +1,59 @@
+#include "core/stats.hh"
+
+namespace nvsim
+{
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        order_.push_back(name);
+        it = counters_.emplace(name, Counter{}).first;
+    }
+    return it->second;
+}
+
+std::uint64_t
+StatGroup::value(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::vector<std::string>
+StatGroup::names() const
+{
+    return order_;
+}
+
+std::map<std::string, std::uint64_t>
+StatGroup::snapshot() const
+{
+    std::map<std::string, std::uint64_t> snap;
+    for (const auto &[name, ctr] : counters_)
+        snap[name] = ctr.value();
+    return snap;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, ctr] : counters_)
+        ctr.reset();
+}
+
+std::map<std::string, std::uint64_t>
+snapshotDelta(const std::map<std::string, std::uint64_t> &a,
+              const std::map<std::string, std::uint64_t> &b)
+{
+    std::map<std::string, std::uint64_t> d;
+    for (const auto &[name, vb] : b) {
+        auto it = a.find(name);
+        std::uint64_t va = it == a.end() ? 0 : it->second;
+        d[name] = vb - va;
+    }
+    return d;
+}
+
+} // namespace nvsim

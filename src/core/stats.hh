@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Lightweight statistics: named counters grouped in a registry, with
+ * snapshot/delta support so benchmarks can sample "performance counter"
+ * readings over time exactly the way the paper samples the IMC uncore
+ * counters.
+ */
+
+#ifndef NVSIM_CORE_STATS_HH
+#define NVSIM_CORE_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nvsim
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A named group of counters. Counters are registered once and referred
+ * to by pointer in hot paths; the registry supports by-name lookup,
+ * snapshots and deltas for sampling.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register (or fetch) a counter with the given name. */
+    Counter &counter(const std::string &name);
+
+    /** Read a counter by name; zero if absent. */
+    std::uint64_t value(const std::string &name) const;
+
+    /** All counter names in registration order. */
+    std::vector<std::string> names() const;
+
+    /** Snapshot of all counters, keyed by name. */
+    std::map<std::string, std::uint64_t> snapshot() const;
+
+    /** Reset all counters to zero. */
+    void resetAll();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<std::string> order_;
+    std::map<std::string, Counter> counters_;
+};
+
+/**
+ * Difference between two snapshots (b - a), for per-interval rates.
+ * Counters absent from @p a are treated as zero there.
+ */
+std::map<std::string, std::uint64_t>
+snapshotDelta(const std::map<std::string, std::uint64_t> &a,
+              const std::map<std::string, std::uint64_t> &b);
+
+} // namespace nvsim
+
+#endif // NVSIM_CORE_STATS_HH

@@ -1,0 +1,75 @@
+#include "core/timeseries.hh"
+
+#include <algorithm>
+
+namespace nvsim
+{
+
+const std::vector<Sample> TimeSeries::kEmpty;
+
+void
+TimeSeries::record(const std::string &name, double time, double value)
+{
+    auto it = channels_.find(name);
+    if (it == channels_.end()) {
+        order_.push_back(name);
+        it = channels_.emplace(name, std::vector<Sample>{}).first;
+    }
+    it->second.push_back({time, value});
+}
+
+const std::vector<Sample> &
+TimeSeries::channel(const std::string &name) const
+{
+    auto it = channels_.find(name);
+    return it == channels_.end() ? kEmpty : it->second;
+}
+
+std::vector<Sample>
+TimeSeries::windowAverage(const std::string &name, double window) const
+{
+    const auto &src = channel(name);
+    std::vector<Sample> out;
+    out.reserve(src.size());
+    double half = window / 2;
+    size_t lo = 0, hi = 0;
+    double sum = 0;
+    for (size_t i = 0; i < src.size(); ++i) {
+        double t = src[i].time;
+        while (hi < src.size() && src[hi].time <= t + half) {
+            sum += src[hi].value;
+            ++hi;
+        }
+        while (lo < hi && src[lo].time < t - half) {
+            sum -= src[lo].value;
+            ++lo;
+        }
+        size_t n = hi - lo;
+        out.push_back({t, n ? sum / static_cast<double>(n) : 0.0});
+    }
+    return out;
+}
+
+double
+TimeSeries::mean(const std::string &name) const
+{
+    const auto &src = channel(name);
+    if (src.empty())
+        return 0;
+    double sum = 0;
+    for (const auto &s : src)
+        sum += s.value;
+    return sum / static_cast<double>(src.size());
+}
+
+double
+TimeSeries::max(const std::string &name) const
+{
+    const auto &src = channel(name);
+    double m = 0;
+    for (const auto &s : src)
+        m = std::max(m, s.value);
+    return m;
+}
+
+} // namespace nvsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Time-series recording for bandwidth / tag-event traces.
+ *
+ * The paper's Figures 5, 9 and 10 are traces of counter rates sampled
+ * through time. TimeSeries stores (time, value) samples per named
+ * channel, and supports sliding-window averaging (Fig 10 averages over a
+ * 2.5 s window "to filter high frequency components").
+ */
+
+#ifndef NVSIM_CORE_TIMESERIES_HH
+#define NVSIM_CORE_TIMESERIES_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nvsim
+{
+
+/** One sampled point. */
+struct Sample
+{
+    double time;    //!< seconds of simulated time
+    double value;   //!< channel-specific units (GB/s, events/s, ...)
+};
+
+/** A set of named sample channels sharing a time axis. */
+class TimeSeries
+{
+  public:
+    /** Append a sample to channel @p name. */
+    void record(const std::string &name, double time, double value);
+
+    /** All samples of a channel (empty if unknown). */
+    const std::vector<Sample> &channel(const std::string &name) const;
+
+    /** Channel names in first-use order. */
+    const std::vector<std::string> &names() const { return order_; }
+
+    bool empty() const { return order_.empty(); }
+
+    /**
+     * Sliding-window average of a channel. Returns a new sample vector
+     * where each point is the mean of samples within +-window/2 seconds.
+     */
+    std::vector<Sample>
+    windowAverage(const std::string &name, double window) const;
+
+    /** Mean value of a channel over its whole extent. */
+    double mean(const std::string &name) const;
+
+    /** Max value of a channel. */
+    double max(const std::string &name) const;
+
+  private:
+    std::vector<std::string> order_;
+    std::map<std::string, std::vector<Sample>> channels_;
+    static const std::vector<Sample> kEmpty;
+};
+
+} // namespace nvsim
+
+#endif // NVSIM_CORE_TIMESERIES_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fundamental types and constants shared across the nvsim library.
+ *
+ * nvsim models a Cascade Lake style heterogeneous memory system (DRAM +
+ * Optane DC NVRAM on the same memory channels) at line granularity. All
+ * addresses are simulated physical addresses in a flat byte space.
+ */
+
+#ifndef NVSIM_CORE_TYPES_HH
+#define NVSIM_CORE_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nvsim
+{
+
+/** Simulated physical byte address. */
+using Addr = std::uint64_t;
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Count of bytes. */
+using Bytes = std::uint64_t;
+
+/** Capacity literals. */
+inline constexpr Bytes kKiB = 1024ull;
+inline constexpr Bytes kMiB = 1024ull * kKiB;
+inline constexpr Bytes kGiB = 1024ull * kMiB;
+inline constexpr Bytes kTiB = 1024ull * kGiB;
+
+/** Decimal units used when reporting bandwidth (GB/s as in the paper). */
+inline constexpr double kGB = 1e9;
+
+/** Ticks per second (1 tick = 1 ps). */
+inline constexpr double kTicksPerSecond = 1e12;
+
+/** Cache line size: both the CPU and the 2LM DRAM cache use 64 B lines. */
+inline constexpr Bytes kLineSize = 64;
+
+/**
+ * Optane media access granularity. The 3D-XPoint media is accessed
+ * internally in 256 B blocks; sub-block demand accesses are amplified
+ * unless the on-DIMM buffers can combine them.
+ */
+inline constexpr Bytes kMediaBlockSize = 256;
+
+/** Convert a byte address to its 64 B line index. */
+inline constexpr Addr
+lineIndex(Addr addr)
+{
+    return addr / kLineSize;
+}
+
+/** Align an address down to its line base. */
+inline constexpr Addr
+lineBase(Addr addr)
+{
+    return addr & ~(kLineSize - 1);
+}
+
+/** Align an address down to its 256 B media block base. */
+inline constexpr Addr
+mediaBlockBase(Addr addr)
+{
+    return addr & ~(kMediaBlockSize - 1);
+}
+
+/** Convert ticks to seconds. */
+inline constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / kTicksPerSecond;
+}
+
+/** Convert seconds to ticks. */
+inline constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * kTicksPerSecond);
+}
+
+/**
+ * Kind of request the LLC issues to the integrated memory controller.
+ *
+ * An LlcRead is produced by a load miss or a store RFO; an LlcWrite is
+ * produced by a dirty LLC eviction or by a nontemporal store (which
+ * bypasses the on-chip cache entirely).
+ */
+enum class MemRequestKind : std::uint8_t { LlcRead, LlcWrite };
+
+/** CPU-visible access operations used by workload generators. */
+enum class CpuOp : std::uint8_t {
+    Load,          //!< standard load
+    Store,         //!< standard store (RFO + later dirty writeback)
+    NtStore,       //!< nontemporal store (bypasses the on-chip cache)
+};
+
+/** Memory pools a physical address can be backed by in 1LM mode. */
+enum class MemPool : std::uint8_t { Dram, Nvram };
+
+} // namespace nvsim
+
+#endif // NVSIM_CORE_TYPES_HH

@@ -1,0 +1,39 @@
+#include "core/units.hh"
+
+#include "core/logging.hh"
+
+namespace nvsim
+{
+
+std::string
+formatBytes(Bytes bytes)
+{
+    const char *suffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double v = static_cast<double>(bytes);
+    int i = 0;
+    while (v >= 1024.0 && i < 4) {
+        v /= 1024.0;
+        ++i;
+    }
+    return strprintf("%.4g %s", v, suffix[i]);
+}
+
+std::string
+formatBandwidth(double bytes_per_second)
+{
+    return strprintf("%.2f GB/s", bytes_per_second / kGB);
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    if (seconds >= 1.0)
+        return strprintf("%.3g s", seconds);
+    if (seconds >= 1e-3)
+        return strprintf("%.3g ms", seconds * 1e3);
+    if (seconds >= 1e-6)
+        return strprintf("%.3g us", seconds * 1e6);
+    return strprintf("%.3g ns", seconds * 1e9);
+}
+
+} // namespace nvsim

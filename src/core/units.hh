@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Human-readable formatting of bytes / bandwidth / time for bench and
+ * example output.
+ */
+
+#ifndef NVSIM_CORE_UNITS_HH
+#define NVSIM_CORE_UNITS_HH
+
+#include <string>
+
+#include "core/types.hh"
+
+namespace nvsim
+{
+
+/** "1.5 GiB" style binary-size formatting. */
+std::string formatBytes(Bytes bytes);
+
+/** "12.3 GB/s" decimal bandwidth formatting (paper convention). */
+std::string formatBandwidth(double bytes_per_second);
+
+/** "12.3 s" / "4.5 ms" time formatting. */
+std::string formatSeconds(double seconds);
+
+} // namespace nvsim
+
+#endif // NVSIM_CORE_UNITS_HH

@@ -1,0 +1,73 @@
+#include "dnn/arena.hh"
+
+#include "core/logging.hh"
+
+namespace nvsim::dnn
+{
+
+ArenaAllocator::ArenaAllocator(Bytes limit) : limit_(limit) {}
+
+std::optional<Addr>
+ArenaAllocator::alloc(Bytes size)
+{
+    if (size == 0)
+        size = 1;
+
+    // First fit among the free gaps.
+    for (auto it = freeBlocks_.begin(); it != freeBlocks_.end(); ++it) {
+        if (it->second >= size) {
+            Addr offset = it->first;
+            Bytes remaining = it->second - size;
+            freeBlocks_.erase(it);
+            if (remaining > 0)
+                freeBlocks_.emplace(offset + size, remaining);
+            inUse_ += size;
+            return offset;
+        }
+    }
+
+    // Extend the arena.
+    if (limit_ != kUnlimited && brk_ + size > limit_)
+        return std::nullopt;
+    Addr offset = brk_;
+    brk_ += size;
+    highWater_ = std::max(highWater_, brk_);
+    inUse_ += size;
+    return offset;
+}
+
+void
+ArenaAllocator::free(Addr offset, Bytes size)
+{
+    if (size == 0)
+        size = 1;
+    nvsim_assert(inUse_ >= size);
+    inUse_ -= size;
+
+    auto [it, inserted] = freeBlocks_.emplace(offset, size);
+    nvsim_assert(inserted);
+
+    // Coalesce with the successor.
+    auto next = std::next(it);
+    if (next != freeBlocks_.end() &&
+        it->first + it->second == next->first) {
+        it->second += next->second;
+        freeBlocks_.erase(next);
+    }
+    // Coalesce with the predecessor.
+    if (it != freeBlocks_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second == it->first) {
+            prev->second += it->second;
+            freeBlocks_.erase(it);
+            it = prev;
+        }
+    }
+    // Shrink the brk when the last gap touches it.
+    if (it->first + it->second == brk_) {
+        brk_ = it->first;
+        freeBlocks_.erase(it);
+    }
+}
+
+} // namespace nvsim::dnn

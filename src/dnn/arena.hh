@@ -1,0 +1,62 @@
+/**
+ * @file
+ * First-fit arena allocator with coalescing free list.
+ *
+ * Used twice: by the static Planner to lay out the ngraph-style single
+ * training buffer (offsets reused as tensors die — the "fold back" of
+ * Figure 5d), and by the AutoTM executor to manage the bounded DRAM
+ * budget at run time.
+ */
+
+#ifndef NVSIM_DNN_ARENA_HH
+#define NVSIM_DNN_ARENA_HH
+
+#include <limits>
+#include <map>
+#include <optional>
+
+#include "core/types.hh"
+
+namespace nvsim::dnn
+{
+
+/** Offset-space allocator (no backing storage). */
+class ArenaAllocator
+{
+  public:
+    static constexpr Bytes kUnlimited =
+        std::numeric_limits<Bytes>::max();
+
+    /** @param limit hard capacity; kUnlimited lets the arena grow. */
+    explicit ArenaAllocator(Bytes limit = kUnlimited);
+
+    /**
+     * Allocate @p size bytes first-fit. Returns the offset, or nullopt
+     * when no gap fits within the limit.
+     */
+    std::optional<Addr> alloc(Bytes size);
+
+    /** Return a block. Must match a previous alloc exactly. */
+    void free(Addr offset, Bytes size);
+
+    /** Largest offset+size ever handed out. */
+    Bytes highWater() const { return highWater_; }
+
+    /** Currently allocated bytes. */
+    Bytes inUse() const { return inUse_; }
+
+    Bytes limit() const { return limit_; }
+
+  private:
+    Bytes limit_;
+    Bytes highWater_ = 0;
+    Bytes inUse_ = 0;
+    /** Free gaps: offset -> size, non-adjacent (coalesced). */
+    std::map<Addr, Bytes> freeBlocks_;
+    /** End of the used extent; fresh space starts here. */
+    Bytes brk_ = 0;
+};
+
+} // namespace nvsim::dnn
+
+#endif // NVSIM_DNN_ARENA_HH

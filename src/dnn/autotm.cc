@@ -1,0 +1,322 @@
+#include "dnn/autotm.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace nvsim::dnn
+{
+
+AutoTmExecutor::AutoTmExecutor(MemorySystem &sys,
+                               const ComputeGraph &graph,
+                               const AutoTmConfig &config)
+    : sys_(sys), graph_(graph), config_(config),
+      liveness_(computeLiveness(graph)),
+      dramArena_(ArenaAllocator::kUnlimited)
+{
+    if (sys_.config().mode != MemoryMode::OneLm)
+        fatal("AutoTM requires a 1LM (app direct) memory system");
+
+    std::uint64_t scale = sys_.config().scale;
+    scaledBytes_.reserve(graph_.tensors().size());
+    for (const auto &t : graph_.tensors())
+        scaledBytes_.push_back(scaledTensorBytes(t.bytes, scale));
+
+    uses_.assign(graph_.tensors().size(), {});
+    const auto &ops = graph_.schedule();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        for (TensorId t : ops[i].inputs)
+            uses_[t].push_back(static_cast<int>(i));
+    }
+
+    budget_ = config_.dramBudget ? config_.dramBudget
+                                 : sys_.poolFree(MemPool::Dram);
+    if (budget_ > sys_.poolFree(MemPool::Dram))
+        fatal("AutoTM DRAM budget exceeds the machine's DRAM pool");
+    dramRegion_ =
+        sys_.allocateIn(MemPool::Dram, budget_, graph_.name() + "_dram");
+    dramArena_ = ArenaAllocator(budget_);
+
+    // NVRAM spill space: worst case, one slot per tensor.
+    Bytes nvram_need = 0;
+    for (Bytes b : scaledBytes_)
+        nvram_need += b;
+    nvramRegion_ = sys_.allocateIn(MemPool::Nvram, nvram_need,
+                                   graph_.name() + "_nvram");
+
+    loc_.assign(graph_.tensors().size(), Location{});
+
+    // Weights (and their gradients) are pinned in DRAM for the whole
+    // run; AutoTM always placed parameters in DRAM.
+    for (const auto &t : graph_.tensors()) {
+        if (t.kind == TensorKind::Weight ||
+            t.kind == TensorKind::WeightGrad) {
+            auto off = dramArena_.alloc(scaledBytes_[t.id]);
+            if (!off)
+                fatal("AutoTM DRAM budget too small for the weights of "
+                      "%s", graph_.name().c_str());
+            loc_[t.id].inDram = true;
+            loc_[t.id].dramOffset = *off;
+        }
+    }
+}
+
+Addr
+AutoTmExecutor::dramAddr(TensorId t) const
+{
+    return dramRegion_.base + loc_[t].dramOffset;
+}
+
+Addr
+AutoTmExecutor::nvramSlot(TensorId t)
+{
+    Location &l = loc_[t];
+    if (!l.hasNvramSlot) {
+        l.nvramAddr = nvramRegion_.base + nvramBrk_;
+        nvramBrk_ += scaledBytes_[t];
+        l.hasNvramSlot = true;
+    }
+    return l.nvramAddr;
+}
+
+int
+AutoTmExecutor::nextUseAfter(TensorId t, int i) const
+{
+    const auto &u = uses_[t];
+    auto it = std::lower_bound(u.begin(), u.end(), i);
+    return it == u.end() ? -1 : *it;
+}
+
+void
+AutoTmExecutor::moveDramToNvram(TensorId t)
+{
+    Bytes bytes = scaledBytes_[t];
+    Addr src = dramAddr(t);
+    Addr dst = nvramSlot(t);
+    if (config_.useDma) {
+        sys_.dmaCopy(dst, src, bytes);
+    } else {
+        // Large sequential copy: loads from DRAM, nontemporal stores
+        // to NVRAM — the bandwidth-friendly pattern of Section III.
+        Executor::streamRange(sys_, src, bytes, CpuOp::Load,
+                              config_.exec.threads,
+                              config_.exec.chunkBytes, 0);
+        Executor::streamRange(sys_, dst, bytes, CpuOp::NtStore,
+                              config_.exec.threads,
+                              config_.exec.chunkBytes, 0);
+    }
+    moves_.push_back({t, false, bytes, sys_.now()});
+    ++stats_.movesToNvram;
+    stats_.bytesToNvram += bytes;
+    loc_[t].dirtySinceSpill = false;
+}
+
+void
+AutoTmExecutor::moveNvramToDram(TensorId t)
+{
+    Bytes bytes = scaledBytes_[t];
+    Addr src = nvramSlot(t);
+    Addr dst = dramAddr(t);
+    if (config_.useDma) {
+        sys_.dmaCopy(dst, src, bytes);
+    } else {
+        Executor::streamRange(sys_, src, bytes, CpuOp::Load,
+                              config_.exec.threads,
+                              config_.exec.chunkBytes, 0);
+        Executor::streamRange(sys_, dst, bytes, CpuOp::NtStore,
+                              config_.exec.threads,
+                              config_.exec.chunkBytes, 0);
+    }
+    moves_.push_back({t, true, bytes, sys_.now()});
+    ++stats_.movesToDram;
+    stats_.bytesToDram += bytes;
+}
+
+void
+AutoTmExecutor::dropDead(TensorId t)
+{
+    Location &l = loc_[t];
+    if (l.inDram) {
+        dramArena_.free(l.dramOffset, scaledBytes_[t]);
+        l.inDram = false;
+        residents_.erase(
+            std::remove(residents_.begin(), residents_.end(), t),
+            residents_.end());
+    }
+    ++stats_.deadTensorsDropped;
+    stats_.deadBytesDropped += scaledBytes_[t];
+}
+
+bool
+AutoTmExecutor::evictOne(int step, const std::vector<TensorId> &pinned)
+{
+    TensorId victim = kNoTensor;
+    int victim_next = -2;
+    for (TensorId t : residents_) {
+        if (std::find(pinned.begin(), pinned.end(), t) != pinned.end())
+            continue;
+        int nu = nextUseAfter(t, step);
+        if (nu < 0) {
+            // Dead or never-again-used: best possible victim.
+            victim = t;
+            victim_next = -1;
+            break;
+        }
+        if (nu > victim_next) {
+            victim = t;
+            victim_next = nu;
+        }
+    }
+    if (victim == kNoTensor)
+        return false;
+
+    Location &l = loc_[victim];
+    bool live = nextUseAfter(victim, step) >= 0;
+    if (live && l.dirtySinceSpill) {
+        // Live data must survive: write it to its NVRAM slot.
+        moveDramToNvram(victim);
+    } else if (!live) {
+        dropDead(victim);
+        return true;
+    }
+    dramArena_.free(l.dramOffset, scaledBytes_[victim]);
+    l.inDram = false;
+    residents_.erase(
+        std::remove(residents_.begin(), residents_.end(), victim),
+        residents_.end());
+    return true;
+}
+
+bool
+AutoTmExecutor::ensureInDram(TensorId t, int step, bool load_contents)
+{
+    Location &l = loc_[t];
+    if (l.inDram)
+        return true;
+    Bytes bytes = scaledBytes_[t];
+    if (bytes > budget_ / 2)
+        return false;  // oversized: access in place in NVRAM
+
+    std::vector<TensorId> pinned;  // avoid evicting current operands
+    for (;;) {
+        auto off = dramArena_.alloc(bytes);
+        if (off) {
+            l.inDram = true;
+            l.dramOffset = *off;
+            residents_.push_back(t);
+            // Only fetch real spilled data; tensors that never lived
+            // in NVRAM (graph inputs, fresh gradients) just
+            // materialize.
+            if (load_contents && l.hasNvramSlot)
+                moveNvramToDram(t);
+            return true;
+        }
+        if (!evictOne(step, pinned))
+            return false;
+    }
+}
+
+IterationResult
+AutoTmExecutor::runIteration()
+{
+    IterationResult result;
+    sys_.setActiveThreads(config_.exec.threads);
+    PerfCounters before = sys_.counters();
+    double t0 = sys_.now();
+    std::uint64_t scale = sys_.config().scale;
+
+    const auto &ops = graph_.schedule();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const Op &op = ops[i];
+        int step = static_cast<int>(i);
+        currentStep_ = step;
+
+        KernelEvent ev;
+        ev.op = op.id;
+        ev.kind = op.kind;
+        ev.name = op.name;
+
+        // Movement phase: pull inputs into DRAM, make room for outputs.
+        for (TensorId t : op.inputs) {
+            const Tensor &tt = graph_.tensor(t);
+            if (tt.kind == TensorKind::Weight ||
+                tt.kind == TensorKind::WeightGrad)
+                continue;
+            ensureInDram(t, step, /*load_contents=*/true);
+        }
+        for (TensorId t : op.outputs) {
+            const Tensor &tt = graph_.tensor(t);
+            if (tt.kind == TensorKind::Weight ||
+                tt.kind == TensorKind::WeightGrad)
+                continue;
+            // Outputs are written before read: no content load needed.
+            if (ensureInDram(t, step, /*load_contents=*/false))
+                loc_[t].dirtySinceSpill = true;
+        }
+
+        ev.start = sys_.now();
+        ev.flops = op.flops / static_cast<double>(scale);
+
+        Bytes bytes = 0;
+        for (TensorId t : op.inputs)
+            bytes += scaledBytes_[t];
+        for (TensorId t : op.outputs)
+            bytes += scaledBytes_[t];
+        ev.bytesTouched = bytes;
+
+        double compute_seconds =
+            ev.flops / (static_cast<double>(config_.exec.threads) *
+                        config_.exec.flopsPerCore);
+        double share =
+            bytes ? compute_seconds / static_cast<double>(bytes) : 0;
+
+        auto addr = [&](TensorId t) {
+            return loc_[t].inDram ? dramAddr(t) : nvramSlot(t);
+        };
+        for (TensorId t : op.inputs) {
+            Executor::streamRange(sys_, addr(t), scaledBytes_[t],
+                                  CpuOp::Load, config_.exec.threads,
+                                  config_.exec.chunkBytes, share);
+        }
+        for (TensorId t : op.outputs) {
+            if (loc_[t].inDram)
+                loc_[t].dirtySinceSpill = true;
+            Executor::streamRange(sys_, addr(t), scaledBytes_[t],
+                                  CpuOp::Store, config_.exec.threads,
+                                  config_.exec.chunkBytes, share);
+        }
+        if (bytes == 0 && compute_seconds > 0)
+            sys_.addComputeTime(compute_seconds);
+
+        sys_.advanceEpoch();
+        ev.end = sys_.now();
+
+        double inst =
+            ev.flops * config_.exec.instPerFlop +
+            static_cast<double>(bytes) * config_.exec.instPerByte;
+        result.totalInstructions += inst;
+        double dt = ev.end - ev.start;
+        if (dt > 0)
+            sys_.trace().record("mips", ev.end, inst / dt / 1e6);
+        result.kernels.push_back(std::move(ev));
+
+        // Drop tensors that died at this step: their DRAM space is
+        // reclaimed with no NVRAM writeback — the dirty-dead data the
+        // 2LM cache cannot avoid writing back.
+        for (TensorId t = 0; t < loc_.size(); ++t) {
+            const Tensor &tt = graph_.tensor(t);
+            if (tt.kind == TensorKind::Weight ||
+                tt.kind == TensorKind::WeightGrad)
+                continue;
+            if (liveness_[t].lastUse == step && loc_[t].inDram)
+                dropDead(t);
+        }
+    }
+
+    sys_.quiesce();
+    result.seconds = sys_.now() - t0;
+    result.counters = sys_.counters().delta(before);
+    return result;
+}
+
+} // namespace nvsim::dnn

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * AutoTM-style software-managed tensor movement (Section VII-A.1).
+ *
+ * AutoTM (Hildebrand et al., ASPLOS'20) formulates tensor placement and
+ * movement in a 1LM (app direct) system as an integer linear program
+ * over a profiled static schedule. No ILP solver is available offline,
+ * so we substitute a profile-guided *sweep-line greedy with Belady
+ * eviction*: walk the schedule keeping kernel operands in a bounded
+ * DRAM arena; when space runs out, evict the live tensor with the
+ * farthest next use (writing it to NVRAM only if it is still live),
+ * and drop dead tensors for free.
+ *
+ * This preserves the two properties the paper attributes AutoTM's win
+ * to: (1) data moves in large sequential, nontemporal-store patterns
+ * that reach NVRAM's full bandwidth, and (2) semantically dead data is
+ * never written back — "AutoTM only generates NVRAM writes during the
+ * forward pass ... and NVRAM reads during the backward pass" (Fig 10).
+ */
+
+#ifndef NVSIM_DNN_AUTOTM_HH
+#define NVSIM_DNN_AUTOTM_HH
+
+#include <vector>
+
+#include "dnn/arena.hh"
+#include "dnn/executor.hh"
+#include "dnn/planner.hh"
+#include "sys/memsys.hh"
+
+namespace nvsim::dnn
+{
+
+/** AutoTM run parameters. */
+struct AutoTmConfig
+{
+    /**
+     * DRAM bytes (scaled) available for tensors, weights included.
+     * Zero means "all of the machine's DRAM pool".
+     */
+    Bytes dramBudget = 0;
+    ExecutorConfig exec;
+    /**
+     * Move tensors with the DMA copy engines instead of CPU loads +
+     * nontemporal stores — the hardware-software co-design direction
+     * of Section VII-B. DMA moves overlap with compute and consume no
+     * CPU issue slots, at the price of the engines' limited bandwidth.
+     */
+    bool useDma = false;
+};
+
+/** One explicit tensor movement the optimizer scheduled. */
+struct MoveEvent
+{
+    TensorId tensor = 0;
+    bool toDram = false;   //!< direction
+    Bytes bytes = 0;
+    double time = 0;       //!< simulated start time
+};
+
+/** Statistics of an AutoTM iteration beyond the base result. */
+struct AutoTmStats
+{
+    std::uint64_t movesToDram = 0;
+    std::uint64_t movesToNvram = 0;
+    Bytes bytesToDram = 0;
+    Bytes bytesToNvram = 0;
+    std::uint64_t deadTensorsDropped = 0;  //!< freed without writeback
+    Bytes deadBytesDropped = 0;
+};
+
+/**
+ * Executor for a 1LM system under AutoTM-style management. The
+ * MemorySystem must be in MemoryMode::OneLm.
+ */
+class AutoTmExecutor
+{
+  public:
+    AutoTmExecutor(MemorySystem &sys, const ComputeGraph &graph,
+                   const AutoTmConfig &config);
+
+    /** Run one training iteration under software management. */
+    IterationResult runIteration();
+
+    const AutoTmStats &stats() const { return stats_; }
+    const std::vector<MoveEvent> &moves() const { return moves_; }
+    Bytes dramBudget() const { return budget_; }
+
+  private:
+    /** Dynamic location of a tensor. */
+    struct Location
+    {
+        bool inDram = false;
+        Addr dramOffset = 0;    //!< within the DRAM arena, if inDram
+        bool hasNvramSlot = false;
+        Addr nvramAddr = 0;     //!< absolute, once spilled
+        bool dirtySinceSpill = false;  //!< DRAM copy newer than NVRAM
+    };
+
+    /** Next consumer of tensor @p t at or after schedule step @p i. */
+    int nextUseAfter(TensorId t, int i) const;
+
+    /** Ensure @p t has bytes in the DRAM arena; move in if needed. */
+    bool ensureInDram(TensorId t, int step, bool load_contents);
+
+    /** Evict the in-DRAM live tensor with the farthest next use. */
+    bool evictOne(int step, const std::vector<TensorId> &pinned);
+
+    void moveDramToNvram(TensorId t);
+    void moveNvramToDram(TensorId t);
+    void dropDead(TensorId t);
+
+    Addr dramAddr(TensorId t) const;
+    Addr nvramSlot(TensorId t);
+
+    MemorySystem &sys_;
+    const ComputeGraph &graph_;
+    AutoTmConfig config_;
+    std::vector<LiveInterval> liveness_;
+    std::vector<Bytes> scaledBytes_;   //!< by tensor id
+    /** Consumer steps per tensor (sorted), for Belady decisions. */
+    std::vector<std::vector<int>> uses_;
+
+    Region dramRegion_;
+    Region nvramRegion_;
+    Bytes budget_ = 0;
+    ArenaAllocator dramArena_;
+    Addr nvramBrk_ = 0;
+
+    std::vector<Location> loc_;
+    std::vector<TensorId> residents_;  //!< tensors currently in DRAM
+
+    AutoTmStats stats_;
+    std::vector<MoveEvent> moves_;
+    int currentStep_ = 0;
+};
+
+} // namespace nvsim::dnn
+
+#endif // NVSIM_DNN_AUTOTM_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * DenseNet 264 builder (Huang et al., CVPR'17): initial 7x7 stem, four
+ * dense blocks of 6 / 12 / 64 / 48 bottleneck layers with growth rate
+ * 32, compression-0.5 transitions. Each dense layer is the sequence the
+ * paper describes in Section V-C: Concat, BatchNorm, Conv(1x1),
+ * BatchNorm, Conv(3x3) — the Concat and first BatchNorm operate on the
+ * wide concatenated features and are the memory-bound bottleneck of
+ * Figure 6.
+ */
+
+#include <vector>
+
+#include "dnn/networks.hh"
+
+namespace nvsim::dnn
+{
+
+namespace
+{
+
+/** One bottleneck dense layer; returns the new k-channel feature. */
+TensorId
+denseLayer(NetBuilder &b, const std::vector<TensorId> &features,
+           std::uint64_t growth)
+{
+    TensorId cat = b.concat(features);
+    TensorId x = b.batchNorm(cat);
+    x = b.relu(x);
+    x = b.conv(x, 4 * growth, 1, 1, "conv1x1");
+    x = b.batchNorm(x);
+    x = b.relu(x);
+    x = b.conv(x, growth, 3, 1, "conv3x3");
+    return x;
+}
+
+} // namespace
+
+ComputeGraph
+buildDenseNet264(std::uint64_t batch, bool training)
+{
+    const std::uint64_t growth = 32;
+    const unsigned blocks[4] = {6, 12, 64, 48};
+
+    NetBuilder b("densenet264");
+    TensorId x = b.input(Shape{batch, 3, 224, 224});
+
+    // Stem: 7x7/2 conv, BN, ReLU, 3x3/2 max pool -> 56x56 x 2k.
+    x = b.conv(x, 2 * growth, 7, 2, "stem_conv");
+    x = b.batchNorm(x);
+    x = b.relu(x);
+    x = b.pool(x, 3, 2, "stem_pool");
+
+    std::uint64_t channels = 2 * growth;
+    for (unsigned blk = 0; blk < 4; ++blk) {
+        std::vector<TensorId> features{x};
+        for (unsigned layer = 0; layer < blocks[blk]; ++layer) {
+            TensorId f = denseLayer(b, features, growth);
+            features.push_back(f);
+            channels += growth;
+        }
+        x = b.concat(features);
+        if (blk < 3) {
+            // Transition: BN, 1x1 conv (compression 0.5), 2x2 avg pool.
+            x = b.batchNorm(x);
+            x = b.relu(x);
+            channels /= 2;
+            x = b.conv(x, channels, 1, 1, "trans_conv");
+            x = b.pool(x, 2, 2, "trans_pool");
+        }
+    }
+
+    x = b.batchNorm(x);
+    x = b.relu(x);
+    x = b.globalPool(x);
+    x = b.gemm(x, 1000);
+    b.loss(x);
+    return b.finish(training);
+}
+
+} // namespace nvsim::dnn

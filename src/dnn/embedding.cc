@@ -1,0 +1,137 @@
+#include "dnn/embedding.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+
+namespace nvsim::dnn
+{
+
+const char *
+embeddingPlacementName(EmbeddingPlacement placement)
+{
+    switch (placement) {
+      case EmbeddingPlacement::TwoLm:
+        return "2LM";
+      case EmbeddingPlacement::AppDirect:
+        return "app_direct";
+      case EmbeddingPlacement::SoftwareCached:
+        return "software_cached";
+    }
+    return "unknown";
+}
+
+EmbeddingWorkload::EmbeddingWorkload(MemorySystem &sys,
+                                     const EmbeddingConfig &config,
+                                     EmbeddingPlacement placement)
+    : sys_(sys), config_(config), placement_(placement),
+      rngState_(config.seed ? config.seed : 1)
+{
+    bool two_lm = sys_.config().mode == MemoryMode::TwoLm;
+    if (two_lm != (placement == EmbeddingPlacement::TwoLm)) {
+        fatal("embedding placement %s incompatible with %s mode",
+              embeddingPlacementName(placement),
+              memoryModeName(sys_.config().mode));
+    }
+    if (config_.rowBytes % kLineSize != 0)
+        fatal("embedding row size must be a multiple of 64 B");
+
+    if (placement == EmbeddingPlacement::SoftwareCached) {
+        hotRows_ = static_cast<std::uint64_t>(
+            config_.hotFraction *
+            static_cast<double>(config_.rowsPerTable));
+    }
+
+    for (unsigned t = 0; t < config_.numTables; ++t) {
+        std::string name = strprintf("emb_table_%u", t);
+        switch (placement) {
+          case EmbeddingPlacement::TwoLm:
+            tables_.push_back(
+                sys_.allocate(config_.tableBytes(), name));
+            break;
+          case EmbeddingPlacement::AppDirect:
+            tables_.push_back(sys_.allocateIn(
+                MemPool::Nvram, config_.tableBytes(), name));
+            break;
+          case EmbeddingPlacement::SoftwareCached:
+            hotHeads_.push_back(sys_.allocateIn(
+                MemPool::Dram, hotRows_ * config_.rowBytes,
+                name + "_hot"));
+            tables_.push_back(sys_.allocateIn(
+                MemPool::Nvram,
+                (config_.rowsPerTable - hotRows_) * config_.rowBytes,
+                name + "_cold"));
+            break;
+        }
+    }
+}
+
+Addr
+EmbeddingWorkload::rowAddr(unsigned table, std::uint64_t row) const
+{
+    if (placement_ == EmbeddingPlacement::SoftwareCached) {
+        if (row < hotRows_)
+            return hotHeads_[table].base + row * config_.rowBytes;
+        return tables_[table].base +
+               (row - hotRows_) * config_.rowBytes;
+    }
+    return tables_[table].base + row * config_.rowBytes;
+}
+
+EmbeddingResult
+EmbeddingWorkload::runBatch()
+{
+    sys_.setActiveThreads(config_.threads);
+    PerfCounters before = sys_.counters();
+    double t0 = sys_.now();
+
+    EmbeddingResult result;
+    std::uint64_t hot_hits = 0;
+    std::uint64_t scale = sys_.config().scale;
+    double mlp_seconds_per_sample =
+        config_.mlpFlopsPerSample / static_cast<double>(scale) /
+        (static_cast<double>(config_.threads) * 50e9);
+
+    for (unsigned s = 0; s < config_.batch; ++s) {
+        unsigned thread = s % config_.threads;
+        for (unsigned t = 0; t < config_.numTables; ++t) {
+            for (unsigned l = 0; l < config_.lookupsPerSample; ++l) {
+                // Approximate-Zipf row selection: u^skew piles the
+                // probability mass on small row indices.
+                double u =
+                    static_cast<double>(splitmix64(rngState_) >> 11) *
+                    0x1.0p-53;
+                auto row = static_cast<std::uint64_t>(
+                    std::pow(u, config_.skew) *
+                    static_cast<double>(config_.rowsPerTable));
+                if (row >= config_.rowsPerTable)
+                    row = config_.rowsPerTable - 1;
+                hot_hits += row < hotRows_;
+
+                Addr addr = rowAddr(t, row);
+                sys_.access(thread, CpuOp::Load, addr,
+                            config_.rowBytes);
+                if (config_.updateRows) {
+                    sys_.access(thread, CpuOp::Store, addr,
+                                config_.rowBytes);
+                }
+                ++result.lookups;
+            }
+        }
+        // Dense MLP compute for the sample.
+        sys_.addComputeTime(mlp_seconds_per_sample);
+    }
+    sys_.quiesce();
+
+    result.seconds = sys_.now() - t0;
+    result.counters = sys_.counters().delta(before);
+    result.hotHitFraction =
+        result.lookups
+            ? static_cast<double>(hot_hits) /
+                  static_cast<double>(result.lookups)
+            : 0;
+    return result;
+}
+
+} // namespace nvsim::dnn

@@ -1,0 +1,284 @@
+#include "dnn/graph.hh"
+
+#include "core/logging.hh"
+
+namespace nvsim::dnn
+{
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Conv:
+        return "Conv";
+      case OpKind::BatchNorm:
+        return "BatchNorm";
+      case OpKind::Relu:
+        return "ReLU";
+      case OpKind::Concat:
+        return "Concat";
+      case OpKind::Pool:
+        return "Pool";
+      case OpKind::Gemm:
+        return "Gemm";
+      case OpKind::Add:
+        return "Add";
+      case OpKind::Loss:
+        return "Loss";
+      case OpKind::ConvBack:
+        return "ConvBackprop";
+      case OpKind::BatchNormBack:
+        return "BatchNormBackprop";
+      case OpKind::ReluBack:
+        return "ReLUBackprop";
+      case OpKind::ConcatBack:
+        return "ConcatBackprop";
+      case OpKind::PoolBack:
+        return "PoolBackprop";
+      case OpKind::GemmBack:
+        return "GemmBackprop";
+      case OpKind::AddBack:
+        return "AddBackprop";
+      case OpKind::LossBack:
+        return "LossBackprop";
+    }
+    return "unknown";
+}
+
+bool
+isBackwardOp(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::ConvBack:
+      case OpKind::BatchNormBack:
+      case OpKind::ReluBack:
+      case OpKind::ConcatBack:
+      case OpKind::PoolBack:
+      case OpKind::GemmBack:
+      case OpKind::AddBack:
+      case OpKind::LossBack:
+        return true;
+      default:
+        return false;
+    }
+}
+
+OpKind
+backwardOf(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Conv:
+        return OpKind::ConvBack;
+      case OpKind::BatchNorm:
+        return OpKind::BatchNormBack;
+      case OpKind::Relu:
+        return OpKind::ReluBack;
+      case OpKind::Concat:
+        return OpKind::ConcatBack;
+      case OpKind::Pool:
+        return OpKind::PoolBack;
+      case OpKind::Gemm:
+        return OpKind::GemmBack;
+      case OpKind::Add:
+        return OpKind::AddBack;
+      case OpKind::Loss:
+        return OpKind::LossBack;
+      default:
+        panic("backwardOf called on backward op %s", opKindName(kind));
+    }
+}
+
+bool
+backwardNeedsInputs(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Conv:       // input activation for the filter grad
+      case OpKind::BatchNorm:  // input for mean/variance grads
+      case OpKind::Gemm:       // input activation for the weight grad
+      case OpKind::Pool:       // argmax / divisor information
+      case OpKind::Loss:       // predictions
+        return true;
+      case OpKind::Relu:       // sign recoverable from the output,
+                               // which the next kernel saves anyway
+      case OpKind::Concat:     // backward is a pure split of the grad
+      case OpKind::Add:        // backward copies the grad to both sides
+        return false;
+      default:
+        return false;
+    }
+}
+
+TensorId
+ComputeGraph::addTensor(const std::string &name, Bytes bytes,
+                        TensorKind kind)
+{
+    Tensor t;
+    t.id = static_cast<TensorId>(tensors_.size());
+    t.name = name;
+    t.bytes = bytes;
+    t.kind = kind;
+    tensors_.push_back(std::move(t));
+    return tensors_.back().id;
+}
+
+OpId
+ComputeGraph::addOp(const std::string &name, OpKind kind,
+                    std::vector<TensorId> inputs,
+                    std::vector<TensorId> outputs, double flops)
+{
+    Op op;
+    op.id = static_cast<OpId>(ops_.size());
+    op.name = name;
+    op.kind = kind;
+    op.inputs = std::move(inputs);
+    op.outputs = std::move(outputs);
+    op.flops = flops;
+
+    for (TensorId tid : op.inputs)
+        tensors_[tid].consumers.push_back(op.id);
+    for (TensorId tid : op.outputs) {
+        // Gradient tensors may be produced repeatedly (accumulation at
+        // fan-out points); keep the first producer for liveness.
+        if (tensors_[tid].producer == ~0u)
+            tensors_[tid].producer = op.id;
+    }
+    ops_.push_back(std::move(op));
+    if (!isBackwardOp(kind))
+        forwardOps_ = ops_.size();
+    return ops_.back().id;
+}
+
+void
+ComputeGraph::buildBackward()
+{
+    if (backwardBuilt_)
+        panic("backward pass already built for %s", name_.c_str());
+    backwardBuilt_ = true;
+
+    std::size_t n_fwd = ops_.size();
+    forwardOps_ = n_fwd;
+
+    // Gradient tensor per forward activation output, created lazily.
+    std::vector<TensorId> grad_of(tensors_.size(), kNoTensor);
+    std::vector<bool> grad_produced;
+    auto grad = [&](TensorId tid) {
+        if (grad_of[tid] == kNoTensor) {
+            const Tensor &t = tensors_[tid];
+            bool weight = t.kind == TensorKind::Weight;
+            TensorId g =
+                addTensor("d_" + t.name, t.bytes,
+                          weight ? TensorKind::WeightGrad
+                                 : TensorKind::Gradient);
+            grad_of.resize(tensors_.size(), kNoTensor);
+            grad_of[tid] = g;
+        }
+        return grad_of[tid];
+    };
+
+    for (std::size_t i = n_fwd; i-- > 0;) {
+        // Copy: addOp invalidates references into ops_.
+        Op fwd = ops_[i];
+        OpKind bkind = backwardOf(fwd.kind);
+
+        std::vector<TensorId> inputs;
+        // Output gradients flow in...
+        for (TensorId out : fwd.outputs)
+            inputs.push_back(grad(out));
+        // ...weights are needed for the data gradient...
+        for (TensorId in : fwd.inputs) {
+            if (tensors_[in].kind == TensorKind::Weight)
+                inputs.push_back(in);
+        }
+        // ...and saved forward tensors if the kernel requires them.
+        if (backwardNeedsInputs(fwd.kind)) {
+            for (TensorId in : fwd.inputs) {
+                if (tensors_[in].kind == TensorKind::Activation)
+                    inputs.push_back(in);
+            }
+        }
+
+        std::vector<TensorId> outputs;
+        for (TensorId in : fwd.inputs) {
+            const Tensor &t = tensors_[in];
+            if (t.kind == TensorKind::Activation) {
+                // Gradient w.r.t. every activation input, except the
+                // network input itself (producer == none, no grad
+                // needed).
+                if (t.producer != ~0u)
+                    outputs.push_back(grad(in));
+            } else if (t.kind == TensorKind::Weight) {
+                outputs.push_back(grad(in));
+            }
+        }
+
+        // Fan-out accumulation: a gradient produced by an earlier
+        // backward op is read-modified-written here, not overwritten.
+        grad_produced.resize(tensors_.size(), false);
+        for (TensorId out : outputs) {
+            if (grad_produced[out])
+                inputs.push_back(out);
+            grad_produced[out] = true;
+        }
+
+        // Backward convolutions cost roughly 2x the forward FLOPs
+        // (data gradient + filter gradient); other kernels about 1x.
+        double factor =
+            (fwd.kind == OpKind::Conv || fwd.kind == OpKind::Gemm) ? 2.0
+                                                                   : 1.0;
+        addOp(fwd.name + "_bwd", bkind, std::move(inputs),
+              std::move(outputs), fwd.flops * factor);
+    }
+}
+
+Bytes
+ComputeGraph::weightBytes() const
+{
+    Bytes total = 0;
+    for (const auto &t : tensors_) {
+        if (t.kind == TensorKind::Weight || t.kind == TensorKind::WeightGrad)
+            total += t.bytes;
+    }
+    return total;
+}
+
+Bytes
+ComputeGraph::activationBytes() const
+{
+    Bytes total = 0;
+    for (const auto &t : tensors_) {
+        if (t.kind == TensorKind::Activation ||
+            t.kind == TensorKind::Gradient)
+            total += t.bytes;
+    }
+    return total;
+}
+
+double
+ComputeGraph::totalFlops() const
+{
+    double total = 0;
+    for (const auto &op : ops_)
+        total += op.flops;
+    return total;
+}
+
+void
+ComputeGraph::validate() const
+{
+    std::vector<bool> defined(tensors_.size(), false);
+    for (const auto &t : tensors_) {
+        if (t.producer == ~0u)
+            defined[t.id] = true;  // graph input / weight
+    }
+    for (const auto &op : ops_) {
+        for (TensorId in : op.inputs) {
+            if (!defined[in])
+                panic("op %s consumes undefined tensor %s",
+                      op.name.c_str(), tensors_[in].name.c_str());
+        }
+        for (TensorId out : op.outputs)
+            defined[out] = true;
+    }
+}
+
+} // namespace nvsim::dnn

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Compute-graph IR for CNN training workloads.
+ *
+ * Mirrors the structure the paper's ngraph-compiled networks have: a
+ * static DAG of kernels (Conv, BatchNorm, Concat, ...) over tensors
+ * whose shapes — and therefore byte sizes and FLOP counts — are known
+ * ahead of time. buildBackward() appends the training backward pass:
+ * one gradient kernel per forward kernel, consuming the output gradient
+ * plus whichever forward tensors the kernel must keep alive. That saved
+ * set is what makes live memory accumulate through the forward pass and
+ * drain through the backward pass (Figure 5d).
+ */
+
+#ifndef NVSIM_DNN_GRAPH_HH
+#define NVSIM_DNN_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace nvsim::dnn
+{
+
+using TensorId = std::uint32_t;
+using OpId = std::uint32_t;
+
+inline constexpr TensorId kNoTensor = ~0u;
+
+/** What a tensor holds; drives placement and liveness rules. */
+enum class TensorKind : std::uint8_t {
+    Activation,  //!< intermediate feature map (arena managed)
+    Weight,      //!< trainable parameter (persistent)
+    Gradient,    //!< gradient of an activation (arena managed)
+    WeightGrad,  //!< gradient of a parameter (persistent)
+};
+
+/** Kernel families with distinct compute/memory character. */
+enum class OpKind : std::uint8_t {
+    Conv,          //!< convolution (compute heavy)
+    BatchNorm,     //!< batch normalization (bandwidth bound)
+    Relu,          //!< activation function (bandwidth bound, cheap)
+    Concat,        //!< concatenation (pure data movement)
+    Pool,          //!< max/avg pooling
+    Gemm,          //!< fully connected / matmul
+    Add,           //!< elementwise residual add
+    Loss,          //!< softmax + loss at the head
+    ConvBack,      //!< backward of Conv (data + filter grads)
+    BatchNormBack, //!< backward of BatchNorm
+    ReluBack,
+    ConcatBack,
+    PoolBack,
+    GemmBack,
+    AddBack,
+    LossBack,
+};
+
+const char *opKindName(OpKind kind);
+
+/** Is this a backward-pass kernel? */
+bool isBackwardOp(OpKind kind);
+
+/** Backward kind corresponding to a forward kind. */
+OpKind backwardOf(OpKind kind);
+
+/**
+ * Does the backward kernel of this op need the op's *input* tensors
+ * (forcing them to stay live across the forward pass)?
+ */
+bool backwardNeedsInputs(OpKind kind);
+
+/** A tensor: logically a typed n-d array; we track bytes and liveness. */
+struct Tensor
+{
+    TensorId id = kNoTensor;
+    std::string name;
+    Bytes bytes = 0;          //!< unscaled logical size
+    TensorKind kind = TensorKind::Activation;
+    OpId producer = ~0u;      //!< op that defines it (~0 for graph inputs)
+    std::vector<OpId> consumers;
+};
+
+/** A kernel instance in the schedule. */
+struct Op
+{
+    OpId id = 0;
+    std::string name;
+    OpKind kind = OpKind::Conv;
+    std::vector<TensorId> inputs;
+    std::vector<TensorId> outputs;
+    double flops = 0;  //!< floating point operations in this kernel
+};
+
+/** A static training graph with a fixed (topological) schedule. */
+class ComputeGraph
+{
+  public:
+    explicit ComputeGraph(std::string name) : name_(std::move(name)) {}
+
+    /** Create a tensor. */
+    TensorId addTensor(const std::string &name, Bytes bytes,
+                       TensorKind kind = TensorKind::Activation);
+
+    /**
+     * Append an op to the schedule. Ops must be added in executable
+     * (topological) order, which the builders do naturally.
+     */
+    OpId addOp(const std::string &name, OpKind kind,
+               std::vector<TensorId> inputs,
+               std::vector<TensorId> outputs, double flops);
+
+    /**
+     * Append the backward pass: walks the forward schedule in reverse
+     * and emits one gradient kernel per forward kernel. Gradient
+     * tensors mirror the forward activations' sizes. Weight gradients
+     * are created for every weight input.
+     */
+    void buildBackward();
+
+    const std::string &name() const { return name_; }
+    const std::vector<Op> &schedule() const { return ops_; }
+    const std::vector<Tensor> &tensors() const { return tensors_; }
+    const Tensor &tensor(TensorId id) const { return tensors_[id]; }
+
+    /** Number of forward ops (the backward pass starts after these). */
+    std::size_t forwardOps() const { return forwardOps_; }
+
+    /** Sum of weight (+ weight gradient) bytes. */
+    Bytes weightBytes() const;
+
+    /** Sum of all activation/gradient bytes (upper bound on arena). */
+    Bytes activationBytes() const;
+
+    /** Total floating point operations in the schedule. */
+    double totalFlops() const;
+
+    /** Sanity-check the schedule is topologically ordered. */
+    void validate() const;
+
+  private:
+    std::string name_;
+    std::vector<Tensor> tensors_;
+    std::vector<Op> ops_;
+    std::size_t forwardOps_ = 0;
+    bool backwardBuilt_ = false;
+};
+
+} // namespace nvsim::dnn
+
+#endif // NVSIM_DNN_GRAPH_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Inception v4 builder (Szegedy et al., 2016): stem, 4x Inception-A at
+ * 35x35, Reduction-A, 7x Inception-B at 17x17, Reduction-B, 3x
+ * Inception-C at 8x8. Branch filter counts follow the published
+ * architecture; asymmetric 1x7 / 7x1 convolutions are approximated by
+ * single convolutions with equivalent FLOPs and parameter counts (the
+ * memory behavior — tensor sizes and liveness — is what matters for
+ * the reproduction).
+ */
+
+#include <vector>
+
+#include "dnn/networks.hh"
+
+namespace nvsim::dnn
+{
+
+namespace
+{
+
+TensorId
+convBnRelu(NetBuilder &b, TensorId in, std::uint64_t out_c,
+           unsigned kernel, unsigned stride = 1,
+           const std::string &tag = "conv")
+{
+    TensorId x = b.conv(in, out_c, kernel, stride, tag);
+    x = b.batchNorm(x);
+    return b.relu(x);
+}
+
+TensorId
+inceptionA(NetBuilder &b, TensorId in)
+{
+    TensorId b0 = convBnRelu(b, in, 96, 1, 1, "ia_b0");
+    TensorId b1 = convBnRelu(b, in, 64, 1, 1, "ia_b1a");
+    b1 = convBnRelu(b, b1, 96, 3, 1, "ia_b1b");
+    TensorId b2 = convBnRelu(b, in, 64, 1, 1, "ia_b2a");
+    b2 = convBnRelu(b, b2, 96, 3, 1, "ia_b2b");
+    b2 = convBnRelu(b, b2, 96, 3, 1, "ia_b2c");
+    TensorId b3 = b.pool(in, 3, 1, "ia_pool");
+    b3 = convBnRelu(b, b3, 96, 1, 1, "ia_b3");
+    return b.concat({b0, b1, b2, b3});  // 384 channels
+}
+
+TensorId
+reductionA(NetBuilder &b, TensorId in)
+{
+    TensorId b0 = convBnRelu(b, in, 384, 3, 2, "ra_b0");
+    TensorId b1 = convBnRelu(b, in, 192, 1, 1, "ra_b1a");
+    b1 = convBnRelu(b, b1, 224, 3, 1, "ra_b1b");
+    b1 = convBnRelu(b, b1, 256, 3, 2, "ra_b1c");
+    TensorId b2 = b.pool(in, 3, 2, "ra_pool");
+    return b.concat({b0, b1, b2});  // 1024 channels at 17x17
+}
+
+TensorId
+inceptionB(NetBuilder &b, TensorId in)
+{
+    TensorId b0 = convBnRelu(b, in, 384, 1, 1, "ib_b0");
+    TensorId b1 = convBnRelu(b, in, 192, 1, 1, "ib_b1a");
+    b1 = convBnRelu(b, b1, 224, 7, 1, "ib_b1b");  // 1x7+7x1 equivalent
+    b1 = convBnRelu(b, b1, 256, 7, 1, "ib_b1c");
+    TensorId b2 = convBnRelu(b, in, 192, 1, 1, "ib_b2a");
+    b2 = convBnRelu(b, b2, 224, 7, 1, "ib_b2b");
+    b2 = convBnRelu(b, b2, 256, 7, 1, "ib_b2c");
+    TensorId b3 = b.pool(in, 3, 1, "ib_pool");
+    b3 = convBnRelu(b, b3, 128, 1, 1, "ib_b3");
+    return b.concat({b0, b1, b2, b3});  // 1024 channels
+}
+
+TensorId
+reductionB(NetBuilder &b, TensorId in)
+{
+    TensorId b0 = convBnRelu(b, in, 192, 1, 1, "rb_b0a");
+    b0 = convBnRelu(b, b0, 192, 3, 2, "rb_b0b");
+    TensorId b1 = convBnRelu(b, in, 256, 1, 1, "rb_b1a");
+    b1 = convBnRelu(b, b1, 320, 7, 1, "rb_b1b");
+    b1 = convBnRelu(b, b1, 320, 3, 2, "rb_b1c");
+    TensorId b2 = b.pool(in, 3, 2, "rb_pool");
+    return b.concat({b0, b1, b2});  // 1536 channels at 8x8
+}
+
+TensorId
+inceptionC(NetBuilder &b, TensorId in)
+{
+    TensorId b0 = convBnRelu(b, in, 256, 1, 1, "ic_b0");
+    TensorId b1 = convBnRelu(b, in, 384, 1, 1, "ic_b1");
+    TensorId b1a = convBnRelu(b, b1, 256, 3, 1, "ic_b1a");
+    TensorId b1b = convBnRelu(b, b1, 256, 3, 1, "ic_b1b");
+    TensorId b2 = convBnRelu(b, in, 384, 1, 1, "ic_b2");
+    b2 = convBnRelu(b, b2, 448, 3, 1, "ic_b2a");
+    b2 = convBnRelu(b, b2, 512, 3, 1, "ic_b2b");
+    TensorId b2a = convBnRelu(b, b2, 256, 3, 1, "ic_b2c");
+    TensorId b2b = convBnRelu(b, b2, 256, 3, 1, "ic_b2d");
+    TensorId b3 = b.pool(in, 3, 1, "ic_pool");
+    b3 = convBnRelu(b, b3, 256, 1, 1, "ic_b3");
+    return b.concat({b0, b1a, b1b, b2a, b2b, b3});  // 1536 channels
+}
+
+} // namespace
+
+ComputeGraph
+buildInceptionV4(std::uint64_t batch, bool training)
+{
+    NetBuilder b("inceptionv4");
+    TensorId x = b.input(Shape{batch, 3, 299, 299});
+
+    // Stem (approximated: the filter-concat forks are kept, the exact
+    // 73->71 valid-padding size arithmetic is rounded).
+    x = convBnRelu(b, x, 32, 3, 2, "stem1");
+    x = convBnRelu(b, x, 32, 3, 1, "stem2");
+    x = convBnRelu(b, x, 64, 3, 1, "stem3");
+    TensorId p0 = b.pool(x, 3, 2, "stem_pool1");
+    TensorId c0 = convBnRelu(b, x, 96, 3, 2, "stem4");
+    x = b.concat({p0, c0});  // 160 channels at ~73x73
+    TensorId l = convBnRelu(b, x, 64, 1, 1, "stem5a");
+    l = convBnRelu(b, l, 96, 3, 1, "stem5b");
+    TensorId r = convBnRelu(b, x, 64, 1, 1, "stem6a");
+    r = convBnRelu(b, r, 64, 7, 1, "stem6b");
+    r = convBnRelu(b, r, 96, 3, 1, "stem6c");
+    x = b.concat({l, r});  // 192 channels
+    TensorId c1 = convBnRelu(b, x, 192, 3, 2, "stem7");
+    TensorId p1 = b.pool(x, 3, 2, "stem_pool2");
+    x = b.concat({c1, p1});  // 384 channels at 35x35 (approx)
+
+    for (int i = 0; i < 4; ++i)
+        x = inceptionA(b, x);
+    x = reductionA(b, x);
+    for (int i = 0; i < 7; ++i)
+        x = inceptionB(b, x);
+    x = reductionB(b, x);
+    for (int i = 0; i < 3; ++i)
+        x = inceptionC(b, x);
+
+    x = b.globalPool(x);
+    x = b.gemm(x, 1000);
+    b.loss(x);
+    return b.finish(training);
+}
+
+} // namespace nvsim::dnn

@@ -1,0 +1,67 @@
+#include "dnn/liveness.hh"
+
+#include <algorithm>
+
+namespace nvsim::dnn
+{
+
+std::vector<LiveInterval>
+computeLiveness(const ComputeGraph &graph)
+{
+    const auto &ops = graph.schedule();
+    std::vector<LiveInterval> live(graph.tensors().size());
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        for (TensorId out : ops[i].outputs) {
+            if (live[out].def < 0)
+                live[out].def = static_cast<int>(i);
+            live[out].lastUse =
+                std::max(live[out].lastUse, static_cast<int>(i));
+        }
+        for (TensorId in : ops[i].inputs)
+            live[in].lastUse =
+                std::max(live[in].lastUse, static_cast<int>(i));
+    }
+
+    int last = static_cast<int>(ops.size()) - 1;
+    for (const auto &t : graph.tensors()) {
+        if (t.kind == TensorKind::Weight ||
+            t.kind == TensorKind::WeightGrad) {
+            live[t.id].def = -1;
+            live[t.id].lastUse = last;
+        }
+    }
+    return live;
+}
+
+std::vector<Bytes>
+liveBytesPerStep(const ComputeGraph &graph,
+                 const std::vector<LiveInterval> &live)
+{
+    const auto &ops = graph.schedule();
+    std::vector<Bytes> steps(ops.size(), 0);
+    for (const auto &t : graph.tensors()) {
+        if (t.kind == TensorKind::Weight ||
+            t.kind == TensorKind::WeightGrad)
+            continue;
+        const LiveInterval &li = live[t.id];
+        if (li.def < 0 && li.lastUse < 0)
+            continue;
+        int lo = std::max(li.def, 0);
+        for (int i = lo; i <= li.lastUse; ++i)
+            steps[static_cast<std::size_t>(i)] += t.bytes;
+    }
+    return steps;
+}
+
+Bytes
+peakLiveBytes(const ComputeGraph &graph,
+              const std::vector<LiveInterval> &live)
+{
+    Bytes peak = 0;
+    for (Bytes b : liveBytesPerStep(graph, live))
+        peak = std::max(peak, b);
+    return peak;
+}
+
+} // namespace nvsim::dnn

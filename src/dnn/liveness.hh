@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tensor liveness analysis over a ComputeGraph schedule.
+ *
+ * A tensor is live from the op that defines it until its last consumer.
+ * The paper's Figure 5d is exactly this information projected onto the
+ * ngraph arena: live memory accumulates through the forward pass (saved
+ * activations) and drains through the backward pass, and memory that
+ * "will be written before read" is semantically free even though the
+ * DRAM cache still sees it as dirty.
+ */
+
+#ifndef NVSIM_DNN_LIVENESS_HH
+#define NVSIM_DNN_LIVENESS_HH
+
+#include <vector>
+
+#include "dnn/graph.hh"
+
+namespace nvsim::dnn
+{
+
+/** Live interval of one tensor in schedule-step units. */
+struct LiveInterval
+{
+    int def = -1;      //!< defining op index (-1: live-in / persistent)
+    int lastUse = -1;  //!< last consuming op index (-1: never used)
+
+    /** Is the tensor live at step @p i (inclusive interval)? */
+    bool
+    liveAt(int i) const
+    {
+        return i >= def && i <= lastUse;
+    }
+};
+
+/**
+ * Compute intervals for every tensor. Weights and weight gradients are
+ * treated as persistent (live across the whole schedule).
+ */
+std::vector<LiveInterval> computeLiveness(const ComputeGraph &graph);
+
+/**
+ * Live bytes (arena-managed tensors only) after each schedule step.
+ * Index i holds the bytes live after executing op i.
+ */
+std::vector<Bytes> liveBytesPerStep(const ComputeGraph &graph,
+                                    const std::vector<LiveInterval> &live);
+
+/** Peak of liveBytesPerStep. */
+Bytes peakLiveBytes(const ComputeGraph &graph,
+                    const std::vector<LiveInterval> &live);
+
+} // namespace nvsim::dnn
+
+#endif // NVSIM_DNN_LIVENESS_HH

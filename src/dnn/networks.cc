@@ -1,0 +1,185 @@
+#include "dnn/networks.hh"
+
+#include "core/logging.hh"
+
+namespace nvsim::dnn
+{
+
+TensorId
+NetBuilder::newActivation(const std::string &tag, const Shape &shape)
+{
+    TensorId id = graph_.addTensor(
+        strprintf("%s_%u", tag.c_str(), counter_++), shape.bytes(),
+        TensorKind::Activation);
+    shapes_[id] = shape;
+    return id;
+}
+
+TensorId
+NetBuilder::input(const Shape &shape)
+{
+    return newActivation("input", shape);
+}
+
+TensorId
+NetBuilder::conv(TensorId in, std::uint64_t out_c, unsigned kernel,
+                 unsigned stride, const std::string &tag)
+{
+    const Shape &is = shapes_.at(in);
+    Shape os{is.n, out_c, (is.h + stride - 1) / stride,
+             (is.w + stride - 1) / stride};
+    Bytes wbytes = is.c * out_c * kernel * kernel * 4;
+    TensorId weight = graph_.addTensor(
+        strprintf("w_%s_%u", tag.c_str(), counter_), wbytes,
+        TensorKind::Weight);
+    TensorId out = newActivation(tag, os);
+    double flops = 2.0 * static_cast<double>(os.elems()) *
+                   static_cast<double>(is.c) * kernel * kernel;
+    graph_.addOp(strprintf("%s_%u", tag.c_str(), counter_), OpKind::Conv,
+                 {in, weight}, {out}, flops);
+    return out;
+}
+
+TensorId
+NetBuilder::batchNorm(TensorId in)
+{
+    const Shape &is = shapes_.at(in);
+    TensorId out = newActivation("bn", is);
+    double flops = 10.0 * static_cast<double>(is.elems());
+    graph_.addOp(strprintf("bn_%u", counter_), OpKind::BatchNorm, {in},
+                 {out}, flops);
+    return out;
+}
+
+TensorId
+NetBuilder::relu(TensorId in)
+{
+    const Shape &is = shapes_.at(in);
+    TensorId out = newActivation("relu", is);
+    graph_.addOp(strprintf("relu_%u", counter_), OpKind::Relu, {in},
+                 {out}, static_cast<double>(is.elems()));
+    return out;
+}
+
+TensorId
+NetBuilder::pool(TensorId in, unsigned kernel, unsigned stride,
+                 const std::string &tag)
+{
+    const Shape &is = shapes_.at(in);
+    Shape os{is.n, is.c, (is.h + stride - 1) / stride,
+             (is.w + stride - 1) / stride};
+    TensorId out = newActivation(tag, os);
+    double flops = static_cast<double>(os.elems()) * kernel * kernel;
+    graph_.addOp(strprintf("%s_%u", tag.c_str(), counter_), OpKind::Pool,
+                 {in}, {out}, flops);
+    return out;
+}
+
+TensorId
+NetBuilder::globalPool(TensorId in)
+{
+    const Shape &is = shapes_.at(in);
+    Shape os{is.n, is.c, 1, 1};
+    TensorId out = newActivation("gap", os);
+    graph_.addOp(strprintf("gap_%u", counter_), OpKind::Pool, {in},
+                 {out}, static_cast<double>(is.elems()));
+    return out;
+}
+
+TensorId
+NetBuilder::concat(const std::vector<TensorId> &ins)
+{
+    nvsim_assert(!ins.empty());
+    Shape os = shapes_.at(ins[0]);
+    std::uint64_t c = 0;
+    for (TensorId t : ins)
+        c += shapes_.at(t).c;
+    os.c = c;
+    TensorId out = newActivation("concat", os);
+    graph_.addOp(strprintf("concat_%u", counter_), OpKind::Concat,
+                 std::vector<TensorId>(ins), {out}, 0.0);
+    return out;
+}
+
+TensorId
+NetBuilder::add(TensorId a, TensorId b)
+{
+    const Shape &is = shapes_.at(a);
+    TensorId out = newActivation("add", is);
+    graph_.addOp(strprintf("add_%u", counter_), OpKind::Add, {a, b},
+                 {out}, static_cast<double>(is.elems()));
+    return out;
+}
+
+TensorId
+NetBuilder::gemm(TensorId in, std::uint64_t out_features)
+{
+    const Shape &is = shapes_.at(in);
+    std::uint64_t in_features = is.c * is.h * is.w;
+    Shape os{is.n, out_features, 1, 1};
+    TensorId weight = graph_.addTensor(
+        strprintf("w_fc_%u", counter_), in_features * out_features * 4,
+        TensorKind::Weight);
+    TensorId out = newActivation("fc", os);
+    double flops = 2.0 * static_cast<double>(is.n) *
+                   static_cast<double>(in_features) *
+                   static_cast<double>(out_features);
+    graph_.addOp(strprintf("fc_%u", counter_), OpKind::Gemm, {in, weight},
+                 {out}, flops);
+    return out;
+}
+
+TensorId
+NetBuilder::loss(TensorId in)
+{
+    const Shape &is = shapes_.at(in);
+    Shape os{is.n, 1, 1, 1};
+    TensorId out = newActivation("loss", os);
+    graph_.addOp(strprintf("loss_%u", counter_), OpKind::Loss, {in},
+                 {out}, 5.0 * static_cast<double>(is.elems()));
+    return out;
+}
+
+ComputeGraph
+NetBuilder::finish(bool training)
+{
+    if (training)
+        graph_.buildBackward();
+    graph_.validate();
+    return std::move(graph_);
+}
+
+ComputeGraph
+buildTinyCnn(std::uint64_t batch, bool training)
+{
+    NetBuilder b("tiny_cnn");
+    TensorId x = b.input(Shape{batch, 3, 32, 32});
+    x = b.conv(x, 16, 3);
+    x = b.batchNorm(x);
+    x = b.relu(x);
+    x = b.conv(x, 32, 3, 2);
+    x = b.batchNorm(x);
+    x = b.relu(x);
+    x = b.globalPool(x);
+    x = b.gemm(x, 10);
+    b.loss(x);
+    return b.finish(training);
+}
+
+ComputeGraph
+buildNetwork(const std::string &name, std::uint64_t batch, bool training)
+{
+    if (name == "densenet264")
+        return buildDenseNet264(batch, training);
+    if (name == "resnet200")
+        return buildResNet200(batch, training);
+    if (name == "inceptionv4")
+        return buildInceptionV4(batch, training);
+    if (name == "vgg19")
+        return buildVgg19(batch, training);
+    if (name == "tiny")
+        return buildTinyCnn(batch, training);
+    fatal("unknown network '%s'", name.c_str());
+}
+
+} // namespace nvsim::dnn

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Builders for the paper's three training workloads — DenseNet 264,
+ * ResNet 200 and Inception v4 — plus a tiny CNN used in tests. All are
+ * constructed at a configurable batch size; the paper scales batch
+ * sizes until footprints exceed 650 GB (DenseNet 264 at batch 3072 is
+ * ~688 GB).
+ */
+
+#ifndef NVSIM_DNN_NETWORKS_HH
+#define NVSIM_DNN_NETWORKS_HH
+
+#include <cstdint>
+#include <map>
+
+#include "dnn/graph.hh"
+
+namespace nvsim::dnn
+{
+
+/** NCHW tensor shape. */
+struct Shape
+{
+    std::uint64_t n = 1, c = 1, h = 1, w = 1;
+
+    std::uint64_t elems() const { return n * c * h * w; }
+    Bytes bytes() const { return elems() * 4; }  //!< fp32
+};
+
+/**
+ * Convenience layer-emitter over a ComputeGraph. Tracks the shape of
+ * every activation so layers can be chained without re-deriving sizes.
+ */
+class NetBuilder
+{
+  public:
+    explicit NetBuilder(const std::string &name) : graph_(name) {}
+
+    /** The network input tensor. */
+    TensorId input(const Shape &shape);
+
+    /** 2-d convolution + implicit bias. */
+    TensorId conv(TensorId in, std::uint64_t out_c, unsigned kernel,
+                  unsigned stride = 1, const std::string &tag = "conv");
+
+    TensorId batchNorm(TensorId in);
+    TensorId relu(TensorId in);
+    TensorId pool(TensorId in, unsigned kernel, unsigned stride,
+                  const std::string &tag = "pool");
+    /** Global average pool to 1x1. */
+    TensorId globalPool(TensorId in);
+    TensorId concat(const std::vector<TensorId> &ins);
+    TensorId add(TensorId a, TensorId b);
+    TensorId gemm(TensorId in, std::uint64_t out_features);
+    TensorId loss(TensorId in);
+
+    const Shape &shape(TensorId id) const { return shapes_.at(id); }
+
+    /** Finish: validate and optionally append the backward pass. */
+    ComputeGraph finish(bool training = true);
+
+  private:
+    TensorId newActivation(const std::string &tag, const Shape &shape);
+
+    ComputeGraph graph_;
+    std::map<TensorId, Shape> shapes_;
+    unsigned counter_ = 0;
+};
+
+/** DenseNet 264 (blocks 6/12/64/48, growth 32, bottleneck+compression). */
+ComputeGraph buildDenseNet264(std::uint64_t batch, bool training = true);
+
+/** ResNet 200 (bottleneck blocks 3/24/36/3). */
+ComputeGraph buildResNet200(std::uint64_t batch, bool training = true);
+
+/** Inception v4 (stem, 4xA, reduction, 7xB, reduction, 3xC). */
+ComputeGraph buildInceptionV4(std::uint64_t batch, bool training = true);
+
+/** VGG-19 (the paper's reference [47]); a conv/FC-only contrast. */
+ComputeGraph buildVgg19(std::uint64_t batch, bool training = true);
+
+/** A 6-layer CNN for unit tests. */
+ComputeGraph buildTinyCnn(std::uint64_t batch, bool training = true);
+
+/** Look up a builder by name ("densenet264", "resnet200", ...). */
+ComputeGraph buildNetwork(const std::string &name, std::uint64_t batch,
+                          bool training = true);
+
+} // namespace nvsim::dnn
+
+#endif // NVSIM_DNN_NETWORKS_HH

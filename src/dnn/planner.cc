@@ -1,0 +1,90 @@
+#include "dnn/planner.hh"
+
+#include "core/logging.hh"
+#include "dnn/arena.hh"
+
+namespace nvsim::dnn
+{
+
+Bytes
+scaledTensorBytes(Bytes logical, std::uint64_t scale)
+{
+    Bytes scaled = (logical + scale - 1) / scale;
+    scaled = (scaled + kLineSize - 1) & ~(kLineSize - 1);
+    return scaled ? scaled : kLineSize;
+}
+
+ArenaPlan
+planArena(const ComputeGraph &graph, std::uint64_t scale)
+{
+    ArenaPlan plan;
+    plan.liveness = computeLiveness(graph);
+    plan.placement.assign(graph.tensors().size(), TensorPlacement{});
+
+    // Persistent region: weights and weight gradients, packed linearly.
+    Bytes wbrk = 0;
+    for (const auto &t : graph.tensors()) {
+        if (t.kind == TensorKind::Weight ||
+            t.kind == TensorKind::WeightGrad) {
+            TensorPlacement &p = plan.placement[t.id];
+            p.bytes = scaledTensorBytes(t.bytes, scale);
+            p.offset = wbrk;
+            p.inArena = false;
+            wbrk += p.bytes;
+        }
+    }
+    plan.weightBytes = wbrk;
+
+    // Arena: walk the schedule, allocating outputs at their definition
+    // and freeing tensors after their last use.
+    ArenaAllocator arena;
+    const auto &ops = graph.schedule();
+
+    // Graph inputs (no producer) are allocated up front.
+    for (const auto &t : graph.tensors()) {
+        if (t.kind != TensorKind::Activation &&
+            t.kind != TensorKind::Gradient)
+            continue;
+        if (plan.liveness[t.id].def < 0 &&
+            plan.liveness[t.id].lastUse >= 0) {
+            TensorPlacement &p = plan.placement[t.id];
+            p.bytes = scaledTensorBytes(t.bytes, scale);
+            p.offset = *arena.alloc(p.bytes);
+            p.inArena = true;
+        }
+    }
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        for (TensorId out : ops[i].outputs) {
+            const Tensor &t = graph.tensor(out);
+            if (t.kind != TensorKind::Activation &&
+                t.kind != TensorKind::Gradient)
+                continue;
+            TensorPlacement &p = plan.placement[out];
+            if (p.bytes)
+                continue;  // multi-output redefinition guard
+            p.bytes = scaledTensorBytes(t.bytes, scale);
+            auto off = arena.alloc(p.bytes);
+            nvsim_assert(off.has_value());
+            p.offset = *off;
+            p.inArena = true;
+        }
+        // Free everything whose last use is this op.
+        for (const auto &t : graph.tensors()) {
+            if (t.kind != TensorKind::Activation &&
+                t.kind != TensorKind::Gradient)
+                continue;
+            const LiveInterval &li = plan.liveness[t.id];
+            if (li.lastUse == static_cast<int>(i) &&
+                plan.placement[t.id].inArena) {
+                arena.free(plan.placement[t.id].offset,
+                           plan.placement[t.id].bytes);
+            }
+        }
+    }
+
+    plan.arenaBytes = arena.highWater();
+    return plan;
+}
+
+} // namespace nvsim::dnn

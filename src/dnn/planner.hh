@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Static arena planner, modelling ngraph's memory assignment: before
+ * execution a single buffer is allocated for all intermediate tensors,
+ * with offsets assigned by liveness (Section V-B: "the ngraph compiler
+ * allocates a single buffer for the entire network" and reuses freed
+ * regions on the backward pass).
+ */
+
+#ifndef NVSIM_DNN_PLANNER_HH
+#define NVSIM_DNN_PLANNER_HH
+
+#include <vector>
+
+#include "dnn/graph.hh"
+#include "dnn/liveness.hh"
+
+namespace nvsim::dnn
+{
+
+/** Where one tensor lives. */
+struct TensorPlacement
+{
+    Addr offset = 0;    //!< byte offset within its region
+    Bytes bytes = 0;    //!< scaled, line-rounded size
+    bool inArena = false;  //!< arena tensor vs persistent weight region
+};
+
+/** Result of planning: offsets for every tensor plus region sizes. */
+struct ArenaPlan
+{
+    Bytes arenaBytes = 0;    //!< scaled single-buffer size
+    Bytes weightBytes = 0;   //!< scaled persistent region size
+    std::vector<TensorPlacement> placement;  //!< by TensorId
+    std::vector<LiveInterval> liveness;      //!< by TensorId
+
+    const TensorPlacement &at(TensorId id) const { return placement[id]; }
+};
+
+/**
+ * Scale a logical tensor size into simulated bytes: divide by @p scale,
+ * round up to whole lines, at least one line.
+ */
+Bytes scaledTensorBytes(Bytes logical, std::uint64_t scale);
+
+/**
+ * Lay out the graph's tensors: activations and gradients share the
+ * liveness-managed arena (first-fit, offsets reused after last use);
+ * weights and weight gradients get stable offsets in a persistent
+ * region.
+ */
+ArenaPlan planArena(const ComputeGraph &graph, std::uint64_t scale);
+
+} // namespace nvsim::dnn
+
+#endif // NVSIM_DNN_PLANNER_HH

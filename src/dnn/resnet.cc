@@ -1,0 +1,70 @@
+/**
+ * @file
+ * ResNet 200 builder (He et al.): bottleneck residual blocks arranged
+ * 3 / 24 / 36 / 3 over stages of 256 / 512 / 1024 / 2048 channels at
+ * 56 / 28 / 14 / 7 spatial resolution.
+ */
+
+#include "dnn/networks.hh"
+
+namespace nvsim::dnn
+{
+
+namespace
+{
+
+/** Bottleneck block: 1x1 down, 3x3, 1x1 up, residual add. */
+TensorId
+bottleneck(NetBuilder &b, TensorId in, std::uint64_t mid,
+           std::uint64_t out, unsigned stride, bool project)
+{
+    TensorId x = b.batchNorm(in);
+    x = b.relu(x);
+    x = b.conv(x, mid, 1, 1, "res1x1a");
+    x = b.batchNorm(x);
+    x = b.relu(x);
+    x = b.conv(x, mid, 3, stride, "res3x3");
+    x = b.batchNorm(x);
+    x = b.relu(x);
+    x = b.conv(x, out, 1, 1, "res1x1b");
+
+    TensorId shortcut = in;
+    if (project)
+        shortcut = b.conv(in, out, 1, stride, "proj");
+    return b.add(x, shortcut);
+}
+
+} // namespace
+
+ComputeGraph
+buildResNet200(std::uint64_t batch, bool training)
+{
+    const unsigned repeats[4] = {3, 24, 36, 3};
+    const std::uint64_t mids[4] = {64, 128, 256, 512};
+
+    NetBuilder b("resnet200");
+    TensorId x = b.input(Shape{batch, 3, 224, 224});
+    x = b.conv(x, 64, 7, 2, "stem_conv");
+    x = b.batchNorm(x);
+    x = b.relu(x);
+    x = b.pool(x, 3, 2, "stem_pool");
+
+    for (unsigned stage = 0; stage < 4; ++stage) {
+        std::uint64_t mid = mids[stage];
+        std::uint64_t out = mid * 4;
+        for (unsigned r = 0; r < repeats[stage]; ++r) {
+            unsigned stride = (stage > 0 && r == 0) ? 2 : 1;
+            bool project = r == 0;
+            x = bottleneck(b, x, mid, out, stride, project);
+        }
+    }
+
+    x = b.batchNorm(x);
+    x = b.relu(x);
+    x = b.globalPool(x);
+    x = b.gemm(x, 1000);
+    b.loss(x);
+    return b.finish(training);
+}
+
+} // namespace nvsim::dnn

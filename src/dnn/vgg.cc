@@ -1,0 +1,42 @@
+/**
+ * @file
+ * VGG-19 builder (Simonyan & Zisserman, the paper's reference [47]).
+ * A plain deep CNN: five conv stacks with 2x2 max pools between them,
+ * then three fully connected layers. No batch norm and no concats —
+ * the contrast workload to DenseNet: far fewer bandwidth-bound
+ * kernels, so 2LM hurts it less.
+ */
+
+#include "dnn/networks.hh"
+
+namespace nvsim::dnn
+{
+
+ComputeGraph
+buildVgg19(std::uint64_t batch, bool training)
+{
+    const struct
+    {
+        unsigned convs;
+        std::uint64_t channels;
+    } stacks[5] = {{2, 64}, {2, 128}, {4, 256}, {4, 512}, {4, 512}};
+
+    NetBuilder b("vgg19");
+    TensorId x = b.input(Shape{batch, 3, 224, 224});
+    for (const auto &stack : stacks) {
+        for (unsigned i = 0; i < stack.convs; ++i) {
+            x = b.conv(x, stack.channels, 3, 1, "conv3x3");
+            x = b.relu(x);
+        }
+        x = b.pool(x, 2, 2);
+    }
+    x = b.gemm(x, 4096);
+    x = b.relu(x);
+    x = b.gemm(x, 4096);
+    x = b.relu(x);
+    x = b.gemm(x, 1000);
+    b.loss(x);
+    return b.finish(training);
+}
+
+} // namespace nvsim::dnn

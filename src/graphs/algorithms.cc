@@ -1,0 +1,271 @@
+#include "graphs/algorithms.hh"
+
+#include <limits>
+#include <vector>
+
+namespace nvsim::graphs
+{
+
+namespace
+{
+
+constexpr Node kUnvisited = std::numeric_limits<Node>::max();
+
+} // namespace
+
+AlgoOutcome
+runBfs(GraphWorkload &w)
+{
+    const CsrGraph &g = w.graph();
+    Node n = g.numNodes();
+    auto parent = w.makeArray<Node>("bfs_parent", n);
+
+    for (Node v = 0; v < n; ++v)
+        parent.write(v, kUnvisited, w.threadOf(v));
+
+    Node source = g.maxDegreeNode();
+    parent.write(source, source, w.threadOf(source));
+
+    std::vector<Node> frontier{source}, next;
+    AlgoOutcome out;
+    out.answer = 1;  // visited count
+
+    while (!frontier.empty()) {
+        ++out.rounds;
+        next.clear();
+        for (Node v : frontier) {
+            unsigned t = w.threadOf(v);
+            std::uint64_t ee = w.edgeEnd(v, t);
+            for (std::uint64_t e = w.edgeBegin(v, t); e < ee; ++e) {
+                Node d = w.edgeDest(e, t);
+                if (parent.read(d, t) == kUnvisited) {
+                    parent.write(d, v, t);
+                    next.push_back(d);
+                    ++out.answer;
+                }
+            }
+        }
+        frontier.swap(next);
+    }
+    return out;
+}
+
+AlgoOutcome
+runCc(GraphWorkload &w)
+{
+    const CsrGraph &g = w.graph();
+    Node n = g.numNodes();
+    auto label = w.makeArray<Node>("cc_label", n);
+
+    for (Node v = 0; v < n; ++v)
+        label.write(v, v, w.threadOf(v));
+
+    AlgoOutcome out;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++out.rounds;
+        for (Node v = 0; v < n; ++v) {
+            unsigned t = w.threadOf(v);
+            Node lv = label.read(v, t);
+            std::uint64_t ee = w.edgeEnd(v, t);
+            for (std::uint64_t e = w.edgeBegin(v, t); e < ee; ++e) {
+                Node d = w.edgeDest(e, t);
+                // Push the smaller label across the edge.
+                if (lv < label.read(d, t)) {
+                    label.write(d, lv, t);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Count components: labels that kept their own id.
+    std::uint64_t components = 0;
+    for (Node v = 0; v < n; ++v) {
+        if (label.peek(v) == v)
+            ++components;
+    }
+    out.answer = components;
+    return out;
+}
+
+AlgoOutcome
+runKCore(GraphWorkload &w, unsigned k)
+{
+    const CsrGraph &g = w.graph();
+    Node n = g.numNodes();
+    auto degree = w.makeArray<std::uint32_t>("kcore_degree", n);
+
+    std::vector<Node> worklist;
+    for (Node v = 0; v < n; ++v) {
+        unsigned t = w.threadOf(v);
+        // Reading the degree touches the offsets array.
+        w.edgeBegin(v, t);
+        auto d = static_cast<std::uint32_t>(g.degree(v));
+        degree.write(v, d, t);
+        if (d < k)
+            worklist.push_back(v);
+    }
+
+    AlgoOutcome out;
+    std::vector<Node> next;
+    std::vector<bool> removed(n, false);
+    while (!worklist.empty()) {
+        ++out.rounds;
+        next.clear();
+        for (Node v : worklist) {
+            if (removed[v])
+                continue;
+            removed[v] = true;
+            unsigned t = w.threadOf(v);
+            std::uint64_t ee = w.edgeEnd(v, t);
+            for (std::uint64_t e = w.edgeBegin(v, t); e < ee; ++e) {
+                Node d = w.edgeDest(e, t);
+                if (removed[d])
+                    continue;
+                std::uint32_t dd = degree.read(d, t);
+                if (dd >= k) {
+                    degree.write(d, dd - 1, t);
+                    if (dd - 1 < k)
+                        next.push_back(d);
+                }
+            }
+        }
+        worklist.swap(next);
+    }
+
+    std::uint64_t remaining = 0;
+    for (Node v = 0; v < n; ++v) {
+        if (!removed[v])
+            ++remaining;
+    }
+    out.answer = remaining;
+    return out;
+}
+
+AlgoOutcome
+runPageRank(GraphWorkload &w, unsigned rounds)
+{
+    const CsrGraph &g = w.graph();
+    Node n = g.numNodes();
+    const float damping = 0.85f;
+    const float base = (1.0f - damping) / static_cast<float>(n);
+
+    auto rank = w.makeArray<float>("pr_rank", n);
+    auto next = w.makeArray<float>("pr_next", n);
+
+    for (Node v = 0; v < n; ++v) {
+        unsigned t = w.threadOf(v);
+        rank.write(v, 1.0f / static_cast<float>(n), t);
+        next.write(v, 0.0f, t);
+    }
+
+    AlgoOutcome out;
+    for (unsigned r = 0; r < rounds; ++r) {
+        ++out.rounds;
+        for (Node v = 0; v < n; ++v) {
+            unsigned t = w.threadOf(v);
+            std::uint64_t eb = w.edgeBegin(v, t);
+            std::uint64_t ee = w.edgeEnd(v, t);
+            std::uint64_t deg = ee - eb;
+            if (deg == 0)
+                continue;
+            float contrib = damping * rank.read(v, t) /
+                            static_cast<float>(deg);
+            for (std::uint64_t e = eb; e < ee; ++e) {
+                Node d = w.edgeDest(e, t);
+                // Push: read-modify-write of the destination residual.
+                next.write(d, next.read(d, t) + contrib, t);
+            }
+        }
+        // Swap phase: fold base rank in, reset the residuals.
+        for (Node v = 0; v < n; ++v) {
+            unsigned t = w.threadOf(v);
+            rank.write(v, base + next.read(v, t), t);
+            next.write(v, 0.0f, t);
+        }
+    }
+
+    // Report the max-rank node as the sanity answer.
+    Node best = 0;
+    for (Node v = 1; v < n; ++v) {
+        if (rank.peek(v) > rank.peek(best))
+            best = v;
+    }
+    out.answer = best;
+    return out;
+}
+
+} // namespace nvsim::graphs
+
+namespace nvsim::graphs
+{
+
+std::uint32_t
+syntheticWeight(std::uint64_t e)
+{
+    // splitmix-style hash, folded to 1..255: deterministic, cheap, and
+    // free of the zero weights that would trivialize the problem.
+    std::uint64_t x = e + 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<std::uint32_t>((x >> 33) % 255) + 1;
+}
+
+AlgoOutcome
+runSssp(GraphWorkload &w)
+{
+    const CsrGraph &g = w.graph();
+    Node n = g.numNodes();
+    constexpr std::uint32_t kInf = 0xFFFFFFFFu;
+
+    auto dist = w.makeArray<std::uint32_t>("sssp_dist", n);
+    // The weight array is part of the graph's memory footprint: one
+    // 32-bit weight per edge, streamed alongside the destinations.
+    auto weights =
+        w.makeArray<std::uint32_t>("sssp_weights", g.numEdges());
+    for (std::uint64_t e = 0; e < g.numEdges(); ++e) {
+        weights.poke(e, syntheticWeight(e));
+    }
+
+    for (Node v = 0; v < n; ++v)
+        dist.write(v, kInf, w.threadOf(v));
+    Node source = g.maxDegreeNode();
+    dist.write(source, 0, w.threadOf(source));
+
+    std::vector<Node> frontier{source}, next;
+    std::vector<bool> queued(n, false);
+    AlgoOutcome out;
+    while (!frontier.empty()) {
+        ++out.rounds;
+        next.clear();
+        for (Node v : frontier) {
+            queued[v] = false;
+            unsigned t = w.threadOf(v);
+            std::uint32_t dv = dist.read(v, t);
+            std::uint64_t ee = w.edgeEnd(v, t);
+            for (std::uint64_t e = w.edgeBegin(v, t); e < ee; ++e) {
+                Node d = w.edgeDest(e, t);
+                std::uint32_t cand = dv + weights.read(e, t);
+                if (cand < dist.read(d, t)) {
+                    dist.write(d, cand, t);
+                    if (!queued[d]) {
+                        queued[d] = true;
+                        next.push_back(d);
+                    }
+                }
+            }
+        }
+        frontier.swap(next);
+    }
+
+    // Answer: number of reachable nodes (finite distance).
+    std::uint64_t reached = 0;
+    for (Node v = 0; v < n; ++v)
+        reached += dist.peek(v) != kInf;
+    out.answer = reached;
+    return out;
+}
+
+} // namespace nvsim::graphs

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The four lonestar kernels the paper evaluates (Section VI-B):
+ * breadth-first search, connected components, k-core decomposition and
+ * pagerank-push. Each runs against a GraphWorkload so every node,
+ * offset, edge and property access is mirrored into the simulated
+ * memory system. Worklists/queues are host-side (their traffic is
+ * negligible next to the edge and property streams).
+ */
+
+#ifndef NVSIM_GRAPHS_ALGORITHMS_HH
+#define NVSIM_GRAPHS_ALGORITHMS_HH
+
+#include <cstdint>
+
+#include "graphs/runner.hh"
+
+namespace nvsim::graphs
+{
+
+/** Per-algorithm outcome, before the runner attaches counters/time. */
+struct AlgoOutcome
+{
+    std::uint64_t rounds = 0;
+    std::uint64_t answer = 0;  //!< e.g. nodes visited / components
+};
+
+/** BFS from the maximum out-degree node (the paper's source choice). */
+AlgoOutcome runBfs(GraphWorkload &w);
+
+/** Connected components by label propagation (Shiloach-Vishkin style). */
+AlgoOutcome runCc(GraphWorkload &w);
+
+/** k-core decomposition by iterative peeling. */
+AlgoOutcome runKCore(GraphWorkload &w, unsigned k);
+
+/** Round-based pagerank with push-style updates. */
+AlgoOutcome runPageRank(GraphWorkload &w, unsigned rounds);
+
+/**
+ * Single-source shortest paths (Bellman-Ford style rounds over an
+ * active worklist) with synthetic deterministic edge weights — the
+ * classic fifth lonestar kernel, here as an extension beyond the
+ * paper's four. Weights live in their own array, so sssp adds another
+ * sequential stream to the access mix.
+ */
+AlgoOutcome runSssp(GraphWorkload &w);
+
+/** Deterministic synthetic weight of edge @p e (1..255). */
+std::uint32_t syntheticWeight(std::uint64_t e);
+
+} // namespace nvsim::graphs
+
+#endif // NVSIM_GRAPHS_ALGORITHMS_HH

@@ -1,0 +1,53 @@
+#include "graphs/csr.hh"
+
+#include "core/logging.hh"
+
+namespace nvsim::graphs
+{
+
+CsrGraph
+CsrGraph::fromEdges(Node num_nodes, std::vector<Edge> edges,
+                    bool symmetrize)
+{
+    if (symmetrize) {
+        std::size_t n = edges.size();
+        edges.reserve(2 * n);
+        for (std::size_t i = 0; i < n; ++i)
+            edges.emplace_back(edges[i].second, edges[i].first);
+    }
+
+    CsrGraph g;
+    g.numNodes_ = num_nodes;
+    g.offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+
+    for (const Edge &e : edges) {
+        nvsim_assert(e.first < num_nodes && e.second < num_nodes);
+        ++g.offsets_[e.first + 1];
+    }
+    for (std::size_t v = 0; v < num_nodes; ++v)
+        g.offsets_[v + 1] += g.offsets_[v];
+
+    g.edges_.resize(edges.size());
+    std::vector<std::uint64_t> cursor(g.offsets_.begin(),
+                                      g.offsets_.end() - 1);
+    for (const Edge &e : edges)
+        g.edges_[cursor[e.first]++] = e.second;
+    return g;
+}
+
+Node
+CsrGraph::maxDegreeNode() const
+{
+    Node best = 0;
+    std::uint64_t best_deg = 0;
+    for (Node v = 0; v < numNodes_; ++v) {
+        std::uint64_t d = degree(v);
+        if (d > best_deg) {
+            best_deg = d;
+            best = v;
+        }
+    }
+    return best;
+}
+
+} // namespace nvsim::graphs

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Compressed sparse row graph storage, matching the layout Galois'
+ * graph-converter produces: a 64-bit offsets array indexed by node and
+ * a 32-bit edge-destination array. The binary size reported by
+ * bytes() is what determines whether a graph fits in the DRAM cache —
+ * the pivot of the paper's Figure 7.
+ */
+
+#ifndef NVSIM_GRAPHS_CSR_HH
+#define NVSIM_GRAPHS_CSR_HH
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace nvsim::graphs
+{
+
+using Node = std::uint32_t;
+
+/** An edge list entry. */
+using Edge = std::pair<Node, Node>;
+
+/** Immutable CSR graph. */
+class CsrGraph
+{
+  public:
+    CsrGraph() = default;
+
+    /**
+     * Build from an edge list. Self-loops are kept; duplicates are
+     * kept (multigraphs are fine for bandwidth studies, as with the
+     * graph500 kronecker generator).
+     * @param num_nodes  node-id space size
+     * @param edges      directed edges (src, dst)
+     * @param symmetrize also insert every reverse edge
+     */
+    static CsrGraph fromEdges(Node num_nodes, std::vector<Edge> edges,
+                              bool symmetrize = false);
+
+    Node numNodes() const { return numNodes_; }
+    std::uint64_t numEdges() const { return edges_.size(); }
+
+    std::uint64_t
+    degree(Node v) const
+    {
+        return offsets_[v + 1] - offsets_[v];
+    }
+
+    /** Out-neighbors of @p v. */
+    std::span<const Node>
+    neighbors(Node v) const
+    {
+        return {edges_.data() + offsets_[v],
+                edges_.data() + offsets_[v + 1]};
+    }
+
+    std::uint64_t edgeBegin(Node v) const { return offsets_[v]; }
+    std::uint64_t edgeEnd(Node v) const { return offsets_[v + 1]; }
+    Node edgeDest(std::uint64_t e) const { return edges_[e]; }
+
+    /** Node with the maximum out-degree (the paper's bfs source). */
+    Node maxDegreeNode() const;
+
+    /** On-disk / in-memory binary size: offsets + edges. */
+    Bytes
+    bytes() const
+    {
+        return offsets_.size() * sizeof(std::uint64_t) +
+               edges_.size() * sizeof(Node);
+    }
+
+    Bytes offsetsBytes() const
+    {
+        return offsets_.size() * sizeof(std::uint64_t);
+    }
+    Bytes edgesBytes() const { return edges_.size() * sizeof(Node); }
+
+  private:
+    Node numNodes_ = 0;
+    std::vector<std::uint64_t> offsets_;  //!< numNodes_ + 1
+    std::vector<Node> edges_;
+};
+
+} // namespace nvsim::graphs
+
+#endif // NVSIM_GRAPHS_CSR_HH

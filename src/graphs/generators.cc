@@ -1,0 +1,130 @@
+#include "graphs/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+
+namespace nvsim::graphs
+{
+
+CsrGraph
+kronecker(const KroneckerParams &params)
+{
+    Node n = Node{1} << params.scale;
+    std::uint64_t m =
+        static_cast<std::uint64_t>(params.edgeFactor) * n;
+    Rng rng(params.seed);
+
+    double ab = params.a + params.b;
+    double c_norm = params.c / (1.0 - ab);
+
+    std::vector<Edge> edges;
+    edges.reserve(m);
+    for (std::uint64_t e = 0; e < m; ++e) {
+        Node src = 0, dst = 0;
+        for (unsigned bit = 0; bit < params.scale; ++bit) {
+            double r = rng.uniform();
+            bool src_bit, dst_bit;
+            if (r < ab) {
+                src_bit = false;
+                dst_bit = r >= params.a;
+            } else {
+                src_bit = true;
+                dst_bit = (r - ab) / (1.0 - ab) >= c_norm;
+            }
+            src |= Node{src_bit} << bit;
+            dst |= Node{dst_bit} << bit;
+        }
+        edges.emplace_back(src, dst);
+    }
+
+    // Permute node ids so degree does not correlate with id, as
+    // graph500 requires.
+    std::vector<Node> perm(n);
+    std::iota(perm.begin(), perm.end(), Node{0});
+    for (Node i = n; i > 1; --i) {
+        Node j = static_cast<Node>(rng.below(i));
+        std::swap(perm[i - 1], perm[j]);
+    }
+    for (Edge &e : edges) {
+        e.first = perm[e.first];
+        e.second = perm[e.second];
+    }
+
+    return CsrGraph::fromEdges(n, std::move(edges), params.symmetrize);
+}
+
+CsrGraph
+webGraph(const WebGraphParams &params)
+{
+    Node n = params.numNodes;
+    Rng rng(params.seed);
+
+    // Zipf-distributed out-degrees via inverse transform on a bounded
+    // power law: P(d) ~ d^-alpha for d in [1, maxDegree].
+    double alpha = params.zipfExponent;
+    double dmax = static_cast<double>(params.maxDegree);
+    auto sample_degree = [&]() {
+        double u = rng.uniform();
+        // Inverse CDF of the continuous bounded Pareto distribution.
+        double one_m = 1.0 - alpha;
+        double lo = 1.0, hi = std::pow(dmax, one_m);
+        double x = std::pow(lo + u * (hi - lo), 1.0 / one_m);
+        return static_cast<std::uint64_t>(x);
+    };
+
+    // Rescale degrees so the mean matches avgDegree.
+    std::vector<std::uint32_t> degree(n);
+    double total = 0;
+    for (Node v = 0; v < n; ++v) {
+        auto d = sample_degree();
+        degree[v] = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(d, params.maxDegree));
+        total += degree[v];
+    }
+    double scale_factor =
+        params.avgDegree * static_cast<double>(n) / std::max(total, 1.0);
+
+    std::vector<Edge> edges;
+    edges.reserve(static_cast<std::size_t>(
+        params.avgDegree * static_cast<double>(n) * 1.05));
+
+    // Popular global targets (the "front page" effect): destinations
+    // of non-local links are Zipf over a popularity permutation.
+    auto global_target = [&]() {
+        // Power-law rank selection: rank ~ u^(-1/(alpha-1)) favors
+        // small ranks heavily.
+        double u = rng.uniform();
+        double r = std::pow(u, 1.5);  // density near 0
+        return static_cast<Node>(r * static_cast<double>(n)) % n;
+    };
+
+    for (Node v = 0; v < n; ++v) {
+        auto d = static_cast<std::uint32_t>(
+            std::max(1.0, std::round(degree[v] * scale_factor)));
+        for (std::uint32_t i = 0; i < d; ++i) {
+            Node dst;
+            if (rng.uniform() < params.localFraction) {
+                // Local link inside the host window around v.
+                std::uint64_t off = rng.below(2 * params.localWindow + 1);
+                std::int64_t t = static_cast<std::int64_t>(v) +
+                                 static_cast<std::int64_t>(off) -
+                                 static_cast<std::int64_t>(
+                                     params.localWindow);
+                if (t < 0)
+                    t += n;
+                dst = static_cast<Node>(t % n);
+            } else {
+                dst = global_target();
+            }
+            edges.emplace_back(v, dst);
+        }
+    }
+
+    return CsrGraph::fromEdges(n, std::move(edges), false);
+}
+
+} // namespace nvsim::graphs

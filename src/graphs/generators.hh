@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Synthetic graph generators standing in for the paper's inputs:
+ *
+ *  - kron30 (a graph500 Kronecker graph) -> kronecker(): the standard
+ *    R-MAT/Kronecker recursive generator with graph500 probabilities
+ *    (A=0.57, B=0.19, C=0.19), random node permutation, symmetrized.
+ *  - wdc12 (Web Data Commons 2012 hyperlink graph, the largest public
+ *    graph) -> webGraph(): a power-law web-like generator with host
+ *    locality: Zipf out-degrees, most links landing in a local window
+ *    (same-host pages) and the rest on popular global targets.
+ *
+ * Both are deterministic under a seed; sizes are chosen by the benches
+ * to preserve the paper's ratios against the scaled DRAM cache.
+ */
+
+#ifndef NVSIM_GRAPHS_GENERATORS_HH
+#define NVSIM_GRAPHS_GENERATORS_HH
+
+#include "graphs/csr.hh"
+
+namespace nvsim::graphs
+{
+
+/** graph500-style Kronecker generator parameters. */
+struct KroneckerParams
+{
+    unsigned scale = 18;       //!< 2^scale nodes
+    unsigned edgeFactor = 16;  //!< edges per node (before symmetrize)
+    double a = 0.57, b = 0.19, c = 0.19;
+    std::uint64_t seed = 1;
+    bool symmetrize = true;
+};
+
+CsrGraph kronecker(const KroneckerParams &params);
+
+/** Web-like power-law generator parameters. */
+struct WebGraphParams
+{
+    Node numNodes = 1u << 20;
+    double avgDegree = 29;      //!< wdc12 has ~36 edges/page
+    double zipfExponent = 2.1;  //!< out-degree tail
+    std::uint64_t maxDegree = 10000;
+    double localFraction = 0.7; //!< links to nearby pages (same host)
+    Node localWindow = 4096;
+    std::uint64_t seed = 7;
+};
+
+CsrGraph webGraph(const WebGraphParams &params);
+
+} // namespace nvsim::graphs
+
+#endif // NVSIM_GRAPHS_GENERATORS_HH

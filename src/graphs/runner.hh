@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Graph workload runner: maps a CsrGraph and its per-algorithm
+ * property arrays into the simulated address space and lets the
+ * algorithm implementations issue instrumented accesses, exactly as
+ * the Galois runs of Section VI drive the machine.
+ *
+ * Placement policies:
+ *  - TwoLm:         everything in the flat (NVRAM-backed, DRAM-cached)
+ *                   space — memory mode.
+ *  - NumaPreferred: 1LM; allocations fill DRAM first, then spill to
+ *                   NVRAM (Galois' NUMA-preferred allocation used for
+ *                   the Figure 8a baseline).
+ *  - Sage:          1LM; the read-only graph lives in NVRAM and every
+ *                   mutable property array lives in DRAM (Dhulipala et
+ *                   al.'s semi-asymmetric approach, Section VII-A.2).
+ */
+
+#ifndef NVSIM_GRAPHS_RUNNER_HH
+#define NVSIM_GRAPHS_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "graphs/csr.hh"
+#include "imc/counters.hh"
+#include "sys/memsys.hh"
+
+namespace nvsim::graphs
+{
+
+/** Data placement policy for a run. */
+enum class Placement : std::uint8_t { TwoLm, NumaPreferred, Sage };
+
+const char *placementName(Placement placement);
+
+/** The graph kernels of the lonestar subset the paper evaluates. */
+enum class GraphKernel : std::uint8_t { Bfs, Cc, KCore, PageRank, Sssp };
+
+const char *graphKernelName(GraphKernel kernel);
+
+/** Run parameters (defaults follow Gill et al. where scale allows). */
+struct GraphRunConfig
+{
+    Placement placement = Placement::TwoLm;
+    unsigned threads = 96;        //!< two sockets x 48 hw threads
+    unsigned prRounds = 10;       //!< pagerank-push rounds (paper: 100)
+    unsigned kcoreK = 10;         //!< k for k-core (paper: 100)
+    std::uint64_t bytesPerNodeAccess = 4;
+};
+
+/** Result of one kernel execution. */
+struct GraphRunResult
+{
+    GraphKernel kernel = GraphKernel::Bfs;
+    double seconds = 0;
+    PerfCounters counters;
+    Bytes graphBytes = 0;
+    std::uint64_t rounds = 0;
+    /** Algorithm-specific answer for sanity checks. */
+    std::uint64_t answer = 0;
+
+    double dramReadBandwidth() const;
+    double dramWriteBandwidth() const;
+    double nvramReadBandwidth() const;
+    double nvramWriteBandwidth() const;
+    /** Total bytes moved at the devices (Figure 8). */
+    Bytes dataMoved() const;
+};
+
+class GraphWorkload;
+
+/**
+ * A property array backed by host memory whose element accesses are
+ * mirrored into the simulated machine.
+ */
+template <typename T>
+class SimArray
+{
+  public:
+    SimArray() = default;
+    SimArray(MemorySystem *sys, Region region, std::size_t count)
+        : sys_(sys), region_(region), data_(count)
+    {
+    }
+
+    T
+    read(std::size_t i, unsigned thread) const
+    {
+        sys_->access(thread, CpuOp::Load, addr(i), sizeof(T));
+        return data_[i];
+    }
+
+    void
+    write(std::size_t i, T v, unsigned thread)
+    {
+        sys_->access(thread, CpuOp::Store, addr(i), sizeof(T));
+        data_[i] = v;
+    }
+
+    /** Untracked host access (setup/verification only). */
+    T peek(std::size_t i) const { return data_[i]; }
+    void poke(std::size_t i, T v) { data_[i] = v; }
+
+    std::size_t size() const { return data_.size(); }
+    const Region &region() const { return region_; }
+
+  private:
+    Addr addr(std::size_t i) const { return region_.base + i * sizeof(T); }
+
+    MemorySystem *sys_ = nullptr;
+    Region region_;
+    std::vector<T> data_;
+};
+
+/** One graph mapped into one simulated machine. */
+class GraphWorkload
+{
+  public:
+    GraphWorkload(MemorySystem &sys, const CsrGraph &graph,
+                  const GraphRunConfig &config);
+
+    /** Execute a kernel; counters/time are deltas over the run. */
+    GraphRunResult run(GraphKernel kernel);
+
+    /** @name Instrumented graph accesses (used by the algorithms). */
+    ///@{
+    std::uint64_t
+    edgeBegin(Node v, unsigned thread)
+    {
+        sys_.access(thread, CpuOp::Load, offsetsBase_ + v * 8, 16);
+        return graph_.edgeBegin(v);
+    }
+
+    std::uint64_t
+    edgeEnd(Node v, unsigned /*thread*/)
+    {
+        // Read together with edgeBegin (offsets[v] and offsets[v+1]
+        // share one 16-byte access above).
+        return graph_.edgeEnd(v);
+    }
+
+    Node
+    edgeDest(std::uint64_t e, unsigned thread)
+    {
+        sys_.access(thread, CpuOp::Load, edgesBase_ + e * 4, 4);
+        return graph_.edgeDest(e);
+    }
+    ///@}
+
+    /** Allocate an instrumented property array. */
+    template <typename T>
+    SimArray<T>
+    makeArray(const std::string &name, std::size_t count)
+    {
+        Region r = allocateByPolicy(count * sizeof(T), name,
+                                    /*mutable_data=*/true);
+        return SimArray<T>(&sys_, r, count);
+    }
+
+    /** Partition nodes across threads in contiguous blocks. */
+    unsigned
+    threadOf(Node v) const
+    {
+        return static_cast<unsigned>(
+            static_cast<std::uint64_t>(v) * config_.threads /
+            graph_.numNodes());
+    }
+
+    MemorySystem &sys() { return sys_; }
+    const CsrGraph &graph() const { return graph_; }
+    const GraphRunConfig &config() const { return config_; }
+
+  private:
+    Region allocateByPolicy(Bytes bytes, const std::string &name,
+                            bool mutable_data);
+
+    MemorySystem &sys_;
+    const CsrGraph &graph_;
+    GraphRunConfig config_;
+    Addr offsetsBase_ = 0;
+    Addr edgesBase_ = 0;
+};
+
+} // namespace nvsim::graphs
+
+#endif // NVSIM_GRAPHS_RUNNER_HH

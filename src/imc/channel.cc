@@ -1,0 +1,185 @@
+#include "imc/channel.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace nvsim
+{
+
+const char *
+memoryModeName(MemoryMode mode)
+{
+    return mode == MemoryMode::OneLm ? "1LM" : "2LM";
+}
+
+ChannelController::ChannelController(const ChannelParams &params,
+                                     MemoryMode mode)
+    : params_(params), mode_(mode), dram_(params.dram),
+      nvram_(params.nvram),
+      cache_(DramCacheParams{params.dram.capacity, params.ddo,
+                             params.cacheWays,
+                             params.insertOnWriteMiss})
+{
+}
+
+AccessResult
+ChannelController::handle(const MemRequest &req, MemPool pool)
+{
+    if (mode_ == MemoryMode::TwoLm)
+        return handle2lm(req);
+    return handle1lm(req, pool);
+}
+
+void
+ChannelController::applyActions(const MemRequest &req,
+                                const CacheResult &cr)
+{
+    dram_.read(cr.actions.dramReads);
+    dram_.write(cr.actions.dramWrites);
+    if (cr.filled)
+        nvram_.read(cr.fill, req.thread);
+    if (cr.wroteBack)
+        nvram_.write(cr.victim, req.thread);
+}
+
+AccessResult
+ChannelController::handle2lm(const MemRequest &req)
+{
+    CacheResult cr = req.kind == MemRequestKind::LlcRead
+                         ? cache_.read(req.addr)
+                         : cache_.write(req.addr);
+    applyActions(req, cr);
+
+    counters_.addOutcome(req.kind, cr.outcome);
+    counters_.addActions(cr.actions);
+    if (cr.filled)
+        ++epochMisses_;
+
+    AccessResult result;
+    result.outcome = cr.outcome;
+    result.actions = cr.actions;
+    if (req.kind == MemRequestKind::LlcRead) {
+        // Hit: one DRAM round trip. Miss: tag-check read then the NVRAM
+        // fetch are serial; the insert write is posted off the critical
+        // path.
+        result.latency = cr.outcome == CacheOutcome::Hit
+                             ? params_.dram.latency
+                             : params_.dram.latency +
+                                   params_.nvram.readLatency;
+    } else {
+        // Writes are posted; the tag-check read still occupies the
+        // request slot before the write can be accepted.
+        result.latency = cr.outcome == CacheOutcome::DdoHit
+                             ? params_.nvram.writeLatency
+                             : params_.dram.latency;
+    }
+    return result;
+}
+
+AccessResult
+ChannelController::handle1lm(const MemRequest &req, MemPool pool)
+{
+    AccessResult result;
+    result.outcome = CacheOutcome::Uncached;
+    counters_.addOutcome(req.kind, CacheOutcome::Uncached);
+
+    if (req.kind == MemRequestKind::LlcRead) {
+        if (pool == MemPool::Dram) {
+            dram_.read(1);
+            counters_.dramRead += 1;
+            result.actions.dramReads = 1;
+            result.latency = params_.dram.latency;
+        } else {
+            nvram_.read(req.addr, req.thread);
+            counters_.nvramRead += 1;
+            result.actions.nvramReads = 1;
+            result.latency = params_.nvram.readLatency;
+        }
+    } else {
+        if (pool == MemPool::Dram) {
+            dram_.write(1);
+            counters_.dramWrite += 1;
+            result.actions.dramWrites = 1;
+            result.latency = params_.dram.latency;
+        } else {
+            nvram_.write(req.addr, req.thread);
+            counters_.nvramWrite += 1;
+            result.actions.nvramWrites = 1;
+            result.latency = params_.nvram.writeLatency;
+        }
+    }
+    return result;
+}
+
+void
+ChannelController::drainBuffers()
+{
+    nvram_.flushWpq();
+}
+
+ChannelEpoch
+ChannelController::drainEpoch()
+{
+    ChannelEpoch e;
+    e.dram = dram_.drainEpoch();
+    e.nvram = nvram_.drainEpoch();
+    e.misses = epochMisses_;
+    epochMisses_ = 0;
+    return e;
+}
+
+double
+ChannelController::missServiceTime() const
+{
+    // Tag-check DRAM read followed by the NVRAM line fetch; the DRAM
+    // insert overlaps with returning data to the LLC.
+    return params_.dram.latency + params_.nvram.readLatency;
+}
+
+double
+ChannelController::epochTime(const ChannelEpoch &epoch) const
+{
+    // Shared DDR4/DDR-T bus: every DRAM CAS and every NVRAM bus
+    // transaction crosses it.
+    double bus_bytes = static_cast<double>(epoch.dram.bytes()) +
+                       static_cast<double>(epoch.nvram.demandBytes());
+    double t_bus = bus_bytes / params_.busBandwidth;
+
+    // DRAM device throughput.
+    double t_dram = static_cast<double>(epoch.dram.bytes()) /
+                    params_.dram.bandwidth;
+
+    // NVRAM media: reads and writes share the media controller, so
+    // their service times add. Write bandwidth degrades with stream
+    // count (XPBuffer contention).
+    double write_bw = params_.nvram.writeBandwidth *
+                      nvram_.writeEfficiency(epoch.nvram.writerStreams);
+    double t_media =
+        static_cast<double>(epoch.nvram.mediaReadBytes()) /
+            params_.nvram.readBandwidth +
+        static_cast<double>(epoch.nvram.mediaWriteBytes()) / write_bw;
+
+    // 2LM miss handler occupancy: a bounded number of outstanding
+    // misses, each holding an entry for the serial tag-check + fetch.
+    double t_mshr = 0;
+    if (params_.missHandlerEntries > 0) {
+        t_mshr = static_cast<double>(epoch.misses) * missServiceTime() /
+                 static_cast<double>(params_.missHandlerEntries);
+    }
+
+    return std::max({t_bus, t_dram, t_media, t_mshr});
+}
+
+void
+ChannelController::reset()
+{
+    cache_.invalidateAll();
+    counters_ = PerfCounters{};
+    epochMisses_ = 0;
+    drainEpoch();
+    drainBuffers();
+    drainEpoch();
+}
+
+} // namespace nvsim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Channel controller: one memory channel holding a DRAM DIMM and an
+ * NVRAM DIMM behind the same bus, as on Cascade Lake (Figure 1 of the
+ * paper: 2 sockets x 2 IMCs x 3 channels, each channel populated with a
+ * 32 GiB DDR4 DIMM and a 512 GiB Optane DIMM).
+ *
+ * In 2LM mode the DRAM DIMM is the hardware-managed cache in front of
+ * the NVRAM DIMM; in 1LM (app direct) mode both DIMMs are directly
+ * addressable and requests carry the pool they target.
+ */
+
+#ifndef NVSIM_IMC_CHANNEL_HH
+#define NVSIM_IMC_CHANNEL_HH
+
+#include <cstdint>
+
+#include "imc/counters.hh"
+#include "imc/dram_cache.hh"
+#include "mem/dram.hh"
+#include "mem/nvram.hh"
+#include "mem/request.hh"
+
+namespace nvsim
+{
+
+/** Memory-system operating mode. */
+enum class MemoryMode : std::uint8_t {
+    OneLm,  //!< app direct: DRAM and NVRAM separately addressable
+    TwoLm,  //!< memory mode: DRAM is a transparent cache for NVRAM
+};
+
+const char *memoryModeName(MemoryMode mode);
+
+/** Configuration of one channel. */
+struct ChannelParams
+{
+    DramParams dram;
+    NvramParams nvram;
+    DdoConfig ddo;
+    unsigned cacheWays = 1;
+    bool insertOnWriteMiss = true;
+    /** DDR4 bus bandwidth shared by DRAM and DDR-T transactions. */
+    double busBandwidth = 21.3e9;
+    /** Concurrent 2LM miss handler entries (MSHR-like). */
+    unsigned missHandlerEntries = 24;
+};
+
+/** One request's timing contribution, returned to the caller. */
+struct AccessResult
+{
+    CacheOutcome outcome = CacheOutcome::Uncached;
+    DeviceActions actions;
+    double latency = 0;  //!< load-to-use seconds for demand reads
+};
+
+/** Per-epoch traffic summary of a channel, for the bandwidth solver. */
+struct ChannelEpoch
+{
+    DramEpoch dram;
+    NvramEpoch nvram;
+    std::uint64_t misses = 0;  //!< 2LM miss handler activations
+};
+
+/** A memory channel with its controller logic. */
+class ChannelController
+{
+  public:
+    ChannelController(const ChannelParams &params, MemoryMode mode);
+
+    /**
+     * Handle one 64 B LLC request.
+     * @param req   the request (line-aligned address)
+     * @param pool  in 1LM mode, the pool backing the address; ignored
+     *              in 2LM mode (everything is NVRAM behind the cache)
+     */
+    AccessResult handle(const MemRequest &req, MemPool pool);
+
+    /** Quiesce: flush NVRAM write buffers. */
+    void drainBuffers();
+
+    /** Collect and reset this epoch's traffic. */
+    ChannelEpoch drainEpoch();
+
+    /**
+     * Wall-clock seconds the channel's resources need to move an
+     * epoch's traffic: the max of the bus time, the NVRAM media time
+     * (with write-stream contention), and the miss handler occupancy.
+     */
+    double epochTime(const ChannelEpoch &epoch) const;
+
+    /** Service time of one 2LM miss in the miss handler (seconds). */
+    double missServiceTime() const;
+
+    PerfCounters &counters() { return counters_; }
+    const PerfCounters &counters() const { return counters_; }
+
+    DramCache &cache() { return cache_; }
+    const DramCache &cache() const { return cache_; }
+    NvramDevice &nvram() { return nvram_; }
+    const NvramDevice &nvram() const { return nvram_; }
+    DramDevice &dram() { return dram_; }
+    const DramDevice &dram() const { return dram_; }
+
+    MemoryMode mode() const { return mode_; }
+    const ChannelParams &params() const { return params_; }
+
+    /** Reset cache contents and counters (fresh benchmark). */
+    void reset();
+
+  private:
+    AccessResult handle2lm(const MemRequest &req);
+    AccessResult handle1lm(const MemRequest &req, MemPool pool);
+
+    /** Apply a request's DeviceActions to the devices. */
+    void applyActions(const MemRequest &req, const CacheResult &cr);
+
+    ChannelParams params_;
+    MemoryMode mode_;
+    DramDevice dram_;
+    NvramDevice nvram_;
+    DramCache cache_;
+    PerfCounters counters_;
+    std::uint64_t epochMisses_ = 0;
+};
+
+} // namespace nvsim
+
+#endif // NVSIM_IMC_CHANNEL_HH

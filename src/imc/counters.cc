@@ -1,0 +1,92 @@
+#include "imc/counters.hh"
+
+namespace nvsim
+{
+
+void
+PerfCounters::addOutcome(MemRequestKind kind, CacheOutcome outcome)
+{
+    if (kind == MemRequestKind::LlcRead)
+        ++llcReads;
+    else
+        ++llcWrites;
+
+    switch (outcome) {
+      case CacheOutcome::Hit:
+        ++tagHit;
+        break;
+      case CacheOutcome::MissClean:
+        ++tagMissClean;
+        break;
+      case CacheOutcome::MissDirty:
+        ++tagMissDirty;
+        break;
+      case CacheOutcome::DdoHit:
+        ++ddoHit;
+        break;
+      case CacheOutcome::Uncached:
+        break;
+    }
+}
+
+PerfCounters &
+PerfCounters::operator+=(const PerfCounters &o)
+{
+    dramRead += o.dramRead;
+    dramWrite += o.dramWrite;
+    nvramRead += o.nvramRead;
+    nvramWrite += o.nvramWrite;
+    tagHit += o.tagHit;
+    tagMissClean += o.tagMissClean;
+    tagMissDirty += o.tagMissDirty;
+    ddoHit += o.ddoHit;
+    llcReads += o.llcReads;
+    llcWrites += o.llcWrites;
+    return *this;
+}
+
+PerfCounters
+PerfCounters::delta(const PerfCounters &o) const
+{
+    PerfCounters d;
+    d.dramRead = dramRead - o.dramRead;
+    d.dramWrite = dramWrite - o.dramWrite;
+    d.nvramRead = nvramRead - o.nvramRead;
+    d.nvramWrite = nvramWrite - o.nvramWrite;
+    d.tagHit = tagHit - o.tagHit;
+    d.tagMissClean = tagMissClean - o.tagMissClean;
+    d.tagMissDirty = tagMissDirty - o.tagMissDirty;
+    d.ddoHit = ddoHit - o.ddoHit;
+    d.llcReads = llcReads - o.llcReads;
+    d.llcWrites = llcWrites - o.llcWrites;
+    return d;
+}
+
+double
+PerfCounters::amplification() const
+{
+    std::uint64_t dem = demand();
+    if (dem == 0)
+        return 0;
+    return static_cast<double>(deviceAccesses()) /
+           static_cast<double>(dem);
+}
+
+std::map<std::string, std::uint64_t>
+PerfCounters::named() const
+{
+    return {
+        {"dram_read", dramRead},
+        {"dram_write", dramWrite},
+        {"nvram_read", nvramRead},
+        {"nvram_write", nvramWrite},
+        {"tag_hit", tagHit},
+        {"tag_miss_clean", tagMissClean},
+        {"tag_miss_dirty", tagMissDirty},
+        {"ddo_hit", ddoHit},
+        {"llc_reads", llcReads},
+        {"llc_writes", llcWrites},
+    };
+}
+
+} // namespace nvsim

@@ -1,0 +1,82 @@
+#include "imc/ddo.hh"
+
+#include <bit>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+
+namespace nvsim
+{
+
+const char *
+ddoModeName(DdoMode mode)
+{
+    switch (mode) {
+      case DdoMode::None:
+        return "none";
+      case DdoMode::RecentTracker:
+        return "recent_tracker";
+      case DdoMode::Oracle:
+        return "oracle";
+    }
+    return "unknown";
+}
+
+std::unique_ptr<DdoPolicy>
+DdoPolicy::create(const DdoConfig &config)
+{
+    switch (config.mode) {
+      case DdoMode::None:
+        return std::make_unique<NoneDdo>();
+      case DdoMode::RecentTracker:
+        return std::make_unique<RecentTrackerDdo>(config.trackerEntries);
+      case DdoMode::Oracle:
+        return std::make_unique<OracleDdo>();
+    }
+    panic("unknown DDO mode");
+}
+
+RecentTrackerDdo::RecentTrackerDdo(std::uint32_t entries)
+{
+    if (entries == 0)
+        fatal("RecentTracker DDO needs at least one entry");
+    std::uint32_t rounded = std::bit_ceil(entries);
+    mask_ = rounded - 1;
+    table_.assign(rounded, 0);
+}
+
+std::uint32_t
+RecentTrackerDdo::slot(Addr line) const
+{
+    std::uint64_t x = lineIndex(line);
+    std::uint64_t h = splitmix64(x);
+    return static_cast<std::uint32_t>(h) & mask_;
+}
+
+bool
+RecentTrackerDdo::check(Addr line, bool resident)
+{
+    // The tracker is kept consistent by eviction notifications, so a
+    // matching entry implies residency; `resident` is asserted as a
+    // defensive cross-check of that invariant.
+    bool match = table_[slot(line)] == line + 1;
+    if (match)
+        nvsim_assert(resident);
+    return match;
+}
+
+void
+RecentTrackerDdo::noteInsert(Addr line)
+{
+    table_[slot(line)] = line + 1;
+}
+
+void
+RecentTrackerDdo::noteEvict(Addr line)
+{
+    std::uint32_t s = slot(line);
+    if (table_[s] == line + 1)
+        table_[s] = 0;
+}
+
+} // namespace nvsim

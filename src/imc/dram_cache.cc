@@ -1,0 +1,209 @@
+#include "imc/dram_cache.hh"
+
+#include "core/logging.hh"
+
+namespace nvsim
+{
+
+DramCache::DramCache(const DramCacheParams &params)
+    : params_(params), ways_(params.ways ? params.ways : 1),
+      numSets_(params.capacity / kLineSize / ways_),
+      ddo_(DdoPolicy::create(params.ddo))
+{
+    if (numSets_ == 0)
+        fatal("DRAM cache capacity %llu too small for %u ways",
+              static_cast<unsigned long long>(params.capacity), ways_);
+    if (numSets_ * ways_ > (1ull << 28)) {
+        fatal("DRAM cache tag store would need %llu entries; "
+              "apply a SystemConfig scale factor to shrink capacities",
+              static_cast<unsigned long long>(numSets_ * ways_));
+    }
+    ways_store_.assign(numSets_ * ways_, Way{});
+}
+
+std::uint64_t
+DramCache::setOf(Addr addr) const
+{
+    return lineIndex(addr) % numSets_;
+}
+
+std::uint64_t
+DramCache::tagOf(Addr addr) const
+{
+    return lineIndex(addr) / numSets_;
+}
+
+Addr
+DramCache::addrOf(std::uint64_t set, std::uint64_t tag) const
+{
+    return (tag * numSets_ + set) * kLineSize;
+}
+
+DramCache::Way *
+DramCache::find(std::uint64_t set, std::uint64_t tag)
+{
+    Way *base = &ways_store_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const DramCache::Way *
+DramCache::find(std::uint64_t set, std::uint64_t tag) const
+{
+    const Way *base = &ways_store_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+DramCache::Way &
+DramCache::victimWay(std::uint64_t set)
+{
+    Way *base = &ways_store_[set * ways_];
+    Way *victim = base;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!base[w].valid)
+            return base[w];
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    return *victim;
+}
+
+void
+DramCache::touchLru(std::uint64_t set, Way &way)
+{
+    (void)set;
+    way.lru = ++lruClock_;
+}
+
+DramCache::Way &
+DramCache::missHandler(Addr addr, std::uint64_t set, std::uint64_t tag,
+                       CacheResult &result)
+{
+    Way &victim = victimWay(set);
+    if (victim.valid) {
+        Addr victim_addr = addrOf(set, victim.tag);
+        if (victim.dirty) {
+            // Write the dirty victim back to NVRAM.
+            result.actions.nvramWrites += 1;
+            result.victim = victim_addr;
+            result.wroteBack = true;
+            result.outcome = CacheOutcome::MissDirty;
+        } else {
+            result.outcome = CacheOutcome::MissClean;
+        }
+        ddo_->noteEvict(victim_addr);
+    } else {
+        result.outcome = CacheOutcome::MissClean;
+    }
+
+    // Fetch the requested line from NVRAM and insert it (insert on
+    // miss, regardless of whether the demand was a read or a write).
+    result.actions.nvramReads += 1;
+    result.actions.dramWrites += 1;
+    result.fill = lineBase(addr);
+    result.filled = true;
+
+    victim.valid = true;
+    victim.dirty = false;
+    victim.tag = tag;
+    touchLru(set, victim);
+    ddo_->noteInsert(lineBase(addr));
+    return victim;
+}
+
+CacheResult
+DramCache::read(Addr addr)
+{
+    std::uint64_t set = setOf(addr);
+    std::uint64_t tag = tagOf(addr);
+    CacheResult result;
+
+    // The IMC always starts with a DRAM read: data and tag arrive
+    // together (tag lives in the ECC bits).
+    result.actions.dramReads = 1;
+
+    if (Way *way = find(set, tag)) {
+        result.outcome = CacheOutcome::Hit;
+        touchLru(set, *way);
+        return result;
+    }
+    missHandler(addr, set, tag, result);
+    return result;
+}
+
+CacheResult
+DramCache::write(Addr addr)
+{
+    std::uint64_t set = setOf(addr);
+    std::uint64_t tag = tagOf(addr);
+    CacheResult result;
+
+    Way *way = find(set, tag);
+
+    // Dirty Data Optimization: forward the write straight to DRAM
+    // without a tag check when the policy knows the line is resident.
+    if (ddo_->check(lineBase(addr), way != nullptr)) {
+        result.outcome = CacheOutcome::DdoHit;
+        result.actions.dramWrites = 1;
+        way->dirty = true;
+        touchLru(set, *way);
+        return result;
+    }
+
+    // Tag check: one DRAM read (tag rides in ECC bits).
+    result.actions.dramReads = 1;
+
+    if (!way) {
+        if (!params_.insertOnWriteMiss) {
+            // Write-no-allocate ablation: the store bypasses the
+            // cache and lands in NVRAM; the current occupant stays.
+            result.outcome = CacheOutcome::MissClean;
+            result.actions.nvramWrites = 1;
+            result.victim = lineBase(addr);
+            result.wroteBack = true;
+            return result;
+        }
+        // Insert on miss: the miss handler runs first (NVRAM fetch +
+        // DRAM insert), then the demand data is written. This is the
+        // second DRAM write observed in Figure 4b.
+        way = &missHandler(addr, set, tag, result);
+    } else {
+        result.outcome = CacheOutcome::Hit;
+    }
+
+    result.actions.dramWrites += 1;
+    way->dirty = true;
+    touchLru(set, *way);
+    return result;
+}
+
+bool
+DramCache::resident(Addr addr) const
+{
+    return find(setOf(addr), tagOf(addr)) != nullptr;
+}
+
+bool
+DramCache::residentDirty(Addr addr) const
+{
+    const Way *way = find(setOf(addr), tagOf(addr));
+    return way && way->dirty;
+}
+
+void
+DramCache::invalidateAll()
+{
+    for (auto &way : ways_store_)
+        way = Way{};
+    // Recreate the DDO policy so no stale insert knowledge survives.
+    ddo_ = DdoPolicy::create(params_.ddo);
+}
+
+} // namespace nvsim

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The 2LM direct-mapped DRAM cache, as reverse engineered in Section IV
+ * of the paper (Table I and Figure 3).
+ *
+ * Properties modelled:
+ *  - direct mapped, 64 B lines, insert on every miss (read or write);
+ *  - tags stored in the DRAM ECC bits, so one DRAM read returns data and
+ *    tag together and one DRAM write updates both;
+ *  - LLC reads: tag-check read; on miss the miss handler fetches the
+ *    line from NVRAM, inserts it with a DRAM write, and writes the dirty
+ *    victim back to NVRAM if needed;
+ *  - LLC writes: the Dirty Data Optimization may elide the tag check;
+ *    otherwise a tag-check read is made, and on a miss the *miss handler
+ *    runs first* (insert on miss) before the data itself is written --
+ *    which is why a missing LLC write costs two DRAM writes;
+ *  - per-request DeviceActions reproduce Table I exactly:
+ *    amplifications 1 / 3 / 4 / 2 / 4 / 5 / 1.
+ */
+
+#ifndef NVSIM_IMC_DRAM_CACHE_HH
+#define NVSIM_IMC_DRAM_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "imc/ddo.hh"
+#include "mem/request.hh"
+
+namespace nvsim
+{
+
+/** DRAM cache configuration for one channel. */
+struct DramCacheParams
+{
+    Bytes capacity = 32 * kGiB;  //!< DRAM DIMM capacity on this channel
+    DdoConfig ddo;
+    /**
+     * Associativity. The real hardware is direct mapped (1); higher
+     * values exist for the "future hardware" ablation and use LRU
+     * replacement within the set.
+     */
+    unsigned ways = 1;
+    /**
+     * Insert-on-miss for LLC *writes*. The real hardware always
+     * inserts ("our best guess is that the memory controller always
+     * inserts on a miss"), which costs an NVRAM read plus two DRAM
+     * writes per missing store. Setting this false models the
+     * write-no-allocate alternative the paper's critique implies:
+     * missing LLC writes go straight to NVRAM (tag check + NVRAM
+     * write, amplification 2) and leave the cache untouched.
+     */
+    bool insertOnWriteMiss = true;
+};
+
+/**
+ * Result of one cache access: the outcome (tag statistics), the device
+ * actions (Table I row counts), and the victim address when a dirty
+ * line was written back to NVRAM.
+ */
+struct CacheResult
+{
+    CacheOutcome outcome = CacheOutcome::Uncached;
+    DeviceActions actions;
+    Addr victim = 0;          //!< valid iff wroteBack
+    bool wroteBack = false;   //!< dirty victim written to NVRAM
+    Addr fill = 0;            //!< NVRAM line fetched on a miss
+    bool filled = false;      //!< miss handler ran (NVRAM read + insert)
+};
+
+/** Direct-mapped (optionally set-associative for ablation) DRAM cache. */
+class DramCache
+{
+  public:
+    explicit DramCache(const DramCacheParams &params);
+
+    /** Handle an LLC read of the line at @p addr. */
+    CacheResult read(Addr addr);
+
+    /** Handle an LLC write (writeback / nontemporal store) to @p addr. */
+    CacheResult write(Addr addr);
+
+    /** Is the line currently resident? (introspection, no side effects) */
+    bool resident(Addr addr) const;
+
+    /** Is the resident copy of the line dirty? */
+    bool residentDirty(Addr addr) const;
+
+    /**
+     * Drop every line, writing back nothing (used to reset state
+     * between benchmark phases, like a reboot would).
+     */
+    void invalidateAll();
+
+    std::uint64_t numSets() const { return numSets_; }
+    unsigned ways() const { return ways_; }
+    const DramCacheParams &params() const { return params_; }
+    DdoPolicy &ddo() { return *ddo_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        std::uint32_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t setOf(Addr addr) const;
+    std::uint64_t tagOf(Addr addr) const;
+    Addr addrOf(std::uint64_t set, std::uint64_t tag) const;
+
+    /** Find the way holding @p tag in @p set, or nullptr. */
+    Way *find(std::uint64_t set, std::uint64_t tag);
+    const Way *find(std::uint64_t set, std::uint64_t tag) const;
+
+    /** LRU victim way of @p set. */
+    Way &victimWay(std::uint64_t set);
+
+    void touchLru(std::uint64_t set, Way &way);
+
+    /**
+     * Run the Figure 3 miss handler: evict (writeback if dirty), fetch
+     * the requested line from NVRAM and insert it clean. Updates
+     * @p result's actions, outcome, victim and fill fields.
+     */
+    Way &missHandler(Addr addr, std::uint64_t set, std::uint64_t tag,
+                     CacheResult &result);
+
+    DramCacheParams params_;
+    unsigned ways_;
+    std::uint64_t numSets_;
+    std::vector<Way> ways_store_;  //!< numSets_ * ways_ entries
+    std::uint32_t lruClock_ = 0;
+    std::unique_ptr<DdoPolicy> ddo_;
+};
+
+} // namespace nvsim
+
+#endif // NVSIM_IMC_DRAM_CACHE_HH

@@ -1,0 +1,180 @@
+#include "kernels/kernels.hh"
+
+#include <vector>
+
+#include "core/logging.hh"
+
+namespace nvsim
+{
+
+const char *
+kernelOpName(KernelOp op)
+{
+    switch (op) {
+      case KernelOp::ReadOnly:
+        return "read_only";
+      case KernelOp::WriteOnly:
+        return "write_only";
+      case KernelOp::ReadModifyWrite:
+        return "read_modify_write";
+    }
+    return "unknown";
+}
+
+double
+KernelResult::dramReadBandwidth() const
+{
+    return seconds > 0
+               ? static_cast<double>(counters.dramRead * kLineSize) /
+                     seconds
+               : 0;
+}
+
+double
+KernelResult::dramWriteBandwidth() const
+{
+    return seconds > 0
+               ? static_cast<double>(counters.dramWrite * kLineSize) /
+                     seconds
+               : 0;
+}
+
+double
+KernelResult::nvramReadBandwidth() const
+{
+    return seconds > 0
+               ? static_cast<double>(counters.nvramRead * kLineSize) /
+                     seconds
+               : 0;
+}
+
+double
+KernelResult::nvramWriteBandwidth() const
+{
+    return seconds > 0
+               ? static_cast<double>(counters.nvramWrite * kLineSize) /
+                     seconds
+               : 0;
+}
+
+std::string
+KernelResult::summary() const
+{
+    return strprintf(
+        "effective %.2f GB/s | DRAM rd %.2f wr %.2f | NVRAM rd %.2f "
+        "wr %.2f GB/s | amp %.2f",
+        effectiveBandwidth / kGB, dramReadBandwidth() / kGB,
+        dramWriteBandwidth() / kGB, nvramReadBandwidth() / kGB,
+        nvramWriteBandwidth() / kGB, counters.amplification());
+}
+
+KernelResult
+runKernel(MemorySystem &sys, const Region &region,
+          const KernelConfig &config)
+{
+    if (config.granularity < kLineSize ||
+        config.granularity % kLineSize != 0) {
+        fatal("kernel granularity %llu must be a multiple of 64 B",
+              static_cast<unsigned long long>(config.granularity));
+    }
+    unsigned threads = config.threads ? config.threads : 1;
+
+    // Partition the region evenly across threads in whole granules.
+    std::uint64_t total_granules = region.size / config.granularity;
+    if (total_granules == 0)
+        fatal("region '%s' smaller than one granule", region.name.c_str());
+    std::uint64_t per_thread = total_granules / threads;
+    if (per_thread == 0) {
+        threads = static_cast<unsigned>(total_granules);
+        per_thread = 1;
+    }
+
+    sys.setActiveThreads(threads);
+    PerfCounters before = sys.counters();
+    double t0 = sys.now();
+    Bytes demand = 0;
+
+    for (unsigned iter = 0; iter < config.iterations; ++iter) {
+        std::vector<OffsetSequence> seqs;
+        seqs.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t) {
+            seqs.emplace_back(config.pattern, per_thread,
+                              config.seed + 977 * t + iter);
+        }
+
+        // Interleave threads one access at a time so their streams
+        // contend realistically in the NVRAM buffers.
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (unsigned t = 0; t < threads; ++t) {
+                auto idx = seqs[t].next();
+                if (!idx)
+                    continue;
+                progress = true;
+                Addr base = region.base +
+                            (static_cast<Addr>(t) * per_thread + *idx) *
+                                config.granularity;
+                switch (config.op) {
+                  case KernelOp::ReadOnly:
+                    sys.access(t, CpuOp::Load, base, config.granularity);
+                    demand += config.granularity;
+                    break;
+                  case KernelOp::WriteOnly:
+                    sys.access(t,
+                               config.nontemporal ? CpuOp::NtStore
+                                                  : CpuOp::Store,
+                               base, config.granularity);
+                    demand += config.granularity;
+                    break;
+                  case KernelOp::ReadModifyWrite:
+                    sys.access(t, CpuOp::Load, base, config.granularity);
+                    sys.access(t,
+                               config.nontemporal ? CpuOp::NtStore
+                                                  : CpuOp::Store,
+                               base, config.granularity);
+                    demand += 2 * config.granularity;
+                    break;
+                }
+            }
+        }
+    }
+
+    sys.quiesce();
+
+    KernelResult result;
+    result.seconds = sys.now() - t0;
+    result.demandBytes = demand;
+    result.arrayBytes =
+        static_cast<Bytes>(total_granules) * config.granularity *
+        config.iterations;
+    result.effectiveBandwidth =
+        result.seconds > 0
+            ? static_cast<double>(demand) / result.seconds
+            : 0;
+    result.counters = sys.counters().delta(before);
+    return result;
+}
+
+void
+primeClean(MemorySystem &sys, const Region &region, unsigned threads)
+{
+    KernelConfig cfg;
+    cfg.op = KernelOp::ReadOnly;
+    cfg.pattern = AccessPattern::Sequential;
+    cfg.threads = threads;
+    runKernel(sys, region, cfg);
+}
+
+void
+primeDirty(MemorySystem &sys, const Region &region, unsigned threads)
+{
+    KernelConfig cfg;
+    cfg.op = KernelOp::WriteOnly;
+    cfg.pattern = AccessPattern::Sequential;
+    cfg.threads = threads;
+    cfg.nontemporal = true;
+    runKernel(sys, region, cfg);
+}
+
+} // namespace nvsim

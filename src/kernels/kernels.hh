@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Microbenchmark kernels (Section III-B of the paper).
+ *
+ * Read-only, write-only and read-modify-write loops over an array,
+ * partitioned evenly across threads, with sequential or LFSR
+ * pseudo-random iteration and 64-512 B access granularity. Stores can
+ * be standard (RFO through the LLC) or nontemporal (bypass the LLC);
+ * nontemporal stores "are critical for high NVRAM write bandwidth".
+ */
+
+#ifndef NVSIM_KERNELS_KERNELS_HH
+#define NVSIM_KERNELS_KERNELS_HH
+
+#include <string>
+
+#include "imc/counters.hh"
+#include "kernels/pattern.hh"
+#include "sys/memsys.hh"
+
+namespace nvsim
+{
+
+/** What the kernel loop does at each granule. */
+enum class KernelOp : std::uint8_t {
+    ReadOnly,
+    WriteOnly,
+    ReadModifyWrite,
+};
+
+const char *kernelOpName(KernelOp op);
+
+/** One kernel run description. */
+struct KernelConfig
+{
+    KernelOp op = KernelOp::ReadOnly;
+    AccessPattern pattern = AccessPattern::Sequential;
+    Bytes granularity = kLineSize;   //!< bytes per access (64..512)
+    unsigned threads = 1;
+    bool nontemporal = true;         //!< store flavor
+    unsigned iterations = 1;         //!< full passes over the array
+    std::uint64_t seed = 1;          //!< LFSR seed base
+};
+
+/** Measured result of one kernel run. */
+struct KernelResult
+{
+    double seconds = 0;            //!< wall-clock (simulated)
+    Bytes demandBytes = 0;         //!< bytes the loop touched
+    Bytes arrayBytes = 0;          //!< region size x iterations
+    double effectiveBandwidth = 0; //!< demandBytes / seconds (B/s)
+    PerfCounters counters;         //!< uncore delta over the run
+
+    /** DRAM read bandwidth etc., derived from counters (B/s). */
+    double dramReadBandwidth() const;
+    double dramWriteBandwidth() const;
+    double nvramReadBandwidth() const;
+    double nvramWriteBandwidth() const;
+
+    std::string summary() const;
+};
+
+/**
+ * Run one kernel over @p region. Threads are interleaved finely so
+ * their access streams contend in the device buffers the way
+ * simultaneous hardware threads would. The system is quiesced (LLC
+ * flush + NVRAM buffer drain) at the end; counters and time are deltas
+ * across the whole run.
+ */
+KernelResult runKernel(MemorySystem &sys, const Region &region,
+                       const KernelConfig &config);
+
+/**
+ * Prime helpers for the 2LM miss-type experiments (Section IV-A):
+ * a full read pass leaves the cached lines clean; a full write pass
+ * leaves them dirty.
+ */
+void primeClean(MemorySystem &sys, const Region &region,
+                unsigned threads = 8);
+void primeDirty(MemorySystem &sys, const Region &region,
+                unsigned threads = 8);
+
+} // namespace nvsim
+
+#endif // NVSIM_KERNELS_KERNELS_HH

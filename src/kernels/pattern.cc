@@ -1,0 +1,54 @@
+#include "kernels/pattern.hh"
+
+#include "core/logging.hh"
+
+namespace nvsim
+{
+
+const char *
+accessPatternName(AccessPattern pattern)
+{
+    return pattern == AccessPattern::Sequential ? "sequential" : "random";
+}
+
+OffsetSequence::OffsetSequence(AccessPattern pattern, std::uint64_t count,
+                               std::uint64_t seed)
+    : pattern_(pattern), count_(count), seed_(seed ? seed : 1),
+      lfsr_(count > 1 ? Lfsr::widthFor(count) : 2, seed_)
+{
+    if (count_ == 0)
+        fatal("OffsetSequence needs at least one granule");
+}
+
+std::optional<std::uint64_t>
+OffsetSequence::next()
+{
+    if (emitted_ >= count_)
+        return std::nullopt;
+
+    if (pattern_ == AccessPattern::Sequential) {
+        ++emitted_;
+        return cursor_++;
+    }
+
+    // LFSR states cover [1, 2^w); subtracting one maps them onto
+    // [0, 2^w - 1). Values beyond the slice are skipped, so each index
+    // in [0, count) appears exactly once per pass.
+    for (;;) {
+        std::uint64_t idx = lfsr_.next() - 1;
+        if (idx < count_) {
+            ++emitted_;
+            return idx;
+        }
+    }
+}
+
+void
+OffsetSequence::reset()
+{
+    emitted_ = 0;
+    cursor_ = 0;
+    lfsr_ = Lfsr(count_ > 1 ? Lfsr::widthFor(count_) : 2, seed_);
+}
+
+} // namespace nvsim

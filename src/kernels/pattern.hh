@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Access-pattern generators for the microbenchmark kernels,
+ * reproducing the paper's custom benchmark generator: memory is
+ * accessed "either sequentially or pseudo-randomly", and for the
+ * pseudo-random case "each address is touched exactly once (i.e. no
+ * repeats) using a maximum length Linear Feedback Shift Register to
+ * generate array indices", with access granularity from 64 B to 512 B.
+ */
+
+#ifndef NVSIM_KERNELS_PATTERN_HH
+#define NVSIM_KERNELS_PATTERN_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "core/lfsr.hh"
+#include "core/types.hh"
+
+namespace nvsim
+{
+
+/** How a thread walks its slice of the array. */
+enum class AccessPattern : std::uint8_t { Sequential, Random };
+
+const char *accessPatternName(AccessPattern pattern);
+
+/**
+ * Generates granule offsets within one thread's slice of an array.
+ * Every granule in [0, count) is produced exactly once per pass.
+ */
+class OffsetSequence
+{
+  public:
+    /**
+     * @param pattern  sequential or LFSR pseudo-random
+     * @param count    number of granules in the slice
+     * @param seed     LFSR seed (ignored for sequential)
+     */
+    OffsetSequence(AccessPattern pattern, std::uint64_t count,
+                   std::uint64_t seed = 1);
+
+    /** Next granule index, or nullopt when the pass is complete. */
+    std::optional<std::uint64_t> next();
+
+    /** Restart the pass. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+
+  private:
+    AccessPattern pattern_;
+    std::uint64_t count_;
+    std::uint64_t emitted_ = 0;
+    std::uint64_t cursor_ = 0;  //!< sequential position
+    std::uint64_t seed_;
+    Lfsr lfsr_;
+};
+
+} // namespace nvsim
+
+#endif // NVSIM_KERNELS_PATTERN_HH

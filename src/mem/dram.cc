@@ -1,0 +1,36 @@
+#include "mem/dram.hh"
+
+#include "mem/request.hh"
+
+namespace nvsim
+{
+
+DramEpoch
+DramDevice::drainEpoch()
+{
+    DramEpoch e = epoch_;
+    total_.casReads += e.casReads;
+    total_.casWrites += e.casWrites;
+    epoch_ = DramEpoch{};
+    return e;
+}
+
+const char *
+cacheOutcomeName(CacheOutcome outcome)
+{
+    switch (outcome) {
+      case CacheOutcome::Hit:
+        return "hit";
+      case CacheOutcome::MissClean:
+        return "miss_clean";
+      case CacheOutcome::MissDirty:
+        return "miss_dirty";
+      case CacheOutcome::DdoHit:
+        return "ddo_hit";
+      case CacheOutcome::Uncached:
+        return "uncached";
+    }
+    return "unknown";
+}
+
+} // namespace nvsim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * DRAM DIMM model.
+ *
+ * One DDR4 DIMM per memory channel (32 GiB on the paper's testbed). The
+ * model is analytic: it accumulates column-access-strobe (CAS) counts and
+ * bytes per epoch; the system-level bandwidth solver turns bytes into
+ * time. Tags for the 2LM cache ride in the ECC bits, so a tag probe and
+ * a data access are the *same* DRAM transaction — the DramCache logic
+ * accounts for that by issuing one read for "fetch tag and data".
+ */
+
+#ifndef NVSIM_MEM_DRAM_HH
+#define NVSIM_MEM_DRAM_HH
+
+#include "core/types.hh"
+
+namespace nvsim
+{
+
+/** Configuration of a DRAM DIMM. */
+struct DramParams
+{
+    Bytes capacity = 32 * kGiB;
+    double bandwidth = 19.2e9;     //!< sustainable device GB/s
+    double latency = 81e-9;        //!< load-to-use seconds
+};
+
+/** Per-epoch traffic accumulated by a DRAM device. */
+struct DramEpoch
+{
+    std::uint64_t casReads = 0;   //!< 64 B read transactions
+    std::uint64_t casWrites = 0;  //!< 64 B write transactions
+
+    Bytes bytes() const { return (casReads + casWrites) * kLineSize; }
+};
+
+/**
+ * A DRAM DIMM. Functionally it is only a traffic sink (the simulator
+ * stores no data); its role is precise CAS accounting plus latency and
+ * bandwidth parameters for the timing model.
+ */
+class DramDevice
+{
+  public:
+    explicit DramDevice(const DramParams &params) : params_(params) {}
+
+    /** Record @p lines 64 B read transactions. */
+    void read(std::uint32_t lines = 1) { epoch_.casReads += lines; }
+
+    /** Record @p lines 64 B write transactions. */
+    void write(std::uint32_t lines = 1) { epoch_.casWrites += lines; }
+
+    /** Traffic since the last drain; resets the epoch accumulator. */
+    DramEpoch drainEpoch();
+
+    /** Traffic in the current (undrained) epoch. */
+    const DramEpoch &epoch() const { return epoch_; }
+
+    /** Lifetime totals. */
+    const DramEpoch &total() const { return total_; }
+
+    const DramParams &params() const { return params_; }
+
+  private:
+    DramParams params_;
+    DramEpoch epoch_;
+    DramEpoch total_;
+};
+
+} // namespace nvsim
+
+#endif // NVSIM_MEM_DRAM_HH

@@ -1,0 +1,156 @@
+#include "mem/nvram.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace nvsim
+{
+
+NvramDevice::NvramDevice(const NvramParams &params)
+    : params_(params), readBuffer_(params.readBufferEntries),
+      wpq_(params.wpqEntries)
+{
+    if (params_.readBufferEntries == 0 || params_.wpqEntries == 0)
+        fatal("NVRAM buffers need at least one entry");
+    readBuffer_.order.reserve(params_.readBufferEntries + 1);
+    wpq_.order.reserve(params_.wpqEntries + 1);
+}
+
+bool
+NvramDevice::BlockLru::touch(Addr block, Addr &evicted, bool &did_evict)
+{
+    did_evict = false;
+    auto it = std::find(order.begin(), order.end(), block);
+    if (it != order.end()) {
+        // Move to most-recently-used position.
+        order.erase(it);
+        order.push_back(block);
+        return true;
+    }
+    order.push_back(block);
+    if (order.size() > capacity) {
+        evicted = order.front();
+        order.erase(order.begin());
+        did_evict = true;
+    }
+    return false;
+}
+
+void
+NvramDevice::noteWriter(std::uint16_t thread)
+{
+    if (std::find(writers_.begin(), writers_.end(), thread) ==
+        writers_.end()) {
+        writers_.push_back(thread);
+        epoch_.writerStreams = writers_.size();
+    }
+}
+
+void
+NvramDevice::mediaWrite(Addr block)
+{
+    (void)block;
+    ++epoch_.mediaWriteBlocks;
+}
+
+void
+NvramDevice::read(Addr addr, std::uint16_t thread)
+{
+    (void)thread;
+    ++epoch_.demandReads;
+    Addr block = mediaBlockBase(addr);
+    Addr evicted;
+    bool did_evict;
+    if (!readBuffer_.touch(block, evicted, did_evict)) {
+        // Buffer miss: the controller reads the whole 256 B media block.
+        ++epoch_.mediaReadBlocks;
+    }
+}
+
+void
+NvramDevice::write(Addr addr, std::uint16_t thread)
+{
+    noteWriter(thread);
+    ++epoch_.demandWrites;
+    Addr block = mediaBlockBase(addr);
+    unsigned slot =
+        static_cast<unsigned>((addr - block) / kLineSize) & 0x3;
+
+    Addr evicted;
+    bool did_evict;
+    bool hit = wpq_.touch(block, evicted, did_evict);
+    if (did_evict) {
+        // A partially (or fully) merged block is forced to media early.
+        wpqFill_.erase(evicted);
+        mediaWrite(evicted);
+    }
+    std::uint8_t &fill = wpqFill_[block];
+    if (!hit)
+        fill = 0;
+    fill = static_cast<std::uint8_t>(fill | (1u << slot));
+    if (fill == 0xF) {
+        // Fully merged 256 B block: retire it with one media write.
+        wpqFill_.erase(block);
+        auto it = std::find(wpq_.order.begin(), wpq_.order.end(), block);
+        if (it != wpq_.order.end())
+            wpq_.order.erase(it);
+        mediaWrite(block);
+    }
+}
+
+void
+NvramDevice::flushWpq()
+{
+    wpq_.drain([this](Addr block) {
+        wpqFill_.erase(block);
+        mediaWrite(block);
+    });
+    wpqFill_.clear();
+}
+
+NvramEpoch
+NvramDevice::drainEpoch()
+{
+    NvramEpoch e = epoch_;
+    total_.demandReads += e.demandReads;
+    total_.demandWrites += e.demandWrites;
+    total_.mediaReadBlocks += e.mediaReadBlocks;
+    total_.mediaWriteBlocks += e.mediaWriteBlocks;
+    total_.writerStreams = std::max(total_.writerStreams, e.writerStreams);
+    epoch_ = NvramEpoch{};
+    writers_.clear();
+    return e;
+}
+
+double
+NvramDevice::writeEfficiency(std::uint64_t streams) const
+{
+    double over = static_cast<double>(
+        streams > params_.writeContentionKnee
+            ? streams - params_.writeContentionKnee
+            : 0);
+    return 1.0 / (1.0 + params_.writeContentionAlpha * over);
+}
+
+double
+NvramDevice::writeAmplification() const
+{
+    Bytes demand = total_.demandWrites * kLineSize;
+    if (demand == 0)
+        return 0;
+    return static_cast<double>(total_.mediaWriteBytes()) /
+           static_cast<double>(demand);
+}
+
+double
+NvramDevice::readAmplification() const
+{
+    Bytes demand = total_.demandReads * kLineSize;
+    if (demand == 0)
+        return 0;
+    return static_cast<double>(total_.mediaReadBytes()) /
+           static_cast<double>(demand);
+}
+
+} // namespace nvsim

@@ -1,0 +1,188 @@
+#include "profile/characterize.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+#include "core/units.hh"
+#include "kernels/kernels.hh"
+#include "sys/memsys.hh"
+
+namespace nvsim::profile
+{
+
+namespace
+{
+
+KernelResult
+run1lm(const SystemConfig &base, Bytes array_bytes,
+       const KernelConfig &k, double *write_amp = nullptr)
+{
+    SystemConfig cfg = base;
+    cfg.mode = MemoryMode::OneLm;
+    MemorySystem sys(cfg);
+    Region arr = sys.allocateIn(MemPool::Nvram, array_bytes, "sweep");
+    KernelResult r = runKernel(sys, arr, k);
+    if (write_amp)
+        *write_amp = sys.nvramWriteAmplification();
+    return r;
+}
+
+KernelResult
+run2lmMissStream(const SystemConfig &base, KernelOp op, bool dirty)
+{
+    SystemConfig cfg = base;
+    cfg.mode = MemoryMode::TwoLm;
+    MemorySystem sys(cfg);
+    Region arr = sys.allocate(cfg.dramTotal() * 22 / 10, "sweep");
+    if (dirty)
+        primeDirty(sys, arr, 8);
+    else
+        primeClean(sys, arr, 8);
+    sys.resetCounters();
+    KernelConfig k;
+    k.op = op;
+    k.threads = 24;
+    k.nontemporal = true;
+    return runKernel(sys, arr, k);
+}
+
+} // namespace
+
+double
+SystemProfile::readEfficiency() const
+{
+    return peakReadBandwidth > 0
+               ? twoLmCleanReadMissBandwidth / peakReadBandwidth
+               : 0;
+}
+
+double
+SystemProfile::writeEfficiency() const
+{
+    return peakWriteBandwidth > 0
+               ? twoLmDirtyWriteMissBandwidth / peakWriteBandwidth
+               : 0;
+}
+
+SystemProfile
+characterize(SystemConfig config, Bytes array_bytes)
+{
+    SystemProfile p;
+
+    // 1LM sequential read scaling.
+    for (unsigned threads : kSweepThreads) {
+        KernelConfig k;
+        k.op = KernelOp::ReadOnly;
+        k.threads = threads;
+        double bw = run1lm(config, array_bytes, k).effectiveBandwidth;
+        p.seqRead.push_back({threads, bw});
+        if (bw > p.peakReadBandwidth) {
+            p.peakReadBandwidth = bw;
+        }
+    }
+    // Saturation knee: first thread count within 5% of peak.
+    for (const auto &pt : p.seqRead) {
+        if (pt.bandwidth >= 0.95 * p.peakReadBandwidth) {
+            p.readSaturationThreads = pt.threads;
+            break;
+        }
+    }
+
+    // 1LM nontemporal write scaling.
+    for (unsigned threads : kSweepThreads) {
+        KernelConfig k;
+        k.op = KernelOp::WriteOnly;
+        k.nontemporal = true;
+        k.threads = threads;
+        double bw = run1lm(config, array_bytes, k).effectiveBandwidth;
+        p.seqWriteNt.push_back({threads, bw});
+        if (bw > p.peakWriteBandwidth) {
+            p.peakWriteBandwidth = bw;
+            p.writePeakThreads = threads;
+        }
+    }
+
+    // Random 64 B reads: media amplification via counters.
+    for (unsigned threads : kSweepThreads) {
+        KernelConfig k;
+        k.op = KernelOp::ReadOnly;
+        k.pattern = AccessPattern::Random;
+        k.granularity = 64;
+        k.threads = threads;
+        double bw = run1lm(config, array_bytes, k).effectiveBandwidth;
+        p.randRead64.push_back({threads, bw});
+    }
+    if (!p.randRead64.empty() && p.peakReadBandwidth > 0) {
+        double best_rand = 0;
+        for (const auto &pt : p.randRead64)
+            best_rand = std::max(best_rand, pt.bandwidth);
+        p.randomRead64Amplification = p.peakReadBandwidth / best_rand;
+    }
+
+    {
+        KernelConfig k;
+        k.op = KernelOp::WriteOnly;
+        k.nontemporal = true;
+        k.pattern = AccessPattern::Random;
+        k.granularity = 64;
+        k.threads = 4;
+        double amp = 0;
+        run1lm(config, array_bytes, k, &amp);
+        p.randomWrite64Amplification = amp;
+    }
+
+    // 2LM miss streams.
+    {
+        KernelResult r =
+            run2lmMissStream(config, KernelOp::ReadOnly, false);
+        p.twoLmCleanReadMissBandwidth = r.effectiveBandwidth;
+        p.twoLmReadMissAmplification = r.counters.amplification();
+    }
+    {
+        KernelResult r =
+            run2lmMissStream(config, KernelOp::WriteOnly, true);
+        p.twoLmDirtyWriteMissBandwidth = r.effectiveBandwidth;
+        p.twoLmWriteMissAmplification = r.counters.amplification();
+    }
+    return p;
+}
+
+std::string
+report(const SystemProfile &p)
+{
+    std::string out;
+    out += "=== system memory profile ===\n";
+    out += "1LM sequential read:\n";
+    for (const auto &pt : p.seqRead) {
+        out += strprintf("  %2u threads: %s\n", pt.threads,
+                         formatBandwidth(pt.bandwidth).c_str());
+    }
+    out += strprintf("  peak %s, saturates at %u threads\n",
+                     formatBandwidth(p.peakReadBandwidth).c_str(),
+                     p.readSaturationThreads);
+    out += "1LM nontemporal write:\n";
+    for (const auto &pt : p.seqWriteNt) {
+        out += strprintf("  %2u threads: %s\n", pt.threads,
+                         formatBandwidth(pt.bandwidth).c_str());
+    }
+    out += strprintf("  peak %s at %u threads\n",
+                     formatBandwidth(p.peakWriteBandwidth).c_str(),
+                     p.writePeakThreads);
+    out += strprintf(
+        "media amplification: random 64 B reads %.2fx, random 64 B "
+        "writes %.2fx\n",
+        p.randomRead64Amplification, p.randomWrite64Amplification);
+    out += strprintf(
+        "2LM clean read-miss stream: %s (%.0f%% of 1LM), "
+        "amplification %.2f\n",
+        formatBandwidth(p.twoLmCleanReadMissBandwidth).c_str(),
+        100.0 * p.readEfficiency(), p.twoLmReadMissAmplification);
+    out += strprintf(
+        "2LM dirty write-miss stream: %s (%.0f%% of 1LM), "
+        "amplification %.2f\n",
+        formatBandwidth(p.twoLmDirtyWriteMissBandwidth).c_str(),
+        100.0 * p.writeEfficiency(), p.twoLmWriteMissAmplification);
+    return out;
+}
+
+} // namespace nvsim::profile

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * System characterization harness, in the spirit of the profiler +
+ * NVRAM-simulator methodology of Wang et al. (MICRO'20) that the
+ * paper's related work points to for future hardware/software
+ * co-design: sweep a configured machine with directed microbenchmarks
+ * and produce a compact profile of its memory behavior — peak
+ * bandwidths, thread-scaling knees, media amplification factors, and
+ * the 2LM miss penalties of Table I.
+ *
+ * Used three ways: as a library API for tools, as the calibration
+ * gate in the test suite (the profile must match the paper's headline
+ * numbers), and by the `characterize` example binary.
+ */
+
+#ifndef NVSIM_PROFILE_CHARACTERIZE_HH
+#define NVSIM_PROFILE_CHARACTERIZE_HH
+
+#include <string>
+#include <vector>
+
+#include "sys/config.hh"
+
+namespace nvsim::profile
+{
+
+/** One point of a thread-scaling sweep. */
+struct ScalingPoint
+{
+    unsigned threads = 0;
+    double bandwidth = 0;  //!< bytes/second
+};
+
+/** Compact profile of one configured machine. */
+struct SystemProfile
+{
+    /** 1LM NVRAM sweeps. */
+    std::vector<ScalingPoint> seqRead;
+    std::vector<ScalingPoint> seqWriteNt;
+    std::vector<ScalingPoint> randRead64;
+
+    double peakReadBandwidth = 0;       //!< best sequential read
+    double peakWriteBandwidth = 0;      //!< best sequential NT write
+    unsigned readSaturationThreads = 0; //!< knee of the read curve
+    unsigned writePeakThreads = 0;      //!< argmax of the write curve
+
+    /** Media amplification measured from device counters. */
+    double randomRead64Amplification = 0;
+    double randomWrite64Amplification = 0;
+
+    /** 2LM: miss-stream bandwidths and amplifications. */
+    double twoLmCleanReadMissBandwidth = 0;
+    double twoLmDirtyWriteMissBandwidth = 0;
+    double twoLmReadMissAmplification = 0;
+    double twoLmWriteMissAmplification = 0;
+
+    /** 2LM vs 1LM efficiency (the paper's 60% / 72% numbers). */
+    double readEfficiency() const;
+    double writeEfficiency() const;
+};
+
+/** Thread counts used by the sweeps. */
+inline const std::vector<unsigned> kSweepThreads{1, 2, 4, 8, 16, 24};
+
+/**
+ * Run the characterization sweeps against a machine built from
+ * @p config (its mode fields are overridden per experiment).
+ * @p array_bytes sets the sweep array size (scaled); larger arrays
+ * sharpen steady-state numbers at more runtime.
+ */
+SystemProfile characterize(SystemConfig config,
+                           Bytes array_bytes = 16 * kMiB);
+
+/** Human-readable multi-line report. */
+std::string report(const SystemProfile &profile);
+
+} // namespace nvsim::profile
+
+#endif // NVSIM_PROFILE_CHARACTERIZE_HH

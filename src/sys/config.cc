@@ -1,0 +1,61 @@
+#include "sys/config.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace nvsim
+{
+
+Bytes
+SystemConfig::scaledLlc() const
+{
+    // Keep at least a few sets so associativity stays meaningful.
+    return std::max<Bytes>(llcCapacity / scale,
+                           static_cast<Bytes>(llcWays) * 4 * kLineSize);
+}
+
+ChannelParams
+SystemConfig::channelParams() const
+{
+    ChannelParams p;
+    p.dram = dram;
+    p.dram.capacity = scaledDramPerDimm();
+    p.nvram = nvram;
+    p.nvram.capacity = scaledNvramPerDimm();
+    p.ddo = ddo;
+    p.cacheWays = cacheWays;
+    p.insertOnWriteMiss = insertOnWriteMiss;
+    p.busBandwidth = busBandwidth;
+    p.missHandlerEntries = missHandlerEntries;
+
+    // Size the recent-insert tracker relative to the LLC: a dirty line
+    // written back after a full LLC residency must still be remembered,
+    // so cover ~4x the LLC's lines, split across channels.
+    Bytes llc_lines = scaledLlc() / kLineSize;
+    std::uint64_t per_channel =
+        std::max<std::uint64_t>(4 * llc_lines / totalChannels(), 256);
+    p.ddo.trackerEntries = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(per_channel, 1u << 24));
+    return p;
+}
+
+void
+SystemConfig::validate() const
+{
+    if (sockets == 0 || channelsPerSocket == 0)
+        fatal("system needs at least one socket and channel");
+    if (scale == 0)
+        fatal("scale divisor must be nonzero");
+    if (scaledDramPerDimm() < 64 * kLineSize)
+        fatal("scaled DRAM DIMM too small (%llu B); lower the scale",
+              static_cast<unsigned long long>(scaledDramPerDimm()));
+    if (scaledNvramPerDimm() < scaledDramPerDimm())
+        fatal("NVRAM DIMM smaller than DRAM DIMM after scaling");
+    if (mlp == 0)
+        fatal("per-thread MLP must be at least 1");
+    if (epochBytes < kLineSize)
+        fatal("epochBytes must cover at least one line");
+}
+
+} // namespace nvsim

@@ -1,0 +1,93 @@
+#include "sys/llc.hh"
+
+#include "core/logging.hh"
+
+namespace nvsim
+{
+
+Llc::Llc(const LlcParams &params)
+    : ways_(params.ways ? params.ways : 1),
+      numSets_(params.capacity / kLineSize / ways_)
+{
+    if (numSets_ == 0)
+        numSets_ = 1;
+    ways_store_.assign(numSets_ * ways_, Way{});
+}
+
+LlcResult
+Llc::access(Addr addr, bool is_store)
+{
+    std::uint64_t set = setOf(addr);
+    std::uint64_t tag = tagOf(addr);
+    Way *base = &ways_store_[set * ways_];
+
+    LlcResult result;
+    Way *way = nullptr;
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Way &cand = base[w];
+        if (cand.valid && cand.tag == tag) {
+            way = &cand;
+            break;
+        }
+        // Track the replacement victim: any invalid way wins, else LRU.
+        if (!victim ||
+            (victim->valid && (!cand.valid || cand.lru < victim->lru))) {
+            victim = &cand;
+        }
+    }
+
+    if (way) {
+        result.hit = true;
+    } else {
+        result.missed = true;
+        if (victim->valid && victim->dirty) {
+            result.evictedDirty = true;
+            result.victim = addrOf(set, victim->tag);
+        }
+        victim->valid = true;
+        victim->dirty = false;
+        victim->tag = tag;
+        way = victim;
+    }
+    if (is_store)
+        way->dirty = true;
+    way->lru = ++lruClock_;
+    return result;
+}
+
+void
+Llc::invalidateLine(Addr addr)
+{
+    std::uint64_t set = setOf(addr);
+    std::uint64_t tag = tagOf(addr);
+    Way *base = &ways_store_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w] = Way{};
+            return;
+        }
+    }
+}
+
+bool
+Llc::resident(Addr addr) const
+{
+    std::uint64_t set = setOf(addr);
+    std::uint64_t tag = tagOf(addr);
+    const Way *base = &ways_store_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Llc::invalidateAll()
+{
+    for (auto &way : ways_store_)
+        way = Way{};
+}
+
+} // namespace nvsim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Last-level cache model.
+ *
+ * A set-associative writeback LLC with LRU replacement. Loads and
+ * standard stores (which perform a read-for-ownership) allocate lines;
+ * dirty evictions become LLC writes to the IMC. Nontemporal stores
+ * bypass the LLC entirely — the paper leans on them to expose raw IMC
+ * behavior — but must invalidate any cached copy to stay coherent.
+ */
+
+#ifndef NVSIM_SYS_LLC_HH
+#define NVSIM_SYS_LLC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace nvsim
+{
+
+/** LLC configuration. */
+struct LlcParams
+{
+    Bytes capacity = 33 * kMiB;
+    unsigned ways = 11;
+};
+
+/** What one LLC access produced. */
+struct LlcResult
+{
+    bool hit = false;
+    bool missed = false;          //!< an LLC read must go downstream
+    bool evictedDirty = false;    //!< a dirty victim must be written back
+    Addr victim = 0;              //!< line address of the dirty victim
+};
+
+/** Set-associative writeback LLC. */
+class Llc
+{
+  public:
+    explicit Llc(const LlcParams &params);
+
+    /**
+     * Load or standard store to the line at @p addr. Stores allocate
+     * via RFO, exactly like loads, and mark the line dirty.
+     */
+    LlcResult access(Addr addr, bool is_store);
+
+    /**
+     * Nontemporal store: no allocation; invalidates a cached copy
+     * (without writeback — the store supersedes the data).
+     */
+    void invalidateLine(Addr addr);
+
+    /** Is the line resident? */
+    bool resident(Addr addr) const;
+
+    /** Drop everything without writebacks. */
+    void invalidateAll();
+
+    /**
+     * Evict every dirty line, invoking @p writeback(line_addr) on each,
+     * then invalidate all. Used to quiesce between benchmark phases.
+     */
+    template <typename F>
+    void
+    flush(F &&writeback)
+    {
+        for (std::uint64_t set = 0; set < numSets_; ++set) {
+            for (unsigned w = 0; w < ways_; ++w) {
+                Way &way = ways_store_[set * ways_ + w];
+                if (way.valid && way.dirty)
+                    writeback(addrOf(set, way.tag));
+                way = Way{};
+            }
+        }
+    }
+
+    std::uint64_t numSets() const { return numSets_; }
+    Bytes capacity() const { return numSets_ * ways_ * kLineSize; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        std::uint32_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t setOf(Addr addr) const { return lineIndex(addr) % numSets_; }
+    std::uint64_t tagOf(Addr addr) const { return lineIndex(addr) / numSets_; }
+    Addr
+    addrOf(std::uint64_t set, std::uint64_t tag) const
+    {
+        return (tag * numSets_ + set) * kLineSize;
+    }
+
+    unsigned ways_;
+    std::uint64_t numSets_;
+    std::vector<Way> ways_store_;
+    std::uint32_t lruClock_ = 0;
+};
+
+} // namespace nvsim
+
+#endif // NVSIM_SYS_LLC_HH

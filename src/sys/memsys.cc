@@ -1,0 +1,385 @@
+#include "sys/memsys.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+
+namespace nvsim
+{
+
+MemorySystem::MemorySystem(const SystemConfig &config)
+    : config_(config),
+      llc_(LlcParams{config.scaledLlc(), config.llcWays})
+{
+    config_.validate();
+    ChannelParams cp = config_.channelParams();
+    channels_.reserve(config_.totalChannels());
+    for (unsigned i = 0; i < config_.totalChannels(); ++i)
+        channels_.emplace_back(cp, config_.mode);
+
+    if (config_.mode == MemoryMode::OneLm) {
+        dramPoolSize_ = config_.dramTotal();
+    } else {
+        dramPoolSize_ = 0;  // DRAM is invisible: it is the cache
+    }
+    nvramPoolSize_ = config_.nvramTotal();
+    dramBrk_ = 0;
+    nvramBrk_ = dramPoolSize_;
+
+    if (config_.scatterPages) {
+        pageSize_ = config_.scaledPageBytes();
+        Bytes total = dramPoolSize_ + nvramPoolSize_;
+        pageMap_.assign(total / pageSize_ + 1, ~0u);
+        auto fill = [&](PagePool &pool, Addr base, Bytes size) {
+            std::size_t n = size / pageSize_;
+            pool.frames.resize(n);
+            std::uint32_t first =
+                static_cast<std::uint32_t>(base / pageSize_);
+            for (std::size_t i = 0; i < n; ++i)
+                pool.frames[i] = first + static_cast<std::uint32_t>(i);
+        };
+        fill(dramFrames_, 0, dramPoolSize_);
+        fill(nvramFrames_, dramPoolSize_, nvramPoolSize_);
+        pageRng_ = config_.pageSeed ? config_.pageSeed : 1;
+    }
+}
+
+std::uint32_t
+MemorySystem::allocFrame(PagePool &pool)
+{
+    nvsim_assert(pool.next < pool.frames.size());
+    // Incremental Fisher-Yates: pick a random not-yet-used frame.
+    std::size_t remaining = pool.frames.size() - pool.next;
+    std::size_t j = pool.next + splitmix64(pageRng_) % remaining;
+    std::swap(pool.frames[pool.next], pool.frames[j]);
+    return pool.frames[pool.next++];
+}
+
+Addr
+MemorySystem::translate(Addr addr)
+{
+    if (!config_.scatterPages)
+        return addr;
+    std::size_t vpage = addr / pageSize_;
+    if (pageMap_[vpage] == ~0u) {
+        PagePool &pool = poolOf(addr) == MemPool::Dram ? dramFrames_
+                                                       : nvramFrames_;
+        pageMap_[vpage] = allocFrame(pool);
+    }
+    return static_cast<Addr>(pageMap_[vpage]) * pageSize_ +
+           addr % pageSize_;
+}
+
+Region
+MemorySystem::allocate(Bytes size, const std::string &name)
+{
+    if (config_.mode == MemoryMode::OneLm) {
+        size = (size + kLineSize - 1) & ~(kLineSize - 1);
+        if (poolFree(MemPool::Dram) >= size)
+            return allocateIn(MemPool::Dram, size, name);
+        // NUMA-preferred spill: fill the remaining DRAM and continue
+        // into NVRAM, as first-touch page allocation does for a large
+        // contiguous mapping. Only possible while the NVRAM pool is
+        // untouched (the spill must be address-contiguous).
+        if (poolFree(MemPool::Dram) > 0 && nvramBrk_ == dramPoolSize_ &&
+            size <= poolFree(MemPool::Dram) + poolFree(MemPool::Nvram)) {
+            Region r;
+            r.name = name;
+            r.size = size;
+            r.base = dramBrk_;
+            r.pool = MemPool::Dram;  // primary pool of the base address
+            nvramBrk_ = dramPoolSize_ + (size - (dramPoolSize_ - dramBrk_));
+            dramBrk_ = dramPoolSize_;
+            return r;
+        }
+    }
+    return allocateIn(MemPool::Nvram, size, name);
+}
+
+Region
+MemorySystem::allocateIn(MemPool pool, Bytes size, const std::string &name)
+{
+    // Round to whole lines so regions never share a cache line.
+    size = (size + kLineSize - 1) & ~(kLineSize - 1);
+    Region r;
+    r.name = name;
+    r.size = size;
+    r.pool = pool;
+    if (pool == MemPool::Dram) {
+        if (config_.mode != MemoryMode::OneLm)
+            fatal("DRAM pool allocations need 1LM (app direct) mode");
+        if (dramBrk_ + size > dramPoolSize_)
+            fatal("DRAM pool exhausted allocating %llu B for '%s'",
+                  static_cast<unsigned long long>(size), name.c_str());
+        r.base = dramBrk_;
+        dramBrk_ += size;
+    } else {
+        if (nvramBrk_ + size > dramPoolSize_ + nvramPoolSize_)
+            fatal("NVRAM pool exhausted allocating %llu B for '%s'",
+                  static_cast<unsigned long long>(size), name.c_str());
+        r.base = nvramBrk_;
+        nvramBrk_ += size;
+    }
+    return r;
+}
+
+Bytes
+MemorySystem::poolFree(MemPool pool) const
+{
+    if (pool == MemPool::Dram)
+        return dramPoolSize_ - dramBrk_;
+    return dramPoolSize_ + nvramPoolSize_ - nvramBrk_;
+}
+
+MemPool
+MemorySystem::poolOf(Addr addr) const
+{
+    return addr < dramPoolSize_ ? MemPool::Dram : MemPool::Nvram;
+}
+
+unsigned
+MemorySystem::channelOf(Addr addr) const
+{
+    return static_cast<unsigned>(
+        (addr / config_.interleaveGranularity) % channels_.size());
+}
+
+void
+MemorySystem::issueToImc(MemRequestKind kind, Addr line_addr,
+                         unsigned thread, bool charge_demand)
+{
+    // Virtual-to-physical first (the cache and DIMMs see physical
+    // addresses; translate() preserves the pool).
+    Addr phys = translate(line_addr);
+
+    // Then to the channel-local address: each channel sees every
+    // numChannels-th interleave chunk, compacted to a contiguous local
+    // space. The hardware indexes its DRAM cache (and DIMMs) with this
+    // local address, so a physically contiguous array uses every set.
+    Bytes gran = config_.interleaveGranularity;
+    Addr chunk = phys / (gran * channels_.size());
+    Addr local = chunk * gran + phys % gran;
+
+    MemRequest req{kind, local, static_cast<std::uint16_t>(thread)};
+    ChannelController &ch = channels_[channelOf(phys)];
+    AccessResult res = ch.handle(req, poolOf(phys));
+    if (charge_demand)
+        epochLatencyWork_ += res.latency;
+}
+
+void
+MemorySystem::touchLine(unsigned thread, CpuOp op, Addr line_addr)
+{
+    switch (op) {
+      case CpuOp::Load:
+      case CpuOp::Store: {
+        LlcResult lr = llc_.access(line_addr, op == CpuOp::Store);
+        epochLoadBytes_ += kLineSize;
+        if (lr.hit) {
+            epochLatencyWork_ += config_.llcHitLatency;
+        } else {
+            // Load miss or store RFO.
+            issueToImc(MemRequestKind::LlcRead, line_addr, thread);
+            if (lr.evictedDirty)
+                issueToImc(MemRequestKind::LlcWrite, lr.victim, thread);
+        }
+        break;
+      }
+      case CpuOp::NtStore: {
+        llc_.invalidateLine(line_addr);
+        epochNtStoreBytes_ += kLineSize;
+        issueToImc(MemRequestKind::LlcWrite, line_addr, thread);
+        break;
+      }
+    }
+    epochDemandBytes_ += kLineSize;
+    maybeFinishEpoch();
+}
+
+void
+MemorySystem::access(unsigned thread, CpuOp op, Addr addr, Bytes size)
+{
+    Addr first = lineBase(addr);
+    Addr last = lineBase(addr + (size ? size - 1 : 0));
+    for (Addr line = first; line <= last; line += kLineSize)
+        touchLine(thread, op, line);
+}
+
+void
+MemorySystem::dmaCopy(Addr dst, Addr src, Bytes bytes)
+{
+    Addr s = lineBase(src);
+    Addr d = lineBase(dst);
+    Addr end = lineBase(src + (bytes ? bytes - 1 : 0));
+    for (; s <= end; s += kLineSize, d += kLineSize) {
+        // The engine reads the source and writes the destination
+        // directly at the controllers, keeping the LLC coherent by
+        // invalidating its copy of the destination (like an NT store).
+        // DMA traffic is not CPU demand: no latency work is charged;
+        // engine occupancy is accounted instead.
+        issueToImc(MemRequestKind::LlcRead, s, 0, /*charge_demand=*/false);
+        llc_.invalidateLine(d);
+        issueToImc(MemRequestKind::LlcWrite, d, 0,
+                   /*charge_demand=*/false);
+        epochDemandBytes_ += kLineSize;
+        epochDmaBytes_ += 2 * kLineSize;
+        maybeFinishEpoch();
+    }
+}
+
+void
+MemorySystem::setActiveThreads(unsigned n)
+{
+    if (n == 0)
+        fatal("active thread count must be positive");
+    if (n != activeThreads_) {
+        // Thread count affects the demand model; close the epoch so the
+        // old count applies to the traffic it generated.
+        advanceEpoch();
+        activeThreads_ = n;
+    }
+}
+
+void
+MemorySystem::addComputeTime(double seconds)
+{
+    epochComputeFloor_ += seconds;
+}
+
+void
+MemorySystem::maybeFinishEpoch()
+{
+    if (epochDemandBytes_ >= config_.epochBytes)
+        finishEpoch();
+}
+
+void
+MemorySystem::advanceEpoch()
+{
+    finishEpoch();
+}
+
+void
+MemorySystem::finishEpoch()
+{
+    // Resource-side: each channel moves its epoch traffic in parallel
+    // with the others.
+    double t_resource = 0;
+    for (auto &ch : channels_) {
+        ChannelEpoch e = ch.drainEpoch();
+        t_resource = std::max(t_resource, ch.epochTime(e));
+    }
+
+    // Demand-side: latency-bound issue with `mlp` outstanding lines per
+    // thread, plus per-thread issue bandwidth caps.
+    double threads = static_cast<double>(activeThreads_);
+    double t_latency =
+        epochLatencyWork_ / (threads * static_cast<double>(config_.mlp));
+    double t_load_issue = static_cast<double>(epochLoadBytes_) /
+                          (threads * config_.threadIssueBandwidth);
+    double t_nt_issue = static_cast<double>(epochNtStoreBytes_) /
+                        (threads * config_.threadNtStoreBandwidth);
+
+    // DMA engine occupancy: copies overlap with everything else but
+    // are bounded by the engines' aggregate bandwidth.
+    double t_dma =
+        config_.dmaEngines > 0
+            ? static_cast<double>(epochDmaBytes_) /
+                  (static_cast<double>(config_.dmaEngines) *
+                   config_.dmaEngineBandwidth)
+            : 0.0;
+
+    double dt = std::max({t_resource, t_latency, t_load_issue, t_nt_issue,
+                          t_dma, epochComputeFloor_});
+
+    bool had_activity = epochDemandBytes_ > 0 || epochComputeFloor_ > 0;
+    now_ += dt;
+
+    if (recordTrace_ && had_activity && dt > 0) {
+        PerfCounters total = counters();
+        PerfCounters d = total.delta(lastSample_);
+        lastSample_ = total;
+        double line_bytes = static_cast<double>(kLineSize);
+        auto bw = [&](std::uint64_t lines) {
+            return static_cast<double>(lines) * line_bytes / dt / kGB;
+        };
+        trace_.record("dram_read_bw", now_, bw(d.dramRead));
+        trace_.record("dram_write_bw", now_, bw(d.dramWrite));
+        trace_.record("nvram_read_bw", now_, bw(d.nvramRead));
+        trace_.record("nvram_write_bw", now_, bw(d.nvramWrite));
+        double demand = static_cast<double>(d.demand());
+        if (demand > 0) {
+            trace_.record("tag_hit_frac", now_,
+                          static_cast<double>(d.tagHit) / demand);
+            trace_.record("tag_miss_clean_frac", now_,
+                          static_cast<double>(d.tagMissClean) / demand);
+            trace_.record("tag_miss_dirty_frac", now_,
+                          static_cast<double>(d.tagMissDirty) / demand);
+            trace_.record("ddo_hit_frac", now_,
+                          static_cast<double>(d.ddoHit) / demand);
+        }
+        trace_.record("demand_bw", now_,
+                      static_cast<double>(epochDemandBytes_) / dt / kGB);
+    }
+
+    epochDemandBytes_ = 0;
+    epochLatencyWork_ = 0;
+    epochLoadBytes_ = 0;
+    epochNtStoreBytes_ = 0;
+    epochDmaBytes_ = 0;
+    epochComputeFloor_ = 0;
+}
+
+void
+MemorySystem::quiesce()
+{
+    llc_.flush([this](Addr line) {
+        issueToImc(MemRequestKind::LlcWrite, line, 0);
+    });
+    for (auto &ch : channels_)
+        ch.drainBuffers();
+    finishEpoch();
+}
+
+void
+MemorySystem::resetCounters()
+{
+    finishEpoch();
+    for (auto &ch : channels_)
+        ch.counters() = PerfCounters{};
+    lastSample_ = PerfCounters{};
+    trace_ = TimeSeries{};
+    now_ = 0;
+}
+
+PerfCounters
+MemorySystem::counters() const
+{
+    PerfCounters total;
+    for (const auto &ch : channels_)
+        total += ch.counters();
+    return total;
+}
+
+double
+MemorySystem::nvramWriteAmplification() const
+{
+    Bytes demand = 0, media = 0;
+    for (const auto &ch : channels_) {
+        const NvramEpoch &t = ch.nvram().total();
+        demand += t.demandWrites * kLineSize;
+        media += t.mediaWriteBytes();
+    }
+    // Include the still-buffered current epoch as well.
+    for (const auto &ch : channels_) {
+        const NvramEpoch &e = ch.nvram().epoch();
+        demand += e.demandWrites * kLineSize;
+        media += e.mediaWriteBytes();
+    }
+    if (demand == 0)
+        return 0;
+    return static_cast<double>(media) / static_cast<double>(demand);
+}
+
+} // namespace nvsim

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * MemorySystem: the library's central facade.
+ *
+ * Workloads (microbenchmark kernels, the CNN executor, graph
+ * algorithms) drive the simulated machine through this class:
+ *
+ *   MemorySystem sys(config);
+ *   Addr a = sys.allocate(bytes, "array");
+ *   sys.setActiveThreads(24);
+ *   sys.access(tid, CpuOp::Load, a + off, 64);
+ *   ...
+ *   sys.quiesce();
+ *   PerfCounters c = sys.counters();
+ *
+ * Timing is epoch based: demand traffic accumulates until `epochBytes`
+ * have been requested (or advanceEpoch() is called); the epoch's
+ * duration is the max of (a) each channel's resource time — shared bus,
+ * DRAM device, NVRAM media with write-stream contention, 2LM miss
+ * handler occupancy — and (b) the demand-side limit implied by thread
+ * count, per-thread MLP and request latencies. Counter rates sampled at
+ * epoch boundaries form the bandwidth/tag traces of Figures 5, 9, 10.
+ */
+
+#ifndef NVSIM_SYS_MEMSYS_HH
+#define NVSIM_SYS_MEMSYS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/timeseries.hh"
+#include "imc/channel.hh"
+#include "sys/config.hh"
+#include "sys/llc.hh"
+
+namespace nvsim
+{
+
+/** A named allocation in the simulated physical address space. */
+struct Region
+{
+    std::string name;
+    Addr base = 0;
+    Bytes size = 0;
+    MemPool pool = MemPool::Nvram;  //!< backing pool (1LM only)
+
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= base && addr < base + size;
+    }
+};
+
+/** The simulated machine. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const SystemConfig &config);
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
+
+    /** @name Allocation
+     * In 2LM mode all memory is NVRAM-backed (DRAM is the transparent
+     * cache) and allocate() carves from one flat space. In 1LM mode
+     * allocate() is NUMA-preferred: DRAM until exhausted, then NVRAM —
+     * the Galois baseline policy. allocateIn() places explicitly (used
+     * by AutoTM and Sage style software management).
+     */
+    ///@{
+    Region allocate(Bytes size, const std::string &name);
+    Region allocateIn(MemPool pool, Bytes size, const std::string &name);
+    /** Remaining capacity of a pool (1LM). */
+    Bytes poolFree(MemPool pool) const;
+    ///@}
+
+    /** @name Access
+     * All sizes are in bytes; accesses are split into 64 B lines.
+     */
+    ///@{
+    void access(unsigned thread, CpuOp op, Addr addr, Bytes size);
+    /** Fast path: one already line-aligned line. */
+    void touchLine(unsigned thread, CpuOp op, Addr line_addr);
+
+    /**
+     * Asynchronous bulk copy through the DMA engines (Section VII-B's
+     * future direction). Generates the same device traffic as a CPU
+     * copy but occupies no CPU issue slots or MLP: the copy overlaps
+     * with whatever the threads are doing, bounded by the engines'
+     * aggregate bandwidth and the device resources. Destination lines
+     * are invalidated in the LLC for coherence.
+     */
+    void dmaCopy(Addr dst, Addr src, Bytes bytes);
+    ///@}
+
+    /** @name Execution control */
+    ///@{
+    void setActiveThreads(unsigned n);
+    unsigned activeThreads() const { return activeThreads_; }
+
+    /**
+     * Charge pure compute time to the current epoch: the epoch will
+     * last at least this long regardless of memory traffic. Used by the
+     * DNN executor for compute-bound kernels.
+     */
+    void addComputeTime(double seconds);
+
+    /** Force an epoch boundary now. */
+    void advanceEpoch();
+
+    /** Flush LLC + NVRAM write buffers and close the epoch. */
+    void quiesce();
+
+    /** Simulated seconds since construction (or last resetTime). */
+    double now() const { return now_; }
+
+    /** Zero counters and traces, keep cache/LLC state (post-warmup). */
+    void resetCounters();
+    ///@}
+
+    /** @name Observation */
+    ///@{
+    /** Aggregated uncore counters over all channels. */
+    PerfCounters counters() const;
+
+    /** Per-epoch bandwidth / tag-event trace. */
+    const TimeSeries &trace() const { return trace_; }
+    TimeSeries &trace() { return trace_; }
+
+    /** Enable/disable per-epoch trace recording (on by default). */
+    void recordTrace(bool on) { recordTrace_ = on; }
+
+    const SystemConfig &config() const { return config_; }
+    const Llc &llc() const { return llc_; }
+    Llc &llc() { return llc_; }
+    ChannelController &channel(unsigned i) { return channels_[i]; }
+    const ChannelController &channel(unsigned i) const
+    {
+        return channels_[i];
+    }
+    unsigned numChannels() const
+    {
+        return static_cast<unsigned>(channels_.size());
+    }
+
+    /** Which pool backs @p addr (meaningful in 1LM). */
+    MemPool poolOf(Addr addr) const;
+
+    /** Channel index serving @p addr. */
+    unsigned channelOf(Addr addr) const;
+
+    /**
+     * Virtual-to-physical translation. Identity unless scatterPages is
+     * configured, in which case frames are assigned first-touch in
+     * pseudo-random order within the address's pool.
+     */
+    Addr translate(Addr addr);
+
+    /** Total media write amplification across NVRAM DIMMs. */
+    double nvramWriteAmplification() const;
+    ///@}
+
+  private:
+    /**
+     * Route one line-sized LLC request to its channel.
+     * @param charge_demand account the request's latency against the
+     *        CPU demand model (false for DMA-engine traffic)
+     */
+    void issueToImc(MemRequestKind kind, Addr line_addr, unsigned thread,
+                    bool charge_demand = true);
+
+    void finishEpoch();
+    void maybeFinishEpoch();
+
+    SystemConfig config_;
+    std::vector<ChannelController> channels_;
+    Llc llc_;
+
+    // Address space layout: [0, dramPoolSize_) is the DRAM pool (1LM
+    // only), [dramPoolSize_, dramPoolSize_ + nvramPoolSize_) is NVRAM.
+    // In 2LM the DRAM pool has size zero.
+    Bytes dramPoolSize_ = 0;
+    Bytes nvramPoolSize_ = 0;
+    Addr dramBrk_ = 0;   //!< next free DRAM pool byte
+    Addr nvramBrk_ = 0;  //!< next free NVRAM pool byte (absolute)
+
+    unsigned activeThreads_ = 1;
+    double now_ = 0;
+
+    // Epoch accumulators.
+    Bytes epochDemandBytes_ = 0;
+    double epochLatencyWork_ = 0;   //!< sum of per-line latencies
+    Bytes epochLoadBytes_ = 0;      //!< demand load/RFO bytes
+    Bytes epochNtStoreBytes_ = 0;   //!< demand NT store bytes
+    Bytes epochDmaBytes_ = 0;       //!< bytes copied by the engines
+    double epochComputeFloor_ = 0;  //!< min duration from compute
+    PerfCounters lastSample_;       //!< counters at last epoch boundary
+
+    bool recordTrace_ = true;
+    TimeSeries trace_;
+
+    // First-touch scattered paging state (only used with
+    // config_.scatterPages). Each pool owns a frame pool permuted
+    // incrementally; pageMap_ holds virtual page -> physical page.
+    struct PagePool
+    {
+        std::vector<std::uint32_t> frames;  //!< shuffled lazily
+        std::size_t next = 0;               //!< frames consumed
+    };
+    Bytes pageSize_ = 0;
+    std::vector<std::uint32_t> pageMap_;  //!< ~0u = unmapped
+    PagePool dramFrames_;
+    PagePool nvramFrames_;
+    std::uint64_t pageRng_ = 0;
+
+    std::uint32_t allocFrame(PagePool &pool);
+};
+
+} // namespace nvsim
+
+#endif // NVSIM_SYS_MEMSYS_HH

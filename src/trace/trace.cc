@@ -1,0 +1,160 @@
+#include "trace/trace.hh"
+
+#include <cstring>
+
+#include "core/logging.hh"
+
+namespace nvsim::trace
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'n', 'v', 's', 'i', 'm', 't', 'r', '1'};
+
+/** On-disk record layout (packed manually for portability). */
+constexpr std::size_t kRecordBytes = 1 + 1 + 2 + 8 + 4 + 8;
+
+void
+encode(const TraceRecord &rec, char *buf)
+{
+    buf[0] = static_cast<char>(rec.kind);
+    buf[1] = static_cast<char>(rec.op);
+    std::memcpy(buf + 2, &rec.thread, 2);
+    std::memcpy(buf + 4, &rec.addr, 8);
+    std::memcpy(buf + 12, &rec.size, 4);
+    std::memcpy(buf + 16, &rec.compute, 8);
+}
+
+void
+decode(const char *buf, TraceRecord &rec)
+{
+    rec.kind = static_cast<TraceRecord::Kind>(buf[0]);
+    rec.op = static_cast<CpuOp>(buf[1]);
+    std::memcpy(&rec.thread, buf + 2, 2);
+    std::memcpy(&rec.addr, buf + 4, 8);
+    std::memcpy(&rec.size, buf + 12, 4);
+    std::memcpy(&rec.compute, buf + 16, 8);
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : out_(path, std::ios::binary), path_(path)
+{
+    if (!out_)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    out_.write(kMagic, sizeof(kMagic));
+    std::uint64_t placeholder = 0;
+    out_.write(reinterpret_cast<const char *>(&placeholder), 8);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!closed_)
+        close();
+}
+
+void
+TraceWriter::put(const TraceRecord &rec)
+{
+    nvsim_assert(!closed_);
+    char buf[kRecordBytes];
+    encode(rec, buf);
+    out_.write(buf, sizeof(buf));
+    ++count_;
+}
+
+void
+TraceWriter::access(unsigned thread, CpuOp op, Addr addr, Bytes size)
+{
+    TraceRecord rec;
+    rec.kind = TraceRecord::Kind::Access;
+    rec.op = op;
+    rec.thread = static_cast<std::uint16_t>(thread);
+    rec.addr = addr;
+    rec.size = static_cast<std::uint32_t>(size);
+    put(rec);
+}
+
+void
+TraceWriter::epochMarker()
+{
+    TraceRecord rec;
+    rec.kind = TraceRecord::Kind::EpochMarker;
+    put(rec);
+}
+
+void
+TraceWriter::computeTime(double seconds)
+{
+    TraceRecord rec;
+    rec.kind = TraceRecord::Kind::ComputeTime;
+    rec.compute = seconds;
+    put(rec);
+}
+
+void
+TraceWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    out_.seekp(sizeof(kMagic));
+    out_.write(reinterpret_cast<const char *>(&count_), 8);
+    out_.close();
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : in_(path, std::ios::binary)
+{
+    if (!in_)
+        fatal("cannot open trace file '%s'", path.c_str());
+    char magic[sizeof(kMagic)];
+    in_.read(magic, sizeof(magic));
+    if (in_.gcount() != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        fatal("'%s' is not an nvsim trace", path.c_str());
+    in_.read(reinterpret_cast<char *>(&count_), 8);
+}
+
+bool
+TraceReader::next(TraceRecord &rec)
+{
+    if (consumed_ >= count_)
+        return false;
+    char buf[kRecordBytes];
+    in_.read(buf, sizeof(buf));
+    if (in_.gcount() != static_cast<std::streamsize>(sizeof(buf)))
+        fatal("trace truncated after %llu of %llu records",
+              static_cast<unsigned long long>(consumed_),
+              static_cast<unsigned long long>(count_));
+    decode(buf, rec);
+    ++consumed_;
+    return true;
+}
+
+std::uint64_t
+replay(MemorySystem &sys, const std::string &path)
+{
+    TraceReader reader(path);
+    TraceRecord rec;
+    std::uint64_t n = 0;
+    while (reader.next(rec)) {
+        switch (rec.kind) {
+          case TraceRecord::Kind::Access:
+            sys.access(rec.thread, rec.op, rec.addr, rec.size);
+            break;
+          case TraceRecord::Kind::EpochMarker:
+            sys.advanceEpoch();
+            break;
+          case TraceRecord::Kind::ComputeTime:
+            sys.addComputeTime(rec.compute);
+            break;
+        }
+        ++n;
+    }
+    return n;
+}
+
+} // namespace nvsim::trace

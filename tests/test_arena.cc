@@ -1,0 +1,130 @@
+/** @file Tests for the first-fit arena allocator. */
+
+#include <gtest/gtest.h>
+
+#include "dnn/arena.hh"
+
+using namespace nvsim;
+using namespace nvsim::dnn;
+
+TEST(ArenaAllocator, GrowsLinearlyWithoutFrees)
+{
+    ArenaAllocator a;
+    EXPECT_EQ(*a.alloc(100), 0u);
+    EXPECT_EQ(*a.alloc(50), 100u);
+    EXPECT_EQ(a.highWater(), 150u);
+    EXPECT_EQ(a.inUse(), 150u);
+}
+
+TEST(ArenaAllocator, ReusesFreedSpaceFirstFit)
+{
+    ArenaAllocator a;
+    Addr x = *a.alloc(100);
+    Addr y = *a.alloc(100);
+    (void)y;
+    Addr z = *a.alloc(100);
+    (void)z;
+    a.free(x, 100);
+    // A smaller block lands in the first gap.
+    EXPECT_EQ(*a.alloc(60), 0u);
+    // The rest of the gap remains usable.
+    EXPECT_EQ(*a.alloc(40), 60u);
+    EXPECT_EQ(a.highWater(), 300u);
+}
+
+TEST(ArenaAllocator, CoalescesNeighbors)
+{
+    ArenaAllocator a;
+    Addr x = *a.alloc(100);
+    Addr y = *a.alloc(100);
+    Addr z = *a.alloc(100);
+    Addr w = *a.alloc(100);
+    (void)w;
+    a.free(y, 100);
+    a.free(x, 100);  // coalesce with y's gap (successor)
+    a.free(z, 100);  // coalesce both sides
+    // One 300-byte gap exists now.
+    EXPECT_EQ(*a.alloc(300), 0u);
+}
+
+TEST(ArenaAllocator, BrkShrinksWhenTailFreed)
+{
+    ArenaAllocator a;
+    Addr x = *a.alloc(100);
+    (void)x;
+    Addr y = *a.alloc(100);
+    a.free(y, 100);
+    // Fresh allocation reuses the shrunk tail, not offset 200.
+    EXPECT_EQ(*a.alloc(150), 100u);
+    EXPECT_EQ(a.highWater(), 250u);
+}
+
+TEST(ArenaAllocator, RespectsLimit)
+{
+    ArenaAllocator a(256);
+    EXPECT_TRUE(a.alloc(200).has_value());
+    EXPECT_FALSE(a.alloc(100).has_value());
+    EXPECT_TRUE(a.alloc(56).has_value());
+    EXPECT_FALSE(a.alloc(1).has_value());
+}
+
+TEST(ArenaAllocator, LimitWithReuse)
+{
+    ArenaAllocator a(256);
+    Addr x = *a.alloc(128);
+    Addr y = *a.alloc(128);
+    (void)y;
+    EXPECT_FALSE(a.alloc(64).has_value());
+    a.free(x, 128);
+    EXPECT_EQ(a.inUse(), 128u);
+    EXPECT_TRUE(a.alloc(64).has_value());
+    EXPECT_TRUE(a.alloc(64).has_value());
+    EXPECT_FALSE(a.alloc(64).has_value());
+}
+
+TEST(ArenaAllocator, ZeroSizedAllocationsAreDistinct)
+{
+    ArenaAllocator a;
+    Addr x = *a.alloc(0);
+    Addr y = *a.alloc(0);
+    EXPECT_NE(x, y);
+    a.free(x, 0);
+    a.free(y, 0);
+    EXPECT_EQ(a.inUse(), 0u);
+}
+
+/** Property: a random alloc/free workload never double-assigns space. */
+TEST(ArenaAllocator, RandomWorkloadNoOverlap)
+{
+    ArenaAllocator a;
+    struct Block
+    {
+        Addr off;
+        Bytes size;
+    };
+    std::vector<Block> live;
+    std::uint64_t rng = 12345;
+    auto rnd = [&](std::uint64_t m) {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        return (rng >> 33) % m;
+    };
+    for (int i = 0; i < 2000; ++i) {
+        if (live.empty() || rnd(2)) {
+            Bytes size = 1 + rnd(500);
+            auto off = a.alloc(size);
+            ASSERT_TRUE(off.has_value());
+            // Check no overlap with any live block.
+            for (const Block &b : live) {
+                bool disjoint =
+                    *off + size <= b.off || b.off + b.size <= *off;
+                ASSERT_TRUE(disjoint)
+                    << "overlap at iteration " << i;
+            }
+            live.push_back({*off, size});
+        } else {
+            std::size_t k = rnd(live.size());
+            a.free(live[k].off, live[k].size);
+            live.erase(live.begin() + static_cast<long>(k));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Calibration gate: the characterization profile of the default
+ * (paper-testbed) configuration must land on the paper's headline
+ * numbers. If a model change drifts the calibration, this is the test
+ * that catches it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "profile/characterize.hh"
+
+using namespace nvsim;
+using namespace nvsim::profile;
+
+namespace
+{
+
+const SystemProfile &
+defaultProfile()
+{
+    static SystemProfile p = [] {
+        SystemConfig cfg;
+        cfg.scale = 8192;
+        return characterize(cfg, 8 * kMiB);
+    }();
+    return p;
+}
+
+} // namespace
+
+TEST(Calibration, PeakReadNear30GBs)
+{
+    // Paper Section III-C: "just over 30 GB/s read".
+    EXPECT_GT(defaultProfile().peakReadBandwidth, 27e9);
+    EXPECT_LT(defaultProfile().peakReadBandwidth, 35e9);
+}
+
+TEST(Calibration, ReadSaturatesAroundEightThreads)
+{
+    EXPECT_GE(defaultProfile().readSaturationThreads, 4u);
+    EXPECT_LE(defaultProfile().readSaturationThreads, 16u);
+}
+
+TEST(Calibration, PeakWriteNear11GBs)
+{
+    // Paper: "11 GB/s write", peaking at four threads.
+    EXPECT_GT(defaultProfile().peakWriteBandwidth, 9e9);
+    EXPECT_LT(defaultProfile().peakWriteBandwidth, 13e9);
+    EXPECT_GE(defaultProfile().writePeakThreads, 2u);
+    EXPECT_LE(defaultProfile().writePeakThreads, 8u);
+}
+
+TEST(Calibration, MediaAmplificationNearFour)
+{
+    EXPECT_GT(defaultProfile().randomRead64Amplification, 3.0);
+    EXPECT_LT(defaultProfile().randomRead64Amplification, 5.0);
+    EXPECT_GT(defaultProfile().randomWrite64Amplification, 3.0);
+    EXPECT_LE(defaultProfile().randomWrite64Amplification, 4.01);
+}
+
+TEST(Calibration, TwoLmEfficienciesMatchPaper)
+{
+    // Paper Section IV-D: 2LM reaches 60% (hmm, 76% with their exact
+    // numbers: 23/30) of read and 72% (8/11) of write bandwidth; allow
+    // the surrounding band.
+    EXPECT_GT(defaultProfile().readEfficiency(), 0.55);
+    EXPECT_LT(defaultProfile().readEfficiency(), 0.95);
+    EXPECT_GT(defaultProfile().writeEfficiency(), 0.55);
+    EXPECT_LT(defaultProfile().writeEfficiency(), 0.85);
+}
+
+TEST(Calibration, TwoLmAmplificationsNearTableI)
+{
+    EXPECT_NEAR(defaultProfile().twoLmReadMissAmplification, 3.0, 0.5);
+    EXPECT_NEAR(defaultProfile().twoLmWriteMissAmplification, 5.0, 0.6);
+}
+
+TEST(Characterize, ReportMentionsHeadlines)
+{
+    std::string r = report(defaultProfile());
+    EXPECT_NE(r.find("peak"), std::string::npos);
+    EXPECT_NE(r.find("2LM clean read-miss"), std::string::npos);
+    EXPECT_NE(r.find("amplification"), std::string::npos);
+}
+
+TEST(Characterize, SlowerNvramLowersProfile)
+{
+    SystemConfig cfg;
+    cfg.scale = 8192;
+    cfg.nvram.readBandwidth = 2.65e9;  // half-speed media
+    SystemProfile slow = characterize(cfg, 4 * kMiB);
+    EXPECT_LT(slow.peakReadBandwidth,
+              defaultProfile().peakReadBandwidth * 0.7);
+}

@@ -1,0 +1,62 @@
+/** @file Tests for the CSR graph container. */
+
+#include <gtest/gtest.h>
+
+#include "graphs/csr.hh"
+
+using namespace nvsim;
+using namespace nvsim::graphs;
+
+TEST(CsrGraph, FromEdgesBasic)
+{
+    // 0->1, 0->2, 1->2, 3 isolated.
+    CsrGraph g = CsrGraph::fromEdges(4, {{0, 1}, {0, 2}, {1, 2}});
+    EXPECT_EQ(g.numNodes(), 4u);
+    EXPECT_EQ(g.numEdges(), 3u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_EQ(g.degree(3), 0u);
+    auto n0 = g.neighbors(0);
+    ASSERT_EQ(n0.size(), 2u);
+    EXPECT_EQ(g.edgeDest(g.edgeBegin(1)), 2u);
+}
+
+TEST(CsrGraph, Symmetrize)
+{
+    CsrGraph g = CsrGraph::fromEdges(3, {{0, 1}, {1, 2}}, true);
+    EXPECT_EQ(g.numEdges(), 4u);
+    EXPECT_EQ(g.degree(1), 2u);  // 1->0, 1->2
+    EXPECT_EQ(g.degree(2), 1u);
+}
+
+TEST(CsrGraph, KeepsDuplicatesAndSelfLoops)
+{
+    CsrGraph g = CsrGraph::fromEdges(2, {{0, 1}, {0, 1}, {1, 1}});
+    EXPECT_EQ(g.numEdges(), 3u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(CsrGraph, MaxDegreeNode)
+{
+    CsrGraph g =
+        CsrGraph::fromEdges(4, {{2, 0}, {2, 1}, {2, 3}, {0, 1}});
+    EXPECT_EQ(g.maxDegreeNode(), 2u);
+}
+
+TEST(CsrGraph, BinarySize)
+{
+    CsrGraph g = CsrGraph::fromEdges(4, {{0, 1}, {1, 2}});
+    // 5 offsets x 8 B + 2 edges x 4 B.
+    EXPECT_EQ(g.bytes(), 5 * 8 + 2 * 4u);
+    EXPECT_EQ(g.offsetsBytes(), 40u);
+    EXPECT_EQ(g.edgesBytes(), 8u);
+}
+
+TEST(CsrGraph, EmptyGraph)
+{
+    CsrGraph g = CsrGraph::fromEdges(3, {});
+    EXPECT_EQ(g.numEdges(), 0u);
+    EXPECT_EQ(g.degree(0), 0u);
+    EXPECT_EQ(g.maxDegreeNode(), 0u);
+}

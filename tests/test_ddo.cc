@@ -1,0 +1,89 @@
+/** @file Tests for the Dirty Data Optimization policy models. */
+
+#include <gtest/gtest.h>
+
+#include "imc/ddo.hh"
+
+using namespace nvsim;
+
+TEST(DdoNone, NeverElides)
+{
+    NoneDdo ddo;
+    ddo.noteInsert(0);
+    EXPECT_FALSE(ddo.check(0, true));
+}
+
+TEST(DdoOracle, ElidesExactlyWhenResident)
+{
+    OracleDdo ddo;
+    EXPECT_TRUE(ddo.check(128, true));
+    EXPECT_FALSE(ddo.check(128, false));
+}
+
+TEST(DdoRecentTracker, RemembersInsertions)
+{
+    RecentTrackerDdo ddo(16);
+    EXPECT_FALSE(ddo.check(0, true));
+    ddo.noteInsert(0);
+    EXPECT_TRUE(ddo.check(0, true));
+}
+
+TEST(DdoRecentTracker, EvictionInvalidates)
+{
+    RecentTrackerDdo ddo(16);
+    ddo.noteInsert(64);
+    ddo.noteEvict(64);
+    EXPECT_FALSE(ddo.check(64, false));
+}
+
+TEST(DdoRecentTracker, EvictOfDifferentLineLeavesEntry)
+{
+    RecentTrackerDdo ddo(1u << 12);
+    ddo.noteInsert(64);
+    ddo.noteEvict(128);  // different line: must not clobber 64
+    EXPECT_TRUE(ddo.check(64, true));
+}
+
+TEST(DdoRecentTracker, CapacityBoundsMemory)
+{
+    // With a 4-entry tracker, inserting many lines forgets old ones.
+    RecentTrackerDdo ddo(4);
+    EXPECT_EQ(ddo.entries(), 4u);
+    for (Addr a = 0; a < 64 * kLineSize; a += kLineSize)
+        ddo.noteInsert(a);
+    unsigned remembered = 0;
+    for (Addr a = 0; a < 64 * kLineSize; a += kLineSize) {
+        if (ddo.check(a, true))
+            ++remembered;
+    }
+    EXPECT_LE(remembered, 4u);
+    EXPECT_GE(remembered, 1u);
+}
+
+TEST(DdoRecentTracker, RoundsCapacityToPowerOfTwo)
+{
+    RecentTrackerDdo ddo(5);
+    EXPECT_EQ(ddo.entries(), 8u);
+}
+
+TEST(DdoFactory, CreatesConfiguredPolicy)
+{
+    DdoConfig cfg;
+    cfg.mode = DdoMode::None;
+    EXPECT_NE(dynamic_cast<NoneDdo *>(DdoPolicy::create(cfg).get()),
+              nullptr);
+    cfg.mode = DdoMode::Oracle;
+    EXPECT_NE(dynamic_cast<OracleDdo *>(DdoPolicy::create(cfg).get()),
+              nullptr);
+    cfg.mode = DdoMode::RecentTracker;
+    EXPECT_NE(
+        dynamic_cast<RecentTrackerDdo *>(DdoPolicy::create(cfg).get()),
+        nullptr);
+}
+
+TEST(DdoFactory, ModeNames)
+{
+    EXPECT_STREQ(ddoModeName(DdoMode::None), "none");
+    EXPECT_STREQ(ddoModeName(DdoMode::RecentTracker), "recent_tracker");
+    EXPECT_STREQ(ddoModeName(DdoMode::Oracle), "oracle");
+}

@@ -1,0 +1,135 @@
+/** @file Tests for the compute-graph IR and backward-pass builder. */
+
+#include <gtest/gtest.h>
+
+#include "dnn/graph.hh"
+#include "dnn/networks.hh"
+
+using namespace nvsim;
+using namespace nvsim::dnn;
+
+TEST(ComputeGraph, TensorAndOpRegistration)
+{
+    ComputeGraph g("t");
+    TensorId a = g.addTensor("a", 1024);
+    TensorId w = g.addTensor("w", 64, TensorKind::Weight);
+    TensorId b = g.addTensor("b", 1024);
+    OpId op = g.addOp("conv", OpKind::Conv, {a, w}, {b}, 100.0);
+    EXPECT_EQ(g.tensor(b).producer, op);
+    ASSERT_EQ(g.tensor(a).consumers.size(), 1u);
+    EXPECT_EQ(g.tensor(a).consumers[0], op);
+    EXPECT_EQ(g.schedule().size(), 1u);
+    EXPECT_DOUBLE_EQ(g.totalFlops(), 100.0);
+    g.validate();
+}
+
+TEST(ComputeGraph, BackwardDoublesSchedule)
+{
+    ComputeGraph g = buildTinyCnn(4, /*training=*/false);
+    std::size_t fwd = g.schedule().size();
+    ComputeGraph t = buildTinyCnn(4, /*training=*/true);
+    EXPECT_EQ(t.schedule().size(), 2 * fwd);
+    EXPECT_EQ(t.forwardOps(), fwd);
+    t.validate();
+}
+
+TEST(ComputeGraph, BackwardOpsAreReversedAndTyped)
+{
+    ComputeGraph g = buildTinyCnn(4);
+    const auto &ops = g.schedule();
+    std::size_t n = g.forwardOps();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Op &fwd = ops[i];
+        const Op &bwd = ops[2 * n - 1 - i];
+        EXPECT_EQ(bwd.kind, backwardOf(fwd.kind))
+            << fwd.name << " / " << bwd.name;
+        EXPECT_TRUE(isBackwardOp(bwd.kind));
+        EXPECT_FALSE(isBackwardOp(fwd.kind));
+    }
+}
+
+TEST(ComputeGraph, WeightsGetGradients)
+{
+    ComputeGraph g = buildTinyCnn(4);
+    unsigned weights = 0, wgrads = 0;
+    for (const auto &t : g.tensors()) {
+        weights += t.kind == TensorKind::Weight;
+        wgrads += t.kind == TensorKind::WeightGrad;
+    }
+    EXPECT_GT(weights, 0u);
+    EXPECT_EQ(weights, wgrads);
+    EXPECT_EQ(g.weightBytes() % 4, 0u);
+}
+
+TEST(ComputeGraph, SavedActivationsFeedBackwardOps)
+{
+    // Conv backward must consume the conv's forward input activation.
+    ComputeGraph g = buildTinyCnn(4);
+    const auto &ops = g.schedule();
+    bool found = false;
+    for (const auto &op : ops) {
+        if (op.kind != OpKind::ConvBack)
+            continue;
+        for (TensorId in : op.inputs) {
+            if (g.tensor(in).kind == TensorKind::Activation)
+                found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ComputeGraph, GradientAccumulationReadsExistingGrad)
+{
+    // Residual add in a small resnet-like graph: the shared input's
+    // gradient is produced twice; the second producer must also read
+    // it (accumulate), not blindly overwrite.
+    ComputeGraph g("fanout");
+    TensorId in = g.addTensor("in", 4096);
+    TensorId x = g.addTensor("x", 4096);
+    TensorId a = g.addTensor("a", 4096);
+    TensorId b = g.addTensor("b", 4096);
+    TensorId c = g.addTensor("c", 4096);
+    g.addOp("bn0", OpKind::BatchNorm, {in}, {x}, 10);
+    g.addOp("bn1", OpKind::BatchNorm, {x}, {a}, 10);
+    g.addOp("bn2", OpKind::BatchNorm, {x}, {b}, 10);
+    g.addOp("add", OpKind::Add, {a, b}, {c}, 1);
+    g.buildBackward();
+    g.validate();
+
+    // Find the gradient of x and its producing ops.
+    TensorId dx = kNoTensor;
+    for (const auto &t : g.tensors()) {
+        if (t.name == "d_x")
+            dx = t.id;
+    }
+    ASSERT_NE(dx, kNoTensor);
+    unsigned producers = 0, accumulating_consumers = 0;
+    for (const auto &op : g.schedule()) {
+        bool produces = false, consumes = false;
+        for (TensorId o : op.outputs)
+            produces |= o == dx;
+        for (TensorId in : op.inputs)
+            consumes |= in == dx;
+        if (produces) {
+            ++producers;
+            if (consumes)
+                ++accumulating_consumers;
+        }
+    }
+    EXPECT_EQ(producers, 2u);
+    EXPECT_EQ(accumulating_consumers, 1u);
+}
+
+TEST(OpKinds, NamesAndBackwardMapping)
+{
+    EXPECT_STREQ(opKindName(OpKind::Concat), "Concat");
+    EXPECT_STREQ(opKindName(OpKind::BatchNormBack), "BatchNormBackprop");
+    EXPECT_EQ(backwardOf(OpKind::Concat), OpKind::ConcatBack);
+    EXPECT_TRUE(backwardNeedsInputs(OpKind::Conv));
+    EXPECT_FALSE(backwardNeedsInputs(OpKind::Concat));
+}
+
+TEST(OpKinds, BackwardOfBackwardPanics)
+{
+    EXPECT_DEATH(backwardOf(OpKind::ConvBack), "backward");
+}

@@ -1,0 +1,57 @@
+/** @file Tests for the DRAM DIMM traffic accounting. */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "mem/request.hh"
+
+using namespace nvsim;
+
+TEST(DramDevice, CountsCasTransactions)
+{
+    DramDevice dev(DramParams{});
+    dev.read(3);
+    dev.write(2);
+    dev.read();
+    EXPECT_EQ(dev.epoch().casReads, 4u);
+    EXPECT_EQ(dev.epoch().casWrites, 2u);
+    EXPECT_EQ(dev.epoch().bytes(), 6 * kLineSize);
+}
+
+TEST(DramDevice, DrainMovesEpochIntoTotals)
+{
+    DramDevice dev(DramParams{});
+    dev.read(10);
+    auto e = dev.drainEpoch();
+    EXPECT_EQ(e.casReads, 10u);
+    EXPECT_EQ(dev.epoch().casReads, 0u);
+    dev.write(5);
+    dev.drainEpoch();
+    EXPECT_EQ(dev.total().casReads, 10u);
+    EXPECT_EQ(dev.total().casWrites, 5u);
+}
+
+TEST(DeviceActions, TotalsAndAccumulation)
+{
+    DeviceActions a;
+    a.dramReads = 1;
+    a.nvramReads = 1;
+    a.dramWrites = 1;
+    EXPECT_EQ(a.total(), 3u);
+
+    DeviceActions b;
+    b.nvramWrites = 1;
+    b.dramWrites = 1;
+    a += b;
+    EXPECT_EQ(a.total(), 5u);
+    EXPECT_EQ(a.dramWrites, 2u);
+}
+
+TEST(CacheOutcome, Names)
+{
+    EXPECT_STREQ(cacheOutcomeName(CacheOutcome::Hit), "hit");
+    EXPECT_STREQ(cacheOutcomeName(CacheOutcome::MissClean), "miss_clean");
+    EXPECT_STREQ(cacheOutcomeName(CacheOutcome::MissDirty), "miss_dirty");
+    EXPECT_STREQ(cacheOutcomeName(CacheOutcome::DdoHit), "ddo_hit");
+    EXPECT_STREQ(cacheOutcomeName(CacheOutcome::Uncached), "uncached");
+}

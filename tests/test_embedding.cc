@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the DLRM-style embedding workload (the paper's intro
+ * motivation, Bandana-style placements).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/embedding.hh"
+
+using namespace nvsim;
+using namespace nvsim::dnn;
+
+namespace
+{
+
+SystemConfig
+sysCfg(MemoryMode mode)
+{
+    SystemConfig cfg;
+    cfg.mode = mode;
+    cfg.scale = 8192;
+    cfg.epochBytes = 64 * kKiB;
+    return cfg;
+}
+
+EmbeddingConfig
+embCfg()
+{
+    EmbeddingConfig e;
+    e.numTables = 4;
+    e.rowsPerTable = 1u << 13;
+    e.lookupsPerSample = 4;
+    e.batch = 128;
+    e.threads = 8;
+    return e;
+}
+
+} // namespace
+
+TEST(Embedding, PlacementNames)
+{
+    EXPECT_STREQ(embeddingPlacementName(EmbeddingPlacement::TwoLm),
+                 "2LM");
+    EXPECT_STREQ(embeddingPlacementName(EmbeddingPlacement::AppDirect),
+                 "app_direct");
+    EXPECT_STREQ(
+        embeddingPlacementName(EmbeddingPlacement::SoftwareCached),
+        "software_cached");
+}
+
+TEST(Embedding, PlacementModeMismatchIsFatal)
+{
+    MemorySystem sys(sysCfg(MemoryMode::TwoLm));
+    EXPECT_DEATH(EmbeddingWorkload(sys, embCfg(),
+                                   EmbeddingPlacement::AppDirect),
+                 "incompatible");
+}
+
+TEST(Embedding, LookupCountAndTraffic)
+{
+    MemorySystem sys(sysCfg(MemoryMode::OneLm));
+    EmbeddingConfig e = embCfg();
+    EmbeddingWorkload w(sys, e, EmbeddingPlacement::AppDirect);
+    EmbeddingResult r = w.runBatch();
+    EXPECT_EQ(r.lookups,
+              static_cast<std::uint64_t>(e.batch) * e.numTables *
+                  e.lookupsPerSample);
+    // Every lookup reads a 256 B row = 4 lines; the LLC may absorb
+    // popular-row repeats, so the demand is bounded above.
+    EXPECT_GT(r.counters.llcReads, 0u);
+    EXPECT_LE(r.counters.llcReads, r.lookups * (e.rowBytes / kLineSize));
+    EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(Embedding, SkewConcentratesOnTheHead)
+{
+    MemorySystem sys(sysCfg(MemoryMode::OneLm));
+    EmbeddingConfig e = embCfg();
+    e.hotFraction = 0.1;
+    EmbeddingWorkload w(sys, e, EmbeddingPlacement::SoftwareCached);
+    EmbeddingResult r = w.runBatch();
+    // With skew 3, P(row < 0.1 N) = 0.1^(1/3) ~ 0.46.
+    EXPECT_GT(r.hotHitFraction, 0.3);
+    EXPECT_LT(r.hotHitFraction, 0.65);
+}
+
+TEST(Embedding, SoftwareCacheSendsHotTrafficToDram)
+{
+    MemorySystem sys(sysCfg(MemoryMode::OneLm));
+    EmbeddingConfig e = embCfg();
+    EmbeddingWorkload w(sys, e, EmbeddingPlacement::SoftwareCached);
+    EmbeddingResult r = w.runBatch();
+    EXPECT_GT(r.counters.dramRead, 0u);
+    EXPECT_GT(r.counters.nvramRead, 0u);
+    // Inference only: nothing writes NVRAM.
+    EXPECT_EQ(r.counters.nvramWrite, 0u);
+}
+
+TEST(Embedding, TrainingUpdatesDirtyTheTwoLmCache)
+{
+    SystemConfig cfg = sysCfg(MemoryMode::TwoLm);
+    MemorySystem sys(cfg);
+    EmbeddingConfig e = embCfg();
+    // Tables twice the DRAM cache force misses.
+    e.rowsPerTable = cfg.dramTotal() * 2 / e.numTables / e.rowBytes;
+    e.updateRows = true;
+    EmbeddingWorkload w(sys, e, EmbeddingPlacement::TwoLm);
+    w.runBatch();  // warm
+    sys.resetCounters();
+    EmbeddingResult r = w.runBatch();
+    EXPECT_GT(r.counters.tagMissDirty, 0u);
+    EXPECT_GT(r.counters.nvramWrite, 0u);
+}
+
+TEST(Embedding, SoftwareCacheBeatsHardwareCacheAtEqualDram)
+{
+    // The paper's thesis applied to embeddings: give software the same
+    // DRAM the hardware cache has (tables are 2x DRAM, so pin ~45% of
+    // rows) and it wins — no tag checks, no insert-on-miss pollution,
+    // and the pinned set matches the popularity distribution exactly.
+    EmbeddingConfig e = embCfg();
+    e.batch = 256;
+
+    SystemConfig two_cfg = sysCfg(MemoryMode::TwoLm);
+    e.rowsPerTable =
+        two_cfg.dramTotal() * 2 / e.numTables / e.rowBytes;
+    e.hotFraction = 0.45;
+
+    double two_lm, software;
+    {
+        MemorySystem sys(two_cfg);
+        EmbeddingWorkload w(sys, e, EmbeddingPlacement::TwoLm);
+        w.runBatch();
+        sys.resetCounters();
+        two_lm = w.runBatch().seconds;
+    }
+    {
+        MemorySystem sys(sysCfg(MemoryMode::OneLm));
+        EmbeddingWorkload w(sys, e,
+                            EmbeddingPlacement::SoftwareCached);
+        w.runBatch();
+        sys.resetCounters();
+        software = w.runBatch().seconds;
+    }
+    EXPECT_LT(software, two_lm);
+
+    // And the hardware cache pays measurable access amplification.
+    MemorySystem sys(two_cfg);
+    EmbeddingWorkload w(sys, e, EmbeddingPlacement::TwoLm);
+    EmbeddingResult r = w.runBatch();
+    EXPECT_GT(r.counters.amplification(), 1.5);
+}
+
+TEST(Embedding, Deterministic)
+{
+    auto run = [] {
+        MemorySystem sys(sysCfg(MemoryMode::OneLm));
+        EmbeddingWorkload w(sys, embCfg(),
+                            EmbeddingPlacement::AppDirect);
+        return w.runBatch().counters.deviceAccesses();
+    };
+    EXPECT_EQ(run(), run());
+}

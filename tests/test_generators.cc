@@ -1,0 +1,104 @@
+/** @file Tests for the Kronecker and web-like graph generators. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graphs/generators.hh"
+
+using namespace nvsim;
+using namespace nvsim::graphs;
+
+TEST(Kronecker, ProducesRequestedScale)
+{
+    KroneckerParams p;
+    p.scale = 10;
+    p.edgeFactor = 8;
+    CsrGraph g = kronecker(p);
+    EXPECT_EQ(g.numNodes(), 1u << 10);
+    // Symmetrized: twice the generated edges.
+    EXPECT_EQ(g.numEdges(), 2u * 8 * (1u << 10));
+}
+
+TEST(Kronecker, DeterministicUnderSeed)
+{
+    KroneckerParams p;
+    p.scale = 8;
+    CsrGraph a = kronecker(p);
+    CsrGraph b = kronecker(p);
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    for (Node v = 0; v < a.numNodes(); ++v)
+        ASSERT_EQ(a.degree(v), b.degree(v));
+    p.seed = 99;
+    CsrGraph c = kronecker(p);
+    bool differs = false;
+    for (Node v = 0; v < a.numNodes() && !differs; ++v)
+        differs = a.degree(v) != c.degree(v);
+    EXPECT_TRUE(differs);
+}
+
+TEST(Kronecker, PowerLawSkew)
+{
+    KroneckerParams p;
+    p.scale = 12;
+    p.edgeFactor = 16;
+    CsrGraph g = kronecker(p);
+    std::uint64_t maxdeg = 0, isolated = 0;
+    for (Node v = 0; v < g.numNodes(); ++v) {
+        maxdeg = std::max<std::uint64_t>(maxdeg, g.degree(v));
+        isolated += g.degree(v) == 0;
+    }
+    double avg = static_cast<double>(g.numEdges()) /
+                 static_cast<double>(g.numNodes());
+    // Kronecker graphs are heavily skewed with many isolated nodes.
+    EXPECT_GT(static_cast<double>(maxdeg), 20 * avg);
+    EXPECT_GT(isolated, g.numNodes() / 20);
+}
+
+TEST(WebGraph, HitsTargetAverageDegree)
+{
+    WebGraphParams p;
+    p.numNodes = 1u << 14;
+    p.avgDegree = 12;
+    CsrGraph g = webGraph(p);
+    double avg = static_cast<double>(g.numEdges()) /
+                 static_cast<double>(g.numNodes());
+    EXPECT_GT(avg, 8.0);
+    EXPECT_LT(avg, 16.0);
+}
+
+TEST(WebGraph, Deterministic)
+{
+    WebGraphParams p;
+    p.numNodes = 1u << 12;
+    CsrGraph a = webGraph(p);
+    CsrGraph b = webGraph(p);
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    for (Node v = 0; v < a.numNodes(); ++v)
+        ASSERT_EQ(a.degree(v), b.degree(v));
+}
+
+TEST(WebGraph, MostLinksAreLocal)
+{
+    WebGraphParams p;
+    p.numNodes = 1u << 14;
+    p.localFraction = 0.8;
+    p.localWindow = 256;
+    CsrGraph g = webGraph(p);
+    std::uint64_t local = 0;
+    for (Node v = 0; v < g.numNodes(); ++v) {
+        for (Node d : g.neighbors(v)) {
+            std::int64_t dist =
+                std::abs(static_cast<std::int64_t>(v) -
+                         static_cast<std::int64_t>(d));
+            std::int64_t wrap =
+                static_cast<std::int64_t>(g.numNodes()) - dist;
+            if (std::min(dist, wrap) <=
+                static_cast<std::int64_t>(p.localWindow))
+                ++local;
+        }
+    }
+    double frac = static_cast<double>(local) /
+                  static_cast<double>(g.numEdges());
+    EXPECT_GT(frac, 0.6);
+}

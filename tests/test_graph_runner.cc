@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the graph workload runner: placement policies, graph
+ * loading, traffic shapes in 2LM vs NUMA vs Sage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graphs/algorithms.hh"
+#include "graphs/generators.hh"
+
+using namespace nvsim;
+using namespace nvsim::graphs;
+
+namespace
+{
+
+SystemConfig
+sysCfg(MemoryMode mode, std::uint64_t scale = 1u << 16)
+{
+    SystemConfig cfg;
+    cfg.mode = mode;
+    cfg.scale = scale;
+    cfg.epochBytes = 32 * kKiB;
+    return cfg;
+}
+
+GraphRunConfig
+runCfg(Placement p)
+{
+    GraphRunConfig c;
+    c.placement = p;
+    c.threads = 8;
+    c.prRounds = 3;
+    c.kcoreK = 4;
+    return c;
+}
+
+CsrGraph
+mediumGraph()
+{
+    // ~560 KB binary: exceeds the 192 KiB cache at scale 2^20, fits
+    // the 3 MiB cache at scale 2^16.
+    KroneckerParams kp;
+    kp.scale = 12;
+    kp.edgeFactor = 16;
+    return kronecker(kp);
+}
+
+} // namespace
+
+TEST(GraphRunner, PlacementNames)
+{
+    EXPECT_STREQ(placementName(Placement::TwoLm), "2LM");
+    EXPECT_STREQ(placementName(Placement::NumaPreferred),
+                 "numa_preferred");
+    EXPECT_STREQ(placementName(Placement::Sage), "sage");
+    EXPECT_STREQ(graphKernelName(GraphKernel::Bfs), "bfs");
+    EXPECT_STREQ(graphKernelName(GraphKernel::PageRank), "pr");
+}
+
+TEST(GraphRunner, PlacementModeMismatchIsFatal)
+{
+    CsrGraph g = CsrGraph::fromEdges(4, {{0, 1}}, true);
+    MemorySystem sys(sysCfg(MemoryMode::TwoLm));
+    EXPECT_DEATH(GraphWorkload(sys, g, runCfg(Placement::Sage)),
+                 "incompatible");
+}
+
+TEST(GraphRunner, GraphLoadPrimesTheCache)
+{
+    CsrGraph g = mediumGraph();
+    MemorySystem sys(sysCfg(MemoryMode::TwoLm));
+    GraphWorkload w(sys, g, runCfg(Placement::TwoLm));
+    // The constructor streamed the whole binary through the cache.
+    EXPECT_GT(sys.counters().llcWrites,
+              g.bytes() / kLineSize / 2);
+}
+
+TEST(GraphRunner, SageWritesOnlyReachDram)
+{
+    CsrGraph g = mediumGraph();
+    SystemConfig scfg = sysCfg(MemoryMode::OneLm);
+    MemorySystem sys(scfg);
+    GraphWorkload w(sys, g, runCfg(Placement::Sage));
+    sys.resetCounters();
+
+    w.run(GraphKernel::PageRank);
+    PerfCounters c = sys.counters();
+    // Mutation only touches the DRAM-resident property arrays: no
+    // NVRAM writes during the kernel (the paper's Sage property).
+    EXPECT_EQ(c.nvramWrite, 0u);
+    EXPECT_GT(c.nvramRead, 0u);   // edges still stream from NVRAM
+    EXPECT_GT(c.dramWrite, 0u);
+}
+
+TEST(GraphRunner, NumaPreferredSpillsWhenGraphExceedsDram)
+{
+    CsrGraph g = mediumGraph();
+    SystemConfig scfg = sysCfg(MemoryMode::OneLm, 1u << 20);
+    MemorySystem sys(scfg);
+    ASSERT_LT(scfg.dramTotal(), g.bytes());
+    GraphWorkload w(sys, g, runCfg(Placement::NumaPreferred));
+    sys.resetCounters();
+    w.run(GraphKernel::Bfs);
+    PerfCounters c = sys.counters();
+    // Both pools see traffic: the graph spilled.
+    EXPECT_GT(c.nvramRead, 0u);
+    EXPECT_GT(c.dramRead, 0u);
+    // And no cache-induced amplification in app-direct mode.
+    EXPECT_DOUBLE_EQ(c.amplification(), 1.0);
+}
+
+TEST(GraphRunner, TwoLmAmplifiesWhenGraphExceedsCache)
+{
+    CsrGraph g = mediumGraph();
+
+    // Case A: graph fits in the DRAM cache.
+    SystemConfig small = sysCfg(MemoryMode::TwoLm, 1u << 14);
+    MemorySystem sys_fit(small);
+    ASSERT_GT(small.dramTotal(), g.bytes());
+    GraphWorkload wf(sys_fit, g, runCfg(Placement::TwoLm));
+    sys_fit.resetCounters();
+    GraphRunResult fit = wf.run(GraphKernel::PageRank);
+
+    // Case B: graph exceeds the DRAM cache.
+    SystemConfig big = sysCfg(MemoryMode::TwoLm, 1u << 20);
+    MemorySystem sys_over(big);
+    ASSERT_LT(big.dramTotal(), g.bytes());
+    GraphWorkload wo(sys_over, g, runCfg(Placement::TwoLm));
+    sys_over.resetCounters();
+    GraphRunResult over = wo.run(GraphKernel::PageRank);
+
+    // Figure 7/8: the oversubscribed cache amplifies accesses and
+    // loses bandwidth.
+    EXPECT_GT(over.counters.amplification(),
+              fit.counters.amplification() + 0.2);
+    EXPECT_GT(over.counters.nvramRead + over.counters.nvramWrite,
+              fit.counters.nvramRead + fit.counters.nvramWrite);
+    EXPECT_GT(over.seconds, fit.seconds);
+}
+
+TEST(GraphRunner, ThreadPartitionCoversAllThreads)
+{
+    CsrGraph g = mediumGraph();
+    MemorySystem sys(sysCfg(MemoryMode::TwoLm));
+    GraphRunConfig cfg = runCfg(Placement::TwoLm);
+    cfg.threads = 8;
+    GraphWorkload w(sys, g, cfg);
+    EXPECT_EQ(w.threadOf(0), 0u);
+    EXPECT_EQ(w.threadOf(g.numNodes() - 1), 7u);
+    // Monotone partition.
+    unsigned prev = 0;
+    for (Node v = 0; v < g.numNodes(); v += g.numNodes() / 64) {
+        unsigned t = w.threadOf(v);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(GraphRunResult, BandwidthAccessors)
+{
+    GraphRunResult r;
+    r.seconds = 2.0;
+    r.counters.dramRead = 1000;
+    r.counters.nvramWrite = 500;
+    EXPECT_DOUBLE_EQ(r.dramReadBandwidth(), 1000 * 64 / 2.0);
+    EXPECT_DOUBLE_EQ(r.nvramWriteBandwidth(), 500 * 64 / 2.0);
+    EXPECT_EQ(r.dataMoved(), (1000u + 500u) * 64u);
+}

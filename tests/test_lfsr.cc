@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the maximum-length LFSR used by the pseudo-random access
+ * patterns. The paper requires that "each address is touched exactly
+ * once (i.e. no repeats)"; these tests verify the full-period property
+ * that guarantees it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/lfsr.hh"
+
+using namespace nvsim;
+
+TEST(Lfsr, RejectsBadWidths)
+{
+    EXPECT_DEATH(Lfsr(1), "");
+    EXPECT_DEATH(Lfsr(49), "");
+}
+
+TEST(Lfsr, StateNeverZero)
+{
+    Lfsr lfsr(8, 0);  // zero seed is remapped
+    EXPECT_NE(lfsr.state(), 0u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_NE(lfsr.next(), 0u);
+}
+
+TEST(Lfsr, Deterministic)
+{
+    Lfsr a(16, 42), b(16, 42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Lfsr, WidthFor)
+{
+    // The period is 2^w - 1, so n indices need (1 << w) - 1 >= n.
+    EXPECT_EQ(Lfsr::widthFor(3), 2u);
+    EXPECT_EQ(Lfsr::widthFor(4), 3u);
+    EXPECT_EQ(Lfsr::widthFor(7), 3u);
+    EXPECT_EQ(Lfsr::widthFor(8), 4u);
+    EXPECT_EQ(Lfsr::widthFor(1023), 10u);
+    EXPECT_EQ(Lfsr::widthFor(1024), 11u);
+}
+
+TEST(Lfsr, PeriodValue)
+{
+    EXPECT_EQ(Lfsr(4).period(), 15u);
+    EXPECT_EQ(Lfsr(20).period(), (1u << 20) - 1);
+}
+
+/** Full-period property: each width visits all 2^w - 1 nonzero states. */
+class LfsrPeriod : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LfsrPeriod, VisitsEveryNonzeroStateOnce)
+{
+    unsigned width = GetParam();
+    Lfsr lfsr(width, 1);
+    std::uint64_t period = lfsr.period();
+    std::vector<bool> seen(period + 1, false);
+    for (std::uint64_t i = 0; i < period; ++i) {
+        std::uint64_t v = lfsr.next();
+        ASSERT_GE(v, 1u);
+        ASSERT_LE(v, period);
+        ASSERT_FALSE(seen[v]) << "state " << v << " repeated at step " << i
+                              << " for width " << width;
+        seen[v] = true;
+    }
+    // After a full period the sequence returns to the start.
+    std::uint64_t first = Lfsr(width, 1).next();
+    EXPECT_EQ(lfsr.next(), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallWidths, LfsrPeriod,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           10u, 11u, 12u, 13u, 14u, 15u,
+                                           16u, 17u, 18u, 19u, 20u));
+
+/** Spot-check large widths: no repeat within a long prefix. */
+class LfsrLargeWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LfsrLargeWidth, NoEarlyRepeat)
+{
+    Lfsr lfsr(GetParam(), 0xBEEF);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 100000; ++i)
+        ASSERT_TRUE(seen.insert(lfsr.next()).second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LfsrLargeWidth,
+                         ::testing::Values(24u, 28u, 32u, 36u, 40u, 44u,
+                                           48u));

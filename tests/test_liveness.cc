@@ -1,0 +1,102 @@
+/** @file Tests for tensor liveness analysis. */
+
+#include <gtest/gtest.h>
+
+#include "dnn/liveness.hh"
+#include "dnn/networks.hh"
+
+using namespace nvsim;
+using namespace nvsim::dnn;
+
+namespace
+{
+
+/** x -> op0 -> a -> op1 -> b -> op2 -> c ; a also read by op2. */
+ComputeGraph
+chainGraph()
+{
+    ComputeGraph g("chain");
+    TensorId x = g.addTensor("x", 64);
+    TensorId a = g.addTensor("a", 128);
+    TensorId b = g.addTensor("b", 256);
+    TensorId c = g.addTensor("c", 512);
+    g.addOp("op0", OpKind::BatchNorm, {x}, {a}, 1);
+    g.addOp("op1", OpKind::BatchNorm, {a}, {b}, 1);
+    g.addOp("op2", OpKind::Add, {b, a}, {c}, 1);
+    return g;
+}
+
+} // namespace
+
+TEST(Liveness, IntervalsMatchDefsAndUses)
+{
+    ComputeGraph g = chainGraph();
+    auto live = computeLiveness(g);
+    // x: live-in, last used by op0.
+    EXPECT_EQ(live[0].def, -1);
+    EXPECT_EQ(live[0].lastUse, 0);
+    // a: defined by op0, last used by op2.
+    EXPECT_EQ(live[1].def, 0);
+    EXPECT_EQ(live[1].lastUse, 2);
+    // b: defined op1, used op2.
+    EXPECT_EQ(live[2].def, 1);
+    EXPECT_EQ(live[2].lastUse, 2);
+    // c: defined op2, never read.
+    EXPECT_EQ(live[3].def, 2);
+    EXPECT_EQ(live[3].lastUse, 2);
+}
+
+TEST(Liveness, LiveAtSemantics)
+{
+    LiveInterval li{1, 3};
+    EXPECT_FALSE(li.liveAt(0));
+    EXPECT_TRUE(li.liveAt(1));
+    EXPECT_TRUE(li.liveAt(3));
+    EXPECT_FALSE(li.liveAt(4));
+}
+
+TEST(Liveness, LiveBytesCurve)
+{
+    ComputeGraph g = chainGraph();
+    auto live = computeLiveness(g);
+    auto steps = liveBytesPerStep(g, live);
+    ASSERT_EQ(steps.size(), 3u);
+    // After op0: a live (x dies at op0 but counts during it).
+    // Step counts include tensors live at that step.
+    EXPECT_EQ(steps[0], 64u + 128u);
+    EXPECT_EQ(steps[1], 128u + 256u);
+    EXPECT_EQ(steps[2], 128u + 256u + 512u);
+    EXPECT_EQ(peakLiveBytes(g, live), 128u + 256u + 512u);
+}
+
+TEST(Liveness, WeightsArePersistent)
+{
+    ComputeGraph g("w");
+    TensorId x = g.addTensor("x", 64);
+    TensorId w = g.addTensor("w", 64, TensorKind::Weight);
+    TensorId y = g.addTensor("y", 64);
+    g.addOp("conv", OpKind::Conv, {x, w}, {y}, 1);
+    g.addOp("bn", OpKind::BatchNorm, {y}, {g.addTensor("z", 64)}, 1);
+    auto live = computeLiveness(g);
+    EXPECT_EQ(live[w].def, -1);
+    EXPECT_EQ(live[w].lastUse, 1);  // whole schedule
+    // Weights are excluded from the arena curve.
+    auto steps = liveBytesPerStep(g, live);
+    EXPECT_EQ(steps[1], 64u + 64u);  // y + z only
+}
+
+TEST(Liveness, ForwardAccumulationShape)
+{
+    // In a training graph, live memory rises through the forward pass
+    // and peaks near the forward/backward boundary — the Figure 5d
+    // triangle.
+    ComputeGraph g = buildDenseNet264(4);
+    auto live = computeLiveness(g);
+    auto steps = liveBytesPerStep(g, live);
+    std::size_t boundary = g.forwardOps();
+    Bytes early = steps[steps.size() / 20];
+    Bytes at_boundary = steps[boundary - 1];
+    Bytes late = steps[steps.size() - steps.size() / 20];
+    EXPECT_GT(at_boundary, 2 * early);
+    EXPECT_GT(at_boundary, 2 * late);
+}

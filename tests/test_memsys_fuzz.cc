@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Randomized consistency checks over the whole MemorySystem: long
+ * pseudo-random operation streams must preserve global invariants in
+ * every mode and configuration — the cross-cutting safety net under
+ * all the directed tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/rng.hh"
+#include "sys/memsys.hh"
+
+using namespace nvsim;
+
+namespace
+{
+
+struct FuzzParams
+{
+    MemoryMode mode;
+    bool scatter;
+    unsigned ways;
+    DdoMode ddo;
+};
+
+class MemSysFuzz : public ::testing::TestWithParam<FuzzParams>
+{
+};
+
+} // namespace
+
+TEST_P(MemSysFuzz, InvariantsHoldUnderRandomTraffic)
+{
+    const FuzzParams &fp = GetParam();
+    SystemConfig cfg;
+    cfg.mode = fp.mode;
+    cfg.scale = 1u << 14;
+    cfg.scatterPages = fp.scatter;
+    cfg.cacheWays = fp.ways;
+    cfg.ddo.mode = fp.ddo;
+    cfg.epochBytes = 32 * kKiB;
+    MemorySystem sys(cfg);
+
+    Region arr = sys.allocate(cfg.dramTotal() * 3 / 2, "fuzz");
+    sys.setActiveThreads(6);
+
+    Rng rng(0xF00D + fp.ways);
+    std::uint64_t issued_lines = 0;
+    double last_now = 0;
+
+    for (int step = 0; step < 60000; ++step) {
+        unsigned thread = static_cast<unsigned>(rng.below(6));
+        Addr addr = arr.base + rng.below(arr.size / kLineSize) *
+                                   kLineSize;
+        Bytes size = (1 + rng.below(4)) * kLineSize;
+        if (addr + size > arr.base + arr.size)
+            size = kLineSize;
+        CpuOp op = static_cast<CpuOp>(rng.below(3));
+        sys.access(thread, op, addr, size);
+        issued_lines += size / kLineSize;
+
+        if (rng.below(1000) == 0) {
+            sys.advanceEpoch();
+            // Time must be monotone.
+            ASSERT_GE(sys.now(), last_now);
+            last_now = sys.now();
+        }
+    }
+    sys.quiesce();
+
+    PerfCounters c = sys.counters();
+
+    // Demand conservation: every line either hit the LLC or became an
+    // LLC read/write; NT stores and dirty evictions add LLC writes but
+    // never lose requests.
+    ASSERT_LE(c.demand(), 2 * issued_lines);
+
+    if (fp.mode == MemoryMode::TwoLm) {
+        // Tag statistics partition the demand stream.
+        EXPECT_EQ(c.tagHit + c.tagMissClean + c.tagMissDirty + c.ddoHit,
+                  c.demand());
+        // Table I bounds: amplification within [1, 5].
+        EXPECT_GE(c.amplification(), 1.0);
+        EXPECT_LE(c.amplification(), 5.0);
+        // Every NVRAM read is a miss fill; misses can't exceed demand.
+        EXPECT_LE(c.nvramRead, c.demand());
+    } else {
+        // App direct: exactly one device access per request.
+        EXPECT_DOUBLE_EQ(c.amplification(), 1.0);
+        EXPECT_EQ(c.tagHit + c.tagMissClean + c.tagMissDirty, 0u);
+    }
+
+    // The epoch machinery leaves nothing buffered after quiesce.
+    for (unsigned i = 0; i < sys.numChannels(); ++i) {
+        EXPECT_EQ(sys.channel(i).nvram().epoch().demandReads, 0u);
+        EXPECT_EQ(sys.channel(i).dram().epoch().casReads, 0u);
+    }
+    EXPECT_GT(sys.now(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MemSysFuzz,
+    ::testing::Values(
+        FuzzParams{MemoryMode::TwoLm, false, 1, DdoMode::RecentTracker},
+        FuzzParams{MemoryMode::TwoLm, true, 1, DdoMode::RecentTracker},
+        FuzzParams{MemoryMode::TwoLm, false, 4, DdoMode::None},
+        FuzzParams{MemoryMode::TwoLm, true, 2, DdoMode::Oracle},
+        FuzzParams{MemoryMode::OneLm, false, 1, DdoMode::None},
+        FuzzParams{MemoryMode::OneLm, true, 1, DdoMode::None}));
+
+TEST(MemSysFuzz, ReplayDeterminism)
+{
+    // The same random stream on two identical machines produces
+    // bit-identical counters and time.
+    auto run = [] {
+        SystemConfig cfg;
+        cfg.mode = MemoryMode::TwoLm;
+        cfg.scale = 1u << 14;
+        cfg.scatterPages = true;
+        MemorySystem sys(cfg);
+        Region arr = sys.allocate(cfg.dramTotal() * 2, "fuzz");
+        sys.setActiveThreads(4);
+        Rng rng(77);
+        for (int i = 0; i < 20000; ++i) {
+            sys.access(static_cast<unsigned>(rng.below(4)),
+                       static_cast<CpuOp>(rng.below(3)),
+                       arr.base +
+                           rng.below(arr.size / kLineSize) * kLineSize,
+                       kLineSize);
+        }
+        sys.quiesce();
+        return std::make_tuple(sys.counters().deviceAccesses(),
+                               sys.counters().tagMissDirty, sys.now());
+    };
+    EXPECT_EQ(run(), run());
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the Optane DIMM model: media-block amplification, the
+ * read-combine buffer, the write-pending queue merge behavior and the
+ * write-stream contention curve.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/nvram.hh"
+
+using namespace nvsim;
+
+namespace
+{
+
+NvramParams
+smallParams()
+{
+    NvramParams p;
+    p.readBufferEntries = 4;
+    p.wpqEntries = 4;
+    return p;
+}
+
+} // namespace
+
+TEST(NvramDevice, SequentialReadsCoalescePerMediaBlock)
+{
+    NvramDevice dev(smallParams());
+    // 16 sequential 64 B reads span 4 media blocks.
+    for (Addr a = 0; a < 16 * kLineSize; a += kLineSize)
+        dev.read(a, 0);
+    auto e = dev.drainEpoch();
+    EXPECT_EQ(e.demandReads, 16u);
+    EXPECT_EQ(e.mediaReadBlocks, 4u);
+    // Demand bytes equal media bytes: amplification 1.
+    EXPECT_EQ(e.demandBytes(), e.mediaReadBytes());
+}
+
+TEST(NvramDevice, RandomSmallReadsAmplifyFourTimes)
+{
+    NvramDevice dev(smallParams());
+    // Strided reads, one line per distinct media block, far apart so
+    // the 4-entry buffer cannot help.
+    for (int i = 0; i < 64; ++i)
+        dev.read(static_cast<Addr>(i) * 8 * kMediaBlockSize, 0);
+    auto e = dev.drainEpoch();
+    EXPECT_EQ(e.demandReads, 64u);
+    EXPECT_EQ(e.mediaReadBlocks, 64u);
+    EXPECT_EQ(e.mediaReadBytes(), 4 * e.demandBytes());
+}
+
+TEST(NvramDevice, RepeatedReadHitsBuffer)
+{
+    NvramDevice dev(smallParams());
+    dev.read(0, 0);
+    dev.read(64, 0);   // same media block
+    dev.read(128, 0);  // same media block
+    auto e = dev.drainEpoch();
+    EXPECT_EQ(e.mediaReadBlocks, 1u);
+}
+
+TEST(NvramDevice, SequentialWritesMergeIntoMediaBlocks)
+{
+    NvramDevice dev(smallParams());
+    // One full pass of 64 sequential lines = 16 media blocks, each
+    // fully merged: write amplification 1.
+    for (Addr a = 0; a < 64 * kLineSize; a += kLineSize)
+        dev.write(a, 0);
+    dev.flushWpq();
+    auto e = dev.drainEpoch();
+    EXPECT_EQ(e.demandWrites, 64u);
+    EXPECT_EQ(e.mediaWriteBlocks, 16u);
+    EXPECT_EQ(e.mediaWriteBytes(), e.demandBytes());
+}
+
+TEST(NvramDevice, RandomSmallWritesAmplifyFourTimes)
+{
+    NvramDevice dev(smallParams());
+    for (int i = 0; i < 64; ++i)
+        dev.write(static_cast<Addr>(i) * 8 * kMediaBlockSize, 0);
+    dev.flushWpq();
+    auto e = dev.drainEpoch();
+    EXPECT_EQ(e.demandWrites, 64u);
+    // Each write lands in its own block which is flushed partially
+    // filled: 4x write amplification.
+    EXPECT_EQ(e.mediaWriteBlocks, 64u);
+    EXPECT_EQ(e.mediaWriteBytes(), 4 * e.demandBytes());
+}
+
+TEST(NvramDevice, ManyInterleavedStreamsDefeatMerging)
+{
+    // 8 interleaved sequential writers vs a 4-entry WPQ: streams evict
+    // each other's partial blocks, so media writes exceed demand/4.
+    NvramDevice dev(smallParams());
+    constexpr int kStreams = 8;
+    constexpr int kLines = 64;
+    Addr bases[kStreams];
+    for (int s = 0; s < kStreams; ++s)
+        bases[s] = static_cast<Addr>(s) * kMiB;
+    for (int i = 0; i < kLines; ++i) {
+        for (int s = 0; s < kStreams; ++s) {
+            dev.write(bases[s] + static_cast<Addr>(i) * kLineSize,
+                      static_cast<std::uint16_t>(s));
+        }
+    }
+    dev.flushWpq();
+    auto e = dev.drainEpoch();
+    std::uint64_t fully_merged = e.demandWrites / 4;
+    EXPECT_GT(e.mediaWriteBlocks, fully_merged);
+    EXPECT_EQ(e.writerStreams, 8u);
+}
+
+TEST(NvramDevice, SingleStreamIsImmuneToSmallWpq)
+{
+    NvramDevice dev(smallParams());
+    for (Addr a = 0; a < 256 * kLineSize; a += kLineSize)
+        dev.write(a, 0);
+    dev.flushWpq();
+    auto e = dev.drainEpoch();
+    EXPECT_EQ(e.mediaWriteBytes(), e.demandBytes());
+}
+
+TEST(NvramDevice, WriteEfficiencyCurve)
+{
+    NvramDevice dev(NvramParams{});
+    EXPECT_DOUBLE_EQ(dev.writeEfficiency(1), 1.0);
+    EXPECT_DOUBLE_EQ(dev.writeEfficiency(4), 1.0);
+    EXPECT_LT(dev.writeEfficiency(8), 1.0);
+    EXPECT_LT(dev.writeEfficiency(24), dev.writeEfficiency(8));
+    // 24 threads: 1 / (1 + 0.01 * 20).
+    EXPECT_NEAR(dev.writeEfficiency(24), 1.0 / 1.2, 1e-12);
+}
+
+TEST(NvramDevice, TotalsAccumulateAcrossEpochs)
+{
+    NvramDevice dev(smallParams());
+    dev.read(0, 0);
+    dev.drainEpoch();
+    dev.read(4096, 0);
+    dev.drainEpoch();
+    EXPECT_EQ(dev.total().demandReads, 2u);
+    EXPECT_EQ(dev.total().mediaReadBlocks, 2u);
+    EXPECT_EQ(dev.epoch().demandReads, 0u);
+}
+
+TEST(NvramDevice, AmplificationAccessors)
+{
+    NvramDevice dev(smallParams());
+    for (int i = 0; i < 16; ++i)
+        dev.write(static_cast<Addr>(i) * 8 * kMediaBlockSize, 0);
+    dev.flushWpq();
+    dev.drainEpoch();
+    EXPECT_DOUBLE_EQ(dev.writeAmplification(), 4.0);
+    EXPECT_DOUBLE_EQ(dev.readAmplification(), 0.0);
+}

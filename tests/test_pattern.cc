@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the access-pattern generators: the paper's requirement
+ * that pseudo-random iteration touch each address exactly once is a
+ * hard property here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/pattern.hh"
+
+using namespace nvsim;
+
+TEST(OffsetSequence, SequentialEmitsInOrder)
+{
+    OffsetSequence seq(AccessPattern::Sequential, 8);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        auto v = seq.next();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, i);
+    }
+    EXPECT_FALSE(seq.next().has_value());
+}
+
+TEST(OffsetSequence, ResetRestartsThePass)
+{
+    OffsetSequence seq(AccessPattern::Random, 16, 7);
+    std::vector<std::uint64_t> first, second;
+    while (auto v = seq.next())
+        first.push_back(*v);
+    seq.reset();
+    while (auto v = seq.next())
+        second.push_back(*v);
+    EXPECT_EQ(first, second);
+}
+
+TEST(OffsetSequence, RandomIsNotSequential)
+{
+    OffsetSequence seq(AccessPattern::Random, 64, 3);
+    bool any_out_of_order = false;
+    std::uint64_t prev = 0;
+    bool first = true;
+    while (auto v = seq.next()) {
+        if (!first && *v < prev)
+            any_out_of_order = true;
+        prev = *v;
+        first = false;
+    }
+    EXPECT_TRUE(any_out_of_order);
+}
+
+TEST(OffsetSequence, SingleGranule)
+{
+    OffsetSequence seq(AccessPattern::Random, 1);
+    auto v = seq.next();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 0u);
+    EXPECT_FALSE(seq.next().has_value());
+}
+
+TEST(OffsetSequence, ZeroCountIsFatal)
+{
+    EXPECT_DEATH(OffsetSequence(AccessPattern::Sequential, 0), "granule");
+}
+
+/**
+ * Property: every granule index in [0, count) appears exactly once per
+ * pass, for both patterns and for counts that are powers of two,
+ * power-of-two minus/plus one, and odd.
+ */
+class OffsetCoverage
+    : public ::testing::TestWithParam<std::tuple<AccessPattern,
+                                                 std::uint64_t>>
+{
+};
+
+TEST_P(OffsetCoverage, EachIndexExactlyOnce)
+{
+    auto [pattern, count] = GetParam();
+    OffsetSequence seq(pattern, count, 11);
+    std::vector<unsigned> hits(count, 0);
+    std::uint64_t emitted = 0;
+    while (auto v = seq.next()) {
+        ASSERT_LT(*v, count);
+        ++hits[*v];
+        ++emitted;
+    }
+    EXPECT_EQ(emitted, count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        EXPECT_EQ(hits[i], 1u) << "index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OffsetCoverage,
+    ::testing::Combine(::testing::Values(AccessPattern::Sequential,
+                                         AccessPattern::Random),
+                       ::testing::Values<std::uint64_t>(1, 2, 3, 7, 8, 9,
+                                                        63, 64, 65, 1000,
+                                                        1024, 4095)));
+
+TEST(AccessPattern, Names)
+{
+    EXPECT_STREQ(accessPatternName(AccessPattern::Sequential),
+                 "sequential");
+    EXPECT_STREQ(accessPatternName(AccessPattern::Random), "random");
+}

@@ -1,0 +1,124 @@
+/** @file Tests for the static ngraph-style arena planner. */
+
+#include <gtest/gtest.h>
+
+#include "dnn/networks.hh"
+#include "dnn/planner.hh"
+
+using namespace nvsim;
+using namespace nvsim::dnn;
+
+TEST(ScaledTensorBytes, RoundsToLinesAndScales)
+{
+    EXPECT_EQ(scaledTensorBytes(4096, 1), 4096u);
+    EXPECT_EQ(scaledTensorBytes(4096, 64), 64u);
+    EXPECT_EQ(scaledTensorBytes(4097, 64), 128u);
+    EXPECT_EQ(scaledTensorBytes(1, 1024), 64u);   // floor: one line
+    EXPECT_EQ(scaledTensorBytes(0, 1), 64u);
+}
+
+TEST(Planner, ArenaSmallerThanTensorSum)
+{
+    // Memory reuse must make the arena far smaller than the sum of all
+    // activation tensors.
+    ComputeGraph g = buildDenseNet264(8);
+    ArenaPlan plan = planArena(g, 1);
+    EXPECT_LT(plan.arenaBytes, g.activationBytes());
+    EXPECT_GT(plan.arenaBytes, 0u);
+}
+
+TEST(Planner, ArenaCoversPeakLive)
+{
+    ComputeGraph g = buildTinyCnn(8);
+    ArenaPlan plan = planArena(g, 1);
+    Bytes peak = peakLiveBytes(g, plan.liveness);
+    EXPECT_GE(plan.arenaBytes, peak / 2);  // fragmentation slack
+}
+
+TEST(Planner, WeightsGetPersistentOffsets)
+{
+    ComputeGraph g = buildTinyCnn(8);
+    ArenaPlan plan = planArena(g, 1);
+    Bytes persistent = 0;
+    for (const auto &t : g.tensors()) {
+        if (t.kind == TensorKind::Weight ||
+            t.kind == TensorKind::WeightGrad) {
+            EXPECT_FALSE(plan.at(t.id).inArena) << t.name;
+            persistent += plan.at(t.id).bytes;
+        }
+    }
+    EXPECT_EQ(plan.weightBytes, persistent);
+}
+
+/**
+ * Core planner invariant: two tensors whose live intervals overlap
+ * never share arena bytes.
+ */
+class PlannerOverlap : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PlannerOverlap, LiveTensorsNeverOverlap)
+{
+    ComputeGraph g = buildTinyCnn(GetParam());
+    ArenaPlan plan = planArena(g, 16);
+    const auto &ts = g.tensors();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (!plan.at(ts[i].id).inArena)
+            continue;
+        for (std::size_t j = i + 1; j < ts.size(); ++j) {
+            if (!plan.at(ts[j].id).inArena)
+                continue;
+            const LiveInterval &li = plan.liveness[i];
+            const LiveInterval &lj = plan.liveness[j];
+            int lo = std::max(li.def, lj.def);
+            int hi = std::min(li.lastUse, lj.lastUse);
+            if (lo > hi)
+                continue;  // disjoint lifetimes may share space
+            const TensorPlacement &pi = plan.at(ts[i].id);
+            const TensorPlacement &pj = plan.at(ts[j].id);
+            bool disjoint = pi.offset + pi.bytes <= pj.offset ||
+                            pj.offset + pj.bytes <= pi.offset;
+            EXPECT_TRUE(disjoint)
+                << ts[i].name << " overlaps " << ts[j].name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, PlannerOverlap,
+                         ::testing::Values(1u, 4u, 16u));
+
+TEST(Planner, BackwardReusesForwardSpace)
+{
+    // The fold-back of Figure 5d: at least one backward-pass tensor
+    // must land at an offset first used by a forward tensor.
+    ComputeGraph g = buildTinyCnn(16);
+    ArenaPlan plan = planArena(g, 1);
+    bool reused = false;
+    for (const auto &t : g.tensors()) {
+        if (t.kind != TensorKind::Gradient || !plan.at(t.id).inArena)
+            continue;
+        for (const auto &u : g.tensors()) {
+            if (u.kind != TensorKind::Activation ||
+                !plan.at(u.id).inArena)
+                continue;
+            const TensorPlacement &pt = plan.at(t.id);
+            const TensorPlacement &pu = plan.at(u.id);
+            bool overlap = pt.offset < pu.offset + pu.bytes &&
+                           pu.offset < pt.offset + pt.bytes;
+            if (overlap)
+                reused = true;
+        }
+    }
+    EXPECT_TRUE(reused);
+}
+
+TEST(Planner, ScalingShrinksProportionally)
+{
+    ComputeGraph g = buildTinyCnn(64);
+    ArenaPlan p1 = planArena(g, 1);
+    ArenaPlan p16 = planArena(g, 16);
+    // Line-rounding makes this approximate.
+    EXPECT_LT(p16.arenaBytes, p1.arenaBytes / 8);
+    EXPECT_GT(p16.arenaBytes * 32, p1.arenaBytes);
+}

@@ -1,0 +1,72 @@
+/** @file Tests for counters, stat groups and snapshot deltas. */
+
+#include <gtest/gtest.h>
+
+#include "core/stats.hh"
+
+using namespace nvsim;
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatGroup, RegistersAndLooksUp)
+{
+    StatGroup g("imc0");
+    g.counter("dram_read").add(7);
+    g.counter("dram_write").add(3);
+    EXPECT_EQ(g.value("dram_read"), 7u);
+    EXPECT_EQ(g.value("dram_write"), 3u);
+    EXPECT_EQ(g.value("missing"), 0u);
+    EXPECT_EQ(g.name(), "imc0");
+}
+
+TEST(StatGroup, SameNameReturnsSameCounter)
+{
+    StatGroup g("g");
+    g.counter("x").add(1);
+    g.counter("x").add(1);
+    EXPECT_EQ(g.value("x"), 2u);
+    EXPECT_EQ(g.names().size(), 1u);
+}
+
+TEST(StatGroup, NamesPreserveRegistrationOrder)
+{
+    StatGroup g("g");
+    g.counter("zeta");
+    g.counter("alpha");
+    g.counter("mid");
+    auto names = g.names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "zeta");
+    EXPECT_EQ(names[1], "alpha");
+    EXPECT_EQ(names[2], "mid");
+}
+
+TEST(StatGroup, SnapshotAndReset)
+{
+    StatGroup g("g");
+    g.counter("a").add(5);
+    auto snap = g.snapshot();
+    EXPECT_EQ(snap.at("a"), 5u);
+    g.resetAll();
+    EXPECT_EQ(g.value("a"), 0u);
+    // Snapshot is a copy, unaffected by the reset.
+    EXPECT_EQ(snap.at("a"), 5u);
+}
+
+TEST(SnapshotDelta, SubtractsAndHandlesNewCounters)
+{
+    std::map<std::string, std::uint64_t> a{{"x", 10}};
+    std::map<std::string, std::uint64_t> b{{"x", 25}, {"y", 4}};
+    auto d = snapshotDelta(a, b);
+    EXPECT_EQ(d.at("x"), 15u);
+    EXPECT_EQ(d.at("y"), 4u);
+}

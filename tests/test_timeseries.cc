@@ -1,0 +1,58 @@
+/** @file Tests for the trace time-series container. */
+
+#include <gtest/gtest.h>
+
+#include "core/timeseries.hh"
+
+using namespace nvsim;
+
+TEST(TimeSeries, RecordsPerChannel)
+{
+    TimeSeries ts;
+    EXPECT_TRUE(ts.empty());
+    ts.record("bw", 0.0, 10.0);
+    ts.record("bw", 1.0, 20.0);
+    ts.record("hits", 0.5, 1.0);
+    EXPECT_FALSE(ts.empty());
+    ASSERT_EQ(ts.channel("bw").size(), 2u);
+    EXPECT_DOUBLE_EQ(ts.channel("bw")[1].value, 20.0);
+    EXPECT_EQ(ts.channel("nope").size(), 0u);
+    ASSERT_EQ(ts.names().size(), 2u);
+    EXPECT_EQ(ts.names()[0], "bw");
+}
+
+TEST(TimeSeries, MeanAndMax)
+{
+    TimeSeries ts;
+    for (int i = 0; i < 5; ++i)
+        ts.record("v", i, i * 1.0);
+    EXPECT_DOUBLE_EQ(ts.mean("v"), 2.0);
+    EXPECT_DOUBLE_EQ(ts.max("v"), 4.0);
+    EXPECT_DOUBLE_EQ(ts.mean("absent"), 0.0);
+}
+
+TEST(TimeSeries, WindowAverageSmoothsSpike)
+{
+    TimeSeries ts;
+    // Constant 1.0 except a spike of 11.0 in the middle.
+    for (int i = 0; i < 11; ++i)
+        ts.record("v", i * 0.1, i == 5 ? 11.0 : 1.0);
+    auto smooth = ts.windowAverage("v", 0.45);
+    ASSERT_EQ(smooth.size(), 11u);
+    // The spike is averaged with its neighbors: strictly below 11.
+    EXPECT_LT(smooth[5].value, 11.0);
+    EXPECT_GT(smooth[5].value, 1.0);
+    // Edges untouched by the spike remain 1.0.
+    EXPECT_DOUBLE_EQ(smooth[0].value, 1.0);
+    EXPECT_DOUBLE_EQ(smooth[10].value, 1.0);
+}
+
+TEST(TimeSeries, WindowAverageDegenerate)
+{
+    TimeSeries ts;
+    ts.record("v", 0.0, 3.0);
+    auto smooth = ts.windowAverage("v", 100.0);
+    ASSERT_EQ(smooth.size(), 1u);
+    EXPECT_DOUBLE_EQ(smooth[0].value, 3.0);
+    EXPECT_TRUE(ts.windowAverage("missing", 1.0).empty());
+}

@@ -1,0 +1,47 @@
+/** @file Tests for unit formatting and the type helpers. */
+
+#include <gtest/gtest.h>
+
+#include "core/types.hh"
+#include "core/units.hh"
+
+using namespace nvsim;
+
+TEST(Units, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(2 * kKiB), "2 KiB");
+    EXPECT_EQ(formatBytes(3 * kMiB), "3 MiB");
+    EXPECT_EQ(formatBytes(192 * kGiB), "192 GiB");
+    EXPECT_EQ(formatBytes(3 * kTiB), "3 TiB");
+}
+
+TEST(Units, FormatBandwidth)
+{
+    EXPECT_EQ(formatBandwidth(30e9), "30.00 GB/s");
+    EXPECT_EQ(formatBandwidth(5.3e9), "5.30 GB/s");
+}
+
+TEST(Units, FormatSeconds)
+{
+    EXPECT_EQ(formatSeconds(2.5), "2.5 s");
+    EXPECT_EQ(formatSeconds(3e-3), "3 ms");
+    EXPECT_EQ(formatSeconds(4e-6), "4 us");
+    EXPECT_EQ(formatSeconds(5e-9), "5 ns");
+}
+
+TEST(Types, LineHelpers)
+{
+    EXPECT_EQ(lineIndex(0), 0u);
+    EXPECT_EQ(lineIndex(63), 0u);
+    EXPECT_EQ(lineIndex(64), 1u);
+    EXPECT_EQ(lineBase(130), 128u);
+    EXPECT_EQ(mediaBlockBase(300), 256u);
+    EXPECT_EQ(mediaBlockBase(255), 0u);
+}
+
+TEST(Types, TickConversion)
+{
+    EXPECT_DOUBLE_EQ(ticksToSeconds(secondsToTicks(1.5)), 1.5);
+    EXPECT_EQ(secondsToTicks(1e-12), 1u);
+}

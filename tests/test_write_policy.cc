@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the write-no-allocate ablation knob: the alternative to
+ * the hardware's insert-on-miss behavior that the paper's critique of
+ * wasted fill traffic implies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "imc/dram_cache.hh"
+#include "kernels/kernels.hh"
+
+using namespace nvsim;
+
+namespace
+{
+
+DramCache
+cacheWith(bool insert_on_write_miss)
+{
+    DramCacheParams p;
+    p.capacity = 64 * kLineSize;
+    p.ddo.mode = DdoMode::None;
+    p.insertOnWriteMiss = insert_on_write_miss;
+    return DramCache(p);
+}
+
+} // namespace
+
+TEST(WriteNoAllocate, MissBypassesToNvram)
+{
+    DramCache c = cacheWith(false);
+    CacheResult r = c.write(0);
+    EXPECT_EQ(r.outcome, CacheOutcome::MissClean);
+    EXPECT_EQ(r.actions.dramReads, 1u);   // tag check still happens
+    EXPECT_EQ(r.actions.dramWrites, 0u);  // no fill, no data write
+    EXPECT_EQ(r.actions.nvramReads, 0u);
+    EXPECT_EQ(r.actions.nvramWrites, 1u);
+    EXPECT_EQ(r.actions.total(), 2u);     // amplification 2, not 4
+    EXPECT_TRUE(r.wroteBack);
+    EXPECT_EQ(r.victim, 0u);  // the write targets the demand address
+    // The cache was not polluted.
+    EXPECT_FALSE(c.resident(0));
+}
+
+TEST(WriteNoAllocate, OccupantSurvivesWriteMiss)
+{
+    DramCache c = cacheWith(false);
+    c.read(0);  // occupant
+    Addr alias = c.numSets() * kLineSize;
+    c.write(alias);
+    EXPECT_TRUE(c.resident(0));
+    EXPECT_FALSE(c.resident(alias));
+    // And the occupant is still a read hit.
+    EXPECT_EQ(c.read(0).outcome, CacheOutcome::Hit);
+}
+
+TEST(WriteNoAllocate, WriteHitsStillUpdateInPlace)
+{
+    DramCache c = cacheWith(false);
+    c.read(0);
+    CacheResult r = c.write(0);
+    EXPECT_EQ(r.outcome, CacheOutcome::Hit);
+    EXPECT_EQ(r.actions.total(), 2u);
+    EXPECT_TRUE(c.residentDirty(0));
+}
+
+TEST(WriteNoAllocate, ReadMissesStillAllocate)
+{
+    DramCache c = cacheWith(false);
+    CacheResult r = c.read(0);
+    EXPECT_EQ(r.actions.total(), 3u);
+    EXPECT_TRUE(c.resident(0));
+}
+
+TEST(WriteNoAllocate, EndToEndMissStreamCheaper)
+{
+    auto run = [&](bool insert) {
+        SystemConfig cfg;
+        cfg.mode = MemoryMode::TwoLm;
+        cfg.scale = 8192;
+        cfg.insertOnWriteMiss = insert;
+        MemorySystem sys(cfg);
+        Region arr = sys.allocate(cfg.dramTotal() * 22 / 10, "arr");
+        primeDirty(sys, arr, 8);
+        sys.resetCounters();
+        KernelConfig k;
+        k.op = KernelOp::WriteOnly;
+        k.nontemporal = true;
+        k.threads = 24;
+        return runKernel(sys, arr, k);
+    };
+    KernelResult with_insert = run(true);
+    KernelResult no_alloc = run(false);
+    // No-allocate cuts the amplification roughly in half...
+    EXPECT_LT(no_alloc.counters.amplification(),
+              with_insert.counters.amplification() - 1.5);
+    // ...and raises effective write bandwidth.
+    EXPECT_GT(no_alloc.effectiveBandwidth,
+              with_insert.effectiveBandwidth);
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ddo.dir/bench_ablation_ddo.cc.o"
+  "CMakeFiles/bench_ablation_ddo.dir/bench_ablation_ddo.cc.o.d"
+  "bench_ablation_ddo"
+  "bench_ablation_ddo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ddo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

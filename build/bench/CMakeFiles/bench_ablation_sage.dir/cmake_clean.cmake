@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sage.dir/bench_ablation_sage.cc.o"
+  "CMakeFiles/bench_ablation_sage.dir/bench_ablation_sage.cc.o.d"
+  "bench_ablation_sage"
+  "bench_ablation_sage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dlrm.dir/bench_ext_dlrm.cc.o"
+  "CMakeFiles/bench_ext_dlrm.dir/bench_ext_dlrm.cc.o.d"
+  "bench_ext_dlrm"
+  "bench_ext_dlrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dlrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dma_mover.dir/bench_ext_dma_mover.cc.o"
+  "CMakeFiles/bench_ext_dma_mover.dir/bench_ext_dma_mover.cc.o.d"
+  "bench_ext_dma_mover"
+  "bench_ext_dma_mover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dma_mover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

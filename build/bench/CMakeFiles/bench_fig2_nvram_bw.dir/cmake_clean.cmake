@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_nvram_bw.dir/bench_fig2_nvram_bw.cc.o"
+  "CMakeFiles/bench_fig2_nvram_bw.dir/bench_fig2_nvram_bw.cc.o.d"
+  "bench_fig2_nvram_bw"
+  "bench_fig2_nvram_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_nvram_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

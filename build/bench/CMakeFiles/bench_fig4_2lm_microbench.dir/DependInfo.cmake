@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_2lm_microbench.cc" "bench/CMakeFiles/bench_fig4_2lm_microbench.dir/bench_fig4_2lm_microbench.cc.o" "gcc" "bench/CMakeFiles/bench_fig4_2lm_microbench.dir/bench_fig4_2lm_microbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/nvsim_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/nvsim_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/imc/CMakeFiles/nvsim_imc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nvsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nvsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_2lm_microbench.dir/bench_fig4_2lm_microbench.cc.o"
+  "CMakeFiles/bench_fig4_2lm_microbench.dir/bench_fig4_2lm_microbench.cc.o.d"
+  "bench_fig4_2lm_microbench"
+  "bench_fig4_2lm_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_2lm_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

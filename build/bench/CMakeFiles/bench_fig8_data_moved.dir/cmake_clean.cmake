@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_data_moved.dir/bench_fig8_data_moved.cc.o"
+  "CMakeFiles/bench_fig8_data_moved.dir/bench_fig8_data_moved.cc.o.d"
+  "bench_fig8_data_moved"
+  "bench_fig8_data_moved.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_data_moved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

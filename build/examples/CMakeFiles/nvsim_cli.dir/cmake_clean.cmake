@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvsim_cli.dir/nvsim_cli.cpp.o"
+  "CMakeFiles/nvsim_cli.dir/nvsim_cli.cpp.o.d"
+  "nvsim_cli"
+  "nvsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

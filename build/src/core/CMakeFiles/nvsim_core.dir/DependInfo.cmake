@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/csv.cc" "src/core/CMakeFiles/nvsim_core.dir/csv.cc.o" "gcc" "src/core/CMakeFiles/nvsim_core.dir/csv.cc.o.d"
+  "/root/repo/src/core/lfsr.cc" "src/core/CMakeFiles/nvsim_core.dir/lfsr.cc.o" "gcc" "src/core/CMakeFiles/nvsim_core.dir/lfsr.cc.o.d"
+  "/root/repo/src/core/logging.cc" "src/core/CMakeFiles/nvsim_core.dir/logging.cc.o" "gcc" "src/core/CMakeFiles/nvsim_core.dir/logging.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/nvsim_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/nvsim_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/timeseries.cc" "src/core/CMakeFiles/nvsim_core.dir/timeseries.cc.o" "gcc" "src/core/CMakeFiles/nvsim_core.dir/timeseries.cc.o.d"
+  "/root/repo/src/core/units.cc" "src/core/CMakeFiles/nvsim_core.dir/units.cc.o" "gcc" "src/core/CMakeFiles/nvsim_core.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvsim_core.dir/csv.cc.o"
+  "CMakeFiles/nvsim_core.dir/csv.cc.o.d"
+  "CMakeFiles/nvsim_core.dir/lfsr.cc.o"
+  "CMakeFiles/nvsim_core.dir/lfsr.cc.o.d"
+  "CMakeFiles/nvsim_core.dir/logging.cc.o"
+  "CMakeFiles/nvsim_core.dir/logging.cc.o.d"
+  "CMakeFiles/nvsim_core.dir/stats.cc.o"
+  "CMakeFiles/nvsim_core.dir/stats.cc.o.d"
+  "CMakeFiles/nvsim_core.dir/timeseries.cc.o"
+  "CMakeFiles/nvsim_core.dir/timeseries.cc.o.d"
+  "CMakeFiles/nvsim_core.dir/units.cc.o"
+  "CMakeFiles/nvsim_core.dir/units.cc.o.d"
+  "libnvsim_core.a"
+  "libnvsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

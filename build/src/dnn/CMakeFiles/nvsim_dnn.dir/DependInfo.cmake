@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/arena.cc" "src/dnn/CMakeFiles/nvsim_dnn.dir/arena.cc.o" "gcc" "src/dnn/CMakeFiles/nvsim_dnn.dir/arena.cc.o.d"
+  "/root/repo/src/dnn/autotm.cc" "src/dnn/CMakeFiles/nvsim_dnn.dir/autotm.cc.o" "gcc" "src/dnn/CMakeFiles/nvsim_dnn.dir/autotm.cc.o.d"
+  "/root/repo/src/dnn/densenet.cc" "src/dnn/CMakeFiles/nvsim_dnn.dir/densenet.cc.o" "gcc" "src/dnn/CMakeFiles/nvsim_dnn.dir/densenet.cc.o.d"
+  "/root/repo/src/dnn/embedding.cc" "src/dnn/CMakeFiles/nvsim_dnn.dir/embedding.cc.o" "gcc" "src/dnn/CMakeFiles/nvsim_dnn.dir/embedding.cc.o.d"
+  "/root/repo/src/dnn/executor.cc" "src/dnn/CMakeFiles/nvsim_dnn.dir/executor.cc.o" "gcc" "src/dnn/CMakeFiles/nvsim_dnn.dir/executor.cc.o.d"
+  "/root/repo/src/dnn/graph.cc" "src/dnn/CMakeFiles/nvsim_dnn.dir/graph.cc.o" "gcc" "src/dnn/CMakeFiles/nvsim_dnn.dir/graph.cc.o.d"
+  "/root/repo/src/dnn/inception.cc" "src/dnn/CMakeFiles/nvsim_dnn.dir/inception.cc.o" "gcc" "src/dnn/CMakeFiles/nvsim_dnn.dir/inception.cc.o.d"
+  "/root/repo/src/dnn/liveness.cc" "src/dnn/CMakeFiles/nvsim_dnn.dir/liveness.cc.o" "gcc" "src/dnn/CMakeFiles/nvsim_dnn.dir/liveness.cc.o.d"
+  "/root/repo/src/dnn/networks.cc" "src/dnn/CMakeFiles/nvsim_dnn.dir/networks.cc.o" "gcc" "src/dnn/CMakeFiles/nvsim_dnn.dir/networks.cc.o.d"
+  "/root/repo/src/dnn/planner.cc" "src/dnn/CMakeFiles/nvsim_dnn.dir/planner.cc.o" "gcc" "src/dnn/CMakeFiles/nvsim_dnn.dir/planner.cc.o.d"
+  "/root/repo/src/dnn/resnet.cc" "src/dnn/CMakeFiles/nvsim_dnn.dir/resnet.cc.o" "gcc" "src/dnn/CMakeFiles/nvsim_dnn.dir/resnet.cc.o.d"
+  "/root/repo/src/dnn/vgg.cc" "src/dnn/CMakeFiles/nvsim_dnn.dir/vgg.cc.o" "gcc" "src/dnn/CMakeFiles/nvsim_dnn.dir/vgg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sys/CMakeFiles/nvsim_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/imc/CMakeFiles/nvsim_imc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nvsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nvsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

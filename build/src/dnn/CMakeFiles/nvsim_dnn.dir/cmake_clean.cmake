@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvsim_dnn.dir/arena.cc.o"
+  "CMakeFiles/nvsim_dnn.dir/arena.cc.o.d"
+  "CMakeFiles/nvsim_dnn.dir/autotm.cc.o"
+  "CMakeFiles/nvsim_dnn.dir/autotm.cc.o.d"
+  "CMakeFiles/nvsim_dnn.dir/densenet.cc.o"
+  "CMakeFiles/nvsim_dnn.dir/densenet.cc.o.d"
+  "CMakeFiles/nvsim_dnn.dir/embedding.cc.o"
+  "CMakeFiles/nvsim_dnn.dir/embedding.cc.o.d"
+  "CMakeFiles/nvsim_dnn.dir/executor.cc.o"
+  "CMakeFiles/nvsim_dnn.dir/executor.cc.o.d"
+  "CMakeFiles/nvsim_dnn.dir/graph.cc.o"
+  "CMakeFiles/nvsim_dnn.dir/graph.cc.o.d"
+  "CMakeFiles/nvsim_dnn.dir/inception.cc.o"
+  "CMakeFiles/nvsim_dnn.dir/inception.cc.o.d"
+  "CMakeFiles/nvsim_dnn.dir/liveness.cc.o"
+  "CMakeFiles/nvsim_dnn.dir/liveness.cc.o.d"
+  "CMakeFiles/nvsim_dnn.dir/networks.cc.o"
+  "CMakeFiles/nvsim_dnn.dir/networks.cc.o.d"
+  "CMakeFiles/nvsim_dnn.dir/planner.cc.o"
+  "CMakeFiles/nvsim_dnn.dir/planner.cc.o.d"
+  "CMakeFiles/nvsim_dnn.dir/resnet.cc.o"
+  "CMakeFiles/nvsim_dnn.dir/resnet.cc.o.d"
+  "CMakeFiles/nvsim_dnn.dir/vgg.cc.o"
+  "CMakeFiles/nvsim_dnn.dir/vgg.cc.o.d"
+  "libnvsim_dnn.a"
+  "libnvsim_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvsim_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvsim_graphs.dir/algorithms.cc.o"
+  "CMakeFiles/nvsim_graphs.dir/algorithms.cc.o.d"
+  "CMakeFiles/nvsim_graphs.dir/csr.cc.o"
+  "CMakeFiles/nvsim_graphs.dir/csr.cc.o.d"
+  "CMakeFiles/nvsim_graphs.dir/generators.cc.o"
+  "CMakeFiles/nvsim_graphs.dir/generators.cc.o.d"
+  "CMakeFiles/nvsim_graphs.dir/runner.cc.o"
+  "CMakeFiles/nvsim_graphs.dir/runner.cc.o.d"
+  "libnvsim_graphs.a"
+  "libnvsim_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvsim_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imc/channel.cc" "src/imc/CMakeFiles/nvsim_imc.dir/channel.cc.o" "gcc" "src/imc/CMakeFiles/nvsim_imc.dir/channel.cc.o.d"
+  "/root/repo/src/imc/counters.cc" "src/imc/CMakeFiles/nvsim_imc.dir/counters.cc.o" "gcc" "src/imc/CMakeFiles/nvsim_imc.dir/counters.cc.o.d"
+  "/root/repo/src/imc/ddo.cc" "src/imc/CMakeFiles/nvsim_imc.dir/ddo.cc.o" "gcc" "src/imc/CMakeFiles/nvsim_imc.dir/ddo.cc.o.d"
+  "/root/repo/src/imc/dram_cache.cc" "src/imc/CMakeFiles/nvsim_imc.dir/dram_cache.cc.o" "gcc" "src/imc/CMakeFiles/nvsim_imc.dir/dram_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/nvsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nvsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvsim_imc.dir/channel.cc.o"
+  "CMakeFiles/nvsim_imc.dir/channel.cc.o.d"
+  "CMakeFiles/nvsim_imc.dir/counters.cc.o"
+  "CMakeFiles/nvsim_imc.dir/counters.cc.o.d"
+  "CMakeFiles/nvsim_imc.dir/ddo.cc.o"
+  "CMakeFiles/nvsim_imc.dir/ddo.cc.o.d"
+  "CMakeFiles/nvsim_imc.dir/dram_cache.cc.o"
+  "CMakeFiles/nvsim_imc.dir/dram_cache.cc.o.d"
+  "libnvsim_imc.a"
+  "libnvsim_imc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvsim_imc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvsim_kernels.dir/kernels.cc.o"
+  "CMakeFiles/nvsim_kernels.dir/kernels.cc.o.d"
+  "CMakeFiles/nvsim_kernels.dir/pattern.cc.o"
+  "CMakeFiles/nvsim_kernels.dir/pattern.cc.o.d"
+  "libnvsim_kernels.a"
+  "libnvsim_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvsim_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvsim_mem.dir/dram.cc.o"
+  "CMakeFiles/nvsim_mem.dir/dram.cc.o.d"
+  "CMakeFiles/nvsim_mem.dir/nvram.cc.o"
+  "CMakeFiles/nvsim_mem.dir/nvram.cc.o.d"
+  "libnvsim_mem.a"
+  "libnvsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnvsim_mem.a"
+)

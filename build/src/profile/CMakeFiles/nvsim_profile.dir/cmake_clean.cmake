@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvsim_profile.dir/characterize.cc.o"
+  "CMakeFiles/nvsim_profile.dir/characterize.cc.o.d"
+  "libnvsim_profile.a"
+  "libnvsim_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvsim_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

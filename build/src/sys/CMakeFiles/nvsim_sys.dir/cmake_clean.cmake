@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvsim_sys.dir/config.cc.o"
+  "CMakeFiles/nvsim_sys.dir/config.cc.o.d"
+  "CMakeFiles/nvsim_sys.dir/llc.cc.o"
+  "CMakeFiles/nvsim_sys.dir/llc.cc.o.d"
+  "CMakeFiles/nvsim_sys.dir/memsys.cc.o"
+  "CMakeFiles/nvsim_sys.dir/memsys.cc.o.d"
+  "libnvsim_sys.a"
+  "libnvsim_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvsim_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

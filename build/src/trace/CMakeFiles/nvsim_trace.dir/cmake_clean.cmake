@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvsim_trace.dir/trace.cc.o"
+  "CMakeFiles/nvsim_trace.dir/trace.cc.o.d"
+  "libnvsim_trace.a"
+  "libnvsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

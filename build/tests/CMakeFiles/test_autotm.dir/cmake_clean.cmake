@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autotm.dir/test_autotm.cc.o"
+  "CMakeFiles/test_autotm.dir/test_autotm.cc.o.d"
+  "test_autotm"
+  "test_autotm.pdb"
+  "test_autotm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autotm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddo.dir/test_ddo.cc.o"
+  "CMakeFiles/test_ddo.dir/test_ddo.cc.o.d"
+  "test_ddo"
+  "test_ddo.pdb"
+  "test_ddo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

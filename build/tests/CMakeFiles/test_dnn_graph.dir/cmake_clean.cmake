@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnn_graph.dir/test_dnn_graph.cc.o"
+  "CMakeFiles/test_dnn_graph.dir/test_dnn_graph.cc.o.d"
+  "test_dnn_graph"
+  "test_dnn_graph.pdb"
+  "test_dnn_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

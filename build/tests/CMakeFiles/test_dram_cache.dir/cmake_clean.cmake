@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_cache.dir/test_dram_cache.cc.o"
+  "CMakeFiles/test_dram_cache.dir/test_dram_cache.cc.o.d"
+  "test_dram_cache"
+  "test_dram_cache.pdb"
+  "test_dram_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

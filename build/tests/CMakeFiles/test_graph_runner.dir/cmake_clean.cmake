@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_runner.dir/test_graph_runner.cc.o"
+  "CMakeFiles/test_graph_runner.dir/test_graph_runner.cc.o.d"
+  "test_graph_runner"
+  "test_graph_runner.pdb"
+  "test_graph_runner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

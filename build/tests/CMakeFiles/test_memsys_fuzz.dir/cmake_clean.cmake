@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsys_fuzz.dir/test_memsys_fuzz.cc.o"
+  "CMakeFiles/test_memsys_fuzz.dir/test_memsys_fuzz.cc.o.d"
+  "test_memsys_fuzz"
+  "test_memsys_fuzz.pdb"
+  "test_memsys_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsys_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

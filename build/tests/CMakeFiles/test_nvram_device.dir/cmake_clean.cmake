@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvram_device.dir/test_nvram_device.cc.o"
+  "CMakeFiles/test_nvram_device.dir/test_nvram_device.cc.o.d"
+  "test_nvram_device"
+  "test_nvram_device.pdb"
+  "test_nvram_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvram_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

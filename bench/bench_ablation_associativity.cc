@@ -136,6 +136,7 @@ main()
             fmt("%f", r.counters.amplification())});
     }
     t2.print();
+    csv.close();
     std::printf("\nrows written to ablation_associativity.csv\n");
     return 0;
 }

@@ -100,6 +100,7 @@ main()
         t.print();
         std::printf("\n");
     }
+    csv.close();
     std::printf("rows written to ablation_ddo.csv\n");
     return 0;
 }

@@ -69,6 +69,7 @@ main()
         t.print();
         std::printf("\n");
     }
+    csv.close();
     std::printf("rows written to ablation_sage.csv\n");
     return 0;
 }

@@ -114,6 +114,7 @@ main()
                 "are later re-read lose their hits. The paper's point "
                 "stands: one fixed hardware policy cannot match "
                 "software knowledge of data lifetimes.\n");
+    csv.close();
     std::printf("rows written to ablation_write_policy.csv\n");
     return 0;
 }

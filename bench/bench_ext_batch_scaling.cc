@@ -111,6 +111,7 @@ main()
     }
     t.print();
 
+    csv.close();
     std::printf("\nrows written to ext_batch_scaling.csv\n");
     return 0;
 }

@@ -111,6 +111,7 @@ main()
         std::printf("\n");
       }
     }
+    csv.close();
     std::printf("rows written to ext_dlrm.csv\n");
     return 0;
 }

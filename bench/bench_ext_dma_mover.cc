@@ -99,6 +99,7 @@ main()
     }
     t.print();
 
+    csv.close();
     std::printf("\nrows written to ext_dma_mover.csv\n");
     return 0;
 }

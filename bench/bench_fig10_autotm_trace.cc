@@ -105,6 +105,7 @@ main()
                                              fmt("%f", s.value)});
         }
     }
+    csv.close();
     std::printf("\nwindow-averaged trace written to "
                 "fig10_autotm_trace.csv\n");
     return 0;

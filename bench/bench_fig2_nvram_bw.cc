@@ -102,6 +102,7 @@ main()
            "random <256B collapses from write amplification");
     sweep("2b", KernelOp::WriteOnly, csv);
 
+    csv.close();
     std::printf("\nseries written to fig2_nvram_bw.csv\n");
     return 0;
 }

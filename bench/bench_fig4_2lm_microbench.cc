@@ -114,6 +114,7 @@ main()
         std::printf("\n");
     }
 
+    csv.close();
     std::printf("series written to fig4_2lm_microbench.csv\n");
     return 0;
 }

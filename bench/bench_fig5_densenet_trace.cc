@@ -138,6 +138,7 @@ main()
                                        static_cast<unsigned long long>(
                                            hi))});
         }
+        csv.close();
     }
 
     std::printf("\ntraces written to fig5_traces.csv, arena map to "

@@ -92,6 +92,7 @@ main()
                     100.0 * secs / fwd_total);
     }
 
+    csv.close();
     std::printf("\nsnapshot written to fig6_kernel_snapshot.csv\n");
     return 0;
 }

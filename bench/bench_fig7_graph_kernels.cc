@@ -81,6 +81,7 @@ main()
     CsrGraph wdc = wdc12Like();
     runGraph("wdc12-like (7b)", wdc, csv);
 
+    csv.close();
     std::printf("series written to fig7_graph_kernels.csv\n");
     return 0;
 }

@@ -78,6 +78,7 @@ main()
     std::printf("\n(GB values are at simulation scale 1/%llu; multiply "
                 "by the scale for paper-equivalent magnitudes)\n",
                 static_cast<unsigned long long>(kGraphScale));
+    csv.close();
     std::printf("series written to fig8_data_moved.csv\n");
     return 0;
 }

@@ -125,6 +125,7 @@ main()
     std::printf("\n(GB at scale 1/%llu; multiply by the scale for "
                 "paper-equivalent magnitudes)\n",
                 static_cast<unsigned long long>(kScale));
+    csv.close();
     std::printf("rows written to table2_cnn_comparison.csv\n");
     return 0;
 }

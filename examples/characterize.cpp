@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "profile/characterize.hh"
+#include "sys/memsys.hh"
 
 using namespace nvsim;
 
@@ -30,5 +31,27 @@ main()
     std::printf("\nwith 128 GiB-class DIMMs (6.8 GB/s media read):\n\n");
     profile::SystemProfile pf = profile::characterize(fast, 8 * kMiB);
     std::printf("%s", profile::report(pf).c_str());
+
+    // An aging machine: seeded media faults and ECC-corrupted 2LM
+    // tags (DESIGN.md §5). The same characterization shows how much
+    // bandwidth the fault handling costs; the FaultLog records what
+    // was injected.
+    SystemConfig aging = cfg;
+    aging.fault.seed = 7;
+    aging.fault.nvramReadCorrectable = 1e-3;
+    aging.fault.nvramReadUncorrectable = 1e-5;
+    aging.fault.tagEccUncorrectable = 1e-4;
+    std::printf("\nsame machine with aging DIMMs (media error rate "
+                "1e-3, tag-ECC fault rate 1e-4):\n\n");
+    profile::SystemProfile pa = profile::characterize(aging, 8 * kMiB);
+    std::printf("%s", profile::report(pa).c_str());
+
+    MemorySystem sys(aging);
+    Region arr = sys.allocate(4 * kMiB, "probe");
+    for (Addr a = arr.base; a < arr.base + arr.size; a += kLineSize)
+        sys.touchLine(0, CpuOp::Load, a);
+    sys.quiesce();
+    std::printf("\nfault log after a 4 MiB read sweep:\n%s",
+                sys.faultLog().summary().c_str());
     return 0;
 }

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Tier-1 CI: configure, build and run the full test suite twice —
+# once plain, once under AddressSanitizer + UBSan (-DNVSIM_SANITIZE=ON).
+# Any test failure or sanitizer report fails the script.
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_suite() {
+    build_dir=$1
+    shift
+    echo "=== configuring $build_dir ($*) ==="
+    cmake -B "$root/$build_dir" -S "$root" "$@"
+    echo "=== building $build_dir ==="
+    cmake --build "$root/$build_dir" -j "$jobs"
+    echo "=== testing $build_dir ==="
+    ctest --test-dir "$root/$build_dir" --output-on-failure -j "$jobs"
+}
+
+run_suite build -DNVSIM_SANITIZE=OFF
+run_suite build-asan -DNVSIM_SANITIZE=ON
+
+echo "CI passed: plain and sanitized suites green."

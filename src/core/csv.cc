@@ -6,10 +6,23 @@
 namespace nvsim
 {
 
-CsvWriter::CsvWriter(const std::string &path) : out_(path)
+CsvWriter::CsvWriter(const std::string &path) : out_(path), path_(path)
 {
     if (!out_)
         fatal("cannot open CSV output file '%s'", path.c_str());
+}
+
+CsvWriter::~CsvWriter()
+{
+    // A destructor must not exit the process; close() explicitly from
+    // benches to turn a failed flush into a nonzero exit.
+    if (closed_)
+        return;
+    out_.flush();
+    if (!out_)
+        warn("CSV output file '%s' failed on final flush; file is "
+             "truncated or missing data",
+             path_.c_str());
 }
 
 std::string
@@ -28,6 +41,15 @@ CsvWriter::escape(const std::string &field)
 }
 
 void
+CsvWriter::check()
+{
+    if (!out_)
+        fatal("write to CSV output file '%s' failed (disk full or "
+              "unwritable path?)",
+              path_.c_str());
+}
+
+void
 CsvWriter::row(const std::vector<std::string> &fields)
 {
     for (size_t i = 0; i < fields.size(); ++i) {
@@ -36,6 +58,7 @@ CsvWriter::row(const std::vector<std::string> &fields)
         out_ << escape(fields[i]);
     }
     out_ << '\n';
+    check();
 }
 
 void
@@ -47,6 +70,19 @@ CsvWriter::row(const std::vector<double> &fields)
         out_ << fields[i];
     }
     out_ << '\n';
+    check();
+}
+
+void
+CsvWriter::close()
+{
+    if (closed_)
+        return;
+    out_.flush();
+    check();
+    out_.close();
+    check();
+    closed_ = true;
 }
 
 void
@@ -60,6 +96,7 @@ writeTimeSeriesCsv(const std::string &path, const TimeSeries &series)
                 std::to_string(s.time), name, std::to_string(s.value)});
         }
     }
+    csv.close();
 }
 
 } // namespace nvsim

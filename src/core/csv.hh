@@ -16,12 +16,20 @@ namespace nvsim
 
 class TimeSeries;
 
-/** Streaming CSV writer. */
+/**
+ * Streaming CSV writer. I/O failures are never silent: the
+ * constructor and every row() fatal() on a bad stream (nonzero
+ * process exit, so a bench can't report success over a truncated
+ * CSV), and the destructor flushes and checks one final time.
+ */
 class CsvWriter
 {
   public:
     /** Opens @p path for writing; fatal() on failure. */
     explicit CsvWriter(const std::string &path);
+
+    /** Flushes; warns (cannot throw) if the final flush failed. */
+    ~CsvWriter();
 
     /** Write a header / data row. Fields are quoted when needed. */
     void row(const std::vector<std::string> &fields);
@@ -29,10 +37,25 @@ class CsvWriter
     /** Convenience: numeric row. */
     void row(const std::vector<double> &fields);
 
+    /**
+     * Flush and verify all buffered rows reached the file; fatal() on
+     * failure (disk full, unwritable path). Idempotent; called by the
+     * destructor in a warn-only form.
+     */
+    void close();
+
+    /** Stream health (false once any write has failed). */
+    bool ok() const { return out_.good(); }
+
   private:
     static std::string escape(const std::string &field);
 
+    /** fatal() if the stream went bad. */
+    void check();
+
     std::ofstream out_;
+    std::string path_;
+    bool closed_ = false;
 };
 
 /**

@@ -1,0 +1,183 @@
+#include "fault/fault.hh"
+
+#include "core/logging.hh"
+
+namespace nvsim
+{
+
+void
+FaultConfig::validate() const
+{
+    auto rate = [](double r, const char *name) {
+        if (r < 0 || r > 1)
+            fatal("fault rate %s = %g outside [0, 1]", name, r);
+    };
+    rate(nvramReadCorrectable, "nvramReadCorrectable");
+    rate(nvramReadUncorrectable, "nvramReadUncorrectable");
+    rate(nvramWriteCorrectable, "nvramWriteCorrectable");
+    rate(nvramWriteUncorrectable, "nvramWriteUncorrectable");
+    rate(dramCorrectable, "dramCorrectable");
+    rate(tagEccUncorrectable, "tagEccUncorrectable");
+    if (maxRetries == 0)
+        fatal("fault maxRetries must be at least 1");
+    if (retryLatency < 0)
+        fatal("fault retryLatency must be nonnegative");
+    if (throttle.enabled()) {
+        if (throttle.factor <= 0 || throttle.factor > 1)
+            fatal("throttle factor %g outside (0, 1]", throttle.factor);
+        if (throttle.effectiveReleaseBandwidth() >
+            throttle.engageBandwidth)
+            fatal("throttle release threshold above engage threshold "
+                  "(no hysteresis)");
+        if (throttle.engageEpochs == 0 || throttle.releaseEpochs == 0)
+            fatal("throttle engage/release epoch counts must be "
+                  "positive");
+    }
+}
+
+ThrottleState::Transition
+ThrottleState::observe(double media_write_rate)
+{
+    if (!config_.enabled())
+        return Transition::None;
+
+    if (!engaged_) {
+        if (media_write_rate > config_.engageBandwidth) {
+            if (++hotEpochs_ >= config_.engageEpochs) {
+                engaged_ = true;
+                hotEpochs_ = 0;
+                coolEpochs_ = 0;
+                return Transition::Engaged;
+            }
+        } else {
+            hotEpochs_ = 0;
+        }
+    } else {
+        if (media_write_rate < config_.effectiveReleaseBandwidth()) {
+            if (++coolEpochs_ >= config_.releaseEpochs) {
+                engaged_ = false;
+                hotEpochs_ = 0;
+                coolEpochs_ = 0;
+                return Transition::Released;
+            }
+        } else {
+            coolEpochs_ = 0;
+        }
+    }
+    return Transition::None;
+}
+
+FaultPlan::FaultPlan(const FaultConfig &config, unsigned channel_index)
+    : config_(config), enabled_(config.enabled())
+{
+    config_.validate();
+    // Derive an independent stream per channel from the master seed.
+    std::uint64_t x = config.seed;
+    splitmix64(x);
+    x ^= 0x632BE59BD9B4E019ull * (channel_index + 1);
+    rng_ = Rng(splitmix64(x));
+}
+
+MediaFault
+FaultPlan::mediaDraw(double correctable, double uncorrectable)
+{
+    MediaFault f;
+    if (!enabled_ || (correctable <= 0 && uncorrectable <= 0))
+        return f;
+    double u = rng_.uniform();
+    if (u < uncorrectable) {
+        // Escalation: the controller exhausts its retries and reports
+        // an uncorrectable error; the line is poisoned.
+        f.uncorrectable = true;
+        f.retries = static_cast<std::uint8_t>(config_.maxRetries);
+    } else if (u < uncorrectable + correctable) {
+        f.correctable = true;
+        f.retries = static_cast<std::uint8_t>(retryRounds());
+    }
+    return f;
+}
+
+MediaFault
+FaultPlan::dramRead()
+{
+    return mediaDraw(config_.dramCorrectable,
+                     config_.tagEccUncorrectable);
+}
+
+unsigned
+FaultPlan::retryRounds()
+{
+    if (config_.maxRetries <= 1)
+        return 1;
+    return 1 + static_cast<unsigned>(rng_.below(config_.maxRetries));
+}
+
+const char *
+faultEventKindName(FaultEventKind kind)
+{
+    switch (kind) {
+      case FaultEventKind::CorrectableMedia:
+        return "correctable_media";
+      case FaultEventKind::UncorrectableMedia:
+        return "uncorrectable_media";
+      case FaultEventKind::TagEccInvalidate:
+        return "tag_ecc_invalidate";
+      case FaultEventKind::DramUncorrectable:
+        return "dram_uncorrectable";
+      case FaultEventKind::PoisonConsumed:
+        return "poison_consumed_mce";
+      case FaultEventKind::ThrottleEngaged:
+        return "throttle_engaged";
+      case FaultEventKind::ThrottleReleased:
+        return "throttle_released";
+      case FaultEventKind::ChannelOfflined:
+        return "channel_offlined";
+    }
+    return "unknown";
+}
+
+void
+FaultLog::record(double time, unsigned channel, FaultEventKind kind,
+                 Addr addr)
+{
+    ++counts_[static_cast<std::size_t>(kind)];
+    if (events_.size() < kMaxEvents)
+        events_.push_back(Event{time, channel, kind, addr});
+}
+
+std::uint64_t
+FaultLog::count(FaultEventKind kind) const
+{
+    return counts_[static_cast<std::size_t>(kind)];
+}
+
+bool
+FaultLog::empty() const
+{
+    for (std::uint64_t c : counts_) {
+        if (c)
+            return false;
+    }
+    return poisonCreated_ == 0 && poisonPropagated_ == 0 &&
+           poisonCleared_ == 0;
+}
+
+std::string
+FaultLog::summary() const
+{
+    std::string s;
+    for (std::size_t k = 0; k < 8; ++k) {
+        if (!counts_[k])
+            continue;
+        s += strprintf("%s: %llu\n",
+                       faultEventKindName(static_cast<FaultEventKind>(k)),
+                       static_cast<unsigned long long>(counts_[k]));
+    }
+    s += strprintf("poison created/propagated/cleared: %llu/%llu/%llu\n",
+                   static_cast<unsigned long long>(poisonCreated_),
+                   static_cast<unsigned long long>(poisonPropagated_),
+                   static_cast<unsigned long long>(poisonCleared_));
+    return s;
+}
+
+} // namespace nvsim

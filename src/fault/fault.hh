@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection and graceful degradation for
+ * the simulated memory hierarchy.
+ *
+ * The paper models a *perfect* machine, yet its central mechanism —
+ * tags stored in the DRAM ECC bits — has a failure mode unique to the
+ * 2LM design: a DRAM ECC fault corrupts cache *metadata*, not just
+ * data. The controller can no longer trust the tag, must invalidate
+ * the line and refetch it from NVRAM, adding device accesses that 1LM
+ * never pays. Real Optane DIMMs additionally exhibit correctable and
+ * uncorrectable media errors and write thermal throttling (Peng et
+ * al., "System Evaluation of the Intel Optane Byte-addressable NVM").
+ *
+ * This module provides:
+ *  - FaultConfig:   per-device error rates, retry semantics and
+ *                   throttle thresholds, carried in SystemConfig. All
+ *                   rates default to zero; a zero-rate plan is
+ *                   behavior-neutral (no RNG draws, no timing change).
+ *  - FaultPlan:     a per-channel seeded RNG that turns the rates into
+ *                   concrete injection decisions. Deterministic for a
+ *                   fixed (seed, channel, access stream).
+ *  - ThrottleState: per-DIMM hysteretic thermal-throttle automaton
+ *                   driven by sustained media write bandwidth.
+ *  - FaultLog:      machine-level record of injections, poison
+ *                   creation/propagation/consumption (machine checks),
+ *                   throttle transitions and channel offlining.
+ */
+
+#ifndef NVSIM_FAULT_FAULT_HH
+#define NVSIM_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.hh"
+#include "core/types.hh"
+
+namespace nvsim
+{
+
+/**
+ * Thermal-throttle configuration of one NVRAM DIMM. Disabled unless
+ * engageBandwidth is positive.
+ */
+struct ThrottleConfig
+{
+    /** Sustained media-write rate (bytes/s) that triggers throttling. */
+    double engageBandwidth = 0;
+    /**
+     * Rate below which a throttled DIMM recovers. Must be below
+     * engageBandwidth for hysteresis; 0 defaults to half the engage
+     * threshold.
+     */
+    double releaseBandwidth = 0;
+    /** Consecutive epochs above/below threshold before transitioning. */
+    unsigned engageEpochs = 2;
+    unsigned releaseEpochs = 2;
+    /** Write-bandwidth multiplier while throttled (0 < factor <= 1). */
+    double factor = 0.4;
+
+    bool enabled() const { return engageBandwidth > 0; }
+    double
+    effectiveReleaseBandwidth() const
+    {
+        return releaseBandwidth > 0 ? releaseBandwidth
+                                    : engageBandwidth / 2;
+    }
+};
+
+/** Fault-injection configuration (all rates are per-transaction). */
+struct FaultConfig
+{
+    /** Master seed; each channel derives its own stream from it. */
+    std::uint64_t seed = 1;
+
+    /** NVRAM media error rates per 64 B demand transaction. */
+    double nvramReadCorrectable = 0;
+    double nvramReadUncorrectable = 0;
+    double nvramWriteCorrectable = 0;
+    double nvramWriteUncorrectable = 0;
+
+    /** DRAM data ECC correctable rate per tag-check / data read. */
+    double dramCorrectable = 0;
+    /**
+     * Uncorrectable ECC fault in the DRAM bits that hold the 2LM tag:
+     * the controller must invalidate the line and refetch from NVRAM.
+     * In 1LM (no tags in ECC) the same event is a plain uncorrectable
+     * data error: the line is poisoned.
+     */
+    double tagEccUncorrectable = 0;
+
+    /** Transient-error retry model. */
+    unsigned maxRetries = 3;
+    double retryLatency = 2e-6;  //!< seconds per retry round trip
+
+    ThrottleConfig throttle;
+
+    /** True iff any injection or degradation mechanism is active. */
+    bool
+    enabled() const
+    {
+        return nvramReadCorrectable > 0 || nvramReadUncorrectable > 0 ||
+               nvramWriteCorrectable > 0 ||
+               nvramWriteUncorrectable > 0 || dramCorrectable > 0 ||
+               tagEccUncorrectable > 0 || throttle.enabled();
+    }
+
+    /** Reject rates outside [0,1] and nonsensical retry/throttle knobs. */
+    void validate() const;
+};
+
+/** Outcome of one fault draw against a device transaction. */
+struct MediaFault
+{
+    std::uint8_t retries = 0;   //!< retry rounds spent (latency cost)
+    bool correctable = false;   //!< transient error, data recovered
+    bool uncorrectable = false; //!< data lost; the line is poisoned
+
+    bool any() const { return correctable || uncorrectable; }
+};
+
+/**
+ * Hysteretic per-DIMM thermal-throttle automaton. Fed the media write
+ * rate of each epoch; engages after engageEpochs consecutive epochs
+ * above the engage threshold, releases after releaseEpochs consecutive
+ * epochs below the release threshold.
+ */
+class ThrottleState
+{
+  public:
+    ThrottleState() = default;
+    explicit ThrottleState(const ThrottleConfig &config)
+        : config_(config)
+    {
+    }
+
+    /** Transition produced by one epoch observation. */
+    enum class Transition : std::uint8_t { None, Engaged, Released };
+
+    /**
+     * Observe one epoch's sustained media write rate (bytes/s).
+     * Returns the transition, if any, that the observation caused.
+     */
+    Transition observe(double media_write_rate);
+
+    bool engaged() const { return engaged_; }
+
+    /** Current write-bandwidth multiplier (1.0 when not throttled). */
+    double
+    factor() const
+    {
+        return engaged_ ? config_.factor : 1.0;
+    }
+
+    const ThrottleConfig &config() const { return config_; }
+
+    void
+    reset()
+    {
+        engaged_ = false;
+        hotEpochs_ = 0;
+        coolEpochs_ = 0;
+    }
+
+  private:
+    ThrottleConfig config_;
+    bool engaged_ = false;
+    unsigned hotEpochs_ = 0;   //!< consecutive epochs above engage
+    unsigned coolEpochs_ = 0;  //!< consecutive epochs below release
+};
+
+/**
+ * Per-channel injection decision stream. A disabled plan (default
+ * construction, or a FaultConfig with all rates zero) never touches
+ * its RNG and costs one branch per hook.
+ */
+class FaultPlan
+{
+  public:
+    /** Disabled plan: every draw returns "no fault". */
+    FaultPlan() = default;
+
+    FaultPlan(const FaultConfig &config, unsigned channel_index);
+
+    bool enabled() const { return enabled_; }
+    const FaultConfig &config() const { return config_; }
+
+    /** Draw the fault outcome for one NVRAM demand read / write. */
+    MediaFault nvramRead() { return mediaDraw(config_.nvramReadCorrectable, config_.nvramReadUncorrectable); }
+    MediaFault nvramWrite() { return mediaDraw(config_.nvramWriteCorrectable, config_.nvramWriteUncorrectable); }
+
+    /**
+     * Draw for one DRAM read that carries data (and, in 2LM, the
+     * in-ECC tag). A correctable outcome costs retries; an
+     * uncorrectable outcome corrupts the tag bits (2LM) or poisons the
+     * data (1LM).
+     */
+    MediaFault dramRead();
+
+    /** Number of retry rounds for a correctable (transient) error. */
+    unsigned retryRounds();
+
+  private:
+    MediaFault mediaDraw(double correctable, double uncorrectable);
+
+    FaultConfig config_;
+    Rng rng_;
+    bool enabled_ = false;
+};
+
+/** Categories of recorded fault events. */
+enum class FaultEventKind : std::uint8_t {
+    CorrectableMedia,    //!< NVRAM media error, recovered by retry
+    UncorrectableMedia,  //!< NVRAM media error, line poisoned
+    TagEccInvalidate,    //!< DRAM ECC fault corrupted a 2LM tag
+    DramUncorrectable,   //!< DRAM ECC fault poisoned 1LM data
+    PoisonConsumed,      //!< demand load hit poison: machine check
+    ThrottleEngaged,
+    ThrottleReleased,
+    ChannelOfflined,
+};
+
+const char *faultEventKindName(FaultEventKind kind);
+
+/**
+ * Machine-level fault record. Aggregate counts are always exact; the
+ * per-event list is capped (kMaxEvents) so pathological fuzz runs
+ * cannot exhaust memory.
+ */
+class FaultLog
+{
+  public:
+    struct Event
+    {
+        double time = 0;
+        unsigned channel = 0;
+        FaultEventKind kind = FaultEventKind::CorrectableMedia;
+        Addr addr = 0;
+    };
+
+    static constexpr std::size_t kMaxEvents = 1u << 16;
+
+    void record(double time, unsigned channel, FaultEventKind kind,
+                Addr addr = 0);
+
+    /** Poison bookkeeping (called by the MemorySystem). */
+    void notePoisonCreated() { ++poisonCreated_; }
+    void notePoisonPropagated() { ++poisonPropagated_; }
+    void notePoisonCleared() { ++poisonCleared_; }
+
+    const std::vector<Event> &events() const { return events_; }
+    std::uint64_t count(FaultEventKind kind) const;
+
+    std::uint64_t correctable() const { return count(FaultEventKind::CorrectableMedia); }
+    std::uint64_t uncorrectable() const { return count(FaultEventKind::UncorrectableMedia); }
+    std::uint64_t tagEccInvalidates() const { return count(FaultEventKind::TagEccInvalidate); }
+    std::uint64_t machineChecks() const { return count(FaultEventKind::PoisonConsumed); }
+    std::uint64_t poisonCreated() const { return poisonCreated_; }
+    std::uint64_t poisonPropagated() const { return poisonPropagated_; }
+    std::uint64_t poisonCleared() const { return poisonCleared_; }
+
+    bool empty() const;
+
+    /** Human-readable one-line-per-count summary. */
+    std::string summary() const;
+
+  private:
+    std::vector<Event> events_;
+    std::uint64_t counts_[8] = {};
+    std::uint64_t poisonCreated_ = 0;
+    std::uint64_t poisonPropagated_ = 0;
+    std::uint64_t poisonCleared_ = 0;
+};
+
+} // namespace nvsim
+
+#endif // NVSIM_FAULT_FAULT_HH

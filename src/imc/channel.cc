@@ -19,8 +19,23 @@ ChannelController::ChannelController(const ChannelParams &params,
       nvram_(params.nvram),
       cache_(DramCacheParams{params.dram.capacity, params.ddo,
                              params.cacheWays,
-                             params.insertOnWriteMiss})
+                             params.insertOnWriteMiss}),
+      faultPlan_(params.fault, params.index),
+      throttle_(params.fault.throttle)
 {
+    if (faultPlan_.enabled())
+        nvram_.setFaultPlan(&faultPlan_);
+}
+
+ChannelController::ChannelController(ChannelController &&o) noexcept
+    : params_(std::move(o.params_)), mode_(o.mode_),
+      dram_(std::move(o.dram_)), nvram_(std::move(o.nvram_)),
+      cache_(std::move(o.cache_)), counters_(o.counters_),
+      epochMisses_(o.epochMisses_), faultPlan_(std::move(o.faultPlan_)),
+      throttle_(o.throttle_)
+{
+    // The moved NvramDevice still points at o's plan; re-wire it.
+    nvram_.setFaultPlan(faultPlan_.enabled() ? &faultPlan_ : nullptr);
 }
 
 AccessResult
@@ -32,31 +47,90 @@ ChannelController::handle(const MemRequest &req, MemPool pool)
 }
 
 void
+ChannelController::noteMediaFault(const MediaFault &f,
+                                  AccessResult &result, bool demand_line,
+                                  Addr line)
+{
+    if (!f.any())
+        return;
+    result.fault.retries += f.retries;
+    counters_.retries += f.retries;
+    if (f.correctable) {
+        result.fault.correctable += 1;
+        counters_.correctableErrors += 1;
+    }
+    if (f.uncorrectable) {
+        result.fault.uncorrectable += 1;
+        counters_.uncorrectableErrors += 1;
+        if (demand_line) {
+            result.fault.demandPoisoned = true;
+        } else {
+            result.fault.victimPoisoned = true;
+            result.fault.victimLine = line;
+        }
+    }
+}
+
+void
 ChannelController::applyActions(const MemRequest &req,
-                                const CacheResult &cr)
+                                const CacheResult &cr,
+                                AccessResult &result)
 {
     dram_.read(cr.actions.dramReads);
     dram_.write(cr.actions.dramWrites);
-    if (cr.filled)
-        nvram_.read(cr.fill, req.thread);
-    if (cr.wroteBack)
-        nvram_.write(cr.victim, req.thread);
+    if (cr.filled) {
+        noteMediaFault(nvram_.read(cr.fill, req.thread), result,
+                       /*demand_line=*/true, cr.fill);
+    }
+    if (cr.wroteBack) {
+        noteMediaFault(nvram_.write(cr.victim, req.thread), result,
+                       /*demand_line=*/false, cr.victim);
+    }
 }
 
 AccessResult
 ChannelController::handle2lm(const MemRequest &req)
 {
+    AccessResult result;
+
+    if (faultPlan_.enabled()) {
+        // DRAM ECC fault on the location this request probes/writes.
+        // Uncorrectable faults hit the in-ECC tag bits: the controller
+        // cannot trust the tag, drops the line (losing dirty data) and
+        // the access below re-runs as a miss — the extra NVRAM fetch
+        // that only the tags-in-ECC design pays. Correctable faults
+        // cost retry latency only.
+        MediaFault df = faultPlan_.dramRead();
+        if (df.uncorrectable) {
+            DramCache::TagCorruption tc = cache_.corruptTag(req.addr);
+            counters_.tagEccInvalidates += 1;
+            counters_.uncorrectableErrors += 1;
+            counters_.retries += df.retries;
+            result.fault.tagEccInvalidate = true;
+            result.fault.uncorrectable += 1;
+            result.fault.retries += df.retries;
+            if (tc.dropped && tc.wasDirty) {
+                result.fault.victimPoisoned = true;
+                result.fault.victimLine = tc.line;
+            }
+        } else if (df.correctable) {
+            counters_.correctableErrors += 1;
+            counters_.retries += df.retries;
+            result.fault.correctable += 1;
+            result.fault.retries += df.retries;
+        }
+    }
+
     CacheResult cr = req.kind == MemRequestKind::LlcRead
                          ? cache_.read(req.addr)
                          : cache_.write(req.addr);
-    applyActions(req, cr);
+    applyActions(req, cr, result);
 
     counters_.addOutcome(req.kind, cr.outcome);
     counters_.addActions(cr.actions);
     if (cr.filled)
         ++epochMisses_;
 
-    AccessResult result;
     result.outcome = cr.outcome;
     result.actions = cr.actions;
     if (req.kind == MemRequestKind::LlcRead) {
@@ -74,6 +148,8 @@ ChannelController::handle2lm(const MemRequest &req)
                              ? params_.nvram.writeLatency
                              : params_.dram.latency;
     }
+    if (result.fault.retries)
+        result.latency += result.fault.retries * params_.fault.retryLatency;
     return result;
 }
 
@@ -90,8 +166,27 @@ ChannelController::handle1lm(const MemRequest &req, MemPool pool)
             counters_.dramRead += 1;
             result.actions.dramReads = 1;
             result.latency = params_.dram.latency;
+            if (faultPlan_.enabled()) {
+                // 1LM has no tags in the ECC bits: an uncorrectable
+                // ECC fault poisons the data line only.
+                MediaFault df = faultPlan_.dramRead();
+                if (df.uncorrectable) {
+                    counters_.uncorrectableErrors += 1;
+                    counters_.retries += df.retries;
+                    result.fault.uncorrectable += 1;
+                    result.fault.retries += df.retries;
+                    result.fault.demandPoisoned = true;
+                    result.fault.dramUncorrectable = true;
+                } else if (df.correctable) {
+                    counters_.correctableErrors += 1;
+                    counters_.retries += df.retries;
+                    result.fault.correctable += 1;
+                    result.fault.retries += df.retries;
+                }
+            }
         } else {
-            nvram_.read(req.addr, req.thread);
+            noteMediaFault(nvram_.read(req.addr, req.thread), result,
+                           /*demand_line=*/true, req.addr);
             counters_.nvramRead += 1;
             result.actions.nvramReads = 1;
             result.latency = params_.nvram.readLatency;
@@ -103,12 +198,15 @@ ChannelController::handle1lm(const MemRequest &req, MemPool pool)
             result.actions.dramWrites = 1;
             result.latency = params_.dram.latency;
         } else {
-            nvram_.write(req.addr, req.thread);
+            noteMediaFault(nvram_.write(req.addr, req.thread), result,
+                           /*demand_line=*/true, req.addr);
             counters_.nvramWrite += 1;
             result.actions.nvramWrites = 1;
             result.latency = params_.nvram.writeLatency;
         }
     }
+    if (result.fault.retries)
+        result.latency += result.fault.retries * params_.fault.retryLatency;
     return result;
 }
 
@@ -152,9 +250,11 @@ ChannelController::epochTime(const ChannelEpoch &epoch) const
 
     // NVRAM media: reads and writes share the media controller, so
     // their service times add. Write bandwidth degrades with stream
-    // count (XPBuffer contention).
+    // count (XPBuffer contention) and with thermal throttling (factor
+    // is exactly 1.0 when the throttle is disabled or released).
     double write_bw = params_.nvram.writeBandwidth *
-                      nvram_.writeEfficiency(epoch.nvram.writerStreams);
+                      nvram_.writeEfficiency(epoch.nvram.writerStreams) *
+                      throttle_.factor();
     double t_media =
         static_cast<double>(epoch.nvram.mediaReadBytes()) /
             params_.nvram.readBandwidth +
@@ -171,12 +271,28 @@ ChannelController::epochTime(const ChannelEpoch &epoch) const
     return std::max({t_bus, t_dram, t_media, t_mshr});
 }
 
+ThrottleState::Transition
+ChannelController::noteEpochDuration(const ChannelEpoch &epoch, double dt)
+{
+    if (!params_.fault.throttle.enabled() || dt <= 0)
+        return ThrottleState::Transition::None;
+    double rate =
+        static_cast<double>(epoch.nvram.mediaWriteBytes()) / dt;
+    ThrottleState::Transition tr = throttle_.observe(rate);
+    if (throttle_.engaged())
+        counters_.throttledEpochs += 1;
+    return tr;
+}
+
 void
 ChannelController::reset()
 {
     cache_.invalidateAll();
     counters_ = PerfCounters{};
     epochMisses_ = 0;
+    // Re-seed the fault stream and cool the DIMM so reruns reproduce.
+    faultPlan_ = FaultPlan(params_.fault, params_.index);
+    throttle_.reset();
     drainEpoch();
     drainBuffers();
     drainEpoch();

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "fault/fault.hh"
 #include "imc/counters.hh"
 #include "imc/dram_cache.hh"
 #include "mem/dram.hh"
@@ -44,6 +45,39 @@ struct ChannelParams
     double busBandwidth = 21.3e9;
     /** Concurrent 2LM miss handler entries (MSHR-like). */
     unsigned missHandlerEntries = 24;
+    /** Fault-injection plan (zero rates: behavior-neutral). */
+    FaultConfig fault;
+    /** Index of this channel in the system (fault-stream derivation). */
+    unsigned index = 0;
+};
+
+/**
+ * Fault side effects of one request, reported upward so the
+ * MemorySystem can track poison at physical addresses and feed the
+ * FaultLog. All-zero when no fault fired.
+ */
+struct RequestFaults
+{
+    std::uint32_t retries = 0;       //!< retry rounds spent (all causes)
+    std::uint32_t correctable = 0;   //!< correctable errors observed
+    std::uint32_t uncorrectable = 0; //!< uncorrectable errors observed
+    /** The requested line's data was lost (UC media or DRAM error). */
+    bool demandPoisoned = false;
+    /** A different line (writeback victim / dropped dirty line) lost
+     *  its data; its channel-local address is victimLine. */
+    bool victimPoisoned = false;
+    Addr victimLine = 0;
+    /** A DRAM ECC fault corrupted the in-ECC 2LM tag. */
+    bool tagEccInvalidate = false;
+    /** The uncorrectable error was a 1LM DRAM data fault. */
+    bool dramUncorrectable = false;
+
+    bool
+    any() const
+    {
+        return retries || correctable || uncorrectable ||
+               demandPoisoned || victimPoisoned || tagEccInvalidate;
+    }
 };
 
 /** One request's timing contribution, returned to the caller. */
@@ -52,6 +86,7 @@ struct AccessResult
     CacheOutcome outcome = CacheOutcome::Uncached;
     DeviceActions actions;
     double latency = 0;  //!< load-to-use seconds for demand reads
+    RequestFaults fault; //!< injected-fault side effects, if any
 };
 
 /** Per-epoch traffic summary of a channel, for the bandwidth solver. */
@@ -67,6 +102,15 @@ class ChannelController
 {
   public:
     ChannelController(const ChannelParams &params, MemoryMode mode);
+
+    /**
+     * Movable (the MemorySystem stores channels in a vector); the
+     * NvramDevice's fault-plan pointer is re-wired on move.
+     */
+    ChannelController(ChannelController &&o) noexcept;
+    ChannelController &operator=(ChannelController &&) = delete;
+    ChannelController(const ChannelController &) = delete;
+    ChannelController &operator=(const ChannelController &) = delete;
 
     /**
      * Handle one 64 B LLC request.
@@ -92,6 +136,21 @@ class ChannelController
     /** Service time of one 2LM miss in the miss handler (seconds). */
     double missServiceTime() const;
 
+    /**
+     * Feed the thermal-throttle automaton one epoch observation: the
+     * epoch's drained traffic and its wall-clock duration. Counts the
+     * epoch as throttled if the DIMM is (still) engaged afterwards.
+     * No-op unless throttling is configured.
+     */
+    ThrottleState::Transition noteEpochDuration(const ChannelEpoch &epoch,
+                                                double dt);
+
+    /** Current NVRAM write-bandwidth throttle multiplier (1.0 = none). */
+    double throttleFactor() const { return throttle_.factor(); }
+    bool throttled() const { return throttle_.engaged(); }
+
+    const FaultPlan &faultPlan() const { return faultPlan_; }
+
     PerfCounters &counters() { return counters_; }
     const PerfCounters &counters() const { return counters_; }
 
@@ -112,8 +171,16 @@ class ChannelController
     AccessResult handle2lm(const MemRequest &req);
     AccessResult handle1lm(const MemRequest &req, MemPool pool);
 
-    /** Apply a request's DeviceActions to the devices. */
-    void applyActions(const MemRequest &req, const CacheResult &cr);
+    /**
+     * Apply a request's DeviceActions to the devices, collecting any
+     * media faults the NVRAM draws into @p result.
+     */
+    void applyActions(const MemRequest &req, const CacheResult &cr,
+                      AccessResult &result);
+
+    /** Account one media-fault outcome against counters and @p result. */
+    void noteMediaFault(const MediaFault &f, AccessResult &result,
+                        bool demand_line, Addr line);
 
     ChannelParams params_;
     MemoryMode mode_;
@@ -122,6 +189,8 @@ class ChannelController
     DramCache cache_;
     PerfCounters counters_;
     std::uint64_t epochMisses_ = 0;
+    FaultPlan faultPlan_;
+    ThrottleState throttle_;
 };
 
 } // namespace nvsim

@@ -42,6 +42,11 @@ PerfCounters::operator+=(const PerfCounters &o)
     ddoHit += o.ddoHit;
     llcReads += o.llcReads;
     llcWrites += o.llcWrites;
+    correctableErrors += o.correctableErrors;
+    uncorrectableErrors += o.uncorrectableErrors;
+    tagEccInvalidates += o.tagEccInvalidates;
+    retries += o.retries;
+    throttledEpochs += o.throttledEpochs;
     return *this;
 }
 
@@ -59,6 +64,11 @@ PerfCounters::delta(const PerfCounters &o) const
     d.ddoHit = ddoHit - o.ddoHit;
     d.llcReads = llcReads - o.llcReads;
     d.llcWrites = llcWrites - o.llcWrites;
+    d.correctableErrors = correctableErrors - o.correctableErrors;
+    d.uncorrectableErrors = uncorrectableErrors - o.uncorrectableErrors;
+    d.tagEccInvalidates = tagEccInvalidates - o.tagEccInvalidates;
+    d.retries = retries - o.retries;
+    d.throttledEpochs = throttledEpochs - o.throttledEpochs;
     return d;
 }
 
@@ -86,6 +96,11 @@ PerfCounters::named() const
         {"ddo_hit", ddoHit},
         {"llc_reads", llcReads},
         {"llc_writes", llcWrites},
+        {"correctable_errors", correctableErrors},
+        {"uncorrectable_errors", uncorrectableErrors},
+        {"tag_ecc_invalidates", tagEccInvalidates},
+        {"retries", retries},
+        {"throttled_epochs", throttledEpochs},
     };
 }
 

@@ -36,6 +36,15 @@ struct PerfCounters
     std::uint64_t llcReads = 0;       //!< demand LLC read requests
     std::uint64_t llcWrites = 0;      //!< demand LLC write requests
 
+    /** @name Fault / degradation events (zero on a fault-free machine) */
+    ///@{
+    std::uint64_t correctableErrors = 0;   //!< recovered media/ECC errors
+    std::uint64_t uncorrectableErrors = 0; //!< data-loss events
+    std::uint64_t tagEccInvalidates = 0;   //!< 2LM tags lost to ECC faults
+    std::uint64_t retries = 0;             //!< transient-error retry rounds
+    std::uint64_t throttledEpochs = 0;     //!< epochs spent write-throttled
+    ///@}
+
     /** Record the device actions of one request. */
     void
     addActions(const DeviceActions &a)

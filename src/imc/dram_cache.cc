@@ -184,6 +184,29 @@ DramCache::write(Addr addr)
     return result;
 }
 
+DramCache::TagCorruption
+DramCache::corruptTag(Addr addr)
+{
+    std::uint64_t set = setOf(addr);
+    std::uint64_t tag = tagOf(addr);
+    TagCorruption tc;
+
+    Way *way = find(set, tag);
+    if (!way)
+        way = &victimWay(set);
+    if (!way->valid)
+        return tc;
+
+    tc.dropped = true;
+    tc.wasDirty = way->dirty;
+    tc.line = addrOf(set, way->tag);
+    // Keep the DDO tracker consistent: the line is gone, later writes
+    // must not elide their tag check.
+    ddo_->noteEvict(tc.line);
+    *way = Way{};
+    return tc;
+}
+
 bool
 DramCache::resident(Addr addr) const
 {

@@ -81,6 +81,28 @@ class DramCache
     /** Handle an LLC write (writeback / nontemporal store) to @p addr. */
     CacheResult write(Addr addr);
 
+    /**
+     * What a tag-ECC corruption dropped from the cache. When the lost
+     * line was dirty its latest data existed only in DRAM; the home
+     * NVRAM line is now stale and must be treated as poisoned.
+     */
+    struct TagCorruption
+    {
+        bool dropped = false;   //!< a valid line was invalidated
+        bool wasDirty = false;  //!< the dropped line was dirty
+        Addr line = 0;          //!< address of the dropped line
+    };
+
+    /**
+     * An uncorrectable ECC fault corrupted the in-ECC tag bits of the
+     * DRAM location probed for @p addr: the controller cannot trust
+     * the tag and invalidates the way (the one holding @p addr if
+     * resident, else the way the probe would have replaced). The
+     * caller re-runs the access, which now misses and refetches from
+     * NVRAM — the extra device accesses unique to tags-in-ECC.
+     */
+    TagCorruption corruptTag(Addr addr);
+
     /** Is the line currently resident? (introspection, no side effects) */
     bool resident(Addr addr) const;
 

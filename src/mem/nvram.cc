@@ -54,7 +54,7 @@ NvramDevice::mediaWrite(Addr block)
     ++epoch_.mediaWriteBlocks;
 }
 
-void
+MediaFault
 NvramDevice::read(Addr addr, std::uint16_t thread)
 {
     (void)thread;
@@ -66,9 +66,10 @@ NvramDevice::read(Addr addr, std::uint16_t thread)
         // Buffer miss: the controller reads the whole 256 B media block.
         ++epoch_.mediaReadBlocks;
     }
+    return faultPlan_ ? faultPlan_->nvramRead() : MediaFault{};
 }
 
-void
+MediaFault
 NvramDevice::write(Addr addr, std::uint16_t thread)
 {
     noteWriter(thread);
@@ -97,6 +98,7 @@ NvramDevice::write(Addr addr, std::uint16_t thread)
             wpq_.order.erase(it);
         mediaWrite(block);
     }
+    return faultPlan_ ? faultPlan_->nvramWrite() : MediaFault{};
 }
 
 void

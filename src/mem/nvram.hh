@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/types.hh"
+#include "fault/fault.hh"
 
 namespace nvsim
 {
@@ -90,11 +91,21 @@ class NvramDevice
   public:
     explicit NvramDevice(const NvramParams &params);
 
-    /** 64 B demand read of the line at @p addr by @p thread. */
-    void read(Addr addr, std::uint16_t thread);
+    /**
+     * 64 B demand read of the line at @p addr by @p thread. Returns
+     * the media-fault outcome drawn from the attached FaultPlan (no
+     * fault when no plan is attached or its rates are zero).
+     */
+    MediaFault read(Addr addr, std::uint16_t thread);
 
     /** 64 B demand write of the line at @p addr by @p thread. */
-    void write(Addr addr, std::uint16_t thread);
+    MediaFault write(Addr addr, std::uint16_t thread);
+
+    /**
+     * Attach the channel's fault plan; media errors are drawn per
+     * demand transaction. The device does not own the plan.
+     */
+    void setFaultPlan(FaultPlan *plan) { faultPlan_ = plan; }
 
     /**
      * Flush all partially merged WPQ blocks to media (end of benchmark /
@@ -155,6 +166,7 @@ class NvramDevice
     NvramParams params_;
     NvramEpoch epoch_;
     NvramEpoch total_;
+    FaultPlan *faultPlan_ = nullptr;  //!< not owned; may be null
 
     BlockLru readBuffer_;
     BlockLru wpq_;

@@ -28,6 +28,7 @@ SystemConfig::channelParams() const
     p.insertOnWriteMiss = insertOnWriteMiss;
     p.busBandwidth = busBandwidth;
     p.missHandlerEntries = missHandlerEntries;
+    p.fault = fault;  // the caller sets p.index per channel
 
     // Size the recent-insert tracker relative to the LLC: a dirty line
     // written back after a full LLC residency must still be remembered,
@@ -43,19 +44,38 @@ SystemConfig::channelParams() const
 void
 SystemConfig::validate() const
 {
-    if (sockets == 0 || channelsPerSocket == 0)
-        fatal("system needs at least one socket and channel");
+    if (sockets == 0)
+        fatal("sockets must be at least 1");
+    if (channelsPerSocket == 0)
+        fatal("channelsPerSocket must be at least 1");
     if (scale == 0)
         fatal("scale divisor must be nonzero");
+    if (cacheWays == 0)
+        fatal("cacheWays must be at least 1");
+    if (interleaveGranularity == 0)
+        fatal("interleaveGranularity must be nonzero");
     if (scaledDramPerDimm() < 64 * kLineSize)
         fatal("scaled DRAM DIMM too small (%llu B); lower the scale",
               static_cast<unsigned long long>(scaledDramPerDimm()));
+    if (scaledDramPerDimm() < interleaveGranularity)
+        fatal("scaled DRAM DIMM (%llu B) below the %llu B interleave "
+              "granule; lower the scale or the granule",
+              static_cast<unsigned long long>(scaledDramPerDimm()),
+              static_cast<unsigned long long>(interleaveGranularity));
+    if (scaledNvramPerDimm() < interleaveGranularity)
+        fatal("scaled NVRAM DIMM (%llu B) below the %llu B interleave "
+              "granule; lower the scale or the granule",
+              static_cast<unsigned long long>(scaledNvramPerDimm()),
+              static_cast<unsigned long long>(interleaveGranularity));
     if (scaledNvramPerDimm() < scaledDramPerDimm())
         fatal("NVRAM DIMM smaller than DRAM DIMM after scaling");
     if (mlp == 0)
         fatal("per-thread MLP must be at least 1");
+    if (epochBytes == 0)
+        fatal("epochBytes must be nonzero");
     if (epochBytes < kLineSize)
         fatal("epochBytes must cover at least one line");
+    fault.validate();
 }
 
 } // namespace nvsim

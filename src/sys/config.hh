@@ -42,6 +42,14 @@ struct SystemConfig
     DramParams dram;
     NvramParams nvram;
 
+    /**
+     * Fault-injection and degradation plan (media errors, DRAM/tag ECC
+     * faults, thermal throttling). All rates default to zero, which is
+     * behavior-neutral: no RNG draws, no timing change, bit-identical
+     * output to a build without the fault subsystem.
+     */
+    FaultConfig fault;
+
     /** 2LM cache options. */
     DdoConfig ddo;
     unsigned cacheWays = 1;

@@ -13,10 +13,15 @@ MemorySystem::MemorySystem(const SystemConfig &config)
       llc_(LlcParams{config.scaledLlc(), config.llcWays})
 {
     config_.validate();
+    faultEnabled_ = config_.fault.enabled();
     ChannelParams cp = config_.channelParams();
     channels_.reserve(config_.totalChannels());
-    for (unsigned i = 0; i < config_.totalChannels(); ++i)
+    online_.reserve(config_.totalChannels());
+    for (unsigned i = 0; i < config_.totalChannels(); ++i) {
+        cp.index = i;
         channels_.emplace_back(cp, config_.mode);
+        online_.push_back(i);
+    }
 
     if (config_.mode == MemoryMode::OneLm) {
         dramPoolSize_ = config_.dramTotal();
@@ -141,8 +146,100 @@ MemorySystem::poolOf(Addr addr) const
 unsigned
 MemorySystem::channelOf(Addr addr) const
 {
-    return static_cast<unsigned>(
-        (addr / config_.interleaveGranularity) % channels_.size());
+    // Interleave over the *online* channels; with none offlined this
+    // is the identity permutation over all channels.
+    return online_[(addr / config_.interleaveGranularity) %
+                   online_.size()];
+}
+
+Addr
+MemorySystem::physOfLocal(unsigned ch, Addr local) const
+{
+    // Inverse of the local-address compaction in issueToImc(): which
+    // position in the online interleave order does channel ch hold?
+    Bytes gran = config_.interleaveGranularity;
+    Addr chunk = local / gran;
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < online_.size(); ++i) {
+        if (online_[i] == ch) {
+            pos = i;
+            break;
+        }
+    }
+    return chunk * gran * online_.size() + pos * gran + local % gran;
+}
+
+void
+MemorySystem::addPoison(Addr phys_line, bool propagated)
+{
+    if (poisoned_.insert(phys_line).second) {
+        if (propagated)
+            faultLog_.notePoisonPropagated();
+        else
+            faultLog_.notePoisonCreated();
+    }
+}
+
+void
+MemorySystem::clearPoison(Addr phys_line)
+{
+    if (poisoned_.erase(phys_line))
+        faultLog_.notePoisonCleared();
+}
+
+bool
+MemorySystem::isPoisoned(Addr addr)
+{
+    if (!faultEnabled_)
+        return false;
+    return poisoned_.count(lineBase(translate(addr))) != 0;
+}
+
+void
+MemorySystem::noteRequestFaults(const RequestFaults &f,
+                                MemRequestKind kind, Addr phys,
+                                unsigned ch, bool charge_demand)
+{
+    for (std::uint32_t i = 0; i < f.correctable; ++i)
+        faultLog_.record(now_, ch, FaultEventKind::CorrectableMedia,
+                         phys);
+    if (f.tagEccInvalidate)
+        faultLog_.record(now_, ch, FaultEventKind::TagEccInvalidate,
+                         phys);
+    // Classify the uncorrectable count: one is the tag-ECC fault or
+    // the 1LM DRAM data fault if flagged; the rest are NVRAM media.
+    std::uint32_t media_uc = f.uncorrectable;
+    if (f.tagEccInvalidate && media_uc)
+        --media_uc;  // already recorded as TagEccInvalidate above
+    if (f.dramUncorrectable && media_uc) {
+        --media_uc;
+        faultLog_.record(now_, ch, FaultEventKind::DramUncorrectable,
+                         phys);
+    }
+    for (std::uint32_t i = 0; i < media_uc; ++i)
+        faultLog_.record(now_, ch, FaultEventKind::UncorrectableMedia,
+                         phys);
+
+    if (f.victimPoisoned) {
+        // A dirty line's only copy was lost (writeback UC error or a
+        // tag-ECC invalidate of a dirty line): poison its home line.
+        addPoison(physOfLocal(ch, lineBase(f.victimLine)),
+                  /*propagated=*/false);
+    }
+
+    if (f.demandPoisoned) {
+        if (kind == MemRequestKind::LlcRead && charge_demand) {
+            // The core consumes the poisoned fill: machine check now.
+            // Graceful degradation: the OS retires/refreshes the line,
+            // so it does not stay poisoned.
+            faultLog_.record(now_, ch, FaultEventKind::PoisonConsumed,
+                             phys);
+        } else {
+            // DMA read or write-path loss: the line stays poisoned
+            // until overwritten or consumed.
+            addPoison(phys, /*propagated=*/false);
+        }
+    }
 }
 
 void
@@ -153,19 +250,38 @@ MemorySystem::issueToImc(MemRequestKind kind, Addr line_addr,
     // addresses; translate() preserves the pool).
     Addr phys = translate(line_addr);
 
+    if (faultEnabled_ && !poisoned_.empty()) {
+        if (kind == MemRequestKind::LlcRead) {
+            if (charge_demand && poisoned_.count(phys)) {
+                // Demand load of a poisoned line: machine check; the
+                // OS recovers the page (graceful degradation).
+                faultLog_.record(now_, channelOf(phys),
+                                 FaultEventKind::PoisonConsumed, phys);
+                clearPoison(phys);
+            }
+        } else {
+            // A full-line write supersedes the poisoned data.
+            clearPoison(phys);
+        }
+    }
+
     // Then to the channel-local address: each channel sees every
-    // numChannels-th interleave chunk, compacted to a contiguous local
-    // space. The hardware indexes its DRAM cache (and DIMMs) with this
-    // local address, so a physically contiguous array uses every set.
+    // numChannels-th interleave chunk (over the online channels),
+    // compacted to a contiguous local space. The hardware indexes its
+    // DRAM cache (and DIMMs) with this local address, so a physically
+    // contiguous array uses every set.
     Bytes gran = config_.interleaveGranularity;
-    Addr chunk = phys / (gran * channels_.size());
+    Addr chunk = phys / (gran * online_.size());
     Addr local = chunk * gran + phys % gran;
 
     MemRequest req{kind, local, static_cast<std::uint16_t>(thread)};
-    ChannelController &ch = channels_[channelOf(phys)];
+    unsigned ch_idx = channelOf(phys);
+    ChannelController &ch = channels_[ch_idx];
     AccessResult res = ch.handle(req, poolOf(phys));
     if (charge_demand)
         epochLatencyWork_ += res.latency;
+    if (faultEnabled_ && res.fault.any())
+        noteRequestFaults(res.fault, kind, phys, ch_idx, charge_demand);
 }
 
 void
@@ -222,6 +338,13 @@ MemorySystem::dmaCopy(Addr dst, Addr src, Bytes bytes)
         llc_.invalidateLine(d);
         issueToImc(MemRequestKind::LlcWrite, d, 0,
                    /*charge_demand=*/false);
+        if (faultEnabled_ && !poisoned_.empty()) {
+            // Poison flows through DMA copies: the engine moves the
+            // poisoned payload without consuming it (no machine check
+            // until a core load touches the destination).
+            if (poisoned_.count(lineBase(translate(s))))
+                addPoison(lineBase(translate(d)), /*propagated=*/true);
+        }
         epochDemandBytes_ += kLineSize;
         epochDmaBytes_ += 2 * kLineSize;
         maybeFinishEpoch();
@@ -264,11 +387,21 @@ void
 MemorySystem::finishEpoch()
 {
     // Resource-side: each channel moves its epoch traffic in parallel
-    // with the others.
+    // with the others. With faults enabled the drained epochs are kept
+    // so the throttle automata can observe the epoch's write rate.
     double t_resource = 0;
-    for (auto &ch : channels_) {
-        ChannelEpoch e = ch.drainEpoch();
-        t_resource = std::max(t_resource, ch.epochTime(e));
+    if (!faultEnabled_) {
+        for (auto &ch : channels_) {
+            ChannelEpoch e = ch.drainEpoch();
+            t_resource = std::max(t_resource, ch.epochTime(e));
+        }
+    } else {
+        epochScratch_.clear();
+        for (auto &ch : channels_) {
+            epochScratch_.push_back(ch.drainEpoch());
+            t_resource =
+                std::max(t_resource, ch.epochTime(epochScratch_.back()));
+        }
     }
 
     // Demand-side: latency-bound issue with `mlp` outstanding lines per
@@ -296,6 +429,23 @@ MemorySystem::finishEpoch()
     bool had_activity = epochDemandBytes_ > 0 || epochComputeFloor_ > 0;
     now_ += dt;
 
+    if (faultEnabled_) {
+        // Feed the per-DIMM thermal-throttle automata this epoch's
+        // sustained media write rates; the new state applies from the
+        // next epoch on (hysteretic, causal).
+        for (std::size_t i = 0; i < channels_.size(); ++i) {
+            ThrottleState::Transition tr =
+                channels_[i].noteEpochDuration(epochScratch_[i], dt);
+            if (tr == ThrottleState::Transition::Engaged) {
+                faultLog_.record(now_, static_cast<unsigned>(i),
+                                 FaultEventKind::ThrottleEngaged);
+            } else if (tr == ThrottleState::Transition::Released) {
+                faultLog_.record(now_, static_cast<unsigned>(i),
+                                 FaultEventKind::ThrottleReleased);
+            }
+        }
+    }
+
     if (recordTrace_ && had_activity && dt > 0) {
         PerfCounters total = counters();
         PerfCounters d = total.delta(lastSample_);
@@ -321,6 +471,26 @@ MemorySystem::finishEpoch()
         }
         trace_.record("demand_bw", now_,
                       static_cast<double>(epochDemandBytes_) / dt / kGB);
+        if (faultEnabled_) {
+            // Degradation channels (only present on faulty machines so
+            // fault-free traces stay bit-identical).
+            trace_.record("fault_correctable", now_,
+                          static_cast<double>(d.correctableErrors));
+            trace_.record("fault_uncorrectable", now_,
+                          static_cast<double>(d.uncorrectableErrors));
+            trace_.record("tag_ecc_invalidates", now_,
+                          static_cast<double>(d.tagEccInvalidates));
+            trace_.record("fault_retries", now_,
+                          static_cast<double>(d.retries));
+            double min_factor = 1.0;
+            for (unsigned i : online_) {
+                min_factor =
+                    std::min(min_factor, channels_[i].throttleFactor());
+            }
+            trace_.record("throttle_factor", now_, min_factor);
+            trace_.record("poisoned_lines", now_,
+                          static_cast<double>(poisoned_.size()));
+        }
     }
 
     epochDemandBytes_ = 0;
@@ -360,6 +530,38 @@ MemorySystem::counters() const
     for (const auto &ch : channels_)
         total += ch.counters();
     return total;
+}
+
+void
+MemorySystem::offlineChannel(unsigned idx)
+{
+    if (idx >= channels_.size())
+        fatal("cannot offline channel %u of %zu", idx, channels_.size());
+    if (online_.size() <= 1)
+        fatal("cannot offline the last online channel");
+    auto it = std::find(online_.begin(), online_.end(), idx);
+    if (it == online_.end())
+        return;  // already offline
+
+    // Close the epoch first so traffic issued under the old interleave
+    // map is timed with the old channel set.
+    finishEpoch();
+
+    channels_[idx].drainBuffers();
+    online_.erase(it);
+
+    // The interleave map changed: every channel-local address now means
+    // a different physical line, so all 2LM cache contents (and the
+    // offlined channel's) are stale. Model the reconfiguration as a
+    // full cache invalidation — the refill cost is part of the
+    // degradation being measured.
+    for (auto &ch : channels_)
+        ch.cache().invalidateAll();
+    llc_.invalidateAll();
+
+    faultLog_.record(now_, idx, FaultEventKind::ChannelOfflined);
+    // Offlining is itself a fault mechanism even if no rates are set.
+    faultEnabled_ = true;
 }
 
 double

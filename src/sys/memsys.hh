@@ -28,9 +28,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/timeseries.hh"
+#include "fault/fault.hh"
 #include "imc/channel.hh"
 #include "sys/config.hh"
 #include "sys/llc.hh"
@@ -151,6 +153,32 @@ class MemorySystem
     /** Channel index serving @p addr. */
     unsigned channelOf(Addr addr) const;
 
+    /** @name Faults and graceful degradation */
+    ///@{
+    /** Machine-level record of injections, poison flow and throttling. */
+    const FaultLog &faultLog() const { return faultLog_; }
+
+    /** Is the line at @p addr (virtual) currently poisoned? */
+    bool isPoisoned(Addr addr);
+
+    /** Number of currently poisoned lines. */
+    std::size_t poisonedLines() const { return poisoned_.size(); }
+
+    /**
+     * Take channel @p idx offline (a failed DIMM / disabled channel):
+     * its buffers are drained, every 2LM cache is invalidated (the
+     * interleave map changes, a reconfiguration event), and all
+     * subsequent traffic re-interleaves across the surviving channels,
+     * which re-solves epoch timing with the reduced parallelism and
+     * bandwidth. Capacity bookkeeping is unchanged — the model answers
+     * "what does losing a channel's bandwidth cost", not "what fits".
+     */
+    void offlineChannel(unsigned idx);
+
+    /** Indices of the channels still online, in interleave order. */
+    const std::vector<unsigned> &onlineChannels() const { return online_; }
+    ///@}
+
     /**
      * Virtual-to-physical translation. Identity unless scatterPages is
      * configured, in which case frames are assigned first-touch in
@@ -173,6 +201,16 @@ class MemorySystem
 
     void finishEpoch();
     void maybeFinishEpoch();
+
+    /** Physical address of channel-local @p local on channel @p ch. */
+    Addr physOfLocal(unsigned ch, Addr local) const;
+
+    /** Record a request's injected faults; track poison by phys line. */
+    void noteRequestFaults(const RequestFaults &f, MemRequestKind kind,
+                           Addr phys, unsigned ch, bool charge_demand);
+
+    void addPoison(Addr phys_line, bool propagated);
+    void clearPoison(Addr phys_line);
 
     SystemConfig config_;
     std::vector<ChannelController> channels_;
@@ -200,6 +238,14 @@ class MemorySystem
 
     bool recordTrace_ = true;
     TimeSeries trace_;
+
+    // Fault state. faultEnabled_ caches config_.fault.enabled() so the
+    // hot paths pay one predictable branch on a fault-free machine.
+    bool faultEnabled_ = false;
+    FaultLog faultLog_;
+    std::unordered_set<Addr> poisoned_;     //!< poisoned phys lines
+    std::vector<unsigned> online_;          //!< online channel indices
+    std::vector<ChannelEpoch> epochScratch_;
 
     // First-touch scattered paging state (only used with
     // config_.scatterPages). Each pool owns a frame pool permuted

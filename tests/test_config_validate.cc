@@ -1,0 +1,184 @@
+/**
+ * @file
+ * SystemConfig::validate() and FaultConfig::validate() negative tests.
+ *
+ * validate() terminates the process through fatal() (exit code 1 with a
+ * message on stderr), so every rejection is exercised as a gtest death
+ * test: the assertion checks both the exit code and that the message
+ * names the offending field, so a future refactor cannot silently swap
+ * two checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sys/config.hh"
+
+namespace
+{
+
+using namespace nvsim;
+
+SystemConfig
+okConfig()
+{
+    SystemConfig cfg;
+    cfg.validate();  // sanity: defaults must pass
+    return cfg;
+}
+
+TEST(ConfigValidate, DefaultsPass)
+{
+    SystemConfig cfg;
+    cfg.validate();  // must not exit
+    SUCCEED();
+}
+
+TEST(ConfigValidateDeathTest, RejectsZeroSockets)
+{
+    SystemConfig cfg = okConfig();
+    cfg.sockets = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "sockets");
+}
+
+TEST(ConfigValidateDeathTest, RejectsZeroChannelsPerSocket)
+{
+    SystemConfig cfg = okConfig();
+    cfg.channelsPerSocket = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "channelsPerSocket");
+}
+
+TEST(ConfigValidateDeathTest, RejectsZeroScale)
+{
+    SystemConfig cfg = okConfig();
+    cfg.scale = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "scale divisor");
+}
+
+TEST(ConfigValidateDeathTest, RejectsZeroCacheWays)
+{
+    SystemConfig cfg = okConfig();
+    cfg.cacheWays = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "cacheWays");
+}
+
+TEST(ConfigValidateDeathTest, RejectsZeroInterleaveGranularity)
+{
+    SystemConfig cfg = okConfig();
+    cfg.interleaveGranularity = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "interleaveGranularity");
+}
+
+TEST(ConfigValidateDeathTest, RejectsDramScaledBelowMinimum)
+{
+    SystemConfig cfg = okConfig();
+    // 32 GiB / 2^30 = 32 B per DIMM: far below 64 lines.
+    cfg.scale = 1ull << 30;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "scaled DRAM DIMM too small");
+}
+
+TEST(ConfigValidateDeathTest, RejectsDramBelowInterleaveGranule)
+{
+    SystemConfig cfg = okConfig();
+    // 64 lines of DRAM pass the floor check but sit below a huge
+    // granule.
+    cfg.scale = cfg.dram.capacity / (64 * kLineSize);
+    cfg.interleaveGranularity = 1 * kMiB;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "interleave");
+}
+
+TEST(ConfigValidateDeathTest, RejectsNvramSmallerThanDram)
+{
+    SystemConfig cfg = okConfig();
+    cfg.nvram.capacity = cfg.dram.capacity / 2;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "NVRAM DIMM smaller than DRAM");
+}
+
+TEST(ConfigValidateDeathTest, RejectsZeroMlp)
+{
+    SystemConfig cfg = okConfig();
+    cfg.mlp = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "MLP");
+}
+
+TEST(ConfigValidateDeathTest, RejectsZeroEpochBytes)
+{
+    SystemConfig cfg = okConfig();
+    cfg.epochBytes = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "epochBytes must be nonzero");
+}
+
+TEST(ConfigValidateDeathTest, RejectsSubLineEpochBytes)
+{
+    SystemConfig cfg = okConfig();
+    cfg.epochBytes = kLineSize / 2;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "epochBytes must cover at least one line");
+}
+
+// --- FaultConfig::validate(), reached through SystemConfig ---
+
+TEST(FaultConfigValidateDeathTest, RejectsNegativeRate)
+{
+    SystemConfig cfg = okConfig();
+    cfg.fault.nvramReadCorrectable = -0.1;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "rate");
+}
+
+TEST(FaultConfigValidateDeathTest, RejectsRateAboveOne)
+{
+    SystemConfig cfg = okConfig();
+    cfg.fault.tagEccUncorrectable = 1.5;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "rate");
+}
+
+TEST(FaultConfigValidateDeathTest, RejectsZeroMaxRetries)
+{
+    SystemConfig cfg = okConfig();
+    cfg.fault.maxRetries = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "maxRetries");
+}
+
+TEST(FaultConfigValidateDeathTest, RejectsNegativeRetryLatency)
+{
+    SystemConfig cfg = okConfig();
+    cfg.fault.retryLatency = -1e-6;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "retryLatency");
+}
+
+TEST(FaultConfigValidateDeathTest, RejectsBadThrottleFactor)
+{
+    SystemConfig cfg = okConfig();
+    cfg.fault.throttle.engageBandwidth = 1e9;
+    cfg.fault.throttle.factor = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "factor");
+}
+
+TEST(FaultConfigValidateDeathTest, RejectsReleaseAboveEngage)
+{
+    SystemConfig cfg = okConfig();
+    cfg.fault.throttle.engageBandwidth = 1e9;
+    cfg.fault.throttle.releaseBandwidth = 2e9;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "release");
+}
+
+TEST(FaultConfigValidateDeathTest, RejectsZeroThrottleEpochs)
+{
+    SystemConfig cfg = okConfig();
+    cfg.fault.throttle.engageBandwidth = 1e9;
+    cfg.fault.throttle.engageEpochs = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "[Ee]poch");
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * CsvWriter I/O failure reporting: a writer must never succeed
+ * silently over a truncated or unwritable file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <unistd.h>
+
+#include "core/csv.hh"
+
+using namespace nvsim;
+
+namespace
+{
+
+std::string
+tempCsvPath(const char *tag)
+{
+    return "test_csv_" + std::string(tag) + "_" +
+           std::to_string(::getpid()) + ".csv";
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+} // namespace
+
+TEST(CsvWriter, WritesRowsAndCloses)
+{
+    std::string path = tempCsvPath("ok");
+    {
+        CsvWriter csv(path);
+        csv.row(std::vector<std::string>{"a", "b,comma", "c\"quote"});
+        csv.row(std::vector<double>{1.5, 2});
+        EXPECT_TRUE(csv.ok());
+        csv.close();
+    }
+    EXPECT_EQ(slurp(path), "a,\"b,comma\",\"c\"\"quote\"\n1.5,2\n");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, CloseIsIdempotent)
+{
+    std::string path = tempCsvPath("idem");
+    CsvWriter csv(path);
+    csv.row(std::vector<double>{1});
+    csv.close();
+    csv.close();  // must not fail
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriterDeathTest, UnopenablePathIsFatal)
+{
+    EXPECT_EXIT(CsvWriter csv("/nonexistent-dir/out.csv"),
+                ::testing::ExitedWithCode(1), "cannot open CSV");
+}
+
+TEST(CsvWriterDeathTest, WriteFailureIsFatal)
+{
+    // /dev/full accepts open() but fails every flush with ENOSPC,
+    // simulating a disk filling up mid-run.
+    if (!std::ifstream("/dev/full").good())
+        GTEST_SKIP() << "/dev/full not available";
+    EXPECT_EXIT(
+        {
+            CsvWriter csv("/dev/full");
+            // ofstream buffers; keep writing until the buffer spills
+            // to the device and the stream goes bad.
+            std::vector<std::string> row(8, std::string(64, 'x'));
+            for (int i = 0; i < 100000; ++i)
+                csv.row(row);
+            csv.close();
+        },
+        ::testing::ExitedWithCode(1), "failed");
+}

@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Directed tests for the fault-injection and graceful-degradation
+ * subsystem: FaultPlan determinism, ThrottleState hysteresis, tag-ECC
+ * invalidation in 2LM, poison lifecycle, channel offlining, and the
+ * zero-rate neutrality guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.hh"
+#include "sys/memsys.hh"
+
+using namespace nvsim;
+
+namespace
+{
+
+SystemConfig
+smallConfig(MemoryMode mode)
+{
+    SystemConfig cfg;
+    cfg.mode = mode;
+    cfg.scale = 4096;  // 32 GiB DRAM DIMM -> 8 MiB, NVRAM -> 128 MiB
+    cfg.epochBytes = 64 * kKiB;
+    return cfg;
+}
+
+/** Stream a buffer of loads through the system. */
+void
+streamLoads(MemorySystem &sys, const Region &r, Bytes bytes)
+{
+    for (Addr a = r.base; a < r.base + bytes; a += kLineSize)
+        sys.touchLine(0, CpuOp::Load, a);
+}
+
+} // namespace
+
+// --- FaultPlan ---
+
+TEST(FaultPlan, DisabledByDefault)
+{
+    FaultPlan plan;
+    EXPECT_FALSE(plan.enabled());
+    MediaFault f = plan.nvramRead();
+    EXPECT_FALSE(f.any());
+    EXPECT_EQ(f.retries, 0u);
+}
+
+TEST(FaultPlan, ZeroRateConfigIsDisabled)
+{
+    FaultConfig cfg;  // all rates zero
+    EXPECT_FALSE(cfg.enabled());
+    FaultPlan plan(cfg, 0);
+    EXPECT_FALSE(plan.enabled());
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(plan.nvramRead().any());
+        EXPECT_FALSE(plan.nvramWrite().any());
+        EXPECT_FALSE(plan.dramRead().any());
+    }
+}
+
+TEST(FaultPlan, SameSeedSameChannelIsDeterministic)
+{
+    FaultConfig cfg;
+    cfg.seed = 42;
+    cfg.nvramReadCorrectable = 0.3;
+    cfg.nvramReadUncorrectable = 0.05;
+    FaultPlan a(cfg, 2);
+    FaultPlan b(cfg, 2);
+    for (int i = 0; i < 4096; ++i) {
+        MediaFault fa = a.nvramRead();
+        MediaFault fb = b.nvramRead();
+        EXPECT_EQ(fa.correctable, fb.correctable);
+        EXPECT_EQ(fa.uncorrectable, fb.uncorrectable);
+        EXPECT_EQ(fa.retries, fb.retries);
+    }
+}
+
+TEST(FaultPlan, ChannelsGetIndependentStreams)
+{
+    FaultConfig cfg;
+    cfg.seed = 42;
+    cfg.nvramReadCorrectable = 0.5;
+    FaultPlan a(cfg, 0);
+    FaultPlan b(cfg, 1);
+    int differ = 0;
+    for (int i = 0; i < 512; ++i) {
+        if (a.nvramRead().any() != b.nvramRead().any())
+            ++differ;
+    }
+    EXPECT_GT(differ, 0);
+}
+
+TEST(FaultPlan, RatesRoughlyRespected)
+{
+    FaultConfig cfg;
+    cfg.seed = 7;
+    cfg.nvramReadCorrectable = 0.2;
+    cfg.nvramReadUncorrectable = 0.1;
+    FaultPlan plan(cfg, 0);
+    int corr = 0, uncorr = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        MediaFault f = plan.nvramRead();
+        corr += f.correctable;
+        uncorr += f.uncorrectable;
+        if (f.uncorrectable) {
+            EXPECT_EQ(f.retries, cfg.maxRetries);  // escalation
+        }
+        if (f.correctable) {
+            EXPECT_GE(f.retries, 1u);
+            EXPECT_LE(f.retries, cfg.maxRetries);
+        }
+    }
+    EXPECT_NEAR(corr / double(n), 0.2, 0.02);
+    EXPECT_NEAR(uncorr / double(n), 0.1, 0.02);
+}
+
+// --- ThrottleState ---
+
+TEST(ThrottleState, DisabledNeverEngages)
+{
+    ThrottleState t{ThrottleConfig{}};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(t.observe(1e12), ThrottleState::Transition::None);
+    EXPECT_FALSE(t.engaged());
+    EXPECT_DOUBLE_EQ(t.factor(), 1.0);
+}
+
+TEST(ThrottleState, EngagesAfterConsecutiveHotEpochs)
+{
+    ThrottleConfig cfg;
+    cfg.engageBandwidth = 10e9;
+    cfg.releaseBandwidth = 5e9;
+    cfg.engageEpochs = 3;
+    cfg.releaseEpochs = 2;
+    cfg.factor = 0.4;
+    ThrottleState t{cfg};
+
+    EXPECT_EQ(t.observe(11e9), ThrottleState::Transition::None);
+    EXPECT_EQ(t.observe(11e9), ThrottleState::Transition::None);
+    EXPECT_FALSE(t.engaged());
+    EXPECT_EQ(t.observe(11e9), ThrottleState::Transition::Engaged);
+    EXPECT_TRUE(t.engaged());
+    EXPECT_DOUBLE_EQ(t.factor(), 0.4);
+}
+
+TEST(ThrottleState, InterruptedHotRunDoesNotEngage)
+{
+    ThrottleConfig cfg;
+    cfg.engageBandwidth = 10e9;
+    cfg.engageEpochs = 3;
+    ThrottleState t{cfg};
+
+    t.observe(11e9);
+    t.observe(11e9);
+    t.observe(1e9);  // cool epoch resets the counter
+    t.observe(11e9);
+    t.observe(11e9);
+    EXPECT_FALSE(t.engaged());
+    EXPECT_EQ(t.observe(11e9), ThrottleState::Transition::Engaged);
+}
+
+TEST(ThrottleState, ReleasesWithHysteresis)
+{
+    ThrottleConfig cfg;
+    cfg.engageBandwidth = 10e9;
+    cfg.releaseBandwidth = 5e9;
+    cfg.engageEpochs = 1;
+    cfg.releaseEpochs = 2;
+    ThrottleState t{cfg};
+
+    EXPECT_EQ(t.observe(11e9), ThrottleState::Transition::Engaged);
+    // Between release and engage thresholds: stays throttled forever.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(t.observe(7e9), ThrottleState::Transition::None);
+    EXPECT_TRUE(t.engaged());
+    // Two genuinely cool epochs release it.
+    EXPECT_EQ(t.observe(1e9), ThrottleState::Transition::None);
+    EXPECT_EQ(t.observe(1e9), ThrottleState::Transition::Released);
+    EXPECT_FALSE(t.engaged());
+    EXPECT_DOUBLE_EQ(t.factor(), 1.0);
+}
+
+// --- FaultLog ---
+
+TEST(FaultLog, CountsStayExactPastEventCap)
+{
+    FaultLog log;
+    EXPECT_TRUE(log.empty());
+    const std::uint64_t n = FaultLog::kMaxEvents + 100;
+    for (std::uint64_t i = 0; i < n; ++i)
+        log.record(0.0, 0, FaultEventKind::CorrectableMedia);
+    EXPECT_EQ(log.correctable(), n);
+    EXPECT_EQ(log.events().size(), FaultLog::kMaxEvents);
+    EXPECT_FALSE(log.empty());
+    EXPECT_NE(log.summary().find("correctable_media"), std::string::npos);
+}
+
+// --- MemorySystem integration ---
+
+TEST(MemorySystemFault, ZeroRatePlanLeavesNoTrace)
+{
+    SystemConfig cfg = smallConfig(MemoryMode::TwoLm);
+    MemorySystem sys(cfg);
+    Region r = sys.allocate(4 * kMiB, "a");
+    streamLoads(sys, r, 4 * kMiB);
+    sys.quiesce();
+    EXPECT_TRUE(sys.faultLog().empty());
+    EXPECT_EQ(sys.poisonedLines(), 0u);
+    PerfCounters c = sys.counters();
+    EXPECT_EQ(c.correctableErrors, 0u);
+    EXPECT_EQ(c.uncorrectableErrors, 0u);
+    EXPECT_EQ(c.tagEccInvalidates, 0u);
+    EXPECT_EQ(c.retries, 0u);
+    EXPECT_EQ(c.throttledEpochs, 0u);
+}
+
+TEST(MemorySystemFault, RunsAreDeterministicForAFixedSeed)
+{
+    SystemConfig cfg = smallConfig(MemoryMode::TwoLm);
+    cfg.fault.seed = 99;
+    cfg.fault.nvramReadCorrectable = 0.01;
+    cfg.fault.nvramReadUncorrectable = 0.001;
+    cfg.fault.tagEccUncorrectable = 0.001;
+
+    auto run = [&cfg]() {
+        MemorySystem sys(cfg);
+        Region r = sys.allocate(4 * kMiB, "a");
+        streamLoads(sys, r, 4 * kMiB);
+        sys.quiesce();
+        return std::tuple(sys.counters().correctableErrors,
+                          sys.counters().uncorrectableErrors,
+                          sys.counters().tagEccInvalidates,
+                          sys.counters().retries, sys.now());
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(MemorySystemFault, CorrectableErrorsCostRetriesAndTime)
+{
+    SystemConfig cfg = smallConfig(MemoryMode::TwoLm);
+    MemorySystem clean(cfg);
+    cfg.fault.nvramReadCorrectable = 0.05;
+    cfg.fault.retryLatency = 10e-6;
+    MemorySystem faulty(cfg);
+
+    for (MemorySystem *sys : {&clean, &faulty}) {
+        Region r = sys->allocate(4 * kMiB, "a");
+        streamLoads(*sys, r, 4 * kMiB);
+        sys->quiesce();
+    }
+    EXPECT_EQ(clean.counters().retries, 0u);
+    EXPECT_GT(faulty.counters().retries, 0u);
+    EXPECT_GT(faulty.counters().correctableErrors, 0u);
+    EXPECT_EQ(faulty.counters().uncorrectableErrors, 0u);
+    EXPECT_GT(faulty.now(), clean.now());
+}
+
+TEST(MemorySystemFault, TagEccInvalidatesForceNvramRefetches)
+{
+    SystemConfig cfg = smallConfig(MemoryMode::TwoLm);
+    MemorySystem clean(cfg);
+    cfg.fault.tagEccUncorrectable = 0.02;
+    MemorySystem faulty(cfg);
+
+    // Cache-resident working set: re-reads hit DRAM in the clean run,
+    // but tag corruption forces NVRAM refetches in the faulty run.
+    for (MemorySystem *sys : {&clean, &faulty}) {
+        Region r = sys->allocate(2 * kMiB, "a");
+        for (int pass = 0; pass < 4; ++pass)
+            streamLoads(*sys, r, 2 * kMiB);
+        sys->quiesce();
+    }
+    EXPECT_GT(faulty.counters().tagEccInvalidates, 0u);
+    EXPECT_EQ(faulty.faultLog().tagEccInvalidates(),
+              faulty.counters().tagEccInvalidates);
+    EXPECT_GT(faulty.counters().nvramRead, clean.counters().nvramRead);
+}
+
+TEST(MemorySystemFault, UncorrectableReadsPoisonAndMachineCheck)
+{
+    SystemConfig cfg = smallConfig(MemoryMode::TwoLm);
+    cfg.fault.nvramReadUncorrectable = 0.05;
+    MemorySystem sys(cfg);
+    Region r = sys.allocate(4 * kMiB, "a");
+    streamLoads(sys, r, 4 * kMiB);
+    sys.quiesce();
+
+    const FaultLog &log = sys.faultLog();
+    EXPECT_GT(log.uncorrectable(), 0u);
+    EXPECT_GT(log.machineChecks(), 0u);
+    // Poison never outnumbers uncorrectable injections.
+    EXPECT_LE(log.poisonCreated(),
+              log.uncorrectable() + log.tagEccInvalidates() +
+                  log.count(FaultEventKind::DramUncorrectable));
+    // Conservation: every poisoned line was created or propagated, and
+    // is either cleared or still poisoned.
+    EXPECT_EQ(log.poisonCreated() + log.poisonPropagated(),
+              log.poisonCleared() + sys.poisonedLines());
+}
+
+// Poison a region through write-path uncorrectable errors (an NT
+// store whose media write fails loses the only copy of the line).
+static Region
+poisonByWrites(MemorySystem &sys, Bytes bytes, const char *name)
+{
+    Region r = sys.allocateIn(MemPool::Nvram, bytes, name);
+    for (Addr a = r.base; a < r.base + bytes; a += kLineSize)
+        sys.touchLine(0, CpuOp::NtStore, a);
+    sys.quiesce();
+    return r;
+}
+
+TEST(MemorySystemFault, FullLineWriteClearsPoison)
+{
+    SystemConfig cfg = smallConfig(MemoryMode::OneLm);
+    cfg.fault.nvramWriteUncorrectable = 0.05;
+    MemorySystem sys(cfg);
+    Region r = poisonByWrites(sys, 2 * kMiB, "a");
+    ASSERT_GT(sys.poisonedLines(), 0u);
+
+    Addr bad = ~0ull;
+    for (Addr a = r.base; a < r.base + r.size; a += kLineSize) {
+        if (sys.isPoisoned(a)) {
+            bad = a;
+            break;
+        }
+    }
+    ASSERT_NE(bad, ~0ull);
+
+    // A full-line write replaces the lost data. The rewrite itself can
+    // draw a fresh write fault, so retry a bounded number of times —
+    // exactly what recovery software does.
+    for (int tries = 0; sys.isPoisoned(bad) && tries < 64; ++tries)
+        sys.touchLine(0, CpuOp::NtStore, bad);
+    EXPECT_FALSE(sys.isPoisoned(bad));
+    EXPECT_GT(sys.faultLog().poisonCleared(), 0u);
+}
+
+TEST(MemorySystemFault, ReadsConsumePoisonGracefully)
+{
+    SystemConfig cfg = smallConfig(MemoryMode::OneLm);
+    cfg.fault.nvramWriteUncorrectable = 0.05;
+    MemorySystem sys(cfg);
+    Region r = poisonByWrites(sys, 2 * kMiB, "a");
+    ASSERT_GT(sys.poisonedLines(), 0u);
+    std::uint64_t created = sys.faultLog().poisonCreated();
+
+    // A demand read of every line raises one machine check per
+    // poisoned line; the OS retires the pages, so nothing stays
+    // poisoned. Read rates are zero, so no new poison appears.
+    streamLoads(sys, r, 2 * kMiB);
+    sys.quiesce();
+    EXPECT_EQ(sys.poisonedLines(), 0u);
+    EXPECT_GT(sys.faultLog().machineChecks(), 0u);
+    EXPECT_EQ(sys.faultLog().poisonCleared(), created);
+}
+
+TEST(MemorySystemFault, DmaCopyPropagatesPoison)
+{
+    SystemConfig cfg = smallConfig(MemoryMode::OneLm);
+    cfg.fault.nvramWriteUncorrectable = 0.1;
+    cfg.fault.seed = 3;
+    MemorySystem sys(cfg);
+    Region src = poisonByWrites(sys, 1 * kMiB, "src");
+    Region dst = sys.allocateIn(MemPool::Nvram, 1 * kMiB, "dst");
+    ASSERT_GT(sys.poisonedLines(), 0u);
+
+    sys.dmaCopy(dst.base, src.base, 1 * kMiB);
+    sys.quiesce();
+    EXPECT_GT(sys.faultLog().poisonPropagated(), 0u);
+
+    // A line that is still poisoned at the source has a poisoned twin
+    // at the destination (the engine moved the bad payload verbatim).
+    for (Addr a = src.base; a < src.base + src.size; a += kLineSize) {
+        if (sys.isPoisoned(a)) {
+            EXPECT_TRUE(sys.isPoisoned(dst.base + (a - src.base)));
+            break;
+        }
+    }
+}
+
+TEST(MemorySystemFault, ThrottleEngagesAndShowsInCounters)
+{
+    SystemConfig cfg = smallConfig(MemoryMode::OneLm);
+    // Engage threshold far below what a write stream sustains.
+    cfg.fault.throttle.engageBandwidth = 0.2e9;
+    cfg.fault.throttle.releaseBandwidth = 0.1e9;
+    cfg.fault.throttle.engageEpochs = 1;
+    cfg.fault.throttle.factor = 0.25;
+    MemorySystem sys(cfg);
+    sys.setActiveThreads(8);
+    Region r = sys.allocateIn(MemPool::Nvram, 8 * kMiB, "w");
+    for (int pass = 0; pass < 4; ++pass) {
+        for (Addr a = r.base; a < r.base + 8 * kMiB; a += kLineSize)
+            sys.touchLine(0, CpuOp::NtStore, a);
+    }
+    sys.quiesce();
+    EXPECT_GT(sys.counters().throttledEpochs, 0u);
+    EXPECT_GT(sys.faultLog().count(FaultEventKind::ThrottleEngaged), 0u);
+}
+
+TEST(MemorySystemFault, OfflineChannelReinterleavesTraffic)
+{
+    SystemConfig cfg = smallConfig(MemoryMode::TwoLm);
+    MemorySystem sys(cfg);
+    unsigned n = sys.numChannels();
+    ASSERT_GT(n, 1u);
+
+    Region r = sys.allocate(4 * kMiB, "a");
+    streamLoads(sys, r, 1 * kMiB);
+    sys.offlineChannel(2);
+    EXPECT_EQ(sys.onlineChannels().size(), n - 1);
+    EXPECT_EQ(sys.faultLog().count(FaultEventKind::ChannelOfflined), 1u);
+
+    // Traffic continues on the survivors; channel 2 sees none of it.
+    PerfCounters before = sys.channel(2).counters();
+    streamLoads(sys, r, 4 * kMiB);
+    sys.quiesce();
+    EXPECT_EQ(sys.channel(2).counters().demand(), before.demand());
+    EXPECT_GT(sys.counters().nvramRead, 0u);
+}
+
+TEST(MemorySystemFaultDeathTest, CannotOfflineLastChannel)
+{
+    SystemConfig cfg = smallConfig(MemoryMode::TwoLm);
+    cfg.channelsPerSocket = 1;
+    MemorySystem sys(cfg);
+    EXPECT_EXIT(sys.offlineChannel(0), ::testing::ExitedWithCode(1),
+                "last online channel");
+}
+
+TEST(MemorySystemFaultDeathTest, OfflineValidatesIndex)
+{
+    SystemConfig cfg = smallConfig(MemoryMode::TwoLm);
+    MemorySystem sys(cfg);
+    EXPECT_EXIT(sys.offlineChannel(99), ::testing::ExitedWithCode(1),
+                "channel");
+}

@@ -111,6 +111,157 @@ INSTANTIATE_TEST_SUITE_P(
         FuzzParams{MemoryMode::OneLm, false, 1, DdoMode::None},
         FuzzParams{MemoryMode::OneLm, true, 1, DdoMode::None}));
 
+namespace
+{
+
+/** Random but valid fault plan derived from a fuzz seed. */
+FaultConfig
+randomFaultConfig(Rng &rng)
+{
+    FaultConfig f;
+    f.seed = rng.next();
+    auto rate = [&rng](double max) {
+        return static_cast<double>(rng.below(1000)) / 1000.0 * max;
+    };
+    f.nvramReadCorrectable = rate(0.05);
+    f.nvramReadUncorrectable = rate(0.01);
+    f.nvramWriteCorrectable = rate(0.05);
+    f.nvramWriteUncorrectable = rate(0.01);
+    f.dramCorrectable = rate(0.05);
+    f.tagEccUncorrectable = rate(0.01);
+    f.maxRetries = 1 + static_cast<unsigned>(rng.below(4));
+    f.retryLatency = rate(1e-5);
+    if (rng.below(2)) {
+        f.throttle.engageBandwidth = 0.5e9 + rate(4e9);
+        f.throttle.releaseBandwidth =
+            f.throttle.engageBandwidth * 0.5;
+        f.throttle.engageEpochs = 1 + static_cast<unsigned>(rng.below(3));
+        f.throttle.releaseEpochs =
+            1 + static_cast<unsigned>(rng.below(3));
+        f.throttle.factor = 0.25 + rate(0.5);
+    }
+    return f;
+}
+
+} // namespace
+
+class MemSysFaultFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MemSysFaultFuzz, FaultsNeverBreakInvariants)
+{
+    Rng rng(GetParam());
+    SystemConfig cfg;
+    cfg.mode = rng.below(2) ? MemoryMode::TwoLm : MemoryMode::OneLm;
+    cfg.scale = 1u << 14;
+    cfg.scatterPages = rng.below(2) != 0;
+    cfg.cacheWays = 1 + static_cast<unsigned>(rng.below(4));
+    cfg.epochBytes = 32 * kKiB;
+    cfg.fault = randomFaultConfig(rng);
+    MemorySystem sys(cfg);
+
+    Region arr = sys.allocate(cfg.dramTotal() * 3 / 2, "fuzz");
+    sys.setActiveThreads(6);
+
+    double last_now = 0;
+    for (int step = 0; step < 40000; ++step) {
+        unsigned thread = static_cast<unsigned>(rng.below(6));
+        Addr addr =
+            arr.base + rng.below(arr.size / kLineSize) * kLineSize;
+        Bytes size = (1 + rng.below(4)) * kLineSize;
+        if (addr + size > arr.base + arr.size)
+            size = kLineSize;
+        sys.access(thread, static_cast<CpuOp>(rng.below(3)), addr,
+                   size);
+
+        if (rng.below(2000) == 0) {
+            sys.advanceEpoch();
+            ASSERT_GE(sys.now(), last_now);
+            last_now = sys.now();
+        }
+        // Occasionally lose a channel mid-run (keep at least two).
+        if (rng.below(20000) == 0 && sys.onlineChannels().size() > 2) {
+            sys.offlineChannel(sys.onlineChannels()[static_cast<size_t>(
+                rng.below(sys.onlineChannels().size()))]);
+        }
+    }
+    sys.quiesce();
+
+    const PerfCounters c = sys.counters();
+    const FaultLog &log = sys.faultLog();
+
+    // Counter/log agreement: per-channel counters aggregate to at
+    // least what the machine-level log recorded (the log also counts
+    // events on channels later taken offline, whose counters survive,
+    // so the totals must match exactly).
+    EXPECT_EQ(c.tagEccInvalidates, log.tagEccInvalidates());
+    EXPECT_GE(c.correctableErrors, log.correctable());
+    // Every correctable error costs at least one retry round.
+    EXPECT_GE(c.retries, c.correctableErrors);
+
+    // Poison conservation: created only by uncorrectable events,
+    // cleared or still present, never negative anywhere.
+    EXPECT_LE(log.poisonCreated(),
+              log.uncorrectable() + log.tagEccInvalidates() +
+                  log.count(FaultEventKind::DramUncorrectable));
+    EXPECT_EQ(log.poisonCreated() + log.poisonPropagated(),
+              log.poisonCleared() + sys.poisonedLines());
+    // A machine check needs a poisoned or just-poisoned line.
+    EXPECT_LE(log.machineChecks(),
+              log.poisonCreated() + log.poisonPropagated() +
+                  log.uncorrectable() +
+                  log.count(FaultEventKind::DramUncorrectable));
+
+    // Media traffic can only grow under faults; demand conservation
+    // still holds.
+    EXPECT_GE(c.amplification(), 1.0);
+    EXPECT_GT(sys.now(), 0.0);
+
+    // Nothing left buffered after quiesce on surviving channels.
+    for (unsigned i : sys.onlineChannels()) {
+        EXPECT_EQ(sys.channel(i).nvram().epoch().demandReads, 0u);
+        EXPECT_EQ(sys.channel(i).dram().epoch().casReads, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemSysFaultFuzz,
+                         ::testing::Values(0xFA111u, 0xFA112u, 0xFA113u,
+                                           0xFA114u, 0xFA115u,
+                                           0xFA116u));
+
+TEST(MemSysFaultFuzz, FaultReplayDeterminism)
+{
+    auto run = [] {
+        SystemConfig cfg;
+        cfg.mode = MemoryMode::TwoLm;
+        cfg.scale = 1u << 14;
+        cfg.fault.seed = 1234;
+        cfg.fault.nvramReadCorrectable = 0.01;
+        cfg.fault.nvramReadUncorrectable = 0.002;
+        cfg.fault.tagEccUncorrectable = 0.002;
+        MemorySystem sys(cfg);
+        Region arr = sys.allocate(cfg.dramTotal() * 2, "fuzz");
+        sys.setActiveThreads(4);
+        Rng rng(77);
+        for (int i = 0; i < 20000; ++i) {
+            sys.access(static_cast<unsigned>(rng.below(4)),
+                       static_cast<CpuOp>(rng.below(3)),
+                       arr.base +
+                           rng.below(arr.size / kLineSize) * kLineSize,
+                       kLineSize);
+        }
+        sys.quiesce();
+        return std::make_tuple(
+            sys.counters().deviceAccesses(),
+            sys.counters().correctableErrors,
+            sys.counters().uncorrectableErrors,
+            sys.faultLog().machineChecks(), sys.poisonedLines(),
+            sys.now());
+    };
+    EXPECT_EQ(run(), run());
+}
+
 TEST(MemSysFuzz, ReplayDeterminism)
 {
     // The same random stream on two identical machines produces

@@ -12,11 +12,70 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "core/logging.hh"
+#include "obs/session.hh"
+
 namespace nvsim::bench
 {
+
+/**
+ * Parse the shared observability flags from a bench's argv:
+ *
+ *   --stats-json=FILE    hierarchical stats registry as JSON
+ *   --stats-prom=FILE    same registry, Prometheus text exposition
+ *   --perfetto=FILE      Chrome-trace JSON (ui.perfetto.dev)
+ *   --set-heatmap=FILE   per-set DRAM cache conflict CSV
+ *   --top-sets=N         hottest-set console report size (default 16)
+ *
+ * All collection is opt-in: with no flags the returned options are
+ * empty, the Session built from them is disabled, and the bench's
+ * output is bit-identical to a flagless build. Unknown arguments are
+ * fatal so typos don't silently run unobserved.
+ */
+inline obs::SessionOptions
+parseObsOptions(int argc, char **argv)
+{
+    obs::SessionOptions opts;
+    auto match = [](const char *arg, const char *flag,
+                    std::string *out) {
+        std::size_t n = std::strlen(flag);
+        if (std::strncmp(arg, flag, n) != 0)
+            return false;
+        *out = arg + n;
+        if (out->empty())
+            fatal("%s needs a value", flag);
+        return true;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        std::string value;
+        if (match(arg, "--stats-json=", &opts.statsJsonPath) ||
+            match(arg, "--stats-prom=", &opts.statsPromPath) ||
+            match(arg, "--perfetto=", &opts.perfettoPath) ||
+            match(arg, "--set-heatmap=", &opts.heatmapPath)) {
+            continue;
+        }
+        if (match(arg, "--top-sets=", &value)) {
+            char *end = nullptr;
+            opts.topSets = static_cast<std::size_t>(
+                std::strtoull(value.c_str(), &end, 10));
+            if (end == value.c_str() || *end != '\0')
+                fatal("--top-sets= wants a number, got '%s'",
+                      value.c_str());
+            continue;
+        }
+        fatal("unknown argument '%s' (observability flags: "
+              "--stats-json= --stats-prom= --perfetto= --set-heatmap= "
+              "--top-sets=)",
+              arg);
+    }
+    return opts;
+}
 
 /** Banner with the experiment id and the paper's expectation. */
 inline void

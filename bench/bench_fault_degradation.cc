@@ -63,7 +63,7 @@ streamBandwidth(MemorySystem &sys, const Region &r, int passes)
 }
 
 void
-errorRateSweep(CsvWriter &csv)
+errorRateSweep(obs::Session &session, CsvWriter &csv)
 {
     banner("Fault sweep: effective read bandwidth vs NVRAM error rate",
            "2LM loses bandwidth faster than 1LM at equal rates: "
@@ -91,8 +91,13 @@ errorRateSweep(CsvWriter &csv)
                 cfg.mode == MemoryMode::OneLm
                     ? sys.allocateIn(MemPool::Nvram, bytes, "arr")
                     : sys.allocate(bytes, "arr");
+            if (obs::Observer *o = session.beginRun(
+                    fmt("sweep/%s/rate_%g", memoryModeName(mode),
+                        rate)))
+                sys.attachObserver(o);
             bw[mode == MemoryMode::OneLm] =
                 streamBandwidth(sys, r, 2);
+            session.endRun();
         }
         if (rate == 0) {
             base2 = bw[0];
@@ -122,7 +127,7 @@ errorRateSweep(CsvWriter &csv)
 }
 
 void
-throttleTrace(CsvWriter &csv)
+throttleTrace(obs::Session &session, CsvWriter &csv)
 {
     banner("Thermal throttle: engage/recover hysteresis",
            "sustained writes engage the throttle after 2 hot epochs; "
@@ -140,6 +145,8 @@ throttleTrace(CsvWriter &csv)
     cfg.fault.throttle.releaseEpochs = 2;
     cfg.fault.throttle.factor = 0.6;
     MemorySystem sys(cfg);
+    if (obs::Observer *o = session.beginRun("throttle_trace"))
+        sys.attachObserver(o);
     sys.setActiveThreads(8);
     Region w = sys.allocateIn(MemPool::Nvram, 4 * kMiB, "hot");
 
@@ -156,6 +163,7 @@ throttleTrace(CsvWriter &csv)
     read_phase(2 * kMiB);   // cool: recovers
     write_phase(4 * kMiB);  // hot again: re-engages
     sys.quiesce();
+    session.endRun();
 
     const TimeSeries &ts = sys.trace();
     Table t({"time_us", "throttle_factor", "nvram_wr_gbs"});
@@ -198,14 +206,16 @@ throttleTrace(CsvWriter &csv)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::Session session(parseObsOptions(argc, argv));
     CsvWriter csv("fault_degradation.csv");
     csv.row(std::vector<std::string>{"experiment", "series", "x",
                                      "value", "extra"});
-    errorRateSweep(csv);
-    throttleTrace(csv);
+    errorRateSweep(session, csv);
+    throttleTrace(session, csv);
     csv.close();
+    session.write();  // explicit: I/O failure is fatal, not a warning
     std::printf("\nseries written to fault_degradation.csv\n");
     return 0;
 }

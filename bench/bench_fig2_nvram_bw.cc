@@ -43,7 +43,8 @@ const Variant kVariants[] = {
 };
 
 double
-runOne(KernelOp op, const Variant &v, unsigned threads)
+runOne(obs::Session &session, const char *figure, KernelOp op,
+       const Variant &v, unsigned threads)
 {
     SystemConfig cfg;
     cfg.mode = MemoryMode::OneLm;
@@ -51,17 +52,24 @@ runOne(KernelOp op, const Variant &v, unsigned threads)
     MemorySystem sys(cfg);
     Region arr = sys.allocateIn(MemPool::Nvram, kArray, "array");
 
+    if (obs::Observer *o = session.beginRun(
+            fmt("%s/%s/%uT", figure, v.name, threads)))
+        sys.attachObserver(o);
+
     KernelConfig k;
     k.op = op;
     k.pattern = v.pattern;
     k.granularity = v.granularity;
     k.threads = threads;
     k.nontemporal = true;
-    return runKernel(sys, arr, k).effectiveBandwidth;
+    double bw = runKernel(sys, arr, k).effectiveBandwidth;
+    session.endRun();
+    return bw;
 }
 
 void
-sweep(const char *figure, KernelOp op, CsvWriter &csv)
+sweep(obs::Session &session, const char *figure, KernelOp op,
+      CsvWriter &csv)
 {
     Table t([&] {
         std::vector<std::string> h{"threads"};
@@ -72,7 +80,7 @@ sweep(const char *figure, KernelOp op, CsvWriter &csv)
     for (unsigned threads : kThreads) {
         std::vector<std::string> r{fmt("%u", threads)};
         for (const Variant &v : kVariants) {
-            double bw = runOne(op, v, threads);
+            double bw = runOne(session, figure, op, v, threads);
             r.push_back(gbs(bw));
             csv.row(std::vector<std::string>{figure, v.name,
                                              fmt("%u", threads),
@@ -86,8 +94,9 @@ sweep(const char *figure, KernelOp op, CsvWriter &csv)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::Session session(parseObsOptions(argc, argv));
     CsvWriter csv("fig2_nvram_bw.csv");
     csv.row(std::vector<std::string>{"figure", "variant", "threads",
                                      "gbs"});
@@ -95,14 +104,15 @@ main()
     banner("Figure 2a: NVRAM read bandwidth (1LM, GB/s)",
            "sequential saturates ~30 GB/s at 8 threads; random 64B "
            "~4x lower; random >=256B matches sequential");
-    sweep("2a", KernelOp::ReadOnly, csv);
+    sweep(session, "2a", KernelOp::ReadOnly, csv);
 
     banner("Figure 2b: NVRAM write bandwidth (1LM, nontemporal, GB/s)",
            "peaks ~11 GB/s at 4 threads, slight droop beyond; "
            "random <256B collapses from write amplification");
-    sweep("2b", KernelOp::WriteOnly, csv);
+    sweep(session, "2b", KernelOp::WriteOnly, csv);
 
     csv.close();
+    session.write();  // explicit: I/O failure is fatal, not a warning
     std::printf("\nseries written to fig2_nvram_bw.csv\n");
     return 0;
 }

@@ -49,8 +49,9 @@ const Scenario kScenarios[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::Session session(parseObsOptions(argc, argv));
     CsvWriter csv("fig4_2lm_microbench.csv");
     csv.row(std::vector<std::string>{"scenario", "pattern", "metric",
                                      "gbs"});
@@ -78,12 +79,19 @@ main()
                 primeClean(sys, arr, 8);
             sys.resetCounters();
 
+            // Attach after priming so the histograms and heatmap hold
+            // the measured kernel only, not the warmup traffic.
+            if (obs::Observer *o = session.beginRun(
+                    fmt("%s/%s", s.name, accessPatternName(pattern))))
+                sys.attachObserver(o);
+
             KernelConfig k;
             k.op = s.op;
             k.pattern = pattern;
             k.threads = s.threads;
             k.nontemporal = s.nontemporal;
             KernelResult r = runKernel(sys, arr, k);
+            session.endRun();
 
             double ddo_frac =
                 r.counters.llcWrites
@@ -115,6 +123,7 @@ main()
     }
 
     csv.close();
+    session.write();  // explicit: I/O failure is fatal, not a warning
     std::printf("series written to fig4_2lm_microbench.csv\n");
     return 0;
 }

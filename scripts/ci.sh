@@ -21,4 +21,19 @@ run_suite() {
 run_suite build -DNVSIM_SANITIZE=OFF
 run_suite build-asan -DNVSIM_SANITIZE=ON
 
+# Observability smoke: one bench run with every obs output enabled;
+# both JSON artifacts must parse (json.tool exits nonzero otherwise).
+echo "=== obs smoke (stats JSON / Perfetto / heatmap) ==="
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+(cd "$obs_dir" && "$root/build/bench/bench_fig4_2lm_microbench" \
+    --stats-json=stats.json --stats-prom=stats.prom \
+    --perfetto=trace.json --set-heatmap=heatmap.csv \
+    --top-sets=4 > bench.log)
+python3 -m json.tool "$obs_dir/stats.json" > /dev/null
+python3 -m json.tool "$obs_dir/trace.json" > /dev/null
+head -1 "$obs_dir/heatmap.csv" | grep -q '^run,set,hits,misses,evictions$'
+test -s "$obs_dir/stats.prom"
+echo "obs smoke passed: artifacts written and valid."
+
 echo "CI passed: plain and sanitized suites green."

@@ -58,6 +58,33 @@ def plot_trace(header, rows, out):
     print(f"wrote {out}")
 
 
+def plot_heatmap(header, rows, out):
+    """run,set,hits,misses,evictions rows (--set-heatmap output)."""
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    runs = defaultdict(lambda: ([], []))
+    for run, set_idx, hits, misses, evictions in rows:
+        xs, ys = runs[run]
+        xs.append(int(set_idx))
+        ys.append(int(misses) + int(evictions))
+
+    n = len(runs)
+    fig, axes = plt.subplots(n, 1, figsize=(10, 2.2 * n), sharex=True)
+    if n == 1:
+        axes = [axes]
+    for ax, (run, (xs, ys)) in zip(axes, sorted(runs.items())):
+        ax.vlines(xs, 0, ys, linewidth=0.7)
+        ax.set_ylabel("misses+evictions", fontsize=7)
+        ax.set_title(run, fontsize=8)
+    axes[-1].set_xlabel("DRAM cache set")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
 def plot_sweep(header, rows, out):
     """threads-on-x sweeps (fig2)."""
     import matplotlib
@@ -98,6 +125,8 @@ def main():
         plot_trace(header, rows, out)
     elif header[:2] == ["figure", "variant"]:
         plot_sweep(header, rows, out)
+    elif header[:2] == ["run", "set"]:
+        plot_heatmap(header, rows, out)
     else:
         print(f"don't know how to plot columns {header}; "
               "see EXPERIMENTS.md for the semantics")

@@ -1,6 +1,7 @@
 #include "dnn/executor.hh"
 
 #include "core/logging.hh"
+#include "obs/observer.hh"
 
 namespace nvsim::dnn
 {
@@ -92,6 +93,8 @@ Executor::runIteration()
         // Close the kernel's timing epoch so events don't bleed.
         sys_.advanceEpoch();
         ev.end = sys_.now();
+        if (obs::Observer *o = sys_.observer())
+            o->kernelSpan(op.name, ev.start, ev.end);
 
         double inst = ev.flops * config_.instPerFlop +
                       static_cast<double>(bytes) * config_.instPerByte;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/logging.hh"
+#include "obs/stats.hh"
 
 namespace nvsim
 {
@@ -282,6 +283,68 @@ ChannelController::noteEpochDuration(const ChannelEpoch &epoch, double dt)
     if (throttle_.engaged())
         counters_.throttledEpochs += 1;
     return tr;
+}
+
+void
+ChannelController::regStats(obs::Group &g)
+{
+    obs::Group &ctr = g.child("counters");
+    counters_.forEachField(
+        [&](const char *name, const char *desc, std::uint64_t &v) {
+            ctr.formula(name, desc,
+                        [&v] { return static_cast<double>(v); });
+        });
+    g.formula("amplification", "device accesses per demand request",
+              [this] { return counters_.amplification(); });
+
+    obs::Group &cache = g.child("cache");
+    cache.formula("num_sets", "DRAM cache sets on this channel",
+                  [this] { return static_cast<double>(cache_.numSets()); });
+    cache.formula("ways", "DRAM cache associativity",
+                  [this] { return static_cast<double>(cache_.ways()); });
+
+    obs::Group &dram = g.child("dram");
+    dram.formula("cas_reads", "total 64 B DRAM read transactions",
+                 [this] {
+                     return static_cast<double>(dram_.total().casReads);
+                 });
+    dram.formula("cas_writes", "total 64 B DRAM write transactions",
+                 [this] {
+                     return static_cast<double>(dram_.total().casWrites);
+                 });
+
+    obs::Group &nvram = g.child("nvram");
+    nvram.formula("demand_reads", "total 64 B NVRAM bus reads", [this] {
+        return static_cast<double>(nvram_.total().demandReads);
+    });
+    nvram.formula("demand_writes", "total 64 B NVRAM bus writes",
+                  [this] {
+                      return static_cast<double>(
+                          nvram_.total().demandWrites);
+                  });
+    nvram.formula("media_read_blocks", "total 256 B media reads",
+                  [this] {
+                      return static_cast<double>(
+                          nvram_.total().mediaReadBlocks);
+                  });
+    nvram.formula("media_write_blocks", "total 256 B media writes",
+                  [this] {
+                      return static_cast<double>(
+                          nvram_.total().mediaWriteBlocks);
+                  });
+    nvram.formula("read_amplification",
+                  "media bytes read per demand byte read",
+                  [this] { return nvram_.readAmplification(); });
+    nvram.formula("write_amplification",
+                  "media bytes written per demand byte written",
+                  [this] { return nvram_.writeAmplification(); });
+
+    obs::Group &throttle = g.child("throttle");
+    throttle.formula("engaged", "1 while the thermal throttle is engaged",
+                     [this] { return throttle_.engaged() ? 1.0 : 0.0; });
+    throttle.formula("factor",
+                     "current NVRAM write-bandwidth multiplier",
+                     [this] { return throttle_.factor(); });
 }
 
 void

@@ -25,6 +25,11 @@
 namespace nvsim
 {
 
+namespace obs
+{
+class Group;
+} // namespace obs
+
 /** Memory-system operating mode. */
 enum class MemoryMode : std::uint8_t {
     OneLm,  //!< app direct: DRAM and NVRAM separately addressable
@@ -166,6 +171,15 @@ class ChannelController
 
     /** Reset cache contents and counters (fresh benchmark). */
     void reset();
+
+    /**
+     * Register this channel's live stats under @p g: every uncore
+     * counter, derived rates, device totals and throttle state, all as
+     * formulas reading the channel (no hot-path cost). The channel
+     * must not move afterwards — call only once it sits in its final
+     * storage.
+     */
+    void regStats(obs::Group &g);
 
   private:
     AccessResult handle2lm(const MemRequest &req);

@@ -32,21 +32,9 @@ PerfCounters::addOutcome(MemRequestKind kind, CacheOutcome outcome)
 PerfCounters &
 PerfCounters::operator+=(const PerfCounters &o)
 {
-    dramRead += o.dramRead;
-    dramWrite += o.dramWrite;
-    nvramRead += o.nvramRead;
-    nvramWrite += o.nvramWrite;
-    tagHit += o.tagHit;
-    tagMissClean += o.tagMissClean;
-    tagMissDirty += o.tagMissDirty;
-    ddoHit += o.ddoHit;
-    llcReads += o.llcReads;
-    llcWrites += o.llcWrites;
-    correctableErrors += o.correctableErrors;
-    uncorrectableErrors += o.uncorrectableErrors;
-    tagEccInvalidates += o.tagEccInvalidates;
-    retries += o.retries;
-    throttledEpochs += o.throttledEpochs;
+#define NVSIM_PERF_ADD(member, name, desc) member += o.member;
+    NVSIM_PERF_COUNTER_FIELDS(NVSIM_PERF_ADD)
+#undef NVSIM_PERF_ADD
     return *this;
 }
 
@@ -54,21 +42,9 @@ PerfCounters
 PerfCounters::delta(const PerfCounters &o) const
 {
     PerfCounters d;
-    d.dramRead = dramRead - o.dramRead;
-    d.dramWrite = dramWrite - o.dramWrite;
-    d.nvramRead = nvramRead - o.nvramRead;
-    d.nvramWrite = nvramWrite - o.nvramWrite;
-    d.tagHit = tagHit - o.tagHit;
-    d.tagMissClean = tagMissClean - o.tagMissClean;
-    d.tagMissDirty = tagMissDirty - o.tagMissDirty;
-    d.ddoHit = ddoHit - o.ddoHit;
-    d.llcReads = llcReads - o.llcReads;
-    d.llcWrites = llcWrites - o.llcWrites;
-    d.correctableErrors = correctableErrors - o.correctableErrors;
-    d.uncorrectableErrors = uncorrectableErrors - o.uncorrectableErrors;
-    d.tagEccInvalidates = tagEccInvalidates - o.tagEccInvalidates;
-    d.retries = retries - o.retries;
-    d.throttledEpochs = throttledEpochs - o.throttledEpochs;
+#define NVSIM_PERF_SUB(member, name, desc) d.member = member - o.member;
+    NVSIM_PERF_COUNTER_FIELDS(NVSIM_PERF_SUB)
+#undef NVSIM_PERF_SUB
     return d;
 }
 
@@ -85,23 +61,11 @@ PerfCounters::amplification() const
 std::map<std::string, std::uint64_t>
 PerfCounters::named() const
 {
-    return {
-        {"dram_read", dramRead},
-        {"dram_write", dramWrite},
-        {"nvram_read", nvramRead},
-        {"nvram_write", nvramWrite},
-        {"tag_hit", tagHit},
-        {"tag_miss_clean", tagMissClean},
-        {"tag_miss_dirty", tagMissDirty},
-        {"ddo_hit", ddoHit},
-        {"llc_reads", llcReads},
-        {"llc_writes", llcWrites},
-        {"correctable_errors", correctableErrors},
-        {"uncorrectable_errors", uncorrectableErrors},
-        {"tag_ecc_invalidates", tagEccInvalidates},
-        {"retries", retries},
-        {"throttled_epochs", throttledEpochs},
-    };
+    std::map<std::string, std::uint64_t> m;
+    forEachField([&](const char *name, const char *, std::uint64_t v) {
+        m.emplace(name, v);
+    });
+    return m;
 }
 
 } // namespace nvsim

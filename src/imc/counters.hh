@@ -8,6 +8,11 @@
  * produce all of its bandwidth and tag traces; we expose the same event
  * set plus a ddoHit event that the real hardware does not report but
  * whose existence the paper infers.
+ *
+ * The counter set is defined once, in NVSIM_PERF_COUNTER_FIELDS; the
+ * struct fields, element-wise operators, the named() view and the
+ * forEachField() visitor are all generated from it, so adding a counter
+ * is a one-line change.
  */
 
 #ifndef NVSIM_IMC_COUNTERS_HH
@@ -22,28 +27,67 @@
 namespace nvsim
 {
 
+/**
+ * The full counter set: X(member, snake_name, description). Fault /
+ * degradation events (the block from correctableErrors down) are zero
+ * on a fault-free machine.
+ */
+#define NVSIM_PERF_COUNTER_FIELDS(X)                                     \
+    X(dramRead, dram_read, "CAS.RD: 64 B DRAM reads")                    \
+    X(dramWrite, dram_write, "CAS.WR: 64 B DRAM writes")                 \
+    X(nvramRead, nvram_read, "PMM.RD: 64 B NVRAM bus reads")             \
+    X(nvramWrite, nvram_write, "PMM.WR: 64 B NVRAM bus writes")          \
+    X(tagHit, tag_hit, "2LM tag hits")                                   \
+    X(tagMissClean, tag_miss_clean, "2LM tag misses, clean victim")      \
+    X(tagMissDirty, tag_miss_dirty, "2LM tag misses, dirty victim")      \
+    X(ddoHit, ddo_hit, "writes forwarded without a tag check")           \
+    X(llcReads, llc_reads, "demand LLC read requests")                   \
+    X(llcWrites, llc_writes, "demand LLC write requests")                \
+    X(correctableErrors, correctable_errors,                             \
+      "recovered media/ECC errors")                                      \
+    X(uncorrectableErrors, uncorrectable_errors, "data-loss events")     \
+    X(tagEccInvalidates, tag_ecc_invalidates,                            \
+      "2LM tags lost to ECC faults")                                     \
+    X(retries, retries, "transient-error retry rounds")                  \
+    X(throttledEpochs, throttled_epochs, "epochs spent write-throttled")
+
 /** Uncore counter block of one memory channel / IMC. */
 struct PerfCounters
 {
-    std::uint64_t dramRead = 0;       //!< CAS.RD: 64 B DRAM reads
-    std::uint64_t dramWrite = 0;      //!< CAS.WR: 64 B DRAM writes
-    std::uint64_t nvramRead = 0;      //!< PMM.RD: 64 B NVRAM bus reads
-    std::uint64_t nvramWrite = 0;     //!< PMM.WR: 64 B NVRAM bus writes
-    std::uint64_t tagHit = 0;         //!< 2LM tag hits
-    std::uint64_t tagMissClean = 0;   //!< 2LM tag misses, clean victim
-    std::uint64_t tagMissDirty = 0;   //!< 2LM tag misses, dirty victim
-    std::uint64_t ddoHit = 0;         //!< writes forwarded without a tag check
-    std::uint64_t llcReads = 0;       //!< demand LLC read requests
-    std::uint64_t llcWrites = 0;      //!< demand LLC write requests
+#define NVSIM_PERF_DECL(member, name, desc) std::uint64_t member = 0;
+    NVSIM_PERF_COUNTER_FIELDS(NVSIM_PERF_DECL)
+#undef NVSIM_PERF_DECL
 
-    /** @name Fault / degradation events (zero on a fault-free machine) */
-    ///@{
-    std::uint64_t correctableErrors = 0;   //!< recovered media/ECC errors
-    std::uint64_t uncorrectableErrors = 0; //!< data-loss events
-    std::uint64_t tagEccInvalidates = 0;   //!< 2LM tags lost to ECC faults
-    std::uint64_t retries = 0;             //!< transient-error retry rounds
-    std::uint64_t throttledEpochs = 0;     //!< epochs spent write-throttled
-    ///@}
+    /**
+     * Visit every counter as f(snake_name, description, value).
+     * Mutable overload passes a reference.
+     */
+    template <typename F>
+    void
+    forEachField(F &&f) const
+    {
+#define NVSIM_PERF_VISIT(member, name, desc) f(#name, desc, member);
+        NVSIM_PERF_COUNTER_FIELDS(NVSIM_PERF_VISIT)
+#undef NVSIM_PERF_VISIT
+    }
+
+    template <typename F>
+    void
+    forEachField(F &&f)
+    {
+#define NVSIM_PERF_VISIT(member, name, desc) f(#name, desc, member);
+        NVSIM_PERF_COUNTER_FIELDS(NVSIM_PERF_VISIT)
+#undef NVSIM_PERF_VISIT
+    }
+
+    /** Number of counters in the block. */
+    static constexpr std::size_t
+    numFields()
+    {
+#define NVSIM_PERF_COUNT(member, name, desc) +1
+        return 0 NVSIM_PERF_COUNTER_FIELDS(NVSIM_PERF_COUNT);
+#undef NVSIM_PERF_COUNT
+    }
 
     /** Record the device actions of one request. */
     void
@@ -79,6 +123,11 @@ struct PerfCounters
     /** Named view for CSV / reporting. */
     std::map<std::string, std::uint64_t> named() const;
 };
+
+// The field list declares every member, so the struct is exactly its
+// counters; a hand-added member would break the visitor's coverage.
+static_assert(sizeof(PerfCounters) ==
+              PerfCounters::numFields() * sizeof(std::uint64_t));
 
 } // namespace nvsim
 

@@ -1,6 +1,7 @@
 #include "imc/dram_cache.hh"
 
 #include "core/logging.hh"
+#include "obs/heatmap.hh"
 
 namespace nvsim
 {
@@ -88,6 +89,8 @@ DramCache::missHandler(Addr addr, std::uint64_t set, std::uint64_t tag,
 {
     Way &victim = victimWay(set);
     if (victim.valid) {
+        if (profiler_)
+            profiler_->noteEviction(set);
         Addr victim_addr = addrOf(set, victim.tag);
         if (victim.dirty) {
             // Write the dirty victim back to NVRAM.
@@ -132,8 +135,12 @@ DramCache::read(Addr addr)
     if (Way *way = find(set, tag)) {
         result.outcome = CacheOutcome::Hit;
         touchLru(set, *way);
+        if (profiler_)
+            profiler_->noteHit(set);
         return result;
     }
+    if (profiler_)
+        profiler_->noteMiss(set);
     missHandler(addr, set, tag, result);
     return result;
 }
@@ -154,6 +161,8 @@ DramCache::write(Addr addr)
         result.actions.dramWrites = 1;
         way->dirty = true;
         touchLru(set, *way);
+        if (profiler_)
+            profiler_->noteHit(set);
         return result;
     }
 
@@ -161,6 +170,8 @@ DramCache::write(Addr addr)
     result.actions.dramReads = 1;
 
     if (!way) {
+        if (profiler_)
+            profiler_->noteMiss(set);
         if (!params_.insertOnWriteMiss) {
             // Write-no-allocate ablation: the store bypasses the
             // cache and lands in NVRAM; the current occupant stays.
@@ -176,6 +187,8 @@ DramCache::write(Addr addr)
         way = &missHandler(addr, set, tag, result);
     } else {
         result.outcome = CacheOutcome::Hit;
+        if (profiler_)
+            profiler_->noteHit(set);
     }
 
     result.actions.dramWrites += 1;

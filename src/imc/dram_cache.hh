@@ -31,6 +31,11 @@
 namespace nvsim
 {
 
+namespace obs
+{
+class SetProfiler;
+} // namespace obs
+
 /** DRAM cache configuration for one channel. */
 struct DramCacheParams
 {
@@ -120,6 +125,14 @@ class DramCache
     const DramCacheParams &params() const { return params_; }
     DdoPolicy &ddo() { return *ddo_; }
 
+    /**
+     * Attach (or detach, with nullptr) a set-conflict profiler. Not
+     * owned; typically the Observer's profiler, shared across channels
+     * of identical geometry.
+     */
+    void setProfiler(obs::SetProfiler *profiler) { profiler_ = profiler; }
+    obs::SetProfiler *profiler() { return profiler_; }
+
   private:
     struct Way
     {
@@ -156,6 +169,7 @@ class DramCache
     std::vector<Way> ways_store_;  //!< numSets_ * ways_ entries
     std::uint32_t lruClock_ = 0;
     std::unique_ptr<DdoPolicy> ddo_;
+    obs::SetProfiler *profiler_ = nullptr;  //!< optional, not owned
 };
 
 } // namespace nvsim

@@ -1,8 +1,10 @@
 #include "kernels/kernels.hh"
 
+#include <string>
 #include <vector>
 
 #include "core/logging.hh"
+#include "obs/observer.hh"
 
 namespace nvsim
 {
@@ -141,6 +143,13 @@ runKernel(MemorySystem &sys, const Region &region,
     }
 
     sys.quiesce();
+
+    if (obs::Observer *o = sys.observer()) {
+        o->kernelSpan(std::string(kernelOpName(config.op)) + " " +
+                          accessPatternName(config.pattern) + " on " +
+                          region.name,
+                      t0, sys.now());
+    }
 
     KernelResult result;
     result.seconds = sys.now() - t0;

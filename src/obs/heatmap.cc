@@ -1,0 +1,107 @@
+#include "obs/heatmap.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace nvsim::obs
+{
+
+SetProfiler::SetProfiler(std::uint64_t num_sets)
+{
+    if (num_sets == 0 || num_sets > kMaxSets) {
+        fatal("set profiler: %llu sets outside supported range "
+              "(1..%llu); use a SystemConfig scale factor",
+              static_cast<unsigned long long>(num_sets),
+              static_cast<unsigned long long>(kMaxSets));
+    }
+    hits_.assign(num_sets, 0);
+    misses_.assign(num_sets, 0);
+    evictions_.assign(num_sets, 0);
+}
+
+void
+SetProfiler::merge(const SetProfiler &o)
+{
+    if (o.numSets() != numSets()) {
+        panic("merging set profilers of different geometry (%llu vs "
+              "%llu sets)",
+              static_cast<unsigned long long>(numSets()),
+              static_cast<unsigned long long>(o.numSets()));
+    }
+    for (std::uint64_t s = 0; s < numSets(); ++s) {
+        hits_[s] += o.hits_[s];
+        misses_[s] += o.misses_[s];
+        evictions_[s] += o.evictions_[s];
+    }
+}
+
+void
+SetProfiler::reset()
+{
+    std::fill(hits_.begin(), hits_.end(), 0);
+    std::fill(misses_.begin(), misses_.end(), 0);
+    std::fill(evictions_.begin(), evictions_.end(), 0);
+}
+
+std::vector<SetProfiler::HotSet>
+SetProfiler::topSets(std::size_t n) const
+{
+    std::vector<HotSet> touched;
+    for (std::uint64_t s = 0; s < numSets(); ++s) {
+        if (hits_[s] == 0 && misses_[s] == 0 && evictions_[s] == 0)
+            continue;
+        touched.push_back({s, hits_[s], misses_[s], evictions_[s]});
+    }
+    std::size_t keep = std::min(n, touched.size());
+    std::partial_sort(touched.begin(), touched.begin() + keep,
+                      touched.end(),
+                      [](const HotSet &a, const HotSet &b) {
+                          if (a.heat() != b.heat())
+                              return a.heat() > b.heat();
+                          return a.set < b.set;  // deterministic ties
+                      });
+    touched.resize(keep);
+    return touched;
+}
+
+std::string
+SetProfiler::report(std::size_t n) const
+{
+    std::string out = strprintf("%12s %12s %12s %12s\n", "set", "hits",
+                                "misses", "evictions");
+    for (const HotSet &h : topSets(n)) {
+        out += strprintf("%12llu %12llu %12llu %12llu\n",
+                         static_cast<unsigned long long>(h.set),
+                         static_cast<unsigned long long>(h.hits),
+                         static_cast<unsigned long long>(h.misses),
+                         static_cast<unsigned long long>(h.evictions));
+    }
+    return out;
+}
+
+void
+SetProfiler::appendCsvRows(const std::string &run_label,
+                           std::vector<std::string> &rows) const
+{
+    std::string label = run_label;
+    if (label.find_first_of(",\"\n") != std::string::npos) {
+        std::string quoted = "\"";
+        for (char c : label)
+            quoted += c == '"' ? std::string("\"\"") : std::string(1, c);
+        quoted += '"';
+        label = quoted;
+    }
+    for (std::uint64_t s = 0; s < numSets(); ++s) {
+        if (hits_[s] == 0 && misses_[s] == 0 && evictions_[s] == 0)
+            continue;
+        rows.push_back(strprintf(
+            "%s,%llu,%llu,%llu,%llu", label.c_str(),
+            static_cast<unsigned long long>(s),
+            static_cast<unsigned long long>(hits_[s]),
+            static_cast<unsigned long long>(misses_[s]),
+            static_cast<unsigned long long>(evictions_[s])));
+    }
+}
+
+} // namespace nvsim::obs

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Set-conflict profiler for the direct-mapped 2LM DRAM cache.
+ *
+ * The paper's first key limitation of the hardware-managed cache is
+ * the inflexibility of direct mapping: two hot lines that alias to
+ * the same set evict each other on every access. Aggregate miss
+ * counters show *that* the cache thrashes; this profiler shows
+ * *where* — per-set hit/miss/eviction counts plus a top-N hottest-set
+ * report that makes the conflict structure directly visible.
+ *
+ * One profiler instance is shared by every channel's cache (all
+ * channels have identical geometry and see channel-local addresses),
+ * so counts are sums across channels. Hot-path cost is one pointer
+ * test plus a vector increment.
+ */
+
+#ifndef NVSIM_OBS_HEATMAP_HH
+#define NVSIM_OBS_HEATMAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvsim::obs
+{
+
+/** Per-set access profile of a DRAM cache. */
+class SetProfiler
+{
+  public:
+    /**
+     * Largest set count the profiler will track. At the default
+     * unscaled geometry (512 Mi sets/channel) the arrays would cost
+     * gigabytes; profiling is meant for scaled runs.
+     */
+    static constexpr std::uint64_t kMaxSets = 1ull << 24;
+
+    explicit SetProfiler(std::uint64_t num_sets);
+
+    void noteHit(std::uint64_t set) { ++hits_[set]; }
+    void noteMiss(std::uint64_t set) { ++misses_[set]; }
+    void noteEviction(std::uint64_t set) { ++evictions_[set]; }
+
+    std::uint64_t numSets() const { return hits_.size(); }
+    std::uint64_t hits(std::uint64_t set) const { return hits_[set]; }
+    std::uint64_t misses(std::uint64_t set) const
+    {
+        return misses_[set];
+    }
+    std::uint64_t evictions(std::uint64_t set) const
+    {
+        return evictions_[set];
+    }
+
+    /** Merge another profiler of identical geometry (panics else). */
+    void merge(const SetProfiler &o);
+
+    void reset();
+
+    struct HotSet
+    {
+        std::uint64_t set = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+
+        /** Conflict pressure used for the hot ranking. */
+        std::uint64_t heat() const { return misses + evictions; }
+    };
+
+    /** The @p n sets with the most misses+evictions, hottest first. */
+    std::vector<HotSet> topSets(std::size_t n) const;
+
+    /** Console table of the top-@p n hottest sets. */
+    std::string report(std::size_t n = 16) const;
+
+    /**
+     * Append all touched sets to @p rows as CSV lines
+     * `run,set,hits,misses,evictions` (untouched sets are omitted —
+     * the heatmap is typically sparse).
+     */
+    void appendCsvRows(const std::string &run_label,
+                       std::vector<std::string> &rows) const;
+
+  private:
+    std::vector<std::uint64_t> hits_;
+    std::vector<std::uint64_t> misses_;
+    std::vector<std::uint64_t> evictions_;
+};
+
+} // namespace nvsim::obs
+
+#endif // NVSIM_OBS_HEATMAP_HH

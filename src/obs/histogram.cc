@@ -1,0 +1,117 @@
+#include "obs/histogram.hh"
+
+#include <bit>
+
+#include "core/logging.hh"
+
+namespace nvsim::obs
+{
+
+Log2Histogram::Log2Histogram(unsigned num_buckets, unsigned linear)
+    : linear_(linear)
+{
+    if (linear_ == 0 || (linear_ & (linear_ - 1)) != 0)
+        fatal("histogram linear region %u must be a power of two",
+              linear_);
+    if (num_buckets <= linear_)
+        fatal("histogram needs more than %u buckets for a linear "
+              "region of %u",
+              num_buckets, linear_);
+    linearLog2_ = static_cast<unsigned>(std::bit_width(linear_) - 1);
+    buckets_.assign(num_buckets, 0);
+}
+
+unsigned
+Log2Histogram::bucketFor(std::uint64_t value) const
+{
+    unsigned idx;
+    if (value < linear_) {
+        idx = static_cast<unsigned>(value);
+    } else {
+        unsigned log2 =
+            static_cast<unsigned>(std::bit_width(value) - 1);
+        idx = linear_ + (log2 - linearLog2_);
+    }
+    unsigned last = numBuckets() - 1;
+    return idx < last ? idx : last;
+}
+
+std::uint64_t
+Log2Histogram::bucketLow(unsigned i) const
+{
+    nvsim_assert(i < numBuckets());
+    if (i < linear_)
+        return i;
+    return std::uint64_t{1} << (linearLog2_ + (i - linear_));
+}
+
+std::uint64_t
+Log2Histogram::bucketHigh(unsigned i) const
+{
+    nvsim_assert(i < numBuckets());
+    if (i == numBuckets() - 1)
+        return UINT64_MAX;
+    if (i < linear_)
+        return i + 1;
+    return std::uint64_t{1} << (linearLog2_ + (i - linear_) + 1);
+}
+
+void
+Log2Histogram::sample(std::uint64_t value, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    buckets_[bucketFor(value)] += count;
+    if (count_ == 0 || value < min_)
+        min_ = value;
+    if (value > max_)
+        max_ = value;
+    count_ += count;
+    sum_ += value * count;
+}
+
+void
+Log2Histogram::merge(const Log2Histogram &o)
+{
+    if (o.numBuckets() != numBuckets() || o.linear_ != linear_) {
+        panic("merging histograms with different layouts "
+              "(%u/%u buckets, linear %u/%u)",
+              numBuckets(), o.numBuckets(), linear_, o.linear_);
+    }
+    for (unsigned i = 0; i < numBuckets(); ++i)
+        buckets_[i] += o.buckets_[i];
+    if (o.count_) {
+        if (count_ == 0 || o.min_ < min_)
+            min_ = o.min_;
+        if (o.max_ > max_)
+            max_ = o.max_;
+    }
+    count_ += o.count_;
+    sum_ += o.sum_;
+}
+
+void
+Log2Histogram::reset()
+{
+    buckets_.assign(buckets_.size(), 0);
+    count_ = sum_ = min_ = max_ = 0;
+}
+
+double
+Log2Histogram::mean() const
+{
+    return count_ ? static_cast<double>(sum_) /
+                        static_cast<double>(count_)
+                  : 0.0;
+}
+
+std::string
+Log2Histogram::summary() const
+{
+    return strprintf("n=%llu mean=%.2f min=%llu max=%llu",
+                     static_cast<unsigned long long>(count_), mean(),
+                     static_cast<unsigned long long>(min()),
+                     static_cast<unsigned long long>(max_));
+}
+
+} // namespace nvsim::obs

@@ -1,0 +1,171 @@
+#include "obs/json.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace nvsim::obs
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separator()
+{
+    if (needComma_)
+        out_ << ',';
+    needComma_ = true;
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    nvsim_assert(!isObject_.empty() && isObject_.back());
+    out_ << '"' << jsonEscape(k) << "\":";
+}
+
+void
+JsonWriter::beginObject(const std::string &k)
+{
+    separator();
+    if (!k.empty())
+        key(k);
+    out_ << '{';
+    isObject_.push_back(true);
+    needComma_ = false;
+}
+
+void
+JsonWriter::endObject()
+{
+    nvsim_assert(!isObject_.empty() && isObject_.back());
+    isObject_.pop_back();
+    out_ << '}';
+    needComma_ = true;
+}
+
+void
+JsonWriter::beginArray(const std::string &k)
+{
+    separator();
+    if (!k.empty())
+        key(k);
+    out_ << '[';
+    isObject_.push_back(false);
+    needComma_ = false;
+}
+
+void
+JsonWriter::endArray()
+{
+    nvsim_assert(!isObject_.empty() && !isObject_.back());
+    isObject_.pop_back();
+    out_ << ']';
+    needComma_ = true;
+}
+
+void
+JsonWriter::field(const std::string &k, const std::string &v)
+{
+    separator();
+    key(k);
+    out_ << '"' << jsonEscape(v) << '"';
+}
+
+void
+JsonWriter::field(const std::string &k, const char *v)
+{
+    field(k, std::string(v));
+}
+
+void
+JsonWriter::field(const std::string &k, double v)
+{
+    separator();
+    key(k);
+    // JSON has no NaN/Inf; clamp to null so the file stays parseable.
+    if (std::isfinite(v))
+        out_ << strprintf("%.9g", v);
+    else
+        out_ << "null";
+}
+
+void
+JsonWriter::field(const std::string &k, std::uint64_t v)
+{
+    separator();
+    key(k);
+    out_ << v;
+}
+
+void
+JsonWriter::field(const std::string &k, int v)
+{
+    separator();
+    key(k);
+    out_ << v;
+}
+
+void
+JsonWriter::field(const std::string &k, bool v)
+{
+    separator();
+    key(k);
+    out_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::value(double v)
+{
+    separator();
+    if (std::isfinite(v))
+        out_ << strprintf("%.9g", v);
+    else
+        out_ << "null";
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    separator();
+    out_ << v;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    separator();
+    out_ << '"' << jsonEscape(v) << '"';
+}
+
+} // namespace nvsim::obs

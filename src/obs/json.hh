@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for the observability dumpers (stats
+ * JSON, Perfetto trace export). No external dependency; emits valid
+ * UTF-8 JSON with proper string escaping.
+ */
+
+#ifndef NVSIM_OBS_JSON_HH
+#define NVSIM_OBS_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nvsim::obs
+{
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Streaming writer producing one JSON document. Containers are opened
+ * and closed explicitly; the writer tracks whether a comma separator
+ * is needed. Misuse (closing the wrong container) panics.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out) : out_(out) {}
+
+    /** @name Containers (pass a key inside objects, none in arrays) */
+    ///@{
+    void beginObject(const std::string &key = "");
+    void endObject();
+    void beginArray(const std::string &key = "");
+    void endArray();
+    ///@}
+
+    /** @name Values */
+    ///@{
+    void field(const std::string &key, const std::string &value);
+    void field(const std::string &key, const char *value);
+    void field(const std::string &key, double value);
+    void field(const std::string &key, std::uint64_t value);
+    void field(const std::string &key, int value);
+    void field(const std::string &key, bool value);
+    /** Array element. */
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(const std::string &v);
+    ///@}
+
+  private:
+    void separator();
+    void key(const std::string &k);
+
+    std::ostream &out_;
+    std::vector<bool> isObject_;  //!< open-container stack
+    bool needComma_ = false;
+};
+
+} // namespace nvsim::obs
+
+#endif // NVSIM_OBS_JSON_HH

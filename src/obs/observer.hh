@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Observer: the per-run hub of the observability layer.
+ *
+ * A MemorySystem runs unobserved by default — every hook is a single
+ * null-pointer test, so with no observer attached the simulation's
+ * outputs are bit-identical to a build without this subsystem. When a
+ * bench opts in (bench_common.hh flags), an Observer is attached and
+ * collects:
+ *
+ *  - a hierarchical stats Registry (obs/stats.hh) the system's
+ *    components register into (LLC, per-channel IMC counters, DRAM
+ *    cache, DRAM/NVRAM devices, fault log);
+ *  - per-request latency and device-access-count histograms keyed by
+ *    outcome class (tag hit / clean miss / dirty miss / DDO write /
+ *    uncached) — Table I as a distribution instead of a mean;
+ *  - an optional per-set conflict profile of the DRAM cache
+ *    (obs/heatmap.hh);
+ *  - optional Chrome-trace/Perfetto events: epoch and kernel spans,
+ *    DMA transfers, throttle and channel-offline instants
+ *    (obs/perfetto.hh).
+ *
+ * Lifecycle: one Observer per observed run. The registry's formula
+ * stats read live component state, so the owner must seal() (render)
+ * the registry before the observed MemorySystem is destroyed; the
+ * MemorySystem does this from its destructor as a backstop.
+ */
+
+#ifndef NVSIM_OBS_OBSERVER_HH
+#define NVSIM_OBS_OBSERVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "mem/request.hh"
+#include "obs/heatmap.hh"
+#include "obs/perfetto.hh"
+#include "obs/stats.hh"
+
+namespace nvsim::obs
+{
+
+/** One epoch's sample, delivered at each epoch boundary. */
+struct EpochSample
+{
+    double t0 = 0;  //!< epoch start (simulated seconds)
+    double t1 = 0;  //!< epoch end
+    /** Delta 64 B device transactions over the epoch. */
+    std::uint64_t dramRead = 0;
+    std::uint64_t dramWrite = 0;
+    std::uint64_t nvramRead = 0;
+    std::uint64_t nvramWrite = 0;
+    std::uint64_t demandBytes = 0;
+};
+
+/** Per-run observability hub. */
+class Observer
+{
+  public:
+    explicit Observer(std::string run_label = "");
+
+    /** Unwires from a still-attached MemorySystem (detach hook). */
+    ~Observer();
+
+    Observer(const Observer &) = delete;
+    Observer &operator=(const Observer &) = delete;
+
+    const std::string &runLabel() const { return runLabel_; }
+
+    /** @name Wiring (done by MemorySystem::attachObserver) */
+    ///@{
+    Registry &registry() { return registry_; }
+    const Registry &registry() const { return registry_; }
+    Group &root() { return registry_.root(); }
+
+    /** Request heatmap collection before attaching. */
+    void enableHeatmap() { wantHeatmap_ = true; }
+    bool heatmapWanted() const { return wantHeatmap_; }
+
+    /**
+     * Create (once) the shared set profiler for caches of @p num_sets
+     * sets; returns null unless heatmap collection was requested.
+     */
+    SetProfiler *ensureSetProfiler(std::uint64_t num_sets);
+    SetProfiler *setProfiler() { return setProfiler_.get(); }
+    const SetProfiler *setProfiler() const { return setProfiler_.get(); }
+
+    /** Attach a (session-owned) trace collector; may stay null. */
+    void setTracer(PerfettoTracer *tracer) { tracer_ = tracer; }
+    PerfettoTracer *tracer() { return tracer_; }
+
+    /**
+     * Callback run from the destructor while this Observer is still
+     * attached, so a system outliving its observer drops its pointers
+     * (the attached MemorySystem installs detachObserver() here and
+     * clears it again when it detaches first).
+     */
+    void setDetachHook(std::function<void()> fn)
+    {
+        detachHook_ = std::move(fn);
+    }
+    ///@}
+
+    /** @name Hot-path hooks */
+    ///@{
+    /**
+     * One IMC request resolved. @p demand distinguishes CPU demand
+     * requests (latency histogram meaningful) from DMA-engine traffic.
+     */
+    void noteRequest(bool demand, CacheOutcome outcome,
+                     unsigned device_accesses, double latency_s);
+
+    void noteEpoch(const EpochSample &sample);
+    void noteDma(double t0, double t1, std::uint64_t bytes);
+    void noteThrottle(double t, unsigned channel, bool engaged);
+    void noteChannelOffline(double t, unsigned channel);
+
+    /** A named workload span (microbench kernel, DNN op). */
+    void kernelSpan(const std::string &name, double t0, double t1);
+
+    /**
+     * The observed system reset its counters and clock (post-warmup):
+     * drop warmup histogram/heatmap samples and shift the trace time
+     * base so post-reset events stay ordered after pre-reset ones.
+     */
+    void onCountersReset(double prior_now);
+    ///@}
+
+    /**
+     * Render the registry (formulas read live component state) into
+     * cached JSON / Prometheus strings. Idempotent; must run before
+     * the observed system is destroyed.
+     */
+    void seal();
+    bool sealed() const { return sealed_; }
+
+    /** Rendered registry; seals on first use. */
+    const std::string &statsJson();
+    const std::string &statsProm();
+
+  private:
+    Log2Histogram &latencyHist(CacheOutcome outcome);
+    Log2Histogram &accessHist(CacheOutcome outcome);
+
+    std::string runLabel_;
+    Registry registry_;
+    bool wantHeatmap_ = false;
+    std::unique_ptr<SetProfiler> setProfiler_;
+    PerfettoTracer *tracer_ = nullptr;  //!< not owned; may be null
+    std::function<void()> detachHook_;
+
+    /** Indexed by CacheOutcome; owned by the registry. */
+    Log2Histogram *latency_[5] = {};
+    Log2Histogram *accesses_[5] = {};
+    Scalar *dmaRequests_ = nullptr;
+
+    bool sealed_ = false;
+    std::string statsJson_;
+    std::string statsProm_;
+};
+
+/** Stats-group name of an outcome class. */
+const char *outcomeClassName(CacheOutcome outcome);
+
+} // namespace nvsim::obs
+
+#endif // NVSIM_OBS_OBSERVER_HH

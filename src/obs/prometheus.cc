@@ -1,0 +1,150 @@
+#include "obs/prometheus.hh"
+
+#include "core/logging.hh"
+#include "obs/stats.hh"
+
+namespace nvsim::obs
+{
+
+std::string
+promSanitizeName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+promEscapeLabel(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Render accumulated label pairs as `k1="v1",k2="v2"`. */
+std::string
+renderLabels(
+    const std::vector<std::pair<std::string, std::string>> &labels,
+    const std::string &extra)
+{
+    std::string out = extra;
+    for (const auto &[k, v] : labels) {
+        if (!out.empty())
+            out += ',';
+        out += promSanitizeName(k) + "=\"" + promEscapeLabel(v) + "\"";
+    }
+    return out;
+}
+
+void
+writeSample(std::ostream &out, const std::string &name,
+            const std::string &labels, double value)
+{
+    out << name;
+    if (!labels.empty())
+        out << '{' << labels << '}';
+    out << ' ' << strprintf("%.9g", value) << '\n';
+}
+
+void
+writeGroup(std::ostream &out, const Group &group,
+           const std::string &path,
+           std::vector<std::pair<std::string, std::string>> labels,
+           const std::string &extra)
+{
+    for (const auto &kv : group.labels())
+        labels.push_back(kv);
+
+    std::string rendered = renderLabels(labels, extra);
+    for (const Stat &s : group.stats()) {
+        std::string name = promSanitizeName(
+            path.empty() ? s.name : path + "_" + s.name);
+        if (!s.desc.empty())
+            out << "# HELP " << name << ' ' << s.desc << '\n';
+        switch (s.kind) {
+          case StatKind::Scalar:
+            out << "# TYPE " << name << " counter\n";
+            writeSample(out, name, rendered,
+                        static_cast<double>(s.scalar->value()));
+            break;
+          case StatKind::Formula:
+            out << "# TYPE " << name << " gauge\n";
+            writeSample(out, name, rendered, s.formula());
+            break;
+          case StatKind::Histogram: {
+            const Log2Histogram &h = *s.histogram;
+            out << "# TYPE " << name << " histogram\n";
+            std::uint64_t cumulative = 0;
+            for (unsigned i = 0; i < h.numBuckets(); ++i) {
+                cumulative += h.bucketCount(i);
+                if (h.bucketHigh(i) == UINT64_MAX)
+                    break;  // the +Inf bucket below covers the rest
+                // Buckets are [lo, hi): the largest value included is
+                // hi - 1, which is the cumulative "le" boundary.
+                std::string le = strprintf(
+                    "le=\"%llu\"", static_cast<unsigned long long>(
+                                       h.bucketHigh(i) - 1));
+                writeSample(out, name + "_bucket",
+                            rendered.empty() ? le : rendered + "," + le,
+                            static_cast<double>(cumulative));
+            }
+            std::string le_inf = "le=\"+Inf\"";
+            writeSample(out, name + "_bucket",
+                        rendered.empty() ? le_inf
+                                         : rendered + "," + le_inf,
+                        static_cast<double>(h.count()));
+            writeSample(out, name + "_sum", rendered,
+                        static_cast<double>(h.sum()));
+            writeSample(out, name + "_count", rendered,
+                        static_cast<double>(h.count()));
+            break;
+          }
+        }
+    }
+
+    for (const auto &c : group.children()) {
+        std::string child_path =
+            path.empty() ? c->name() : path + "_" + c->name();
+        writeGroup(out, *c, child_path, labels, extra);
+    }
+}
+
+} // namespace
+
+void
+writePrometheus(const Registry &registry, std::ostream &out,
+                const std::string &prefix,
+                const std::string &extra_labels)
+{
+    writeGroup(out, registry.root(),
+               prefix.empty() ? "" : promSanitizeName(prefix), {},
+               extra_labels);
+}
+
+} // namespace nvsim::obs

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Prometheus text exposition of a stats Registry.
+ *
+ * Metric names are the sanitized dot-joined group path plus the stat
+ * name; group labels become Prometheus labels (values escaped per the
+ * exposition format). Histograms emit the standard cumulative
+ * `_bucket{le="..."}` series plus `_sum` and `_count`.
+ */
+
+#ifndef NVSIM_OBS_PROMETHEUS_HH
+#define NVSIM_OBS_PROMETHEUS_HH
+
+#include <ostream>
+#include <string>
+
+namespace nvsim::obs
+{
+
+class Registry;
+
+/**
+ * Sanitize @p name into a legal Prometheus metric name: characters
+ * outside [a-zA-Z0-9_:] become '_', and a leading digit gets a '_'
+ * prefix.
+ */
+std::string promSanitizeName(const std::string &name);
+
+/**
+ * Escape @p value for use inside a label value: backslash, double
+ * quote and newline are escaped per the text exposition format.
+ */
+std::string promEscapeLabel(const std::string &value);
+
+/**
+ * Write the registry in text exposition format. Every metric name is
+ * prefixed with @p prefix (e.g. "nvsim"); @p extra_labels (already
+ * rendered, e.g. `run="4b"`) is merged into every sample's label set
+ * and may be empty.
+ */
+void writePrometheus(const Registry &registry, std::ostream &out,
+                     const std::string &prefix = "nvsim",
+                     const std::string &extra_labels = "");
+
+} // namespace nvsim::obs
+
+#endif // NVSIM_OBS_PROMETHEUS_HH

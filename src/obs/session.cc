@@ -1,0 +1,167 @@
+#include "obs/session.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/logging.hh"
+#include "obs/json.hh"
+
+namespace nvsim::obs
+{
+
+namespace
+{
+
+/** Strip trailing whitespace so raw JSON embeds cleanly inline. */
+std::string
+rstrip(std::string s)
+{
+    while (!s.empty() &&
+           (s.back() == '\n' || s.back() == '\r' || s.back() == ' '))
+        s.pop_back();
+    return s;
+}
+
+} // namespace
+
+Session::Session(SessionOptions opts) : opts_(std::move(opts))
+{
+    if (!opts_.perfettoPath.empty()) {
+        tracer_.nameTrack(Track::Runs, "runs");
+        tracer_.nameTrack(Track::Epochs, "epochs");
+        tracer_.nameTrack(Track::Kernels, "kernels");
+        tracer_.nameTrack(Track::Dma, "dma");
+    }
+}
+
+Session::~Session()
+{
+    endRun();
+    writeFiles(true);
+}
+
+Observer *
+Session::beginRun(const std::string &label)
+{
+    if (!enabled())
+        return nullptr;
+    endRun();
+    current_ = std::make_unique<Observer>(label);
+    if (!opts_.heatmapPath.empty())
+        current_->enableHeatmap();
+    if (!opts_.perfettoPath.empty()) {
+        // Each run's simulated clock starts at zero; lay runs end to
+        // end on the shared timeline.
+        runStart_ = tracer_.horizon();
+        tracer_.setTimeBase(runStart_);
+        current_->setTracer(&tracer_);
+    }
+    return current_.get();
+}
+
+void
+Session::endRun()
+{
+    if (!current_)
+        return;
+    current_->seal();
+    runsJson_.emplace_back(current_->runLabel(),
+                           rstrip(current_->statsJson()));
+    promText_ += current_->statsProm();
+    if (const SetProfiler *prof = current_->setProfiler()) {
+        prof->appendCsvRows(current_->runLabel(), heatRows_);
+        if (opts_.topSets > 0)
+            std::fputs(prof->report(opts_.topSets).c_str(), stdout);
+    }
+    if (!opts_.perfettoPath.empty()) {
+        double end = tracer_.horizon();
+        if (end > runStart_) {
+            double base = tracer_.timeBase();
+            tracer_.setTimeBase(0);
+            tracer_.span(Track::Runs, current_->runLabel(), runStart_,
+                         end);
+            tracer_.setTimeBase(base);
+        }
+    }
+    // Keep the sealed observer alive: a MemorySystem still attached to
+    // it may detach (a sealed no-op) from its destructor later.
+    done_.push_back(std::move(current_));
+}
+
+void
+Session::write()
+{
+    endRun();
+    writeFiles(false);
+}
+
+void
+Session::writeFiles(bool from_destructor)
+{
+    if (written_ || !enabled())
+        return;
+    written_ = true;
+
+    auto open = [&](const std::string &path,
+                    std::ofstream &ofs) -> bool {
+        ofs.open(path, std::ios::out | std::ios::trunc);
+        if (ofs)
+            return true;
+        if (from_destructor) {
+            warn("obs: could not open '%s' for writing", path.c_str());
+            return false;
+        }
+        fatal("obs: could not open '%s' for writing", path.c_str());
+    };
+
+    if (!opts_.statsJsonPath.empty()) {
+        std::ofstream ofs;
+        if (open(opts_.statsJsonPath, ofs)) {
+            ofs << "{\"schema\":\"nvsim-stats-v1\",\"runs\":[";
+            for (std::size_t i = 0; i < runsJson_.size(); ++i) {
+                if (i > 0)
+                    ofs << ',';
+                ofs << "\n{\"label\":\""
+                    << jsonEscape(runsJson_[i].first)
+                    << "\",\"stats\":" << runsJson_[i].second << '}';
+            }
+            ofs << "\n]}\n";
+            inform("obs: wrote stats JSON to %s",
+                   opts_.statsJsonPath.c_str());
+        }
+    }
+
+    if (!opts_.statsPromPath.empty()) {
+        std::ofstream ofs;
+        if (open(opts_.statsPromPath, ofs)) {
+            ofs << promText_;
+            inform("obs: wrote Prometheus text to %s",
+                   opts_.statsPromPath.c_str());
+        }
+    }
+
+    if (!opts_.perfettoPath.empty()) {
+        std::ofstream ofs;
+        if (open(opts_.perfettoPath, ofs)) {
+            tracer_.writeJson(ofs);
+            if (tracer_.dropped() > 0)
+                warn("obs: trace event cap reached; dropped %zu events",
+                     tracer_.dropped());
+            inform("obs: wrote trace to %s (load in ui.perfetto.dev)",
+                   opts_.perfettoPath.c_str());
+        }
+    }
+
+    if (!opts_.heatmapPath.empty()) {
+        std::ofstream ofs;
+        if (open(opts_.heatmapPath, ofs)) {
+            ofs << "run,set,hits,misses,evictions\n";
+            for (const std::string &row : heatRows_)
+                ofs << row << '\n';
+            inform("obs: wrote set heatmap to %s",
+                   opts_.heatmapPath.c_str());
+        }
+    }
+}
+
+} // namespace nvsim::obs

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Session: multi-run observability collection and file output for the
+ * bench binaries.
+ *
+ * A bench typically constructs several MemorySystems (one per
+ * scenario/pattern/thread-count). A Session hands out one Observer
+ * per run, lays the runs end to end on a single Perfetto timeline,
+ * and accumulates per-run stats snapshots and heatmap rows. At
+ * destruction (or an explicit write()) it emits the files the user
+ * asked for:
+ *
+ *   --stats-json=F    {"runs":[{"label":..,"stats":{..}},..]}
+ *   --stats-prom=F    Prometheus text exposition, run="label" labels
+ *   --perfetto=F      Chrome-trace JSON; open in ui.perfetto.dev
+ *   --set-heatmap=F   CSV run,set,hits,misses,evictions
+ *
+ * With no option set the session is disabled: beginRun() returns
+ * nullptr and nothing is collected or written.
+ */
+
+#ifndef NVSIM_OBS_SESSION_HH
+#define NVSIM_OBS_SESSION_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/observer.hh"
+#include "obs/perfetto.hh"
+
+namespace nvsim::obs
+{
+
+/** Output selection, typically parsed from bench argv. */
+struct SessionOptions
+{
+    std::string statsJsonPath;
+    std::string statsPromPath;
+    std::string perfettoPath;
+    std::string heatmapPath;
+    std::size_t topSets = 16;  //!< hottest-set console report size
+
+    bool
+    any() const
+    {
+        return !statsJsonPath.empty() || !statsPromPath.empty() ||
+               !perfettoPath.empty() || !heatmapPath.empty();
+    }
+};
+
+/** Multi-run collection session. */
+class Session
+{
+  public:
+    explicit Session(SessionOptions opts);
+
+    /** Ends an open run and writes the output files (warn-only). */
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    bool enabled() const { return opts_.any(); }
+
+    /**
+     * Start observing a run. Returns the Observer to attach to the
+     * run's MemorySystem, or nullptr when the session is disabled
+     * (callers need no flag checks). An open run is ended first.
+     */
+    Observer *beginRun(const std::string &label);
+
+    /**
+     * Snapshot the current run's Observer. Must be called while the
+     * observed MemorySystem is still alive (the registry's formulas
+     * read its state). The sealed Observer stays owned by the session
+     * until destruction, so a system that is still attached to it can
+     * safely be destroyed afterwards. Prints the hottest-set report
+     * when heatmap collection is on.
+     */
+    void endRun();
+
+    /** Write all requested files; fatal() on I/O failure. Idempotent. */
+    void write();
+
+  private:
+    void writeFiles(bool from_destructor);
+
+    SessionOptions opts_;
+    std::unique_ptr<Observer> current_;
+    std::vector<std::unique_ptr<Observer>> done_;  //!< sealed past runs
+    PerfettoTracer tracer_;
+    double runStart_ = 0;  //!< absolute start time of the open run
+
+    std::vector<std::pair<std::string, std::string>> runsJson_;
+    std::string promText_;
+    std::vector<std::string> heatRows_;
+    bool written_ = false;
+};
+
+} // namespace nvsim::obs
+
+#endif // NVSIM_OBS_SESSION_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Hierarchical statistics registry, in the gem5 stats tradition.
+ *
+ * Components register named stats into a tree of Groups:
+ *
+ *   obs::Group &imc = registry.root().child("imc0");
+ *   imc.label("channel", "0");
+ *   obs::Scalar &rd = imc.scalar("dram_read", "64 B DRAM reads");
+ *   imc.formula("amplification", "device accesses per demand request",
+ *               [&] { return counters.amplification(); });
+ *   obs::Log2Histogram &h =
+ *       imc.histogram("latency_ns", "per-request latency", 40);
+ *
+ * Three stat kinds:
+ *  - Scalar:        an owned monotonically written uint64;
+ *  - Formula:       a callback evaluated at dump time, so components
+ *                   expose live state with zero hot-path cost;
+ *  - Log2Histogram: bucketed distribution (see obs/histogram.hh).
+ *
+ * The registry dumps as nested JSON (dumpJson) and as Prometheus text
+ * exposition format (obs/prometheus.hh). Labels attached to a group
+ * become Prometheus labels on every stat beneath it.
+ */
+
+#ifndef NVSIM_OBS_STATS_HH
+#define NVSIM_OBS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hh"
+
+namespace nvsim::obs
+{
+
+class JsonWriter;
+
+/** What a registered stat is (drives serialization). */
+enum class StatKind : std::uint8_t { Scalar, Formula, Histogram };
+
+/** An owned uint64 counter stat. */
+class Scalar
+{
+  public:
+    void add(std::uint64_t n = 1) { value_ += n; }
+    void set(std::uint64_t v) { value_ = v; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** One named stat in a group. */
+struct Stat
+{
+    std::string name;
+    std::string desc;
+    StatKind kind = StatKind::Scalar;
+    std::unique_ptr<Scalar> scalar;
+    std::function<double()> formula;
+    std::unique_ptr<Log2Histogram> histogram;
+};
+
+/** A node in the stats hierarchy. */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    /** Get-or-create a child group. */
+    Group &child(const std::string &name);
+
+    /**
+     * Attach a Prometheus label inherited by every stat beneath this
+     * group (e.g. channel="3"). Labels do not affect the JSON path.
+     */
+    void label(const std::string &key, const std::string &value);
+
+    /** Register stats. Re-registering a name panics. */
+    Scalar &scalar(const std::string &name, const std::string &desc);
+    void formula(const std::string &name, const std::string &desc,
+                 std::function<double()> fn);
+    Log2Histogram &histogram(const std::string &name,
+                             const std::string &desc,
+                             unsigned num_buckets = 32,
+                             unsigned linear = 2);
+
+    const std::string &name() const { return name_; }
+    const std::vector<std::unique_ptr<Group>> &children() const
+    {
+        return children_;
+    }
+    const std::vector<Stat> &stats() const { return stats_; }
+    const std::vector<std::pair<std::string, std::string>> &
+    labels() const
+    {
+        return labels_;
+    }
+
+    /** Find a registered stat by name; nullptr if absent. */
+    const Stat *find(const std::string &name) const;
+
+    void dumpJson(JsonWriter &json) const;
+
+  private:
+    Stat &add(const std::string &name, const std::string &desc,
+              StatKind kind);
+
+    std::string name_;
+    std::vector<Stat> stats_;
+    std::vector<std::unique_ptr<Group>> children_;
+    std::vector<std::pair<std::string, std::string>> labels_;
+};
+
+/** Root of one stats hierarchy. */
+class Registry
+{
+  public:
+    Registry() : root_("") {}
+
+    Group &root() { return root_; }
+    const Group &root() const { return root_; }
+
+    /** Dump the whole tree as one nested JSON object. */
+    void dumpJson(std::ostream &out) const;
+
+  private:
+    Group root_;
+};
+
+} // namespace nvsim::obs
+
+#endif // NVSIM_OBS_STATS_HH

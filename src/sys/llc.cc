@@ -39,10 +39,13 @@ Llc::access(Addr addr, bool is_store)
 
     if (way) {
         result.hit = true;
+        ++hits_;
     } else {
         result.missed = true;
+        ++misses_;
         if (victim->valid && victim->dirty) {
             result.evictedDirty = true;
+            ++dirtyEvictions_;
             result.victim = addrOf(set, victim->tag);
         }
         victim->valid = true;
@@ -65,6 +68,7 @@ Llc::invalidateLine(Addr addr)
     for (unsigned w = 0; w < ways_; ++w) {
         if (base[w].valid && base[w].tag == tag) {
             base[w] = Way{};
+            ++ntInvalidates_;
             return;
         }
     }

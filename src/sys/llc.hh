@@ -81,6 +81,19 @@ class Llc
     std::uint64_t numSets() const { return numSets_; }
     Bytes capacity() const { return numSets_ * ways_ * kLineSize; }
 
+    /** @name Always-on access statistics (read by the obs layer) */
+    ///@{
+    std::uint64_t hitCount() const { return hits_; }
+    std::uint64_t missCount() const { return misses_; }
+    std::uint64_t dirtyEvictionCount() const { return dirtyEvictions_; }
+    std::uint64_t ntInvalidateCount() const { return ntInvalidates_; }
+    void
+    resetStats()
+    {
+        hits_ = misses_ = dirtyEvictions_ = ntInvalidates_ = 0;
+    }
+    ///@}
+
   private:
     struct Way
     {
@@ -102,6 +115,11 @@ class Llc
     std::uint64_t numSets_;
     std::vector<Way> ways_store_;
     std::uint32_t lruClock_ = 0;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t dirtyEvictions_ = 0;
+    std::uint64_t ntInvalidates_ = 0;  //!< nontemporal-store coherence kills
 };
 
 } // namespace nvsim

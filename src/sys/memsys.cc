@@ -1,9 +1,11 @@
 #include "sys/memsys.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "core/logging.hh"
 #include "core/rng.hh"
+#include "obs/observer.hh"
 
 namespace nvsim
 {
@@ -48,6 +50,131 @@ MemorySystem::MemorySystem(const SystemConfig &config)
         fill(nvramFrames_, dramPoolSize_, nvramPoolSize_);
         pageRng_ = config_.pageSeed ? config_.pageSeed : 1;
     }
+}
+
+MemorySystem::~MemorySystem()
+{
+    detachObserver();
+}
+
+void
+MemorySystem::attachObserver(obs::Observer *observer)
+{
+    if (obs_ == observer)
+        return;
+    detachObserver();
+    obs_ = observer;
+    if (!obs_)
+        return;
+
+    // Wire the set-conflict profiler into every channel's cache (all
+    // channels share one geometry, so one profiler sums across them).
+    obs::SetProfiler *prof =
+        obs_->ensureSetProfiler(channels_[0].cache().numSets());
+    for (auto &ch : channels_)
+        ch.cache().setProfiler(prof);
+
+    if (obs::PerfettoTracer *tracer = obs_->tracer()) {
+        for (unsigned i = 0; i < numChannels(); ++i) {
+            tracer->nameTrack(obs::channelTrack(i),
+                              "channel " + std::to_string(i));
+        }
+    }
+
+    // If the observer dies first, it must unwire our pointers to it.
+    obs_->setDetachHook([this] { detachObserver(); });
+
+    // Stats registration: everything is a formula reading live state,
+    // so observed and unobserved runs execute the same hot path.
+    obs::Group &root = obs_->root();
+
+    obs::Group &sys = root.child("sys");
+    sys.formula("sim_seconds", "simulated seconds elapsed",
+                [this] { return now_; });
+    sys.formula("active_threads", "current demand-model thread count",
+                [this] { return static_cast<double>(activeThreads_); });
+    sys.formula("online_channels", "channels still in the interleave",
+                [this] { return static_cast<double>(online_.size()); });
+    sys.formula("poisoned_lines", "lines currently carrying poison",
+                [this] { return static_cast<double>(poisoned_.size()); });
+    sys.formula("nvram_write_amplification",
+                "media bytes written per demand byte, all DIMMs",
+                [this] { return nvramWriteAmplification(); });
+
+    obs::Group &llc = root.child("llc");
+    llc.formula("hits", "LLC hits",
+                [this] { return static_cast<double>(llc_.hitCount()); });
+    llc.formula("misses", "LLC misses (loads and store RFOs)", [this] {
+        return static_cast<double>(llc_.missCount());
+    });
+    llc.formula("dirty_evictions", "dirty LLC victims written back",
+                [this] {
+                    return static_cast<double>(llc_.dirtyEvictionCount());
+                });
+    llc.formula("nt_invalidates",
+                "lines invalidated by nontemporal stores", [this] {
+                    return static_cast<double>(llc_.ntInvalidateCount());
+                });
+    llc.formula("hit_rate", "LLC hits per access", [this] {
+        std::uint64_t total = llc_.hitCount() + llc_.missCount();
+        return total ? static_cast<double>(llc_.hitCount()) /
+                           static_cast<double>(total)
+                     : 0.0;
+    });
+
+    for (unsigned i = 0; i < numChannels(); ++i) {
+        obs::Group &imc = root.child("imc" + std::to_string(i));
+        imc.label("channel", std::to_string(i));
+        channels_[i].regStats(imc);
+    }
+
+    // The FaultLog lives below the obs layer in the link order, so its
+    // stats are registered here rather than by the fault module.
+    obs::Group &fault = root.child("fault");
+    fault.formula("correctable", "recovered media/ECC errors",
+                  [this] {
+                      return static_cast<double>(faultLog_.correctable());
+                  });
+    fault.formula("uncorrectable", "uncorrectable media errors", [this] {
+        return static_cast<double>(faultLog_.uncorrectable());
+    });
+    fault.formula("tag_ecc_invalidates", "2LM tags lost to ECC faults",
+                  [this] {
+                      return static_cast<double>(
+                          faultLog_.tagEccInvalidates());
+                  });
+    fault.formula("machine_checks", "poisoned lines consumed by loads",
+                  [this] {
+                      return static_cast<double>(
+                          faultLog_.machineChecks());
+                  });
+    fault.formula("poison_created", "lines newly poisoned", [this] {
+        return static_cast<double>(faultLog_.poisonCreated());
+    });
+    fault.formula("poison_propagated", "poison spread by DMA copies",
+                  [this] {
+                      return static_cast<double>(
+                          faultLog_.poisonPropagated());
+                  });
+    fault.formula("poison_cleared", "poisoned lines overwritten/retired",
+                  [this] {
+                      return static_cast<double>(
+                          faultLog_.poisonCleared());
+                  });
+}
+
+void
+MemorySystem::detachObserver()
+{
+    if (!obs_)
+        return;
+    // The registry's formulas point into this object: render them to
+    // strings while the state is still alive.
+    obs_->seal();
+    obs_->setDetachHook({});
+    for (auto &ch : channels_)
+        ch.cache().setProfiler(nullptr);
+    obs_ = nullptr;
 }
 
 std::uint32_t
@@ -280,6 +407,10 @@ MemorySystem::issueToImc(MemRequestKind kind, Addr line_addr,
     AccessResult res = ch.handle(req, poolOf(phys));
     if (charge_demand)
         epochLatencyWork_ += res.latency;
+    if (obs_) {
+        obs_->noteRequest(charge_demand, res.outcome,
+                          res.actions.total(), res.latency);
+    }
     if (faultEnabled_ && res.fault.any())
         noteRequestFaults(res.fault, kind, phys, ch_idx, charge_demand);
 }
@@ -325,6 +456,7 @@ MemorySystem::access(unsigned thread, CpuOp op, Addr addr, Bytes size)
 void
 MemorySystem::dmaCopy(Addr dst, Addr src, Bytes bytes)
 {
+    double t_start = now_;
     Addr s = lineBase(src);
     Addr d = lineBase(dst);
     Addr end = lineBase(src + (bytes ? bytes - 1 : 0));
@@ -349,6 +481,8 @@ MemorySystem::dmaCopy(Addr dst, Addr src, Bytes bytes)
         epochDmaBytes_ += 2 * kLineSize;
         maybeFinishEpoch();
     }
+    if (obs_)
+        obs_->noteDma(t_start, now_, bytes);
 }
 
 void
@@ -439,57 +573,81 @@ MemorySystem::finishEpoch()
             if (tr == ThrottleState::Transition::Engaged) {
                 faultLog_.record(now_, static_cast<unsigned>(i),
                                  FaultEventKind::ThrottleEngaged);
+                if (obs_) {
+                    obs_->noteThrottle(now_, static_cast<unsigned>(i),
+                                       /*engaged=*/true);
+                }
             } else if (tr == ThrottleState::Transition::Released) {
                 faultLog_.record(now_, static_cast<unsigned>(i),
                                  FaultEventKind::ThrottleReleased);
+                if (obs_) {
+                    obs_->noteThrottle(now_, static_cast<unsigned>(i),
+                                       /*engaged=*/false);
+                }
             }
         }
     }
 
-    if (recordTrace_ && had_activity && dt > 0) {
+    if ((recordTrace_ || obs_) && had_activity && dt > 0) {
         PerfCounters total = counters();
         PerfCounters d = total.delta(lastSample_);
         lastSample_ = total;
-        double line_bytes = static_cast<double>(kLineSize);
-        auto bw = [&](std::uint64_t lines) {
-            return static_cast<double>(lines) * line_bytes / dt / kGB;
-        };
-        trace_.record("dram_read_bw", now_, bw(d.dramRead));
-        trace_.record("dram_write_bw", now_, bw(d.dramWrite));
-        trace_.record("nvram_read_bw", now_, bw(d.nvramRead));
-        trace_.record("nvram_write_bw", now_, bw(d.nvramWrite));
-        double demand = static_cast<double>(d.demand());
-        if (demand > 0) {
-            trace_.record("tag_hit_frac", now_,
-                          static_cast<double>(d.tagHit) / demand);
-            trace_.record("tag_miss_clean_frac", now_,
-                          static_cast<double>(d.tagMissClean) / demand);
-            trace_.record("tag_miss_dirty_frac", now_,
-                          static_cast<double>(d.tagMissDirty) / demand);
-            trace_.record("ddo_hit_frac", now_,
-                          static_cast<double>(d.ddoHit) / demand);
+        if (obs_) {
+            obs::EpochSample s;
+            s.t0 = now_ - dt;
+            s.t1 = now_;
+            s.dramRead = d.dramRead;
+            s.dramWrite = d.dramWrite;
+            s.nvramRead = d.nvramRead;
+            s.nvramWrite = d.nvramWrite;
+            s.demandBytes = epochDemandBytes_;
+            obs_->noteEpoch(s);
         }
-        trace_.record("demand_bw", now_,
-                      static_cast<double>(epochDemandBytes_) / dt / kGB);
-        if (faultEnabled_) {
-            // Degradation channels (only present on faulty machines so
-            // fault-free traces stay bit-identical).
-            trace_.record("fault_correctable", now_,
-                          static_cast<double>(d.correctableErrors));
-            trace_.record("fault_uncorrectable", now_,
-                          static_cast<double>(d.uncorrectableErrors));
-            trace_.record("tag_ecc_invalidates", now_,
-                          static_cast<double>(d.tagEccInvalidates));
-            trace_.record("fault_retries", now_,
-                          static_cast<double>(d.retries));
-            double min_factor = 1.0;
-            for (unsigned i : online_) {
-                min_factor =
-                    std::min(min_factor, channels_[i].throttleFactor());
+        if (recordTrace_) {
+            double line_bytes = static_cast<double>(kLineSize);
+            auto bw = [&](std::uint64_t lines) {
+                return static_cast<double>(lines) * line_bytes / dt / kGB;
+            };
+            trace_.record("dram_read_bw", now_, bw(d.dramRead));
+            trace_.record("dram_write_bw", now_, bw(d.dramWrite));
+            trace_.record("nvram_read_bw", now_, bw(d.nvramRead));
+            trace_.record("nvram_write_bw", now_, bw(d.nvramWrite));
+            double demand = static_cast<double>(d.demand());
+            if (demand > 0) {
+                trace_.record("tag_hit_frac", now_,
+                              static_cast<double>(d.tagHit) / demand);
+                trace_.record("tag_miss_clean_frac", now_,
+                              static_cast<double>(d.tagMissClean) /
+                                  demand);
+                trace_.record("tag_miss_dirty_frac", now_,
+                              static_cast<double>(d.tagMissDirty) /
+                                  demand);
+                trace_.record("ddo_hit_frac", now_,
+                              static_cast<double>(d.ddoHit) / demand);
             }
-            trace_.record("throttle_factor", now_, min_factor);
-            trace_.record("poisoned_lines", now_,
-                          static_cast<double>(poisoned_.size()));
+            trace_.record("demand_bw", now_,
+                          static_cast<double>(epochDemandBytes_) / dt /
+                              kGB);
+            if (faultEnabled_) {
+                // Degradation channels (only present on faulty machines
+                // so fault-free traces stay bit-identical).
+                trace_.record("fault_correctable", now_,
+                              static_cast<double>(d.correctableErrors));
+                trace_.record("fault_uncorrectable", now_,
+                              static_cast<double>(d.uncorrectableErrors));
+                trace_.record("tag_ecc_invalidates", now_,
+                              static_cast<double>(d.tagEccInvalidates));
+                trace_.record("fault_retries", now_,
+                              static_cast<double>(d.retries));
+                double min_factor = 1.0;
+                for (unsigned i : online_) {
+                    min_factor = std::min(
+                        min_factor, channels_[i].throttleFactor());
+                }
+                trace_.record("throttle_factor", now_, min_factor);
+                trace_.record("poisoned_lines", now_,
+                              static_cast<double>(poisoned_.size()));
+            }
         }
     }
 
@@ -516,11 +674,15 @@ void
 MemorySystem::resetCounters()
 {
     finishEpoch();
+    double prior_now = now_;
     for (auto &ch : channels_)
         ch.counters() = PerfCounters{};
+    llc_.resetStats();
     lastSample_ = PerfCounters{};
     trace_ = TimeSeries{};
     now_ = 0;
+    if (obs_)
+        obs_->onCountersReset(prior_now);
 }
 
 PerfCounters
@@ -560,6 +722,8 @@ MemorySystem::offlineChannel(unsigned idx)
     llc_.invalidateAll();
 
     faultLog_.record(now_, idx, FaultEventKind::ChannelOfflined);
+    if (obs_)
+        obs_->noteChannelOffline(now_, idx);
     // Offlining is itself a fault mechanism even if no rates are set.
     faultEnabled_ = true;
 }

@@ -40,6 +40,11 @@
 namespace nvsim
 {
 
+namespace obs
+{
+class Observer;
+} // namespace obs
+
 /** A named allocation in the simulated physical address space. */
 struct Region
 {
@@ -60,6 +65,9 @@ class MemorySystem
 {
   public:
     explicit MemorySystem(const SystemConfig &config);
+
+    /** Seals an attached observer (its formulas read this object). */
+    ~MemorySystem();
 
     MemorySystem(const MemorySystem &) = delete;
     MemorySystem &operator=(const MemorySystem &) = delete;
@@ -133,6 +141,20 @@ class MemorySystem
 
     /** Enable/disable per-epoch trace recording (on by default). */
     void recordTrace(bool on) { recordTrace_ = on; }
+
+    /**
+     * Attach the observability layer (src/obs): registers every
+     * component's stats into the observer's registry, wires the
+     * set-conflict profiler into the DRAM caches when requested, and
+     * turns on the per-request/per-epoch hooks. Unobserved (the
+     * default), every hook is one null-pointer test and the system's
+     * outputs are bit-identical to a build without the obs layer.
+     * The observer is not owned and must outlive the system or be
+     * detached first.
+     */
+    void attachObserver(obs::Observer *observer);
+    void detachObserver();
+    obs::Observer *observer() { return obs_; }
 
     const SystemConfig &config() const { return config_; }
     const Llc &llc() const { return llc_; }
@@ -238,6 +260,7 @@ class MemorySystem
 
     bool recordTrace_ = true;
     TimeSeries trace_;
+    obs::Observer *obs_ = nullptr;  //!< optional, not owned
 
     // Fault state. faultEnabled_ caches config_.fault.enabled() so the
     // hot paths pay one predictable branch on a fault-free machine.

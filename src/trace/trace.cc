@@ -110,12 +110,37 @@ TraceReader::TraceReader(const std::string &path)
 {
     if (!in_)
         fatal("cannot open trace file '%s'", path.c_str());
+
+    // Header: magic, then the record count close() backpatches. Check
+    // each piece separately so the error says what actually happened —
+    // wrong file type, a file cut off mid-header, or a writer that
+    // never ran close().
     char magic[sizeof(kMagic)];
     in_.read(magic, sizeof(magic));
     if (in_.gcount() != sizeof(magic) ||
         std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
         fatal("'%s' is not an nvsim trace", path.c_str());
     in_.read(reinterpret_cast<char *>(&count_), 8);
+    if (in_.gcount() != 8)
+        fatal("trace '%s' truncated inside the header", path.c_str());
+
+    // The payload must hold exactly the promised records; anything
+    // else means a truncated copy or an unfinalized/corrupt writer.
+    std::streamoff payload_start = in_.tellg();
+    in_.seekg(0, std::ios::end);
+    std::streamoff payload =
+        static_cast<std::streamoff>(in_.tellg()) - payload_start;
+    in_.seekg(payload_start);
+    std::uint64_t held =
+        static_cast<std::uint64_t>(payload) / kRecordBytes;
+    if (held < count_ ||
+        static_cast<std::uint64_t>(payload) != count_ * kRecordBytes) {
+        fatal("trace '%s' promises %llu records but holds %llu "
+              "(%lld payload bytes); truncated or not close()d",
+              path.c_str(), static_cast<unsigned long long>(count_),
+              static_cast<unsigned long long>(held),
+              static_cast<long long>(payload));
+    }
 }
 
 bool
@@ -130,6 +155,20 @@ TraceReader::next(TraceRecord &rec)
               static_cast<unsigned long long>(consumed_),
               static_cast<unsigned long long>(count_));
     decode(buf, rec);
+    if (rec.kind != TraceRecord::Kind::Access &&
+        rec.kind != TraceRecord::Kind::EpochMarker &&
+        rec.kind != TraceRecord::Kind::ComputeTime) {
+        fatal("corrupt trace record %llu: unknown kind %u",
+              static_cast<unsigned long long>(consumed_),
+              static_cast<unsigned>(rec.kind));
+    }
+    if (rec.kind == TraceRecord::Kind::Access &&
+        rec.op != CpuOp::Load && rec.op != CpuOp::Store &&
+        rec.op != CpuOp::NtStore) {
+        fatal("corrupt trace record %llu: unknown op %u",
+              static_cast<unsigned long long>(consumed_),
+              static_cast<unsigned>(rec.op));
+    }
     ++consumed_;
     return true;
 }

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <system_error>
 
 #include "kernels/kernels.hh"
 #include "trace/trace.hh"
@@ -96,6 +98,114 @@ TEST(Trace, RejectsGarbageFiles)
         out << "definitely not a trace";
     }
     EXPECT_DEATH(TraceReader r(f.path), "not an nvsim trace");
+}
+
+TEST(Trace, RejectsHeaderOnlyFile)
+{
+    // Magic present but the record-count field is cut off.
+    TempFile f;
+    {
+        std::ofstream out(f.path, std::ios::binary);
+        out << "nvsimtr1" << "abc";
+    }
+    EXPECT_DEATH(TraceReader r(f.path), "truncated inside the header");
+}
+
+TEST(Trace, RejectsTruncatedPayload)
+{
+    // A valid trace cut off mid-record (half a download, say) must be
+    // rejected at open, before any record is consumed.
+    TempFile f;
+    {
+        TraceWriter w(f.path);
+        for (int i = 0; i < 8; ++i)
+            w.access(0, CpuOp::Load, 0x40u * i, 64);
+        w.close();
+    }
+    std::error_code ec;
+    std::uintmax_t full = std::filesystem::file_size(f.path, ec);
+    ASSERT_FALSE(ec);
+    std::filesystem::resize_file(f.path, full - 10, ec);
+    ASSERT_FALSE(ec);
+    EXPECT_DEATH(TraceReader r(f.path),
+                 "promises 8 records but holds 7");
+}
+
+TEST(Trace, RejectsUnclosedWriterOutput)
+{
+    // A writer that never close()d leaves the placeholder count 0 with
+    // records behind it; reading "no records" silently would hide the
+    // bug, so the size check must trip.
+    TempFile f;
+    {
+        std::ofstream out(f.path, std::ios::binary);
+        out << "nvsimtr1";
+        std::uint64_t zero = 0;
+        out.write(reinterpret_cast<const char *>(&zero), 8);
+        char rec[22] = {};
+        out.write(rec, sizeof(rec));
+    }
+    EXPECT_DEATH(TraceReader r(f.path), "truncated or not close");
+}
+
+TEST(Trace, RejectsCorruptRecordKind)
+{
+    TempFile f;
+    {
+        TraceWriter w(f.path);
+        w.access(0, CpuOp::Load, 0x1000, 64);
+        w.close();
+    }
+    {
+        // Flip the first record's kind byte to an undefined value.
+        std::fstream io(f.path,
+                        std::ios::in | std::ios::out | std::ios::binary);
+        io.seekp(16);
+        char bad = 0x7f;
+        io.write(&bad, 1);
+    }
+    TraceReader r(f.path);
+    TraceRecord rec;
+    EXPECT_DEATH(r.next(rec), "unknown kind 127");
+}
+
+TEST(Trace, RejectsCorruptAccessOp)
+{
+    TempFile f;
+    {
+        TraceWriter w(f.path);
+        w.access(0, CpuOp::Load, 0x1000, 64);
+        w.close();
+    }
+    {
+        std::fstream io(f.path,
+                        std::ios::in | std::ios::out | std::ios::binary);
+        io.seekp(17);  // op byte of record 0
+        char bad = 9;
+        io.write(&bad, 1);
+    }
+    TraceReader r(f.path);
+    TraceRecord rec;
+    EXPECT_DEATH(r.next(rec), "unknown op 9");
+}
+
+TEST(Trace, CleanEofIsNotAnError)
+{
+    // The reader must distinguish a clean end of trace (next() returns
+    // false, no diagnostics) from the truncation cases above.
+    TempFile f;
+    {
+        TraceWriter w(f.path);
+        w.access(0, CpuOp::Load, 0, 64);
+        w.epochMarker();
+        w.close();
+    }
+    TraceReader r(f.path);
+    TraceRecord rec;
+    EXPECT_TRUE(r.next(rec));
+    EXPECT_TRUE(r.next(rec));
+    EXPECT_FALSE(r.next(rec));
+    EXPECT_FALSE(r.next(rec));  // repeated calls stay false
 }
 
 TEST(Trace, ReplayReproducesCountersExactly)

@@ -32,7 +32,7 @@ constexpr std::uint64_t kScale = 8192;
  * even though both fit together easily.
  */
 KernelResult
-conflictKernel(unsigned ways)
+conflictKernel(obs::Session &session, unsigned ways)
 {
     SystemConfig cfg;
     cfg.mode = MemoryMode::TwoLm;
@@ -51,6 +51,7 @@ conflictKernel(unsigned ways)
     k.iterations = 4;
 
     // Interleave passes over the two aliasing fragments.
+    attachRun(session, sys, fmt("alias/%u_ways", ways));
     PerfCounters before = sys.counters();
     double t0 = sys.now();
     for (int pass = 0; pass < 4; ++pass) {
@@ -65,14 +66,16 @@ conflictKernel(unsigned ways)
     r.demandBytes = (a.size + b.size) * 4;
     r.effectiveBandwidth =
         static_cast<double>(r.demandBytes) / r.seconds;
+    session.endRun();
     return r;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::Session session(parseObsOptions(argc, argv));
     banner("Ablation: DRAM cache associativity (future-hardware "
            "question)",
            "a set-associative cache absorbs the conflict misses the "
@@ -87,7 +90,7 @@ main()
     std::printf("--- aliasing fragments (60%% of capacity) ---\n");
     Table t({"ways", "effective", "hit rate", "amplification"});
     for (unsigned ways : {1u, 2u, 4u, 8u}) {
-        KernelResult r = conflictKernel(ways);
+        KernelResult r = conflictKernel(session, ways);
         double demand = static_cast<double>(
             std::max<std::uint64_t>(r.counters.demand(), 1));
         double hits = static_cast<double>(r.counters.tagHit +
@@ -122,7 +125,9 @@ main()
         rc.prRounds = 3;
         GraphWorkload w(sys, g, rc);
         sys.resetCounters();
+        attachRun(session, sys, fmt("pagerank/%u_ways", ways));
         GraphRunResult r = w.run(GraphKernel::PageRank);
+        session.endRun();
         double demand = static_cast<double>(
             std::max<std::uint64_t>(r.counters.demand(), 1));
         double hits = static_cast<double>(r.counters.tagHit +
@@ -137,6 +142,7 @@ main()
     }
     t2.print();
     csv.close();
+    session.write();
     std::printf("\nrows written to ablation_associativity.csv\n");
     return 0;
 }

@@ -22,7 +22,8 @@ namespace
 constexpr std::uint64_t kScale = 4096;
 
 KernelResult
-runScenario(DdoMode ddo, KernelOp op, bool nontemporal, bool oversized,
+runScenario(obs::Session &session, const char *scenario, DdoMode ddo,
+            KernelOp op, bool nontemporal, bool oversized,
             unsigned threads)
 {
     SystemConfig cfg;
@@ -35,19 +36,23 @@ runScenario(DdoMode ddo, KernelOp op, bool nontemporal, bool oversized,
     Region arr = sys.allocate(size, "array");
     primeDirty(sys, arr, 8);
     sys.resetCounters();
+    attachRun(session, sys, fmt("%s/%s", scenario, ddoModeName(ddo)));
 
     KernelConfig k;
     k.op = op;
     k.threads = threads;
     k.nontemporal = nontemporal;
-    return runKernel(sys, arr, k);
+    KernelResult r = runKernel(sys, arr, k);
+    session.endRun();
+    return r;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::Session session(parseObsOptions(argc, argv));
     banner("Ablation: Dirty Data Optimization policies",
            "the tracker should match the paper's observation: DDO on "
            "RMW writebacks, none on pure NT store streams; an oracle "
@@ -80,8 +85,9 @@ main()
                  "ddo/writes", "amplification"});
         for (DdoMode mode : {DdoMode::None, DdoMode::RecentTracker,
                              DdoMode::Oracle}) {
-            KernelResult r = runScenario(mode, c.op, c.nontemporal,
-                                         c.oversized, c.threads);
+            KernelResult r =
+                runScenario(session, c.name, mode, c.op, c.nontemporal,
+                            c.oversized, c.threads);
             double ddo_frac =
                 r.counters.llcWrites
                     ? static_cast<double>(r.counters.ddoHit) /
@@ -101,6 +107,7 @@ main()
         std::printf("\n");
     }
     csv.close();
+    session.write();
     std::printf("rows written to ablation_ddo.csv\n");
     return 0;
 }

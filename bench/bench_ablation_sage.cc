@@ -18,8 +18,9 @@ using namespace nvsim::bench;
 using namespace nvsim::graphs;
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::Session session(parseObsOptions(argc, argv));
     banner("Ablation: Sage-style software placement vs 2LM vs NUMA",
            "Sage eliminates NVRAM writes entirely and beats 2LM on "
            "mutation-heavy kernels (paper: Sage ~1.9x over Galois in "
@@ -52,7 +53,10 @@ main()
             MemorySystem sys(scfg);
             GraphWorkload w(sys, wdc, graphRun(c.placement));
             sys.resetCounters();
+            attachRun(session, sys,
+                      fmt("%s/%s", graphKernelName(k), c.name));
             GraphRunResult r = w.run(k);
+            session.endRun();
             if (c.placement == Placement::TwoLm)
                 two_lm_seconds = r.seconds;
             double nv_wr = static_cast<double>(r.counters.nvramWrite) *
@@ -70,6 +74,7 @@ main()
         std::printf("\n");
     }
     csv.close();
+    session.write();
     std::printf("rows written to ablation_sage.csv\n");
     return 0;
 }

@@ -26,7 +26,7 @@ namespace
 {
 
 KernelResult
-writeMissStream(bool insert_on_miss)
+writeMissStream(obs::Session &session, bool insert_on_miss)
 {
     SystemConfig cfg;
     cfg.mode = MemoryMode::TwoLm;
@@ -36,15 +36,20 @@ writeMissStream(bool insert_on_miss)
     Region arr = sys.allocate(cfg.dramTotal() * 22 / 10, "arr");
     primeDirty(sys, arr, 8);
     sys.resetCounters();
+    attachRun(session, sys,
+              fmt("write_stream/%s",
+                  insert_on_miss ? "insert_on_miss" : "no_allocate"));
     KernelConfig k;
     k.op = KernelOp::WriteOnly;
     k.nontemporal = true;
     k.threads = 24;
-    return runKernel(sys, arr, k);
+    KernelResult r = runKernel(sys, arr, k);
+    session.endRun();
+    return r;
 }
 
 IterationResult
-densenet(bool insert_on_miss)
+densenet(obs::Session &session, bool insert_on_miss)
 {
     SystemConfig cfg;
     cfg.mode = MemoryMode::TwoLm;
@@ -57,14 +62,20 @@ densenet(bool insert_on_miss)
     Executor ex(sys, g, ecfg);
     ex.runIteration();
     sys.resetCounters();
-    return ex.runIteration();
+    attachRun(session, sys,
+              fmt("densenet/%s",
+                  insert_on_miss ? "insert_on_miss" : "no_allocate"));
+    IterationResult r = ex.runIteration();
+    session.endRun();
+    return r;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::Session session(parseObsOptions(argc, argv));
     banner("Ablation: insert-on-miss vs write-no-allocate (2LM writes)",
            "insert-on-miss costs 4-5 accesses per missing store; "
            "write-no-allocate drops that to 2 on pure write streams, "
@@ -79,7 +90,7 @@ main()
     Table t({"policy", "effective", "amplification", "NVRAM rd",
              "NVRAM wr"});
     for (bool insert : {true, false}) {
-        KernelResult r = writeMissStream(insert);
+        KernelResult r = writeMissStream(session, insert);
         const char *name = insert ? "insert_on_miss" : "no_allocate";
         t.row({name, gbs(r.effectiveBandwidth),
                fmt("%.2f", r.counters.amplification()),
@@ -97,7 +108,7 @@ main()
     Table t2({"policy", "iteration(s)", "amplification",
               "dirty miss frac"});
     for (bool insert : {true, false}) {
-        IterationResult r = densenet(insert);
+        IterationResult r = densenet(session, insert);
         const char *name = insert ? "insert_on_miss" : "no_allocate";
         double demand = static_cast<double>(r.counters.demand());
         t2.row({name, fmt("%.4f", r.seconds),
@@ -115,6 +126,7 @@ main()
                 "stands: one fixed hardware policy cannot match "
                 "software knowledge of data lifetimes.\n");
     csv.close();
+    session.write();
     std::printf("rows written to ablation_write_policy.csv\n");
     return 0;
 }

@@ -19,6 +19,7 @@
 
 #include "core/logging.hh"
 #include "obs/session.hh"
+#include "sys/memsys.hh"
 
 namespace nvsim::bench
 {
@@ -26,11 +27,15 @@ namespace nvsim::bench
 /**
  * Parse the shared observability flags from a bench's argv:
  *
- *   --stats-json=FILE    hierarchical stats registry as JSON
- *   --stats-prom=FILE    same registry, Prometheus text exposition
- *   --perfetto=FILE      Chrome-trace JSON (ui.perfetto.dev)
- *   --set-heatmap=FILE   per-set DRAM cache conflict CSV
- *   --top-sets=N         hottest-set console report size (default 16)
+ *   --stats-json=FILE     hierarchical stats registry as JSON
+ *   --stats-prom=FILE     same registry, Prometheus text exposition
+ *   --perfetto=FILE       Chrome-trace JSON (ui.perfetto.dev)
+ *   --set-heatmap=FILE    per-set DRAM cache conflict CSV
+ *   --top-sets=N          hottest-set console report size (default 16)
+ *   --causal-trace=FILE   per-request causal attribution JSON
+ *   --folded-stacks=FILE  folded flamegraph lines (context;class;cause)
+ *   --causal-sample=N     sample 1-in-N demand requests (default 64)
+ *   --causal-seed=S       sampling/reservoir seed (default 1)
  *
  * All collection is opt-in: with no flags the returned options are
  * empty, the Session built from them is disabled, and the bench's
@@ -51,30 +56,61 @@ parseObsOptions(int argc, char **argv)
             fatal("%s needs a value", flag);
         return true;
     };
+    auto number = [&](const std::string &value, const char *flag) {
+        char *end = nullptr;
+        std::uint64_t v = std::strtoull(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0')
+            fatal("%s wants a number, got '%s'", flag, value.c_str());
+        return v;
+    };
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         std::string value;
         if (match(arg, "--stats-json=", &opts.statsJsonPath) ||
             match(arg, "--stats-prom=", &opts.statsPromPath) ||
             match(arg, "--perfetto=", &opts.perfettoPath) ||
-            match(arg, "--set-heatmap=", &opts.heatmapPath)) {
+            match(arg, "--set-heatmap=", &opts.heatmapPath) ||
+            match(arg, "--causal-trace=", &opts.causalJsonPath) ||
+            match(arg, "--folded-stacks=", &opts.foldedPath)) {
             continue;
         }
         if (match(arg, "--top-sets=", &value)) {
-            char *end = nullptr;
             opts.topSets = static_cast<std::size_t>(
-                std::strtoull(value.c_str(), &end, 10));
-            if (end == value.c_str() || *end != '\0')
-                fatal("--top-sets= wants a number, got '%s'",
-                      value.c_str());
+                number(value, "--top-sets="));
+            continue;
+        }
+        if (match(arg, "--causal-sample=", &value)) {
+            opts.causalSamplePeriod = number(value, "--causal-sample=");
+            if (opts.causalSamplePeriod == 0)
+                fatal("--causal-sample= must be >= 1");
+            continue;
+        }
+        if (match(arg, "--causal-seed=", &value)) {
+            opts.causalSeed = number(value, "--causal-seed=");
             continue;
         }
         fatal("unknown argument '%s' (observability flags: "
               "--stats-json= --stats-prom= --perfetto= --set-heatmap= "
-              "--top-sets=)",
+              "--top-sets= --causal-trace= --folded-stacks= "
+              "--causal-sample= --causal-seed=)",
               arg);
     }
     return opts;
+}
+
+/**
+ * Begin observing @p label and attach the observer to @p sys — the
+ * begin/attach boilerplate every bench run repeats. No-op (returns
+ * null) when the session is disabled.
+ */
+inline obs::Observer *
+attachRun(obs::Session &session, MemorySystem &sys,
+          const std::string &label)
+{
+    obs::Observer *o = session.beginRun(label);
+    if (o)
+        sys.attachObserver(o);
+    return o;
 }
 
 /** Banner with the experiment id and the paper's expectation. */

@@ -91,10 +91,9 @@ errorRateSweep(obs::Session &session, CsvWriter &csv)
                 cfg.mode == MemoryMode::OneLm
                     ? sys.allocateIn(MemPool::Nvram, bytes, "arr")
                     : sys.allocate(bytes, "arr");
-            if (obs::Observer *o = session.beginRun(
-                    fmt("sweep/%s/rate_%g", memoryModeName(mode),
-                        rate)))
-                sys.attachObserver(o);
+            attachRun(session, sys,
+                      fmt("sweep/%s/rate_%g", memoryModeName(mode),
+                          rate));
             bw[mode == MemoryMode::OneLm] =
                 streamBandwidth(sys, r, 2);
             session.endRun();
@@ -145,8 +144,7 @@ throttleTrace(obs::Session &session, CsvWriter &csv)
     cfg.fault.throttle.releaseEpochs = 2;
     cfg.fault.throttle.factor = 0.6;
     MemorySystem sys(cfg);
-    if (obs::Observer *o = session.beginRun("throttle_trace"))
-        sys.attachObserver(o);
+    attachRun(session, sys, "throttle_trace");
     sys.setActiveThreads(8);
     Region w = sys.allocateIn(MemPool::Nvram, 4 * kMiB, "hot");
 

@@ -20,8 +20,9 @@ using namespace nvsim::bench;
 using namespace nvsim::dnn;
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::Session session(parseObsOptions(argc, argv));
     constexpr std::uint64_t kScale = 1u << 14;
     constexpr std::uint64_t kBatch = 2304;
 
@@ -43,7 +44,9 @@ main()
 
     ex.runIteration();
     sys.resetCounters();
+    attachRun(session, sys, "fig10/densenet264_autotm");
     IterationResult res = ex.runIteration();
+    session.endRun();
 
     std::size_t fwd_ops = g.forwardOps();
     double t0 = res.kernels.front().start;
@@ -106,6 +109,7 @@ main()
         }
     }
     csv.close();
+    session.write();
     std::printf("\nwindow-averaged trace written to "
                 "fig10_autotm_trace.csv\n");
     return 0;

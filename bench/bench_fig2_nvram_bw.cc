@@ -52,9 +52,7 @@ runOne(obs::Session &session, const char *figure, KernelOp op,
     MemorySystem sys(cfg);
     Region arr = sys.allocateIn(MemPool::Nvram, kArray, "array");
 
-    if (obs::Observer *o = session.beginRun(
-            fmt("%s/%s/%uT", figure, v.name, threads)))
-        sys.attachObserver(o);
+    attachRun(session, sys, fmt("%s/%s/%uT", figure, v.name, threads));
 
     KernelConfig k;
     k.op = op;

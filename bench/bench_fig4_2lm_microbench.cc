@@ -81,9 +81,8 @@ main(int argc, char **argv)
 
             // Attach after priming so the histograms and heatmap hold
             // the measured kernel only, not the warmup traffic.
-            if (obs::Observer *o = session.beginRun(
-                    fmt("%s/%s", s.name, accessPatternName(pattern))))
-                sys.attachObserver(o);
+            attachRun(session, sys,
+                      fmt("%s/%s", s.name, accessPatternName(pattern)));
 
             KernelConfig k;
             k.op = s.op;

@@ -27,8 +27,9 @@ using namespace nvsim::bench;
 using namespace nvsim::dnn;
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::Session session(parseObsOptions(argc, argv));
     constexpr std::uint64_t kScale = 1u << 14;
     constexpr std::uint64_t kBatch = 2304;  // ~706 GB arena unscaled
 
@@ -60,7 +61,9 @@ main()
     // Warm-up iteration (the paper runs two to settle paging/cache).
     ex.runIteration();
     sys.resetCounters();
+    attachRun(session, sys, "fig5/densenet264");
     IterationResult res = ex.runIteration();
+    session.endRun();
 
     // 5a/5b/5c: phase summary over forward vs backward.
     std::size_t fwd_ops = g.forwardOps();
@@ -141,6 +144,7 @@ main()
         csv.close();
     }
 
+    session.write();
     std::printf("\ntraces written to fig5_traces.csv, arena map to "
                 "fig5_arena_map.csv\n");
     return 0;

@@ -20,8 +20,9 @@ using namespace nvsim::bench;
 using namespace nvsim::dnn;
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::Session session(parseObsOptions(argc, argv));
     constexpr std::uint64_t kScale = 1u << 14;
     constexpr std::uint64_t kBatch = 2304;
 
@@ -38,7 +39,9 @@ main()
 
     ex.runIteration();
     sys.resetCounters();
+    attachRun(session, sys, "fig6/densenet264");
     IterationResult res = ex.runIteration();
+    session.endRun();
 
     banner("Figure 6: kernel snapshot of two dense blocks (forward)",
            "Concat and the first (wide) BatchNorm are the memory-bound "
@@ -93,6 +96,7 @@ main()
     }
 
     csv.close();
+    session.write();
     std::printf("\nsnapshot written to fig6_kernel_snapshot.csv\n");
     return 0;
 }

@@ -21,7 +21,8 @@ namespace
 {
 
 void
-runGraph(const char *name, const CsrGraph &g, CsvWriter &csv)
+runGraph(obs::Session &session, const char *name, const CsrGraph &g,
+         CsvWriter &csv)
 {
     std::printf("--- %s: %s binary, DRAM cache %s -> %s ---\n", name,
                 formatBytes(g.bytes()).c_str(),
@@ -39,7 +40,9 @@ runGraph(const char *name, const CsrGraph &g, CsvWriter &csv)
         MemorySystem sys(cfg);
         GraphWorkload w(sys, g, graphRun(Placement::TwoLm));
         sys.resetCounters();
+        attachRun(session, sys, fmt("%s/%s", name, graphKernelName(k)));
         GraphRunResult r = w.run(k);
+        session.endRun();
         double demand = static_cast<double>(
             std::max<std::uint64_t>(r.counters.demand(), 1));
         double hits = static_cast<double>(r.counters.tagHit +
@@ -64,8 +67,9 @@ runGraph(const char *name, const CsrGraph &g, CsvWriter &csv)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::Session session(parseObsOptions(argc, argv));
     banner("Figure 7: graph kernels in 2LM, 96 threads",
            "on the cache-fitting input bandwidth stays in DRAM; on the "
            "cache-exceeding input DRAM bandwidth drops and NVRAM "
@@ -77,11 +81,12 @@ main()
                                      "nvram_wr", "hit_rate"});
 
     CsrGraph kron = kron30Like();
-    runGraph("kron30-like (7a)", kron, csv);
+    runGraph(session, "kron30-like (7a)", kron, csv);
     CsrGraph wdc = wdc12Like();
-    runGraph("wdc12-like (7b)", wdc, csv);
+    runGraph(session, "wdc12-like (7b)", wdc, csv);
 
     csv.close();
+    session.write();
     std::printf("series written to fig7_graph_kernels.csv\n");
     return 0;
 }

@@ -18,8 +18,9 @@ using namespace nvsim::bench;
 using namespace nvsim::graphs;
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::Session session(parseObsOptions(argc, argv));
     banner("Figure 8: total data moved, NUMA (1LM) vs 2LM, wdc12-like",
            "2LM shows significant access amplification over the true "
            "demand traffic of the NUMA configuration");
@@ -40,7 +41,12 @@ main()
             MemorySystem sys(cfg);
             GraphWorkload w(sys, wdc, graphRun(p));
             sys.resetCounters();
-            return w.run(k);
+            attachRun(session, sys,
+                      fmt("%s/%s", memoryModeName(mode),
+                          graphKernelName(k)));
+            GraphRunResult r = w.run(k);
+            session.endRun();
+            return r;
         };
         GraphRunResult numa =
             run(MemoryMode::OneLm, Placement::NumaPreferred);
@@ -79,6 +85,7 @@ main()
                 "by the scale for paper-equivalent magnitudes)\n",
                 static_cast<unsigned long long>(kGraphScale));
     csv.close();
+    session.write();
     std::printf("series written to fig8_data_moved.csv\n");
     return 0;
 }

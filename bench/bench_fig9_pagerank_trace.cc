@@ -25,14 +25,16 @@ namespace
 {
 
 void
-tracePagerank(const char *name, const CsrGraph &g,
-              const std::string &csv_path)
+tracePagerank(obs::Session &session, const char *name,
+              const CsrGraph &g, const std::string &csv_path)
 {
     SystemConfig cfg = graphSystem(MemoryMode::TwoLm);
     MemorySystem sys(cfg);
     GraphWorkload w(sys, g, graphRun(Placement::TwoLm));
     sys.resetCounters();
+    attachRun(session, sys, fmt("%s/pagerank", name));
     GraphRunResult r = w.run(GraphKernel::PageRank);
+    session.endRun();
 
     const TimeSeries &ts = sys.trace();
     std::printf("--- %s (%s binary) ---\n", name,
@@ -52,19 +54,23 @@ tracePagerank(const char *name, const CsrGraph &g,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::Session session(parseObsOptions(argc, argv));
     banner("Figure 9: pagerank-push traces in 2LM",
            "stable ~70 GB/s DRAM-only on the fitting input; lower "
            "bandwidth with excess DRAM reads plus heavy NVRAM traffic "
            "and mixed clean/dirty misses on the exceeding input");
 
     CsrGraph kron = kron30Like();
-    tracePagerank("9a: kron30-like", kron, "fig9a_kron_trace.csv");
+    tracePagerank(session, "9a: kron30-like", kron,
+                  "fig9a_kron_trace.csv");
 
     CsrGraph wdc = wdc12Like();
-    tracePagerank("9b/9c: wdc12-like", wdc, "fig9b_wdc_trace.csv");
+    tracePagerank(session, "9b/9c: wdc12-like", wdc,
+                  "fig9b_wdc_trace.csv");
 
+    session.write();
     std::printf("traces written to fig9a_kron_trace.csv / "
                 "fig9b_wdc_trace.csv\n");
     return 0;

@@ -56,8 +56,9 @@ numbers(const IterationResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::Session session(parseObsOptions(argc, argv));
     banner("Table II: data moved and runtime, 2LM vs AutoTM",
            "AutoTM: similar DRAM traffic, 50-60% of the NVRAM "
            "traffic, speedups 1.8x / 2.2x / 3.1x");
@@ -84,7 +85,9 @@ main()
         Executor ex2(sys2, g, ecfg);
         ex2.runIteration();
         sys2.resetCounters();
+        attachRun(session, sys2, fmt("%s/2lm", n.name));
         RunNumbers two = numbers(ex2.runIteration());
+        session.endRun();
 
         // AutoTM run.
         SystemConfig cfg1 = cfg2;
@@ -95,7 +98,9 @@ main()
         AutoTmExecutor ex1(sys1, g, acfg);
         ex1.runIteration();
         sys1.resetCounters();
+        attachRun(session, sys1, fmt("%s/autotm", n.name));
         RunNumbers at = numbers(ex1.runIteration());
+        session.endRun();
 
         t.row({n.label, "2LM", gb(two.dram_rd * 1e9),
                gb(two.dram_wr * 1e9), gb(two.nv_rd * 1e9),
@@ -126,6 +131,7 @@ main()
                 "paper-equivalent magnitudes)\n",
                 static_cast<unsigned long long>(kScale));
     csv.close();
+    session.write();
     std::printf("rows written to table2_cnn_comparison.csv\n");
     return 0;
 }

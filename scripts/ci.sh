@@ -36,4 +36,21 @@ head -1 "$obs_dir/heatmap.csv" | grep -q '^run,set,hits,misses,evictions$'
 test -s "$obs_dir/stats.prom"
 echo "obs smoke passed: artifacts written and valid."
 
+# Causal-tracing smoke: the attribution JSON and the Perfetto flow
+# trace must parse, and the folded stacks must blame every Figure-3
+# miss-handler step (the five Table I causes) at least once.
+echo "=== causal smoke (attribution / folded stacks / flow events) ==="
+(cd "$obs_dir" && "$root/build/bench/bench_fig4_2lm_microbench" \
+    --causal-trace=causal.json --folded-stacks=folded.txt \
+    --perfetto=causal_trace.json --causal-sample=32 > causal.log)
+python3 -m json.tool "$obs_dir/causal.json" > /dev/null
+python3 -m json.tool "$obs_dir/causal_trace.json" > /dev/null
+grep -q '"ph":"s"' "$obs_dir/causal_trace.json"
+grep -q '"bp":"e"' "$obs_dir/causal_trace.json"
+for cause in tag_probe dirty_writeback cache_fill_read \
+             cache_insert_write data_write; do
+    grep -q ";$cause " "$obs_dir/folded.txt"
+done
+echo "causal smoke passed: blame trees cover all five causes."
+
 echo "CI passed: plain and sanitized suites green."

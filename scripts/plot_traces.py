@@ -1,19 +1,26 @@
 #!/usr/bin/env python3
-"""Plot the CSV series the bench binaries emit.
+"""Plot the CSV series and folded stacks the bench binaries emit.
 
 Each figure-reproduction bench writes a tidy CSV (either
 time,channel,value traces or per-experiment rows). This script turns
-them into PNGs resembling the paper's figures.
+them into PNGs resembling the paper's figures. Files written by
+--folded-stacks= (semicolon-separated frames, trailing count) are
+rendered as a self-contained flamegraph SVG instead — no matplotlib
+needed for those.
 
 Usage:
     python3 scripts/plot_traces.py fig5_traces.csv [out.png]
     python3 scripts/plot_traces.py fig2_nvram_bw.csv
+    python3 scripts/plot_traces.py fig4_folded.txt [out.svg]
 
-Requires matplotlib (not needed for the simulation itself).
+Requires matplotlib for the CSV plots (not needed for the simulation
+itself, nor for the flamegraph).
 """
 
 import csv
+import html
 import sys
+import zlib
 from collections import defaultdict
 
 
@@ -114,11 +121,118 @@ def plot_sweep(header, rows, out):
     print(f"wrote {out}")
 
 
+def parse_folded(path):
+    """`frame;frame;...;leaf count` lines -> list of (frames, count)."""
+    stacks = []
+    with open(path) as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            stack, count = line.rsplit(" ", 1)
+            stacks.append((stack.split(";"), int(count)))
+    return stacks
+
+
+def is_folded(path):
+    """Folded stacks are not CSV: ';'-joined frames, ' <int>' suffix."""
+    with open(path) as f:
+        first = f.readline().rstrip("\n")
+    if ";" not in first or " " not in first:
+        return False
+    return first.rsplit(" ", 1)[1].isdigit()
+
+
+def plot_folded(path, out):
+    """Render --folded-stacks= output as a flamegraph SVG (icicle
+    layout, root on top). Dependency-free: writes the SVG directly."""
+    stacks = parse_folded(path)
+    total = sum(c for _, c in stacks)
+    if not total:
+        print(f"{path}: no samples")
+        return
+
+    # Fold the flat stacks into a trie of (own total, children).
+    def node():
+        return [0, defaultdict(node)]
+
+    root = node()
+    for frames, count in stacks:
+        root[0] += count
+        cur = root
+        for frame in frames:
+            cur = cur[1][frame]
+            cur[0] += count
+
+    width, row, pad = 1200.0, 18, 1
+
+    def depth_of(n):
+        return 1 + max((depth_of(c) for c in n[1].values()), default=0)
+
+    height = depth_of(root) * row + 40
+
+    def color(name):
+        # Deterministic warm palette keyed by the frame name.
+        h = zlib.crc32(name.encode()) & 0xFFFFFFFF
+        return "rgb(%d,%d,%d)" % (205 + h % 50, 80 + (h >> 8) % 110,
+                                  (h >> 16) % 60)
+
+    rects = []
+
+    def layout(children, x0, x1, depth):
+        span = x1 - x0
+        parent_total = sum(c[0] for c in children.values())
+        x = x0
+        for name in sorted(children):
+            n = children[name]
+            w = span * n[0] / parent_total if parent_total else 0
+            if w >= 0.5:
+                y = depth * row + 20
+                label = html.escape(name)
+                pct = 100.0 * n[0] / total
+                rects.append(
+                    f'<g><title>{label} — {n[0]} accesses '
+                    f"({pct:.2f}%)</title>"
+                    f'<rect x="{x:.1f}" y="{y}" width="{w - pad:.1f}" '
+                    f'height="{row - pad}" fill="{color(name)}" '
+                    'rx="1"/>'
+                    + (f'<text x="{x + 3:.1f}" y="{y + 13}" '
+                       f'font-size="11">{label[: int(w / 7)]}</text>'
+                       if w > 25 else "")
+                    + "</g>")
+                layout(n[1], x, x + w, depth + 1)
+            x += w
+
+    layout(root[1], 0.0, width, 0)
+    with open(out, "w") as f:
+        f.write(
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+            f'height="{height}" font-family="monospace">\n'
+            f'<text x="4" y="14" font-size="12">{html.escape(path)} — '
+            f"{total} attributed device accesses</text>\n"
+            + "\n".join(rects) + "\n</svg>\n")
+
+    # Console summary: the heaviest leaf causes, so the file is useful
+    # even without opening the SVG.
+    leaves = defaultdict(int)
+    for frames, count in stacks:
+        leaves[frames[-1]] += count
+    print(f"{path}: {total} attributed device accesses")
+    for name, count in sorted(leaves.items(), key=lambda kv: -kv[1]):
+        print(f"  {100.0 * count / total:6.2f}%  {name}")
+    print(f"wrote {out}")
+
+
 def main():
     if len(sys.argv) < 2:
         print(__doc__)
         return 2
     path = sys.argv[1]
+    if is_folded(path):
+        out = (sys.argv[2] if len(sys.argv) > 2
+               else path.rsplit(".", 1)[0] + ".svg")
+        plot_folded(path, out)
+        return 0
     out = sys.argv[2] if len(sys.argv) > 2 else path.rsplit(".", 1)[0] + ".png"
     header, rows = load(path)
     if header[:2] == ["time", "channel"]:

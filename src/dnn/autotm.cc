@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/logging.hh"
+#include "obs/observer.hh"
 
 namespace nvsim::dnn
 {
@@ -225,11 +226,14 @@ AutoTmExecutor::runIteration()
     double t0 = sys_.now();
     std::uint64_t scale = sys_.config().scale;
 
+    obs::ContextScope graphCtx(sys_.observer(),
+                               graph_.name() + "/autotm");
     const auto &ops = graph_.schedule();
     for (std::size_t i = 0; i < ops.size(); ++i) {
         const Op &op = ops[i];
         int step = static_cast<int>(i);
         currentStep_ = step;
+        obs::ContextScope opCtx(sys_.observer(), op.name);
 
         KernelEvent ev;
         ev.op = op.id;

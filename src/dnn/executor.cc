@@ -54,8 +54,10 @@ Executor::runIteration()
     PerfCounters before = sys_.counters();
     double t0 = sys_.now();
     std::uint64_t scale = sys_.config().scale;
+    obs::ContextScope graphCtx(sys_.observer(), graph_.name());
 
     for (const Op &op : graph_.schedule()) {
+        obs::ContextScope opCtx(sys_.observer(), op.name);
         KernelEvent ev;
         ev.op = op.id;
         ev.kind = op.kind;

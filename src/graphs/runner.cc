@@ -2,6 +2,7 @@
 
 #include "core/logging.hh"
 #include "graphs/algorithms.hh"
+#include "obs/observer.hh"
 
 namespace nvsim::graphs
 {
@@ -141,6 +142,7 @@ GraphWorkload::run(GraphKernel kernel)
     sys_.setActiveThreads(config_.threads);
     PerfCounters before = sys_.counters();
     double t0 = sys_.now();
+    obs::ContextScope ctx(sys_.observer(), graphKernelName(kernel));
 
     AlgoOutcome outcome;
     switch (kernel) {

@@ -47,6 +47,43 @@ ChannelController::handle(const MemRequest &req, MemPool pool)
     return handle1lm(req, pool);
 }
 
+CausalBreakdown
+causalBreakdown2lm(MemRequestKind kind, const CacheResult &cr,
+                   const ChannelParams &params)
+{
+    CausalBreakdown b;
+    if (cr.outcome == CacheOutcome::DdoHit) {
+        // DDO forwards the store straight to the resident DRAM line.
+        b.add(AccessCause::DdoElideWrite, MemPool::Dram,
+              params.dram.latency);
+        return b;
+    }
+    b.add(AccessCause::TagProbe, MemPool::Dram, params.dram.latency);
+    if (cr.filled) {
+        // Figure 3 order: the victim is evicted before the fetch.
+        if (cr.wroteBack) {
+            b.add(AccessCause::DirtyWriteback, MemPool::Nvram,
+                  params.nvram.writeLatency);
+        }
+        b.add(AccessCause::CacheFillRead, MemPool::Nvram,
+              params.nvram.readLatency);
+        b.add(AccessCause::CacheInsertWrite, MemPool::Dram,
+              params.dram.latency);
+    }
+    if (kind == MemRequestKind::LlcWrite) {
+        if (!cr.filled && cr.wroteBack) {
+            // Write-no-allocate ablation: the demand data itself is
+            // the NVRAM write that rode in the writeback fields.
+            b.add(AccessCause::DataWrite, MemPool::Nvram,
+                  params.nvram.writeLatency);
+        } else {
+            b.add(AccessCause::DataWrite, MemPool::Dram,
+                  params.dram.latency);
+        }
+    }
+    return b;
+}
+
 void
 ChannelController::noteMediaFault(const MediaFault &f,
                                   AccessResult &result, bool demand_line,
@@ -134,6 +171,8 @@ ChannelController::handle2lm(const MemRequest &req)
 
     result.outcome = cr.outcome;
     result.actions = cr.actions;
+    if (req.traced)
+        result.breakdown = causalBreakdown2lm(req.kind, cr, params_);
     if (req.kind == MemRequestKind::LlcRead) {
         // Hit: one DRAM round trip. Miss: tag-check read then the NVRAM
         // fetch are serial; the insert write is posted off the critical
@@ -205,6 +244,11 @@ ChannelController::handle1lm(const MemRequest &req, MemPool pool)
             result.actions.nvramWrites = 1;
             result.latency = params_.nvram.writeLatency;
         }
+    }
+    if (req.traced) {
+        // 1LM: no cache in the path, one direct device access.
+        result.breakdown.add(AccessCause::DirectAccess, pool,
+                             result.latency);
     }
     if (result.fault.retries)
         result.latency += result.fault.retries * params_.fault.retryLatency;

@@ -92,7 +92,20 @@ struct AccessResult
     DeviceActions actions;
     double latency = 0;  //!< load-to-use seconds for demand reads
     RequestFaults fault; //!< injected-fault side effects, if any
+    /** Per-access blame spans; filled only when MemRequest::traced. */
+    CausalBreakdown breakdown;
 };
+
+/**
+ * Derive the ordered blame spans for one 2LM cache access: which
+ * Figure 3 steps ran, on which device, at the device's nominal
+ * latency. Span count always equals CacheResult::actions.total().
+ * Shared by the channel's traced path and by tools that drive
+ * DramCache directly (bench_table1_amplification).
+ */
+CausalBreakdown causalBreakdown2lm(MemRequestKind kind,
+                                   const CacheResult &cr,
+                                   const ChannelParams &params);
 
 /** Per-epoch traffic summary of a channel, for the bandwidth solver. */
 struct ChannelEpoch

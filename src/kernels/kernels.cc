@@ -96,6 +96,13 @@ runKernel(MemorySystem &sys, const Region &region,
     double t0 = sys.now();
     Bytes demand = 0;
 
+    // Causal context: every IMC request issued below (including the
+    // quiesce writebacks) is blamed on this kernel invocation.
+    obs::ContextScope ctx(sys.observer(),
+                          std::string(kernelOpName(config.op)) + " " +
+                              accessPatternName(config.pattern) +
+                              " on " + region.name);
+
     for (unsigned iter = 0; iter < config.iterations; ++iter) {
         std::vector<OffsetSequence> seqs;
         seqs.reserve(threads);

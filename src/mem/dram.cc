@@ -33,4 +33,26 @@ cacheOutcomeName(CacheOutcome outcome)
     return "unknown";
 }
 
+const char *
+accessCauseName(AccessCause cause)
+{
+    switch (cause) {
+      case AccessCause::TagProbe:
+        return "tag_probe";
+      case AccessCause::CacheFillRead:
+        return "cache_fill_read";
+      case AccessCause::CacheInsertWrite:
+        return "cache_insert_write";
+      case AccessCause::DataWrite:
+        return "data_write";
+      case AccessCause::DirtyWriteback:
+        return "dirty_writeback";
+      case AccessCause::DdoElideWrite:
+        return "ddo_elide_write";
+      case AccessCause::DirectAccess:
+        return "direct_access";
+    }
+    return "unknown";
+}
+
 } // namespace nvsim

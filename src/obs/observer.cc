@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/logging.hh"
+#include "obs/causal.hh"
 #include "obs/prometheus.hh"
 
 namespace nvsim::obs
@@ -59,6 +60,43 @@ Observer::~Observer()
         std::function<void()> hook = std::move(detachHook_);
         hook();
     }
+}
+
+void
+Observer::enableCausal(const CausalOptions &opts)
+{
+    if (causal_)
+        return;
+    causal_ = std::make_unique<CausalTracer>(opts, tracer_);
+    CausalTracer *c = causal_.get();
+    Group &g = root().child("causal");
+    g.formula("demand_requests", "demand requests seen by the sampler",
+              [c] { return static_cast<double>(c->demands()); });
+    g.formula("sampled_requests", "demand requests carrying a trace id",
+              [c] { return static_cast<double>(c->sampled()); });
+    g.formula("llc_hits", "demand accesses absorbed by the LLC",
+              [c] { return static_cast<double>(c->llcHits()); });
+}
+
+void
+Observer::pushContext(const std::string &frame)
+{
+    if (causal_)
+        causal_->pushContext(frame);
+}
+
+void
+Observer::popContext()
+{
+    if (causal_)
+        causal_->popContext();
+}
+
+void
+Observer::noteLlcHit()
+{
+    if (causal_)
+        causal_->noteLlcHit();
 }
 
 SetProfiler *
@@ -157,6 +195,8 @@ Observer::onCountersReset(double prior_now)
         h->reset();
     if (setProfiler_)
         setProfiler_->reset();
+    if (causal_)
+        causal_->onCountersReset();
     if (tracer_)
         tracer_->setTimeBase(tracer_->timeBase() + prior_now);
 }

@@ -42,6 +42,9 @@
 namespace nvsim::obs
 {
 
+class CausalTracer;
+struct CausalOptions;
+
 /** One epoch's sample, delivered at each epoch boundary. */
 struct EpochSample
 {
@@ -92,6 +95,16 @@ class Observer
     PerfettoTracer *tracer() { return tracer_; }
 
     /**
+     * Create the per-request causal tracer (obs/causal.hh). Call
+     * after setTracer() so exemplar flow events reach the session
+     * timeline; registers the tracer's totals under the registry's
+     * "causal" group.
+     */
+    void enableCausal(const CausalOptions &opts);
+    CausalTracer *causal() { return causal_.get(); }
+    const CausalTracer *causal() const { return causal_.get(); }
+
+    /**
      * Callback run from the destructor while this Observer is still
      * attached, so a system outliving its observer drops its pointers
      * (the attached MemorySystem installs detachObserver() here and
@@ -119,6 +132,14 @@ class Observer
 
     /** A named workload span (microbench kernel, DNN op). */
     void kernelSpan(const std::string &name, double t0, double t1);
+
+    /** @name Causal-context forwarding (no-ops without a tracer) */
+    ///@{
+    void pushContext(const std::string &frame);
+    void popContext();
+    /** An LLC hit absorbed a demand access before the IMC. */
+    void noteLlcHit();
+    ///@}
 
     /**
      * The observed system reset its counters and clock (post-warmup):
@@ -149,6 +170,7 @@ class Observer
     bool wantHeatmap_ = false;
     std::unique_ptr<SetProfiler> setProfiler_;
     PerfettoTracer *tracer_ = nullptr;  //!< not owned; may be null
+    std::unique_ptr<CausalTracer> causal_;
     std::function<void()> detachHook_;
 
     /** Indexed by CacheOutcome; owned by the registry. */
@@ -163,6 +185,34 @@ class Observer
 
 /** Stats-group name of an outcome class. */
 const char *outcomeClassName(CacheOutcome outcome);
+
+/**
+ * RAII causal-context frame: names the workload region (kernel, DNN
+ * op, graph kernel) that owns the demand requests issued inside it.
+ * Null-safe: pass the current observer (or nullptr) and the scope is
+ * free when tracing is off.
+ */
+class ContextScope
+{
+  public:
+    ContextScope(Observer *o, const std::string &frame) : o_(o)
+    {
+        if (o_)
+            o_->pushContext(frame);
+    }
+
+    ~ContextScope()
+    {
+        if (o_)
+            o_->popContext();
+    }
+
+    ContextScope(const ContextScope &) = delete;
+    ContextScope &operator=(const ContextScope &) = delete;
+
+  private:
+    Observer *o_;
+};
 
 } // namespace nvsim::obs
 

@@ -67,6 +67,20 @@ PerfettoTracer::counter(const std::string &name, double t_s, double value)
 }
 
 void
+PerfettoTracer::flow(char phase, Track track, const std::string &name,
+                     double t_s, std::uint64_t id)
+{
+    double b = timeBase_ + t_s;
+    note(b);
+    if (!admit())
+        return;
+    Event e{phase, static_cast<std::uint32_t>(track), name,
+            b * kUsPerSecond, 0, {}};
+    e.flowId = id;
+    events_.push_back(std::move(e));
+}
+
+void
 PerfettoTracer::nameTrack(Track track, const std::string &name)
 {
     std::uint32_t tid = static_cast<std::uint32_t>(track);
@@ -130,6 +144,13 @@ PerfettoTracer::writeJson(std::ostream &out) const
             json.field("dur", e.dur_us);
         if (e.phase == 'i')
             json.field("s", "t");
+        if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+            json.field("cat", "causal");
+            json.field("id", e.flowId);
+            // Bind the flow end to the enclosing slice, not the next.
+            if (e.phase == 'f')
+                json.field("bp", "e");
+        }
         if (!e.args.empty()) {
             json.beginObject("args");
             for (const auto &[k, v] : e.args)

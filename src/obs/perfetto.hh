@@ -29,6 +29,8 @@ enum class Track : std::uint32_t {
     Epochs = 1,   //!< one span per timing epoch
     Kernels = 2,  //!< workload-level spans (runKernel, DNN nodes)
     Dma = 3,      //!< DMA engine transfers
+    CausalDemand = 4,   //!< sampled demand-request spans (obs/causal)
+    CausalDevices = 5,  //!< induced device-access spans (obs/causal)
     Channel0 = 16,  //!< per-channel instants: Channel0 + channel index
 };
 
@@ -53,6 +55,15 @@ class PerfettoTracer
     /** Counter sample ("C"): one series named @p name. */
     void counter(const std::string &name, double t_s, double value);
 
+    /**
+     * Flow-event point: @p phase is 's' (start), 't' (step) or 'f'
+     * (end). Points sharing an @p id form one flow; each point binds
+     * to the slice enclosing its timestamp on @p track, drawing
+     * arrows between the bound slices in the Perfetto UI.
+     */
+    void flow(char phase, Track track, const std::string &name,
+              double t_s, std::uint64_t id);
+
     /** Name the track shown in the UI (emitted as metadata). */
     void nameTrack(Track track, const std::string &name);
 
@@ -76,12 +87,13 @@ class PerfettoTracer
   private:
     struct Event
     {
-        char phase;  //!< 'X', 'i', 'C'
+        char phase;  //!< 'X', 'i', 'C', 's', 't', 'f'
         std::uint32_t tid;
         std::string name;
         double ts_us;
         double dur_us;  //!< 'X' only
         std::vector<std::pair<std::string, double>> args;
+        std::uint64_t flowId = 0;  //!< 's'/'t'/'f' only
     };
 
     bool admit();

@@ -3,7 +3,10 @@
 #include <cstdio>
 #include <fstream>
 
+#include <sstream>
+
 #include "core/logging.hh"
+#include "obs/causal.hh"
 #include "obs/json.hh"
 
 namespace nvsim::obs
@@ -31,6 +34,10 @@ Session::Session(SessionOptions opts) : opts_(std::move(opts))
         tracer_.nameTrack(Track::Epochs, "epochs");
         tracer_.nameTrack(Track::Kernels, "kernels");
         tracer_.nameTrack(Track::Dma, "dma");
+        if (opts_.causal()) {
+            tracer_.nameTrack(Track::CausalDemand, "causal demand");
+            tracer_.nameTrack(Track::CausalDevices, "causal devices");
+        }
     }
 }
 
@@ -56,6 +63,13 @@ Session::beginRun(const std::string &label)
         tracer_.setTimeBase(runStart_);
         current_->setTracer(&tracer_);
     }
+    if (opts_.causal()) {
+        CausalOptions copts;
+        copts.samplePeriod = opts_.causalSamplePeriod;
+        copts.seed = opts_.causalSeed;
+        copts.flowIdBase = nextFlowId_;
+        current_->enableCausal(copts);
+    }
     return current_.get();
 }
 
@@ -68,6 +82,13 @@ Session::endRun()
     runsJson_.emplace_back(current_->runLabel(),
                            rstrip(current_->statsJson()));
     promText_ += current_->statsProm();
+    if (const CausalTracer *causal = current_->causal()) {
+        causal->foldedLines(foldedLines_, current_->runLabel());
+        std::ostringstream os;
+        causal->dumpJson(os);
+        causalRuns_.emplace_back(current_->runLabel(), os.str());
+        nextFlowId_ += causal->flowsEmitted();
+    }
     if (const SetProfiler *prof = current_->setProfiler()) {
         prof->appendCsvRows(current_->runLabel(), heatRows_);
         if (opts_.topSets > 0)
@@ -160,6 +181,37 @@ Session::writeFiles(bool from_destructor)
                 ofs << row << '\n';
             inform("obs: wrote set heatmap to %s",
                    opts_.heatmapPath.c_str());
+        }
+    }
+
+    if (!opts_.causalJsonPath.empty()) {
+        std::ofstream ofs;
+        if (open(opts_.causalJsonPath, ofs)) {
+            ofs << "{\"schema\":\"nvsim-causal-v1\",\"sample_period\":"
+                << opts_.causalSamplePeriod
+                << ",\"seed\":" << opts_.causalSeed << ",\"runs\":[";
+            for (std::size_t i = 0; i < causalRuns_.size(); ++i) {
+                if (i > 0)
+                    ofs << ',';
+                ofs << "\n{\"label\":\""
+                    << jsonEscape(causalRuns_[i].first)
+                    << "\",\"causal\":" << causalRuns_[i].second
+                    << '}';
+            }
+            ofs << "\n]}\n";
+            inform("obs: wrote causal attribution to %s",
+                   opts_.causalJsonPath.c_str());
+        }
+    }
+
+    if (!opts_.foldedPath.empty()) {
+        std::ofstream ofs;
+        if (open(opts_.foldedPath, ofs)) {
+            for (const std::string &line : foldedLines_)
+                ofs << line << '\n';
+            inform("obs: wrote folded stacks to %s "
+                   "(render with scripts/plot_traces.py)",
+                   opts_.foldedPath.c_str());
         }
     }
 }

@@ -42,11 +42,26 @@ struct SessionOptions
     std::string heatmapPath;
     std::size_t topSets = 16;  //!< hottest-set console report size
 
+    /** @name Causal tracing (obs/causal.hh) */
+    ///@{
+    std::string causalJsonPath;  //!< --causal-trace= attribution JSON
+    std::string foldedPath;      //!< --folded-stacks= flamegraph input
+    std::uint64_t causalSamplePeriod = 64;  //!< --causal-sample=
+    std::uint64_t causalSeed = 1;           //!< --causal-seed=
+    ///@}
+
+    bool
+    causal() const
+    {
+        return !causalJsonPath.empty() || !foldedPath.empty();
+    }
+
     bool
     any() const
     {
         return !statsJsonPath.empty() || !statsPromPath.empty() ||
-               !perfettoPath.empty() || !heatmapPath.empty();
+               !perfettoPath.empty() || !heatmapPath.empty() ||
+               causal();
     }
 };
 
@@ -96,6 +111,9 @@ class Session
     std::vector<std::pair<std::string, std::string>> runsJson_;
     std::string promText_;
     std::vector<std::string> heatRows_;
+    std::vector<std::pair<std::string, std::string>> causalRuns_;
+    std::vector<std::string> foldedLines_;
+    std::uint64_t nextFlowId_ = 1;  //!< flow ids unique across runs
     bool written_ = false;
 };
 

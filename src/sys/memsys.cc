@@ -5,6 +5,7 @@
 
 #include "core/logging.hh"
 #include "core/rng.hh"
+#include "obs/causal.hh"
 #include "obs/observer.hh"
 
 namespace nvsim
@@ -402,6 +403,10 @@ MemorySystem::issueToImc(MemRequestKind kind, Addr line_addr,
     Addr local = chunk * gran + phys % gran;
 
     MemRequest req{kind, local, static_cast<std::uint16_t>(thread)};
+    obs::CausalTracer *causal =
+        obs_ && charge_demand ? obs_->causal() : nullptr;
+    if (causal)
+        req.traced = causal->shouldSample();
     unsigned ch_idx = channelOf(phys);
     ChannelController &ch = channels_[ch_idx];
     AccessResult res = ch.handle(req, poolOf(phys));
@@ -410,6 +415,10 @@ MemorySystem::issueToImc(MemRequestKind kind, Addr line_addr,
     if (obs_) {
         obs_->noteRequest(charge_demand, res.outcome,
                           res.actions.total(), res.latency);
+        if (req.traced) {
+            causal->record(kind, res.outcome, res.breakdown, now_,
+                           res.latency, ch_idx);
+        }
     }
     if (faultEnabled_ && res.fault.any())
         noteRequestFaults(res.fault, kind, phys, ch_idx, charge_demand);
@@ -425,6 +434,8 @@ MemorySystem::touchLine(unsigned thread, CpuOp op, Addr line_addr)
         epochLoadBytes_ += kLineSize;
         if (lr.hit) {
             epochLatencyWork_ += config_.llcHitLatency;
+            if (obs_)
+                obs_->noteLlcHit();
         } else {
             // Load miss or store RFO.
             issueToImc(MemRequestKind::LlcRead, line_addr, thread);

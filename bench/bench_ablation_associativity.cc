@@ -12,6 +12,7 @@
 
 #include "bench_common.hh"
 #include "core/csv.hh"
+#include "exec/sweep.hh"
 #include "graphs/generators.hh"
 #include "graphs/runner.hh"
 #include "kernels/kernels.hh"
@@ -70,12 +71,76 @@ conflictKernel(obs::Session &session, unsigned ways)
     return r;
 }
 
+const unsigned kAliasWays[] = {1, 2, 4, 8};
+const unsigned kGraphWays[] = {1, 2, 4};
+
+/** One sweep point's rows, buffered for in-order output. */
+struct PointResult
+{
+    std::vector<std::string> tableRow;
+    CsvRows csv;
+};
+
+PointResult
+aliasPoint(obs::Session &session, unsigned ways)
+{
+    KernelResult r = conflictKernel(session, ways);
+    double demand = static_cast<double>(
+        std::max<std::uint64_t>(r.counters.demand(), 1));
+    double hits =
+        static_cast<double>(r.counters.tagHit + r.counters.ddoHit);
+    PointResult res;
+    res.tableRow = {fmt("%u", ways), gbs(r.effectiveBandwidth),
+                    fmt("%.3f", hits / demand),
+                    fmt("%.2f", r.counters.amplification())};
+    res.csv.row(std::vector<std::string>{
+        "alias", fmt("%u", ways),
+        fmt("%f", r.effectiveBandwidth / 1e9),
+        fmt("%f", 1.0 - hits / demand),
+        fmt("%f", r.counters.amplification())});
+    return res;
+}
+
+PointResult
+pagerankPoint(obs::Session &session, const CsrGraph &g, unsigned ways)
+{
+    SystemConfig cfg;
+    cfg.mode = MemoryMode::TwoLm;
+    cfg.sockets = 2;
+    cfg.scale = kScale * 4;  // graph >> cache
+    cfg.cacheWays = ways;
+    MemorySystem sys(cfg);
+    GraphRunConfig rc;
+    rc.placement = Placement::TwoLm;
+    rc.threads = 96;
+    rc.prRounds = 3;
+    GraphWorkload w(sys, g, rc);
+    sys.resetCounters();
+    attachRun(session, sys, fmt("pagerank/%u_ways", ways));
+    GraphRunResult r = w.run(GraphKernel::PageRank);
+    session.endRun();
+    double demand = static_cast<double>(
+        std::max<std::uint64_t>(r.counters.demand(), 1));
+    double hits =
+        static_cast<double>(r.counters.tagHit + r.counters.ddoHit);
+    PointResult res;
+    res.tableRow = {fmt("%u", ways), fmt("%.4f", r.seconds),
+                    fmt("%.3f", hits / demand),
+                    fmt("%.2f", r.counters.amplification())};
+    res.csv.row(std::vector<std::string>{
+        "pagerank", fmt("%u", ways), fmt("%f", r.seconds),
+        fmt("%f", 1.0 - hits / demand),
+        fmt("%f", r.counters.amplification())});
+    return res;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    obs::Session session(parseObsOptions(argc, argv));
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    obs::Session session(opts.obs);
     banner("Ablation: DRAM cache associativity (future-hardware "
            "question)",
            "a set-associative cache absorbs the conflict misses the "
@@ -87,58 +152,38 @@ main(int argc, char **argv)
     csv.row(std::vector<std::string>{"workload", "ways", "effective",
                                      "miss_rate", "amplification"});
 
+    // The web graph is built once and shared read-only across tasks.
+    WebGraphParams wp;
+    wp.numNodes = 200 * 1024;
+    wp.avgDegree = 24;
+    const CsrGraph g = webGraph(wp);
+
+    // Points 0..3 sweep ways over the aliasing kernel, 4..6 over
+    // pagerank; collection replays them in declaration order so the
+    // output is byte-identical for any --jobs=N.
+    constexpr std::size_t kNAlias = std::size(kAliasWays);
+    exec::SweepRunner runner(effectiveJobs(opts, session));
+    std::vector<PointResult> results = runner.map<PointResult>(
+        kNAlias + std::size(kGraphWays), [&](std::size_t i) {
+            return i < kNAlias
+                       ? aliasPoint(session, kAliasWays[i])
+                       : pagerankPoint(session, g,
+                                       kGraphWays[i - kNAlias]);
+        });
+
     std::printf("--- aliasing fragments (60%% of capacity) ---\n");
     Table t({"ways", "effective", "hit rate", "amplification"});
-    for (unsigned ways : {1u, 2u, 4u, 8u}) {
-        KernelResult r = conflictKernel(session, ways);
-        double demand = static_cast<double>(
-            std::max<std::uint64_t>(r.counters.demand(), 1));
-        double hits = static_cast<double>(r.counters.tagHit +
-                                          r.counters.ddoHit);
-        t.row({fmt("%u", ways), gbs(r.effectiveBandwidth),
-               fmt("%.3f", hits / demand),
-               fmt("%.2f", r.counters.amplification())});
-        csv.row(std::vector<std::string>{
-            "alias", fmt("%u", ways),
-            fmt("%f", r.effectiveBandwidth / 1e9),
-            fmt("%f", 1.0 - hits / demand),
-            fmt("%f", r.counters.amplification())});
+    for (std::size_t i = 0; i < kNAlias; ++i) {
+        t.row(results[i].tableRow);
+        results[i].csv.flushTo(csv);
     }
     t.print();
 
     std::printf("\n--- pagerank on cache-exceeding web graph ---\n");
-    WebGraphParams wp;
-    wp.numNodes = 200 * 1024;
-    wp.avgDegree = 24;
-    CsrGraph g = webGraph(wp);
     Table t2({"ways", "runtime(s)", "hit rate", "amplification"});
-    for (unsigned ways : {1u, 2u, 4u}) {
-        SystemConfig cfg;
-        cfg.mode = MemoryMode::TwoLm;
-        cfg.sockets = 2;
-        cfg.scale = kScale * 4;  // graph >> cache
-        cfg.cacheWays = ways;
-        MemorySystem sys(cfg);
-        GraphRunConfig rc;
-        rc.placement = Placement::TwoLm;
-        rc.threads = 96;
-        rc.prRounds = 3;
-        GraphWorkload w(sys, g, rc);
-        sys.resetCounters();
-        attachRun(session, sys, fmt("pagerank/%u_ways", ways));
-        GraphRunResult r = w.run(GraphKernel::PageRank);
-        session.endRun();
-        double demand = static_cast<double>(
-            std::max<std::uint64_t>(r.counters.demand(), 1));
-        double hits = static_cast<double>(r.counters.tagHit +
-                                          r.counters.ddoHit);
-        t2.row({fmt("%u", ways), fmt("%.4f", r.seconds),
-                fmt("%.3f", hits / demand),
-                fmt("%.2f", r.counters.amplification())});
-        csv.row(std::vector<std::string>{
-            "pagerank", fmt("%u", ways), fmt("%f", r.seconds),
-            fmt("%f", 1.0 - hits / demand),
-            fmt("%f", r.counters.amplification())});
+    for (std::size_t i = kNAlias; i < results.size(); ++i) {
+        t2.row(results[i].tableRow);
+        results[i].csv.flushTo(csv);
     }
     t2.print();
     csv.close();

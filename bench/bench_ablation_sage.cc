@@ -12,15 +12,51 @@
 #include "bench_common.hh"
 #include "bench_graphs_common.hh"
 #include "core/csv.hh"
+#include "exec/sweep.hh"
 
 using namespace nvsim;
 using namespace nvsim::bench;
 using namespace nvsim::graphs;
 
+namespace
+{
+
+struct Cfg
+{
+    const char *name;
+    MemoryMode mode;
+    Placement placement;
+};
+
+const Cfg kCfgs[] = {
+    {"2LM", MemoryMode::TwoLm, Placement::TwoLm},
+    {"NUMA", MemoryMode::OneLm, Placement::NumaPreferred},
+    {"Sage", MemoryMode::OneLm, Placement::Sage},
+};
+
+const GraphKernel kKernels[] = {GraphKernel::Bfs,
+                                GraphKernel::PageRank};
+
+/**
+ * One (kernel, config) point. The speedup-vs-2LM column needs the 2LM
+ * row of the same kernel group, so it is computed at collection time
+ * from the buffered seconds.
+ */
+struct PointResult
+{
+    double seconds;
+    std::string nvWr;
+    std::string total;
+    CsvRows csv;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    obs::Session session(parseObsOptions(argc, argv));
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    obs::Session session(opts.obs);
     banner("Ablation: Sage-style software placement vs 2LM vs NUMA",
            "Sage eliminates NVRAM writes entirely and beats 2LM on "
            "mutation-heavy kernels (paper: Sage ~1.9x over Galois in "
@@ -30,25 +66,17 @@ main(int argc, char **argv)
     csv.row(std::vector<std::string>{"kernel", "config", "seconds",
                                      "nvram_wr_gb", "total_gb"});
 
-    CsrGraph wdc = wdc12Like();
+    // The input is built once and shared read-only across tasks.
+    const CsrGraph wdc = wdc12Like();
+    constexpr std::size_t kNCfgs = std::size(kCfgs);
 
-    for (GraphKernel k : {GraphKernel::Bfs, GraphKernel::PageRank}) {
-        std::printf("--- %s ---\n", graphKernelName(k));
-        Table t({"config", "runtime(s)", "NVRAM wr (GB)",
-                 "total moved (GB)", "speedup vs 2LM"});
-        double two_lm_seconds = 0;
-        struct Cfg
-        {
-            const char *name;
-            MemoryMode mode;
-            Placement placement;
-        };
-        const Cfg cfgs[] = {
-            {"2LM", MemoryMode::TwoLm, Placement::TwoLm},
-            {"NUMA", MemoryMode::OneLm, Placement::NumaPreferred},
-            {"Sage", MemoryMode::OneLm, Placement::Sage},
-        };
-        for (const Cfg &c : cfgs) {
+    // One task per (kernel, config) point; collection replays them in
+    // declaration order so output is byte-identical for any --jobs=N.
+    exec::SweepRunner runner(effectiveJobs(opts, session));
+    std::vector<PointResult> results = runner.map<PointResult>(
+        std::size(kKernels) * kNCfgs, [&](std::size_t i) {
+            GraphKernel k = kKernels[i / kNCfgs];
+            const Cfg &c = kCfgs[i % kNCfgs];
             SystemConfig scfg = graphSystem(c.mode);
             MemorySystem sys(scfg);
             GraphWorkload w(sys, wdc, graphRun(c.placement));
@@ -57,18 +85,30 @@ main(int argc, char **argv)
                       fmt("%s/%s", graphKernelName(k), c.name));
             GraphRunResult r = w.run(k);
             session.endRun();
-            if (c.placement == Placement::TwoLm)
-                two_lm_seconds = r.seconds;
             double nv_wr = static_cast<double>(r.counters.nvramWrite) *
                            kLineSize / 1e9;
-            double total =
-                static_cast<double>(r.dataMoved()) / 1e9;
-            t.row({c.name, fmt("%.4f", r.seconds), fmt("%.4f", nv_wr),
-                   fmt("%.3f", total),
-                   fmt("%.2fx", two_lm_seconds / r.seconds)});
-            csv.row(std::vector<std::string>{
+            double total = static_cast<double>(r.dataMoved()) / 1e9;
+            PointResult res;
+            res.seconds = r.seconds;
+            res.nvWr = fmt("%.4f", nv_wr);
+            res.total = fmt("%.3f", total);
+            res.csv.row(std::vector<std::string>{
                 graphKernelName(k), c.name, fmt("%f", r.seconds),
                 fmt("%f", nv_wr), fmt("%f", total)});
+            return res;
+        });
+
+    for (std::size_t ki = 0; ki < std::size(kKernels); ++ki) {
+        std::printf("--- %s ---\n", graphKernelName(kKernels[ki]));
+        Table t({"config", "runtime(s)", "NVRAM wr (GB)",
+                 "total moved (GB)", "speedup vs 2LM"});
+        double two_lm_seconds = results[ki * kNCfgs].seconds;
+        for (std::size_t ci = 0; ci < kNCfgs; ++ci) {
+            const PointResult &res = results[ki * kNCfgs + ci];
+            t.row({kCfgs[ci].name, fmt("%.4f", res.seconds), res.nvWr,
+                   res.total,
+                   fmt("%.2fx", two_lm_seconds / res.seconds)});
+            res.csv.flushTo(csv);
         }
         t.print();
         std::printf("\n");

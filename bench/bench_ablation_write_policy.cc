@@ -16,6 +16,7 @@
 #include "core/csv.hh"
 #include "dnn/executor.hh"
 #include "dnn/networks.hh"
+#include "exec/sweep.hh"
 #include "kernels/kernels.hh"
 
 using namespace nvsim;
@@ -70,12 +71,52 @@ densenet(obs::Session &session, bool insert_on_miss)
     return r;
 }
 
+/** One policy point's rows, buffered for in-order output. */
+struct PointResult
+{
+    std::vector<std::string> tableRow;
+    CsvRows csv;
+};
+
+PointResult
+writeStreamPoint(obs::Session &session, bool insert)
+{
+    KernelResult r = writeMissStream(session, insert);
+    const char *name = insert ? "insert_on_miss" : "no_allocate";
+    PointResult res;
+    res.tableRow = {name, gbs(r.effectiveBandwidth),
+                    fmt("%.2f", r.counters.amplification()),
+                    gbs(r.nvramReadBandwidth()),
+                    gbs(r.nvramWriteBandwidth())};
+    res.csv.row(std::vector<std::string>{
+        "write_stream", name, fmt("%f", r.effectiveBandwidth / 1e9),
+        fmt("%f", r.counters.amplification()), fmt("%f", r.seconds)});
+    return res;
+}
+
+PointResult
+densenetPoint(obs::Session &session, bool insert)
+{
+    IterationResult r = densenet(session, insert);
+    const char *name = insert ? "insert_on_miss" : "no_allocate";
+    double demand = static_cast<double>(r.counters.demand());
+    PointResult res;
+    res.tableRow = {name, fmt("%.4f", r.seconds),
+                    fmt("%.2f", r.counters.amplification()),
+                    fmt("%.3f", r.counters.tagMissDirty / demand)};
+    res.csv.row(std::vector<std::string>{
+        "densenet", name, "", fmt("%f", r.counters.amplification()),
+        fmt("%f", r.seconds)});
+    return res;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    obs::Session session(parseObsOptions(argc, argv));
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    obs::Session session(opts.obs);
     banner("Ablation: insert-on-miss vs write-no-allocate (2LM writes)",
            "insert-on-miss costs 4-5 accesses per missing store; "
            "write-no-allocate drops that to 2 on pure write streams, "
@@ -85,40 +126,34 @@ main(int argc, char **argv)
     csv.row(std::vector<std::string>{"workload", "policy", "effective",
                                      "amplification", "seconds"});
 
+    // Points 0-1: write-miss stream {insert, no-allocate}; points
+    // 2-3: DenseNet iteration, same order. Collection replays them in
+    // declaration order so output is byte-identical for any --jobs=N.
+    exec::SweepRunner runner(effectiveJobs(opts, session));
+    std::vector<PointResult> results = runner.map<PointResult>(
+        4, [&](std::size_t i) {
+            bool insert = i % 2 == 0;
+            return i < 2 ? writeStreamPoint(session, insert)
+                         : densenetPoint(session, insert);
+        });
+
     std::printf("--- nontemporal write-miss stream (Figure 4b setup) "
                 "---\n");
     Table t({"policy", "effective", "amplification", "NVRAM rd",
              "NVRAM wr"});
-    for (bool insert : {true, false}) {
-        KernelResult r = writeMissStream(session, insert);
-        const char *name = insert ? "insert_on_miss" : "no_allocate";
-        t.row({name, gbs(r.effectiveBandwidth),
-               fmt("%.2f", r.counters.amplification()),
-               gbs(r.nvramReadBandwidth()),
-               gbs(r.nvramWriteBandwidth())});
-        csv.row(std::vector<std::string>{
-            "write_stream", name,
-            fmt("%f", r.effectiveBandwidth / 1e9),
-            fmt("%f", r.counters.amplification()),
-            fmt("%f", r.seconds)});
-    }
+    t.row(results[0].tableRow);
+    results[0].csv.flushTo(csv);
+    t.row(results[1].tableRow);
+    results[1].csv.flushTo(csv);
     t.print();
 
     std::printf("\n--- DenseNet 264 training iteration ---\n");
     Table t2({"policy", "iteration(s)", "amplification",
               "dirty miss frac"});
-    for (bool insert : {true, false}) {
-        IterationResult r = densenet(session, insert);
-        const char *name = insert ? "insert_on_miss" : "no_allocate";
-        double demand = static_cast<double>(r.counters.demand());
-        t2.row({name, fmt("%.4f", r.seconds),
-                fmt("%.2f", r.counters.amplification()),
-                fmt("%.3f", r.counters.tagMissDirty / demand)});
-        csv.row(std::vector<std::string>{
-            "densenet", name, "",
-            fmt("%f", r.counters.amplification()),
-            fmt("%f", r.seconds)});
-    }
+    t2.row(results[2].tableRow);
+    results[2].csv.flushTo(csv);
+    t2.row(results[3].tableRow);
+    results[3].csv.flushTo(csv);
     t2.print();
 
     std::printf("\nNote: no-allocate is not a pure win — streams that "

@@ -18,11 +18,71 @@
 #include <vector>
 
 #include "core/logging.hh"
+#include "exec/sweep.hh"
 #include "obs/session.hh"
 #include "sys/memsys.hh"
 
 namespace nvsim::bench
 {
+
+namespace detail
+{
+
+/** --flag=value matcher; fatal on an empty value. */
+inline bool
+matchFlag(const char *arg, const char *flag, std::string *out)
+{
+    std::size_t n = std::strlen(flag);
+    if (std::strncmp(arg, flag, n) != 0)
+        return false;
+    *out = arg + n;
+    if (out->empty())
+        fatal("%s needs a value", flag);
+    return true;
+}
+
+inline std::uint64_t
+numberArg(const std::string &value, const char *flag)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        fatal("%s wants a number, got '%s'", flag, value.c_str());
+    return v;
+}
+
+/** Consume one observability flag; false if @p arg is not one. */
+inline bool
+parseObsFlag(const char *arg, obs::SessionOptions &opts)
+{
+    std::string value;
+    if (matchFlag(arg, "--stats-json=", &opts.statsJsonPath) ||
+        matchFlag(arg, "--stats-prom=", &opts.statsPromPath) ||
+        matchFlag(arg, "--perfetto=", &opts.perfettoPath) ||
+        matchFlag(arg, "--set-heatmap=", &opts.heatmapPath) ||
+        matchFlag(arg, "--causal-trace=", &opts.causalJsonPath) ||
+        matchFlag(arg, "--folded-stacks=", &opts.foldedPath)) {
+        return true;
+    }
+    if (matchFlag(arg, "--top-sets=", &value)) {
+        opts.topSets =
+            static_cast<std::size_t>(numberArg(value, "--top-sets="));
+        return true;
+    }
+    if (matchFlag(arg, "--causal-sample=", &value)) {
+        opts.causalSamplePeriod = numberArg(value, "--causal-sample=");
+        if (opts.causalSamplePeriod == 0)
+            fatal("--causal-sample= must be >= 1");
+        return true;
+    }
+    if (matchFlag(arg, "--causal-seed=", &value)) {
+        opts.causalSeed = numberArg(value, "--causal-seed=");
+        return true;
+    }
+    return false;
+}
+
+} // namespace detail
 
 /**
  * Parse the shared observability flags from a bench's argv:
@@ -46,56 +106,89 @@ inline obs::SessionOptions
 parseObsOptions(int argc, char **argv)
 {
     obs::SessionOptions opts;
-    auto match = [](const char *arg, const char *flag,
-                    std::string *out) {
-        std::size_t n = std::strlen(flag);
-        if (std::strncmp(arg, flag, n) != 0)
-            return false;
-        *out = arg + n;
-        if (out->empty())
-            fatal("%s needs a value", flag);
-        return true;
-    };
-    auto number = [&](const std::string &value, const char *flag) {
-        char *end = nullptr;
-        std::uint64_t v = std::strtoull(value.c_str(), &end, 10);
-        if (end == value.c_str() || *end != '\0')
-            fatal("%s wants a number, got '%s'", flag, value.c_str());
-        return v;
-    };
     for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        std::string value;
-        if (match(arg, "--stats-json=", &opts.statsJsonPath) ||
-            match(arg, "--stats-prom=", &opts.statsPromPath) ||
-            match(arg, "--perfetto=", &opts.perfettoPath) ||
-            match(arg, "--set-heatmap=", &opts.heatmapPath) ||
-            match(arg, "--causal-trace=", &opts.causalJsonPath) ||
-            match(arg, "--folded-stacks=", &opts.foldedPath)) {
+        if (detail::parseObsFlag(argv[i], opts))
             continue;
-        }
-        if (match(arg, "--top-sets=", &value)) {
-            opts.topSets = static_cast<std::size_t>(
-                number(value, "--top-sets="));
-            continue;
-        }
-        if (match(arg, "--causal-sample=", &value)) {
-            opts.causalSamplePeriod = number(value, "--causal-sample=");
-            if (opts.causalSamplePeriod == 0)
-                fatal("--causal-sample= must be >= 1");
-            continue;
-        }
-        if (match(arg, "--causal-seed=", &value)) {
-            opts.causalSeed = number(value, "--causal-seed=");
-            continue;
-        }
         fatal("unknown argument '%s' (observability flags: "
               "--stats-json= --stats-prom= --perfetto= --set-heatmap= "
               "--top-sets= --causal-trace= --folded-stacks= "
               "--causal-sample= --causal-seed=)",
-              arg);
+              argv[i]);
     }
     return opts;
+}
+
+/** Options shared by every sweep-based bench binary. */
+struct BenchOptions
+{
+    obs::SessionOptions obs;
+    /** Sweep worker threads; 0 = hardware concurrency, 1 = serial. */
+    unsigned jobs = 0;
+    /** Use the reference per-line access engine instead of batching. */
+    bool perLine = false;
+};
+
+/**
+ * Parse the observability flags plus the sweep-engine flags:
+ *
+ *   --jobs=N     run sweep points on N worker threads (default: the
+ *                host's hardware concurrency; 1 = serial, today's
+ *                behavior). Output is byte-identical for every N.
+ *   --per-line   drive the memory system through the reference
+ *                per-line access engine instead of the batched one
+ *                (diagnostics; output is byte-identical, just slower)
+ *
+ * Also applies the engine selection process-wide so every
+ * MemorySystem the bench builds uses the requested engine.
+ */
+inline BenchOptions
+parseBenchOptions(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        std::string value;
+        if (detail::parseObsFlag(arg, opts.obs))
+            continue;
+        if (detail::matchFlag(arg, "--jobs=", &value)) {
+            opts.jobs = static_cast<unsigned>(
+                detail::numberArg(value, "--jobs="));
+            if (opts.jobs == 0)
+                fatal("--jobs= must be >= 1");
+            continue;
+        }
+        if (std::strcmp(arg, "--per-line") == 0) {
+            opts.perLine = true;
+            continue;
+        }
+        fatal("unknown argument '%s' (sweep flags: --jobs=N "
+              "--per-line; observability flags: --stats-json= "
+              "--stats-prom= --perfetto= --set-heatmap= --top-sets= "
+              "--causal-trace= --folded-stacks= --causal-sample= "
+              "--causal-seed=)",
+              arg);
+    }
+    MemorySystem::setBatchedAccessDefault(!opts.perLine);
+    return opts;
+}
+
+/**
+ * Worker count a sweep should actually use: the requested --jobs
+ * (hardware concurrency when unset), forced to 1 when an observability
+ * session is enabled — the obs Session serializes runs on one
+ * timeline, so observed sweeps stay serial.
+ */
+inline unsigned
+effectiveJobs(const BenchOptions &opts, const obs::Session &session)
+{
+    unsigned jobs = opts.jobs ? opts.jobs : exec::hardwareJobs();
+    if (session.enabled() && jobs > 1) {
+        inform("observability session enabled: running sweep serially "
+               "(--jobs=%u ignored)",
+               jobs);
+        return 1;
+    }
+    return jobs;
 }
 
 /**
@@ -175,12 +268,22 @@ class Table
 inline std::string
 fmt(const char *f, ...)
 {
-    char buf[256];
+    // Size with a first pass so long fields (graph names, paths) are
+    // never silently truncated.
     va_list ap;
     va_start(ap, f);
-    std::vsnprintf(buf, sizeof(buf), f, ap);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, f, ap2);
+    va_end(ap2);
+    if (n < 0) {
+        va_end(ap);
+        return "<format error>";
+    }
+    std::string out(static_cast<std::size_t>(n), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, f, ap);
     va_end(ap);
-    return buf;
+    return out;
 }
 
 /** Format bytes as GB with 1 decimal. */

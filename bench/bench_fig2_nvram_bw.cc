@@ -15,6 +15,7 @@
 
 #include "bench_common.hh"
 #include "core/csv.hh"
+#include "exec/sweep.hh"
 #include "kernels/kernels.hh"
 
 using namespace nvsim;
@@ -42,6 +43,21 @@ const Variant kVariants[] = {
     {"random_512B", AccessPattern::Random, 512},
 };
 
+struct Figure
+{
+    const char *name;
+    KernelOp op;
+};
+
+const Figure kFigures[] = {
+    {"2a", KernelOp::ReadOnly},
+    {"2b", KernelOp::WriteOnly},
+};
+
+constexpr std::size_t kNVariants = std::size(kVariants);
+constexpr std::size_t kNThreads = std::size(kThreads);
+constexpr std::size_t kPointsPerFigure = kNThreads * kNVariants;
+
 double
 runOne(obs::Session &session, const char *figure, KernelOp op,
        const Variant &v, unsigned threads)
@@ -65,49 +81,61 @@ runOne(obs::Session &session, const char *figure, KernelOp op,
     return bw;
 }
 
-void
-sweep(obs::Session &session, const char *figure, KernelOp op,
-      CsvWriter &csv)
-{
-    Table t([&] {
-        std::vector<std::string> h{"threads"};
-        for (const Variant &v : kVariants)
-            h.push_back(v.name);
-        return h;
-    }());
-    for (unsigned threads : kThreads) {
-        std::vector<std::string> r{fmt("%u", threads)};
-        for (const Variant &v : kVariants) {
-            double bw = runOne(session, figure, op, v, threads);
-            r.push_back(gbs(bw));
-            csv.row(std::vector<std::string>{figure, v.name,
-                                             fmt("%u", threads),
-                                             fmt("%f", bw / 1e9)});
-        }
-        t.row(std::move(r));
-    }
-    t.print();
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    obs::Session session(parseObsOptions(argc, argv));
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    obs::Session session(opts.obs);
     CsvWriter csv("fig2_nvram_bw.csv");
     csv.row(std::vector<std::string>{"figure", "variant", "threads",
                                      "gbs"});
 
-    banner("Figure 2a: NVRAM read bandwidth (1LM, GB/s)",
-           "sequential saturates ~30 GB/s at 8 threads; random 64B "
-           "~4x lower; random >=256B matches sequential");
-    sweep(session, "2a", KernelOp::ReadOnly, csv);
+    // One task per (figure, threads, variant) point; the collection
+    // loop below replays the results in declaration order, so console
+    // and CSV output are byte-identical for any --jobs=N.
+    exec::SweepRunner runner(effectiveJobs(opts, session));
+    std::size_t n_points = std::size(kFigures) * kPointsPerFigure;
+    std::vector<double> bw = runner.map<double>(
+        n_points, [&](std::size_t i) {
+            const Figure &fig = kFigures[i / kPointsPerFigure];
+            unsigned threads =
+                kThreads[i % kPointsPerFigure / kNVariants];
+            const Variant &v = kVariants[i % kNVariants];
+            return runOne(session, fig.name, fig.op, v, threads);
+        });
 
-    banner("Figure 2b: NVRAM write bandwidth (1LM, nontemporal, GB/s)",
-           "peaks ~11 GB/s at 4 threads, slight droop beyond; "
-           "random <256B collapses from write amplification");
-    sweep(session, "2b", KernelOp::WriteOnly, csv);
+    std::size_t i = 0;
+    for (const Figure &fig : kFigures) {
+        if (fig.op == KernelOp::ReadOnly)
+            banner("Figure 2a: NVRAM read bandwidth (1LM, GB/s)",
+                   "sequential saturates ~30 GB/s at 8 threads; random "
+                   "64B ~4x lower; random >=256B matches sequential");
+        else
+            banner("Figure 2b: NVRAM write bandwidth (1LM, "
+                   "nontemporal, GB/s)",
+                   "peaks ~11 GB/s at 4 threads, slight droop beyond; "
+                   "random <256B collapses from write amplification");
+        Table t([&] {
+            std::vector<std::string> h{"threads"};
+            for (const Variant &v : kVariants)
+                h.push_back(v.name);
+            return h;
+        }());
+        for (unsigned threads : kThreads) {
+            std::vector<std::string> r{fmt("%u", threads)};
+            for (const Variant &v : kVariants) {
+                double b = bw[i++];
+                r.push_back(gbs(b));
+                csv.row(std::vector<std::string>{fig.name, v.name,
+                                                 fmt("%u", threads),
+                                                 fmt("%f", b / 1e9)});
+            }
+            t.row(std::move(r));
+        }
+        t.print();
+    }
 
     csv.close();
     session.write();  // explicit: I/O failure is fatal, not a warning

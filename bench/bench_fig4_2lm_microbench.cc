@@ -18,6 +18,7 @@
 
 #include "bench_common.hh"
 #include "core/csv.hh"
+#include "exec/sweep.hh"
 #include "kernels/kernels.hh"
 
 using namespace nvsim;
@@ -46,12 +47,29 @@ const Scenario kScenarios[] = {
      KernelOp::ReadModifyWrite, false, true, 4},
 };
 
+constexpr std::size_t kPatterns = 2;
+
+AccessPattern
+patternOf(std::size_t i)
+{
+    return i % kPatterns == 0 ? AccessPattern::Sequential
+                              : AccessPattern::Random;
+}
+
+/** Everything one sweep point reports, buffered for in-order output. */
+struct PointResult
+{
+    std::vector<std::string> tableRow;
+    CsvRows csv;
+};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    obs::Session session(parseObsOptions(argc, argv));
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    obs::Session session(opts.obs);
     CsvWriter csv("fig4_2lm_microbench.csv");
     csv.row(std::vector<std::string>{"scenario", "pattern", "metric",
                                      "gbs"});
@@ -61,12 +79,17 @@ main(int argc, char **argv)
            "write miss ~8 GB/s w/ 2 DRAM writes per store and 5x "
            "amplification; RMW shows DDO (elided tag checks)");
 
-    for (const Scenario &s : kScenarios) {
-        std::printf("--- %s ---\n", s.name);
-        Table t({"pattern", "effective", "DRAM rd", "DRAM wr",
-                 "NVRAM rd", "NVRAM wr", "amp", "ddo/writes"});
-        for (AccessPattern pattern :
-             {AccessPattern::Sequential, AccessPattern::Random}) {
+    // One task per (scenario, pattern) point. Each owns its system and
+    // buffers its rows; the collection below replays them in
+    // declaration order, so the output is byte-identical for any
+    // --jobs=N.
+    exec::SweepRunner runner(effectiveJobs(opts, session));
+    std::size_t n_points = std::size(kScenarios) * kPatterns;
+    std::vector<PointResult> results = runner.map<PointResult>(
+        n_points, [&](std::size_t i) {
+            const Scenario &s = kScenarios[i / kPatterns];
+            AccessPattern pattern = patternOf(i);
+
             SystemConfig cfg;
             cfg.mode = MemoryMode::TwoLm;
             cfg.scale = kScale;
@@ -80,7 +103,9 @@ main(int argc, char **argv)
             sys.resetCounters();
 
             // Attach after priming so the histograms and heatmap hold
-            // the measured kernel only, not the warmup traffic.
+            // the measured kernel only, not the warmup traffic. (With
+            // a session enabled the sweep is forced serial, so the
+            // begin/end pairs nest correctly.)
             attachRun(session, sys,
                       fmt("%s/%s", s.name, accessPatternName(pattern)));
 
@@ -97,14 +122,15 @@ main(int argc, char **argv)
                     ? static_cast<double>(r.counters.ddoHit) /
                           static_cast<double>(r.counters.llcWrites)
                     : 0.0;
-            t.row({accessPatternName(pattern),
-                   gbs(r.effectiveBandwidth),
-                   gbs(r.dramReadBandwidth()),
-                   gbs(r.dramWriteBandwidth()),
-                   gbs(r.nvramReadBandwidth()),
-                   gbs(r.nvramWriteBandwidth()),
-                   fmt("%.2f", r.counters.amplification()),
-                   fmt("%.2f", ddo_frac)});
+            PointResult res;
+            res.tableRow = {accessPatternName(pattern),
+                            gbs(r.effectiveBandwidth),
+                            gbs(r.dramReadBandwidth()),
+                            gbs(r.dramWriteBandwidth()),
+                            gbs(r.nvramReadBandwidth()),
+                            gbs(r.nvramWriteBandwidth()),
+                            fmt("%.2f", r.counters.amplification()),
+                            fmt("%.2f", ddo_frac)};
             for (auto [metric, v] :
                  {std::pair<const char *, double>{
                       "effective", r.effectiveBandwidth},
@@ -112,10 +138,21 @@ main(int argc, char **argv)
                   {"dram_write", r.dramWriteBandwidth()},
                   {"nvram_read", r.nvramReadBandwidth()},
                   {"nvram_write", r.nvramWriteBandwidth()}}) {
-                csv.row(std::vector<std::string>{
+                res.csv.row(std::vector<std::string>{
                     s.name, accessPatternName(pattern), metric,
                     fmt("%f", v / 1e9)});
             }
+            return res;
+        });
+
+    for (std::size_t si = 0; si < std::size(kScenarios); ++si) {
+        std::printf("--- %s ---\n", kScenarios[si].name);
+        Table t({"pattern", "effective", "DRAM rd", "DRAM wr",
+                 "NVRAM rd", "NVRAM wr", "amp", "ddo/writes"});
+        for (std::size_t pi = 0; pi < kPatterns; ++pi) {
+            const PointResult &res = results[si * kPatterns + pi];
+            t.row(res.tableRow);
+            res.csv.flushTo(csv);
         }
         t.print();
         std::printf("\n");

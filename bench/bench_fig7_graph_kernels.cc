@@ -12,6 +12,7 @@
 #include "bench_graphs_common.hh"
 #include "core/csv.hh"
 #include "core/units.hh"
+#include "exec/sweep.hh"
 
 using namespace nvsim;
 using namespace nvsim::bench;
@@ -20,48 +21,49 @@ using namespace nvsim::graphs;
 namespace
 {
 
-void
-runGraph(obs::Session &session, const char *name, const CsrGraph &g,
-         CsvWriter &csv)
+const GraphKernel kKernels[] = {GraphKernel::Bfs, GraphKernel::Cc,
+                                GraphKernel::KCore,
+                                GraphKernel::PageRank};
+
+/** Everything one (graph, kernel) point reports, buffered in order. */
+struct PointResult
 {
-    std::printf("--- %s: %s binary, DRAM cache %s -> %s ---\n", name,
-                formatBytes(g.bytes()).c_str(),
-                formatBytes(graphSystem(MemoryMode::TwoLm).dramTotal())
-                    .c_str(),
-                g.bytes() <
-                        graphSystem(MemoryMode::TwoLm).dramTotal()
-                    ? "fits"
-                    : "exceeds");
-    Table t({"kernel", "runtime(s)", "DRAM rd", "DRAM wr", "NVRAM rd",
-             "NVRAM wr", "hit rate", "rounds"});
-    for (GraphKernel k : {GraphKernel::Bfs, GraphKernel::Cc,
-                          GraphKernel::KCore, GraphKernel::PageRank}) {
-        SystemConfig cfg = graphSystem(MemoryMode::TwoLm);
-        MemorySystem sys(cfg);
-        GraphWorkload w(sys, g, graphRun(Placement::TwoLm));
-        sys.resetCounters();
-        attachRun(session, sys, fmt("%s/%s", name, graphKernelName(k)));
-        GraphRunResult r = w.run(k);
-        session.endRun();
-        double demand = static_cast<double>(
-            std::max<std::uint64_t>(r.counters.demand(), 1));
-        double hits = static_cast<double>(r.counters.tagHit +
-                                          r.counters.ddoHit);
-        t.row({graphKernelName(k), fmt("%.4f", r.seconds),
-               gbs(r.dramReadBandwidth()), gbs(r.dramWriteBandwidth()),
-               gbs(r.nvramReadBandwidth()),
-               gbs(r.nvramWriteBandwidth()), fmt("%.2f", hits / demand),
-               fmt("%llu", static_cast<unsigned long long>(r.rounds))});
-        csv.row(std::vector<std::string>{
-            name, graphKernelName(k), fmt("%f", r.seconds),
-            fmt("%f", r.dramReadBandwidth() / 1e9),
-            fmt("%f", r.dramWriteBandwidth() / 1e9),
-            fmt("%f", r.nvramReadBandwidth() / 1e9),
-            fmt("%f", r.nvramWriteBandwidth() / 1e9),
-            fmt("%f", hits / demand)});
-    }
-    t.print();
-    std::printf("\n");
+    std::vector<std::string> tableRow;
+    CsvRows csv;
+};
+
+PointResult
+runPoint(obs::Session &session, const char *name, const CsrGraph &g,
+         GraphKernel k)
+{
+    SystemConfig cfg = graphSystem(MemoryMode::TwoLm);
+    MemorySystem sys(cfg);
+    GraphWorkload w(sys, g, graphRun(Placement::TwoLm));
+    sys.resetCounters();
+    attachRun(session, sys, fmt("%s/%s", name, graphKernelName(k)));
+    GraphRunResult r = w.run(k);
+    session.endRun();
+    double demand = static_cast<double>(
+        std::max<std::uint64_t>(r.counters.demand(), 1));
+    double hits =
+        static_cast<double>(r.counters.tagHit + r.counters.ddoHit);
+    PointResult res;
+    res.tableRow = {graphKernelName(k), fmt("%.4f", r.seconds),
+                    gbs(r.dramReadBandwidth()),
+                    gbs(r.dramWriteBandwidth()),
+                    gbs(r.nvramReadBandwidth()),
+                    gbs(r.nvramWriteBandwidth()),
+                    fmt("%.2f", hits / demand),
+                    fmt("%llu",
+                        static_cast<unsigned long long>(r.rounds))};
+    res.csv.row(std::vector<std::string>{
+        name, graphKernelName(k), fmt("%f", r.seconds),
+        fmt("%f", r.dramReadBandwidth() / 1e9),
+        fmt("%f", r.dramWriteBandwidth() / 1e9),
+        fmt("%f", r.nvramReadBandwidth() / 1e9),
+        fmt("%f", r.nvramWriteBandwidth() / 1e9),
+        fmt("%f", hits / demand)});
+    return res;
 }
 
 } // namespace
@@ -69,7 +71,8 @@ runGraph(obs::Session &session, const char *name, const CsrGraph &g,
 int
 main(int argc, char **argv)
 {
-    obs::Session session(parseObsOptions(argc, argv));
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    obs::Session session(opts.obs);
     banner("Figure 7: graph kernels in 2LM, 96 threads",
            "on the cache-fitting input bandwidth stays in DRAM; on the "
            "cache-exceeding input DRAM bandwidth drops and NVRAM "
@@ -80,10 +83,51 @@ main(int argc, char **argv)
                                      "dram_rd", "dram_wr", "nvram_rd",
                                      "nvram_wr", "hit_rate"});
 
-    CsrGraph kron = kron30Like();
-    runGraph(session, "kron30-like (7a)", kron, csv);
-    CsrGraph wdc = wdc12Like();
-    runGraph(session, "wdc12-like (7b)", wdc, csv);
+    // The inputs are built once and shared read-only across tasks;
+    // each task owns its MemorySystem and workload state.
+    const CsrGraph kron = kron30Like();
+    const CsrGraph wdc = wdc12Like();
+    struct GraphCase
+    {
+        const char *name;
+        const CsrGraph *graph;
+    };
+    const GraphCase kGraphs[] = {{"kron30-like (7a)", &kron},
+                                 {"wdc12-like (7b)", &wdc}};
+    constexpr std::size_t kNKernels = std::size(kKernels);
+
+    // One task per (graph, kernel) point; the collection loop replays
+    // them in declaration order, so output is byte-identical for any
+    // --jobs=N.
+    exec::SweepRunner runner(effectiveJobs(opts, session));
+    std::vector<PointResult> results = runner.map<PointResult>(
+        std::size(kGraphs) * kNKernels, [&](std::size_t i) {
+            const GraphCase &gc = kGraphs[i / kNKernels];
+            return runPoint(session, gc.name, *gc.graph,
+                            kKernels[i % kNKernels]);
+        });
+
+    for (std::size_t gi = 0; gi < std::size(kGraphs); ++gi) {
+        const GraphCase &gc = kGraphs[gi];
+        std::printf(
+            "--- %s: %s binary, DRAM cache %s -> %s ---\n", gc.name,
+            formatBytes(gc.graph->bytes()).c_str(),
+            formatBytes(graphSystem(MemoryMode::TwoLm).dramTotal())
+                .c_str(),
+            gc.graph->bytes() <
+                    graphSystem(MemoryMode::TwoLm).dramTotal()
+                ? "fits"
+                : "exceeds");
+        Table t({"kernel", "runtime(s)", "DRAM rd", "DRAM wr",
+                 "NVRAM rd", "NVRAM wr", "hit rate", "rounds"});
+        for (std::size_t ki = 0; ki < kNKernels; ++ki) {
+            const PointResult &res = results[gi * kNKernels + ki];
+            t.row(res.tableRow);
+            res.csv.flushTo(csv);
+        }
+        t.print();
+        std::printf("\n");
+    }
 
     csv.close();
     session.write();

@@ -4,8 +4,9 @@
 Runs bench_fig2_nvram_bw, bench_fig4_2lm_microbench and
 bench_table1_amplification from an existing build tree inside a
 scratch directory, extracts the headline metrics from their CSVs and
-console tables, exercises the causal tracer at two seeds, and writes
-everything to one JSON file (default BENCH_PR3.json):
+console tables, exercises the causal tracer at two seeds, times the
+sweep/access engines against each other, and writes everything to one
+JSON file (default BENCH_PR4.json):
 
   - fig2: peak bandwidth per figure/variant (GB/s);
   - fig4: per-scenario effective bandwidth and device-traffic split;
@@ -13,7 +14,12 @@ everything to one JSON file (default BENCH_PR3.json):
   - causal_seed_comparison: same seed => byte-identical folded
     stacks, a different seed => same demand stream, different phase;
   - flags_off: the fig4 CSV is byte-identical with and without the
-    causal flags (tracing is strictly opt-in).
+    causal flags (tracing is strictly opt-in);
+  - engine_comparison: wall-clock for --jobs=1 vs --jobs=<ncpu> and
+    --per-line vs batched on fig2/fig4, with the CSV digests proving
+    all variants produced byte-identical results;
+  - timings: host wall-clock seconds for every bench invocation made
+    by this script.
 
 Usage:
     python3 scripts/bench_report.py [build_dir] [out.json]
@@ -22,18 +28,26 @@ Usage:
 import csv
 import hashlib
 import json
+import os
 import re
 import subprocess
 import sys
 import tempfile
+import time
 from collections import defaultdict
 from pathlib import Path
+
+# Every bench invocation appends {bench, flags, seconds} here.
+TIMINGS = []
 
 
 def run_bench(build, name, scratch, *flags):
     exe = Path(build) / "bench" / name
+    t0 = time.monotonic()
     proc = subprocess.run([str(exe), *flags], cwd=scratch,
                           capture_output=True, text=True, check=True)
+    TIMINGS.append({"bench": name, "flags": list(flags),
+                    "seconds": round(time.monotonic() - t0, 3)})
     return proc.stdout
 
 
@@ -103,9 +117,65 @@ def causal_run(build, scratch, tag, seed):
     }
 
 
+def timed_variant(build, bench, csv_name, scratch, tag, *flags,
+                  repeats=3):
+    """One engine variant: best-of-N wall clock plus the CSV digest.
+
+    Best-of smooths scheduler noise, which on a small shared host is
+    comparable to the effect being measured.
+    """
+    sub = scratch / f"engine_{bench}_{tag}"
+    sub.mkdir()
+    best = None
+    for _ in range(repeats):
+        t0 = time.monotonic()
+        run_bench(build, bench, sub, *flags)
+        elapsed = time.monotonic() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "flags": list(flags),
+        "seconds": round(best, 3),
+        "csv_sha256": digest(sub / csv_name),
+    }
+
+
+def engine_comparison(build, scratch):
+    """Serial vs parallel sweep and per-line vs batched access.
+
+    The parallel speedup scales with the host's cores (a 1-core
+    container shows ~1x); the batched speedup is engine work saved per
+    access and holds on any host. Either way every variant must hash
+    to the same CSV — the engines are interchangeable by contract.
+    """
+    ncpu = os.cpu_count() or 1
+    section = {"host_cpus": ncpu}
+    for bench, csv_name in [
+            ("bench_fig4_2lm_microbench", "fig4_2lm_microbench.csv"),
+            ("bench_fig2_nvram_bw", "fig2_nvram_bw.csv")]:
+        serial = timed_variant(build, bench, csv_name, scratch,
+                               "serial", "--jobs=1")
+        parallel = timed_variant(build, bench, csv_name, scratch,
+                                 "parallel", f"--jobs={ncpu}")
+        per_line = timed_variant(build, bench, csv_name, scratch,
+                                 "perline", "--jobs=1", "--per-line")
+        digests = {serial["csv_sha256"], parallel["csv_sha256"],
+                   per_line["csv_sha256"]}
+        section[bench] = {
+            "serial": serial,
+            "parallel": parallel,
+            "per_line": per_line,
+            "speedup_parallel":
+                round(serial["seconds"] / parallel["seconds"], 2),
+            "speedup_batched":
+                round(per_line["seconds"] / serial["seconds"], 2),
+            "csv_identical_across_variants": len(digests) == 1,
+        }
+    return section
+
+
 def main():
     build = Path(sys.argv[1] if len(sys.argv) > 1 else "build").resolve()
-    out = Path(sys.argv[2] if len(sys.argv) > 2 else "BENCH_PR3.json")
+    out = Path(sys.argv[2] if len(sys.argv) > 2 else "BENCH_PR4.json")
     if not (build / "bench" / "bench_fig2_nvram_bw").exists():
         print(f"no benches under {build}/bench — build first", file=sys.stderr)
         return 2
@@ -143,9 +213,16 @@ def main():
                 == a["csv_sha256"],
         }
 
+        report["engine_comparison"] = engine_comparison(build, scratch)
+        report["timings"] = TIMINGS
+
     out.write_text(json.dumps(report, indent=2) + "\n")
+    engines_ok = all(
+        report["engine_comparison"][b]["csv_identical_across_variants"]
+        for b in ("bench_fig4_2lm_microbench", "bench_fig2_nvram_bw"))
     ok = (report["causal_seed_comparison"]["same_seed_identical"]
-          and report["flags_off"]["csv_bit_identical"])
+          and report["flags_off"]["csv_bit_identical"]
+          and engines_ok)
     print(f"wrote {out}"
           + ("" if ok else " (WARNING: determinism checks failed)"))
     return 0 if ok else 1

@@ -1,6 +1,8 @@
 #!/bin/sh
 # Tier-1 CI: configure, build and run the full test suite twice —
-# once plain, once under AddressSanitizer + UBSan (-DNVSIM_SANITIZE=ON).
+# once plain, once under AddressSanitizer + UBSan (-DNVSIM_SANITIZE=ON)
+# — then race-check the sweep pool under ThreadSanitizer and verify the
+# parallel/batched engines reproduce the serial output byte-for-byte.
 # Any test failure or sanitizer report fails the script.
 set -eu
 
@@ -20,6 +22,44 @@ run_suite() {
 
 run_suite build -DNVSIM_SANITIZE=OFF
 run_suite build-asan -DNVSIM_SANITIZE=ON
+
+# ThreadSanitizer pass over the sweep engine: the pool tests plus one
+# real parallel bench run. Scoped to the concurrency-bearing targets —
+# the full suite is single-threaded and already covered above.
+echo "=== TSan suite (sweep pool) ==="
+cmake -B "$root/build-tsan" -S "$root" -DNVSIM_SANITIZE=thread
+cmake --build "$root/build-tsan" -j "$jobs" \
+    --target test_exec test_access_range bench_fig4_2lm_microbench
+# Run the two binaries directly: the tree only builds these targets,
+# and ctest would trip over every other test's _NOT_BUILT placeholder.
+"$root/build-tsan/tests/test_exec"
+"$root/build-tsan/tests/test_access_range"
+tsan_dir=$(mktemp -d)
+(cd "$tsan_dir" && \
+    "$root/build-tsan/bench/bench_fig4_2lm_microbench" --jobs=4 \
+    > bench.log)
+rm -rf "$tsan_dir"
+echo "TSan suite passed: no data races reported."
+
+# Determinism smoke: the sweep engine and the batched access engine
+# must reproduce the serial per-line output byte-for-byte — console
+# and CSV alike — for any --jobs=N.
+echo "=== determinism smoke (--jobs / --per-line byte-diff) ==="
+det_dir=$(mktemp -d)
+for variant in "jobs1 --jobs=1" "jobs4 --jobs=4" \
+               "perline --jobs=1 --per-line"; do
+    name=${variant%% *}
+    flags=${variant#* }
+    mkdir -p "$det_dir/$name"
+    # shellcheck disable=SC2086  # flags is a word list by design
+    (cd "$det_dir/$name" && \
+        "$root/build/bench/bench_fig4_2lm_microbench" $flags \
+        > stdout.txt)
+done
+diff -r "$det_dir/jobs1" "$det_dir/jobs4"
+diff -r "$det_dir/jobs1" "$det_dir/perline"
+rm -rf "$det_dir"
+echo "determinism smoke passed: outputs byte-identical."
 
 # Observability smoke: one bench run with every obs output enabled;
 # both JSON artifacts must parse (json.tool exits nonzero otherwise).

@@ -59,6 +59,36 @@ class CsvWriter
 };
 
 /**
+ * Row buffer with CsvWriter's row() interface, for code that produces
+ * CSV rows away from the writer — a parallel sweep task buffers its
+ * rows here and the collector flushes each task's buffer in task order,
+ * so the file is byte-identical to a serial run.
+ */
+class CsvRows
+{
+  public:
+    void
+    row(std::vector<std::string> fields)
+    {
+        rows_.push_back(std::move(fields));
+    }
+
+    /** Append every buffered row to @p out, in insertion order. */
+    void
+    flushTo(CsvWriter &out) const
+    {
+        for (const auto &r : rows_)
+            out.row(r);
+    }
+
+    bool empty() const { return rows_.empty(); }
+    std::size_t size() const { return rows_.size(); }
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
  * Dump a TimeSeries as tidy CSV: time,channel,value — one row per
  * sample, suitable for direct plotting.
  */

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace nvsim
@@ -27,7 +28,11 @@ vstrprintf(const char *fmt, va_list ap)
 void
 emit(const char *prefix, const char *fmt, va_list ap)
 {
+    // Parallel sweep tasks may warn/inform concurrently; one lock per
+    // message keeps lines whole without ordering them.
+    static std::mutex mutex;
     std::string msg = vstrprintf(fmt, ap);
+    std::lock_guard<std::mutex> lock(mutex);
     std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
 }
 

@@ -47,6 +47,84 @@ ChannelController::handle(const MemRequest &req, MemPool pool)
     return handle1lm(req, pool);
 }
 
+double
+ChannelController::handleFast(MemRequestKind kind, Addr addr,
+                              std::uint16_t thread, MemPool pool)
+{
+    if (mode_ == MemoryMode::TwoLm) {
+        CacheResult cr = kind == MemRequestKind::LlcRead
+                             ? cache_.read(addr)
+                             : cache_.write(addr);
+        dram_.read(cr.actions.dramReads);
+        dram_.write(cr.actions.dramWrites);
+        if (cr.filled) {
+            nvram_.read(cr.fill, thread);
+            ++epochMisses_;
+        }
+        if (cr.wroteBack)
+            nvram_.write(cr.victim, thread);
+        counters_.addOutcome(kind, cr.outcome);
+        counters_.addActions(cr.actions);
+        if (kind == MemRequestKind::LlcRead) {
+            return cr.outcome == CacheOutcome::Hit
+                       ? params_.dram.latency
+                       : params_.dram.latency +
+                             params_.nvram.readLatency;
+        }
+        return cr.outcome == CacheOutcome::DdoHit
+                   ? params_.nvram.writeLatency
+                   : params_.dram.latency;
+    }
+
+    // 1LM: one direct device access.
+    counters_.addOutcome(kind, CacheOutcome::Uncached);
+    if (kind == MemRequestKind::LlcRead) {
+        if (pool == MemPool::Dram) {
+            dram_.read(1);
+            counters_.dramRead += 1;
+            return params_.dram.latency;
+        }
+        nvram_.read(addr, thread);
+        counters_.nvramRead += 1;
+        return params_.nvram.readLatency;
+    }
+    if (pool == MemPool::Dram) {
+        dram_.write(1);
+        counters_.dramWrite += 1;
+        return params_.dram.latency;
+    }
+    nvram_.write(addr, thread);
+    counters_.nvramWrite += 1;
+    return params_.nvram.writeLatency;
+}
+
+double
+ChannelController::handleFastRun1lm(MemRequestKind kind, Addr addr,
+                                    std::uint64_t lines,
+                                    std::uint16_t thread, MemPool pool)
+{
+    if (kind == MemRequestKind::LlcRead) {
+        counters_.llcReads += lines;
+        if (pool == MemPool::Dram) {
+            dram_.read(lines);
+            counters_.dramRead += lines;
+            return params_.dram.latency;
+        }
+        nvram_.readRun(addr, lines);
+        counters_.nvramRead += lines;
+        return params_.nvram.readLatency;
+    }
+    counters_.llcWrites += lines;
+    if (pool == MemPool::Dram) {
+        dram_.write(lines);
+        counters_.dramWrite += lines;
+        return params_.dram.latency;
+    }
+    nvram_.writeRun(addr, lines, thread);
+    counters_.nvramWrite += lines;
+    return params_.nvram.writeLatency;
+}
+
 CausalBreakdown
 causalBreakdown2lm(MemRequestKind kind, const CacheResult &cr,
                    const ChannelParams &params)

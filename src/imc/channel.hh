@@ -138,6 +138,28 @@ class ChannelController
      */
     AccessResult handle(const MemRequest &req, MemPool pool);
 
+    /** @name Batched fast path
+     * Lean demand entry points used by MemorySystem::accessRange when
+     * no observer is attached and the fault plan is disabled: the same
+     * cache/device state transitions and counter updates as handle(),
+     * with none of the AccessResult, causal-breakdown or fault
+     * plumbing. Each returns the request's demand latency in seconds.
+     */
+    ///@{
+    /** One 64 B request (channel-local, line-aligned address). */
+    double handleFast(MemRequestKind kind, Addr addr,
+                      std::uint16_t thread, MemPool pool);
+
+    /**
+     * 1LM only: @p lines consecutive 64 B requests of one kind to one
+     * pool, batched through the device bulk paths. Returns the demand
+     * latency of each (identical) line.
+     */
+    double handleFastRun1lm(MemRequestKind kind, Addr addr,
+                            std::uint64_t lines, std::uint16_t thread,
+                            MemPool pool);
+    ///@}
+
     /** Quiesce: flush NVRAM write buffers. */
     void drainBuffers();
 

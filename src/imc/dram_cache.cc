@@ -20,18 +20,28 @@ DramCache::DramCache(const DramCacheParams &params)
               static_cast<unsigned long long>(numSets_ * ways_));
     }
     ways_store_.assign(numSets_ * ways_, Way{});
+    if ((numSets_ & (numSets_ - 1)) == 0) {
+        setMask_ = numSets_ - 1;
+        setShift_ = 0;
+        while ((1ull << setShift_) < numSets_)
+            ++setShift_;
+    }
 }
 
 std::uint64_t
 DramCache::setOf(Addr addr) const
 {
-    return lineIndex(addr) % numSets_;
+    std::uint64_t set, tag;
+    splitAddr(addr, set, tag);
+    return set;
 }
 
 std::uint64_t
 DramCache::tagOf(Addr addr) const
 {
-    return lineIndex(addr) / numSets_;
+    std::uint64_t set, tag;
+    splitAddr(addr, set, tag);
+    return tag;
 }
 
 Addr
@@ -124,8 +134,8 @@ DramCache::missHandler(Addr addr, std::uint64_t set, std::uint64_t tag,
 CacheResult
 DramCache::read(Addr addr)
 {
-    std::uint64_t set = setOf(addr);
-    std::uint64_t tag = tagOf(addr);
+    std::uint64_t set, tag;
+    splitAddr(addr, set, tag);
     CacheResult result;
 
     // The IMC always starts with a DRAM read: data and tag arrive
@@ -148,8 +158,8 @@ DramCache::read(Addr addr)
 CacheResult
 DramCache::write(Addr addr)
 {
-    std::uint64_t set = setOf(addr);
-    std::uint64_t tag = tagOf(addr);
+    std::uint64_t set, tag;
+    splitAddr(addr, set, tag);
     CacheResult result;
 
     Way *way = find(set, tag);
@@ -200,8 +210,8 @@ DramCache::write(Addr addr)
 DramCache::TagCorruption
 DramCache::corruptTag(Addr addr)
 {
-    std::uint64_t set = setOf(addr);
-    std::uint64_t tag = tagOf(addr);
+    std::uint64_t set, tag;
+    splitAddr(addr, set, tag);
     TagCorruption tc;
 
     Way *way = find(set, tag);

@@ -146,6 +146,25 @@ class DramCache
     std::uint64_t tagOf(Addr addr) const;
     Addr addrOf(std::uint64_t set, std::uint64_t tag) const;
 
+    /**
+     * Decompose a line index into (set, tag) with at most one divide.
+     * The common geometries (power-of-two set counts) take the
+     * shift/mask path; every access pays this split, so it must not
+     * cost two 64-bit divisions as separate setOf()/tagOf() calls do.
+     */
+    void
+    splitAddr(Addr addr, std::uint64_t &set, std::uint64_t &tag) const
+    {
+        std::uint64_t idx = lineIndex(addr);
+        if (setShift_ >= 0) {
+            set = idx & setMask_;
+            tag = idx >> setShift_;
+        } else {
+            tag = idx / numSets_;
+            set = idx - tag * numSets_;
+        }
+    }
+
     /** Find the way holding @p tag in @p set, or nullptr. */
     Way *find(std::uint64_t set, std::uint64_t tag);
     const Way *find(std::uint64_t set, std::uint64_t tag) const;
@@ -166,6 +185,8 @@ class DramCache
     DramCacheParams params_;
     unsigned ways_;
     std::uint64_t numSets_;
+    int setShift_ = -1;          //!< log2(numSets_) when a power of two
+    std::uint64_t setMask_ = 0;  //!< numSets_ - 1 when a power of two
     std::vector<Way> ways_store_;  //!< numSets_ * ways_ entries
     std::uint32_t lruClock_ = 0;
     std::unique_ptr<DdoPolicy> ddo_;

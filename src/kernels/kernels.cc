@@ -1,5 +1,6 @@
 #include "kernels/kernels.hh"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,20 @@ runKernel(MemorySystem &sys, const Region &region,
                               accessPatternName(config.pattern) +
                               " on " + region.name);
 
+    // Threads take turns of one TLB-page-sized block of granules each,
+    // round-robin, so their streams still contend in the NVRAM buffers
+    // at a realistic granularity (a real core write-combines and
+    // prefetches within a page before another thread's traffic lands
+    // between its lines). Sequential turns are consecutive granules and
+    // collapse into one ranged access; random turns amortize the LFSR
+    // skip loop through nextBlock().
+    const Bytes kTurnBytes = 4 * kKiB;
+    const std::uint64_t turn_granules = std::max<std::uint64_t>(
+        1, kTurnBytes / config.granularity);
+    const CpuOp store_op =
+        config.nontemporal ? CpuOp::NtStore : CpuOp::Store;
+    std::vector<std::uint64_t> idxbuf(turn_granules);
+
     for (unsigned iter = 0; iter < config.iterations; ++iter) {
         std::vector<OffsetSequence> seqs;
         seqs.reserve(threads);
@@ -111,39 +126,59 @@ runKernel(MemorySystem &sys, const Region &region,
                               config.seed + 977 * t + iter);
         }
 
-        // Interleave threads one access at a time so their streams
-        // contend realistically in the NVRAM buffers.
         bool progress = true;
         while (progress) {
             progress = false;
             for (unsigned t = 0; t < threads; ++t) {
-                auto idx = seqs[t].next();
-                if (!idx)
+                std::size_t got =
+                    seqs[t].nextBlock(idxbuf.data(), turn_granules);
+                if (!got)
                     continue;
                 progress = true;
-                Addr base = region.base +
-                            (static_cast<Addr>(t) * per_thread + *idx) *
-                                config.granularity;
-                switch (config.op) {
-                  case KernelOp::ReadOnly:
-                    sys.access(t, CpuOp::Load, base, config.granularity);
-                    demand += config.granularity;
-                    break;
-                  case KernelOp::WriteOnly:
-                    sys.access(t,
-                               config.nontemporal ? CpuOp::NtStore
-                                                  : CpuOp::Store,
-                               base, config.granularity);
-                    demand += config.granularity;
-                    break;
-                  case KernelOp::ReadModifyWrite:
-                    sys.access(t, CpuOp::Load, base, config.granularity);
-                    sys.access(t,
-                               config.nontemporal ? CpuOp::NtStore
-                                                  : CpuOp::Store,
-                               base, config.granularity);
-                    demand += 2 * config.granularity;
-                    break;
+                Addr slice = region.base + static_cast<Addr>(t) *
+                                               per_thread *
+                                               config.granularity;
+                if (config.pattern == AccessPattern::Sequential) {
+                    Addr base = slice + idxbuf[0] * config.granularity;
+                    Bytes len = got * config.granularity;
+                    switch (config.op) {
+                      case KernelOp::ReadOnly:
+                        sys.access(t, CpuOp::Load, base, len);
+                        demand += len;
+                        break;
+                      case KernelOp::WriteOnly:
+                        sys.access(t, store_op, base, len);
+                        demand += len;
+                        break;
+                      case KernelOp::ReadModifyWrite:
+                        sys.access(t, CpuOp::Load, base, len);
+                        sys.access(t, store_op, base, len);
+                        demand += 2 * len;
+                        break;
+                    }
+                    continue;
+                }
+                for (std::size_t i = 0; i < got; ++i) {
+                    Addr base = slice + idxbuf[i] * config.granularity;
+                    switch (config.op) {
+                      case KernelOp::ReadOnly:
+                        sys.access(t, CpuOp::Load, base,
+                                   config.granularity);
+                        demand += config.granularity;
+                        break;
+                      case KernelOp::WriteOnly:
+                        sys.access(t, store_op, base,
+                                   config.granularity);
+                        demand += config.granularity;
+                        break;
+                      case KernelOp::ReadModifyWrite:
+                        sys.access(t, CpuOp::Load, base,
+                                   config.granularity);
+                        sys.access(t, store_op, base,
+                                   config.granularity);
+                        demand += 2 * config.granularity;
+                        break;
+                    }
                 }
             }
         }

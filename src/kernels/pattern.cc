@@ -43,6 +43,30 @@ OffsetSequence::next()
     }
 }
 
+std::size_t
+OffsetSequence::nextBlock(std::uint64_t *out, std::size_t max)
+{
+    std::size_t got = 0;
+    if (pattern_ == AccessPattern::Sequential) {
+        while (got < max && emitted_ < count_) {
+            out[got++] = cursor_++;
+            ++emitted_;
+        }
+        return got;
+    }
+    while (got < max && emitted_ < count_) {
+        for (;;) {
+            std::uint64_t idx = lfsr_.next() - 1;
+            if (idx < count_) {
+                out[got++] = idx;
+                ++emitted_;
+                break;
+            }
+        }
+    }
+    return got;
+}
+
 void
 OffsetSequence::reset()
 {

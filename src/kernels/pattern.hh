@@ -11,6 +11,7 @@
 #ifndef NVSIM_KERNELS_PATTERN_HH
 #define NVSIM_KERNELS_PATTERN_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 
@@ -42,6 +43,15 @@ class OffsetSequence
 
     /** Next granule index, or nullopt when the pass is complete. */
     std::optional<std::uint64_t> next();
+
+    /**
+     * Fill @p out with up to @p max indices — the exact stream
+     * repeated next() calls would produce — and return how many were
+     * written (0 when the pass is complete). Sequential blocks are
+     * consecutive runs, which lets callers coalesce them into one
+     * ranged access; random blocks amortize the LFSR skip loop.
+     */
+    std::size_t nextBlock(std::uint64_t *out, std::size_t max);
 
     /** Restart the pass. */
     void reset();

@@ -21,6 +21,10 @@ bool
 NvramDevice::BlockLru::touch(Addr block, Addr &evicted, bool &did_evict)
 {
     did_evict = false;
+    // Sequential streams touch the same block several times in a row:
+    // it is already most recently used, so skip the linear scan.
+    if (!order.empty() && order.back() == block)
+        return true;
     auto it = std::find(order.begin(), order.end(), block);
     if (it != order.end()) {
         // Move to most-recently-used position.
@@ -40,10 +44,11 @@ NvramDevice::BlockLru::touch(Addr block, Addr &evicted, bool &did_evict)
 void
 NvramDevice::noteWriter(std::uint16_t thread)
 {
-    if (std::find(writers_.begin(), writers_.end(), thread) ==
-        writers_.end()) {
-        writers_.push_back(thread);
-        epoch_.writerStreams = writers_.size();
+    if (thread >= writerStamp_.size())
+        writerStamp_.resize(thread + 1, 0);
+    if (writerStamp_[thread] != writerEpochId_) {
+        writerStamp_[thread] = writerEpochId_;
+        ++epoch_.writerStreams;
     }
 }
 
@@ -93,12 +98,93 @@ NvramDevice::write(Addr addr, std::uint16_t thread)
     if (fill == 0xF) {
         // Fully merged 256 B block: retire it with one media write.
         wpqFill_.erase(block);
-        auto it = std::find(wpq_.order.begin(), wpq_.order.end(), block);
-        if (it != wpq_.order.end())
-            wpq_.order.erase(it);
+        retireWpqBlock(block);
         mediaWrite(block);
     }
     return faultPlan_ ? faultPlan_->nvramWrite() : MediaFault{};
+}
+
+void
+NvramDevice::retireWpqBlock(Addr block)
+{
+    // The block was touched on this demand write, so it sits at the
+    // MRU end; fall back to a scan only if something else moved it.
+    if (!wpq_.order.empty() && wpq_.order.back() == block) {
+        wpq_.order.pop_back();
+        return;
+    }
+    auto it = std::find(wpq_.order.begin(), wpq_.order.end(), block);
+    if (it != wpq_.order.end())
+        wpq_.order.erase(it);
+}
+
+void
+NvramDevice::readRun(Addr addr, std::uint64_t lines)
+{
+    // Per-line, consecutive reads of one media block are one buffer
+    // miss followed by hits at the MRU position; walking the distinct
+    // blocks reproduces that state exactly with one touch per block.
+    epoch_.demandReads += lines;
+    Addr block = mediaBlockBase(addr);
+    Addr last = mediaBlockBase(addr + (lines - 1) * kLineSize);
+    Addr evicted;
+    bool did_evict;
+    for (; block <= last; block += kMediaBlockSize) {
+        if (!readBuffer_.touch(block, evicted, did_evict))
+            ++epoch_.mediaReadBlocks;
+    }
+}
+
+void
+NvramDevice::writeRun(Addr addr, std::uint64_t lines,
+                      std::uint16_t thread)
+{
+    noteWriter(thread);
+    epoch_.demandWrites += lines;
+
+    Addr a = addr;
+    std::uint64_t left = lines;
+    Addr evicted;
+    bool did_evict;
+    while (left) {
+        Addr block = mediaBlockBase(a);
+        unsigned slot =
+            static_cast<unsigned>((a - block) / kLineSize) & 0x3;
+        unsigned count = static_cast<unsigned>(
+            std::min<std::uint64_t>(left, 4 - slot));
+
+        bool hit = wpq_.touch(block, evicted, did_evict);
+        if (did_evict) {
+            wpqFill_.erase(evicted);
+            mediaWrite(evicted);
+        }
+        std::uint8_t *fill = &wpqFill_[block];
+        if (!hit)
+            *fill = 0;
+        // Merge the segment's slots one at a time: a rewrite can
+        // complete the block mid-segment (stale partial fill from an
+        // earlier pass), in which case the per-line path retires it
+        // and re-opens the block for the remaining slots.
+        for (unsigned i = 0; i < count; ++i, ++slot) {
+            *fill = static_cast<std::uint8_t>(*fill | (1u << slot));
+            if (*fill != 0xF)
+                continue;
+            wpqFill_.erase(block);
+            retireWpqBlock(block);
+            mediaWrite(block);
+            if (i + 1 < count) {
+                wpq_.touch(block, evicted, did_evict);
+                if (did_evict) {
+                    wpqFill_.erase(evicted);
+                    mediaWrite(evicted);
+                }
+                fill = &wpqFill_[block];
+                *fill = 0;
+            }
+        }
+        a += static_cast<Addr>(count) * kLineSize;
+        left -= count;
+    }
 }
 
 void
@@ -121,7 +207,7 @@ NvramDevice::drainEpoch()
     total_.mediaWriteBlocks += e.mediaWriteBlocks;
     total_.writerStreams = std::max(total_.writerStreams, e.writerStreams);
     epoch_ = NvramEpoch{};
-    writers_.clear();
+    ++writerEpochId_;  // invalidates every writer stamp in O(1)
     return e;
 }
 

@@ -101,6 +101,18 @@ class NvramDevice
     /** 64 B demand write of the line at @p addr by @p thread. */
     MediaFault write(Addr addr, std::uint16_t thread);
 
+    /** @name Bulk demand runs (batched access fast path)
+     * Consecutive-line equivalents of read()/write(): @p lines 64 B
+     * transactions starting at @p addr, leaving every buffer, fill
+     * bitmap and counter bit-identical to the per-line loop. Only
+     * valid with no fault plan attached (the per-request fault draw
+     * is what the per-line path exists for).
+     */
+    ///@{
+    void readRun(Addr addr, std::uint64_t lines);
+    void writeRun(Addr addr, std::uint64_t lines, std::uint16_t thread);
+    ///@}
+
     /**
      * Attach the channel's fault plan; media errors are drawn per
      * demand transaction. The device does not own the plan.
@@ -172,11 +184,20 @@ class NvramDevice
     BlockLru wpq_;
     /** WPQ fill bitmaps: media block -> mask of present 64 B lines. */
     std::unordered_map<Addr, std::uint8_t> wpqFill_;
-    /** Writer threads seen this epoch (small, linear scan). */
-    std::vector<std::uint16_t> writers_;
+    /**
+     * Writer-stream tracking: writerStamp_[thread] holds the epoch id
+     * of that thread's last write, so counting distinct writers per
+     * epoch is one indexed compare instead of a linear scan of every
+     * demand write. The id bumps at each epoch drain.
+     */
+    std::vector<std::uint32_t> writerStamp_;
+    std::uint32_t writerEpochId_ = 1;
 
     void noteWriter(std::uint16_t thread);
     void mediaWrite(Addr block);
+
+    /** Drop @p block from the WPQ order (it was just touched: MRU). */
+    void retireWpqBlock(Addr block);
 };
 
 } // namespace nvsim

@@ -17,8 +17,8 @@ Llc::Llc(const LlcParams &params)
 LlcResult
 Llc::access(Addr addr, bool is_store)
 {
-    std::uint64_t set = setOf(addr);
-    std::uint64_t tag = tagOf(addr);
+    std::uint64_t set, tag;
+    splitAddr(addr, set, tag);
     Way *base = &ways_store_[set * ways_];
 
     LlcResult result;
@@ -62,8 +62,8 @@ Llc::access(Addr addr, bool is_store)
 void
 Llc::invalidateLine(Addr addr)
 {
-    std::uint64_t set = setOf(addr);
-    std::uint64_t tag = tagOf(addr);
+    std::uint64_t set, tag;
+    splitAddr(addr, set, tag);
     Way *base = &ways_store_[set * ways_];
     for (unsigned w = 0; w < ways_; ++w) {
         if (base[w].valid && base[w].tag == tag) {

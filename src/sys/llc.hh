@@ -103,6 +103,19 @@ class Llc
         bool dirty = false;
     };
 
+    /**
+     * One division decomposes the line index into (set, tag): the
+     * compiler derives the remainder from the quotient, where separate
+     * setOf()/tagOf() calls would each pay a 64-bit divide on this
+     * hottest of paths.
+     */
+    void
+    splitAddr(Addr addr, std::uint64_t &set, std::uint64_t &tag) const
+    {
+        std::uint64_t idx = lineIndex(addr);
+        tag = idx / numSets_;
+        set = idx - tag * numSets_;
+    }
     std::uint64_t setOf(Addr addr) const { return lineIndex(addr) % numSets_; }
     std::uint64_t tagOf(Addr addr) const { return lineIndex(addr) / numSets_; }
     Addr

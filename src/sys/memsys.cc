@@ -11,9 +11,22 @@
 namespace nvsim
 {
 
+namespace
+{
+/** Process-wide engine default for new systems (--per-line flag). */
+bool g_batched_default = true;
+} // namespace
+
+void
+MemorySystem::setBatchedAccessDefault(bool on)
+{
+    g_batched_default = on;
+}
+
 MemorySystem::MemorySystem(const SystemConfig &config)
     : config_(config),
-      llc_(LlcParams{config.scaledLlc(), config.llcWays})
+      llc_(LlcParams{config.scaledLlc(), config.llcWays}),
+      batched_(g_batched_default)
 {
     config_.validate();
     faultEnabled_ = config_.fault.enabled();
@@ -458,10 +471,148 @@ MemorySystem::touchLine(unsigned thread, CpuOp op, Addr line_addr)
 void
 MemorySystem::access(unsigned thread, CpuOp op, Addr addr, Bytes size)
 {
+    accessRange(thread, op, addr, size);
+}
+
+void
+MemorySystem::accessRange(unsigned thread, CpuOp op, Addr addr,
+                          Bytes size)
+{
     Addr first = lineBase(addr);
     Addr last = lineBase(addr + (size ? size - 1 : 0));
-    for (Addr line = first; line <= last; line += kLineSize)
-        touchLine(thread, op, line);
+
+    // The reference per-line engine: required whenever per-request
+    // hooks may fire (observer, faults), addresses are remapped
+    // (scattered pages), or batching is disabled.
+    if (!batched_ || obs_ || faultEnabled_ || config_.scatterPages) {
+        for (Addr line = first; line <= last; line += kLineSize)
+            touchLine(thread, op, line);
+        return;
+    }
+
+    // Batched engine. Epoch boundaries must land exactly where the
+    // per-line loop puts them, so process at most the lines that fit
+    // before the next boundary, close the epoch, and continue.
+    std::uint64_t left = (last - first) / kLineSize + 1;
+    Addr a = first;
+    while (left) {
+        Bytes room = config_.epochBytes - epochDemandBytes_;
+        std::uint64_t n = std::min<std::uint64_t>(
+            left, (room + kLineSize - 1) / kLineSize);
+        fastRange(thread, op, a, n);
+        epochDemandBytes_ += n * kLineSize;
+        maybeFinishEpoch();
+        a += n * kLineSize;
+        left -= n;
+    }
+}
+
+void
+MemorySystem::fastRange(unsigned thread, CpuOp op, Addr first,
+                        std::uint64_t lines)
+{
+    const Bytes gran = config_.interleaveGranularity;
+    const std::size_t n_online = online_.size();
+    const bool two_lm = config_.mode == MemoryMode::TwoLm;
+    const std::uint16_t tid = static_cast<std::uint16_t>(thread);
+
+    Addr a = first;
+    std::uint64_t left = lines;
+    while (left) {
+        // One segment: consecutive lines within one interleave chunk
+        // (one channel) and one pool, so the channel routing and the
+        // local-address math hoist out of the line loop.
+        Addr seg_end = a + left * kLineSize;
+        Addr chunk_end = (a / gran + 1) * gran;
+        if (chunk_end < seg_end)
+            seg_end = chunk_end;
+        if (a < dramPoolSize_ && dramPoolSize_ < seg_end)
+            seg_end = dramPoolSize_;
+        std::uint64_t n = (seg_end - a) / kLineSize;
+
+        MemPool pool = a < dramPoolSize_ ? MemPool::Dram : MemPool::Nvram;
+        ChannelController &ch = channels_[channelOf(a)];
+        Addr local = (a / (gran * n_online)) * gran + a % gran;
+
+        if (op == CpuOp::NtStore) {
+            for (Addr la = a; la < seg_end; la += kLineSize)
+                llc_.invalidateLine(la);
+            epochNtStoreBytes_ += n * kLineSize;
+            if (two_lm) {
+                Addr end = local + n * kLineSize;
+                for (Addr ll = local; ll < end; ll += kLineSize) {
+                    epochLatencyWork_ += ch.handleFast(
+                        MemRequestKind::LlcWrite, ll, tid, pool);
+                }
+            } else {
+                double lat = ch.handleFastRun1lm(
+                    MemRequestKind::LlcWrite, local, n, tid, pool);
+                for (std::uint64_t i = 0; i < n; ++i)
+                    epochLatencyWork_ += lat;
+            }
+        } else {
+            const bool is_store = op == CpuOp::Store;
+            epochLoadBytes_ += n * kLineSize;
+            // 1LM: coalesce consecutive missed lines into device runs.
+            // A run is flushed before any other latency contribution
+            // (LLC hit, dirty victim) so the floating-point
+            // accumulation into epochLatencyWork_ happens line by
+            // line in exactly the per-line loop's order.
+            Addr run_local = 0;
+            std::uint64_t run_lines = 0;
+            auto flush_run = [&]() {
+                if (!run_lines)
+                    return;
+                double lat = ch.handleFastRun1lm(
+                    MemRequestKind::LlcRead, run_local, run_lines, tid,
+                    pool);
+                for (std::uint64_t i = 0; i < run_lines; ++i)
+                    epochLatencyWork_ += lat;
+                run_lines = 0;
+            };
+            Addr ll = local;
+            for (Addr la = a; la < seg_end;
+                 la += kLineSize, ll += kLineSize) {
+                LlcResult lr = llc_.access(la, is_store);
+                if (lr.hit) {
+                    flush_run();
+                    epochLatencyWork_ += config_.llcHitLatency;
+                    continue;
+                }
+                if (two_lm) {
+                    epochLatencyWork_ += ch.handleFast(
+                        MemRequestKind::LlcRead, ll, tid, pool);
+                    if (lr.evictedDirty) {
+                        epochLatencyWork_ += fastIssue(
+                            MemRequestKind::LlcWrite, lr.victim, thread);
+                    }
+                } else {
+                    if (!run_lines)
+                        run_local = ll;
+                    ++run_lines;
+                    if (lr.evictedDirty) {
+                        flush_run();
+                        epochLatencyWork_ += fastIssue(
+                            MemRequestKind::LlcWrite, lr.victim, thread);
+                    }
+                }
+            }
+            flush_run();
+        }
+
+        a = seg_end;
+        left -= n;
+    }
+}
+
+double
+MemorySystem::fastIssue(MemRequestKind kind, Addr phys, unsigned thread)
+{
+    Bytes gran = config_.interleaveGranularity;
+    Addr chunk = phys / (gran * online_.size());
+    Addr local = chunk * gran + phys % gran;
+    return channels_[channelOf(phys)].handleFast(
+        kind, local, static_cast<std::uint16_t>(thread), poolOf(phys));
 }
 
 void

@@ -91,8 +91,35 @@ class MemorySystem
      */
     ///@{
     void access(unsigned thread, CpuOp op, Addr addr, Bytes size);
+
+    /**
+     * Batched access: walk the run of consecutive lines covering
+     * [addr, addr + size) in one call. Semantically identical to
+     * access() — counters, cache/buffer state, epoch boundaries and
+     * accumulated latency work are bit-identical to the per-line loop
+     * — but the per-line LLC set/tag math, channel-interleave
+     * division, observer/fault branches and epoch checks are hoisted
+     * out of the inner loop and device traffic is applied in
+     * block-accumulated updates. Falls back to the per-line loop
+     * whenever an observer is attached, faults are enabled, pages are
+     * scattered, or batching is disabled via setBatchedAccess().
+     */
+    void accessRange(unsigned thread, CpuOp op, Addr addr, Bytes size);
+
     /** Fast path: one already line-aligned line. */
     void touchLine(unsigned thread, CpuOp op, Addr line_addr);
+
+    /**
+     * Select the engine behind accessRange()/access() at runtime:
+     * batched (default) or the reference per-line loop. Both produce
+     * bit-identical results; the toggle exists for the equivalence
+     * tests and the benches' --per-line flag.
+     */
+    void setBatchedAccess(bool on) { batched_ = on; }
+    bool batchedAccess() const { return batched_; }
+
+    /** Process-wide default for newly constructed systems. */
+    static void setBatchedAccessDefault(bool on);
 
     /**
      * Asynchronous bulk copy through the DMA engines (Section VII-B's
@@ -221,6 +248,22 @@ class MemorySystem
     void issueToImc(MemRequestKind kind, Addr line_addr, unsigned thread,
                     bool charge_demand = true);
 
+    /**
+     * Batched engine behind accessRange(): @p lines consecutive lines
+     * from @p first, guaranteed not to cross an epoch boundary. Only
+     * called when translate() is the identity, no observer is attached
+     * and faults are disabled.
+     */
+    void fastRange(unsigned thread, CpuOp op, Addr first,
+                   std::uint64_t lines);
+
+    /**
+     * Fast-path issue of one line at an arbitrary physical address
+     * (LLC dirty victims): interleave math plus ChannelController::
+     * handleFast. Returns the request latency.
+     */
+    double fastIssue(MemRequestKind kind, Addr phys, unsigned thread);
+
     void finishEpoch();
     void maybeFinishEpoch();
 
@@ -259,6 +302,7 @@ class MemorySystem
     PerfCounters lastSample_;       //!< counters at last epoch boundary
 
     bool recordTrace_ = true;
+    bool batched_;  //!< accessRange engine (see setBatchedAccess)
     TimeSeries trace_;
     obs::Observer *obs_ = nullptr;  //!< optional, not owned
 

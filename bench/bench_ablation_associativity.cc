@@ -39,7 +39,8 @@ conflictKernel(obs::Session &session, unsigned ways)
     cfg.mode = MemoryMode::TwoLm;
     cfg.scale = kScale;
     cfg.cacheWays = ways;
-    MemorySystem sys(cfg);
+    auto sys_sys = makeSystem(cfg);
+    MemorySystem &sys = *sys_sys;
     Bytes c = cfg.dramTotal();
     Region a = sys.allocate(c * 3 / 10, "frag_a");
     Region pad = sys.allocate(c * 7 / 10, "pad");
@@ -109,7 +110,8 @@ pagerankPoint(obs::Session &session, const CsrGraph &g, unsigned ways)
     cfg.sockets = 2;
     cfg.scale = kScale * 4;  // graph >> cache
     cfg.cacheWays = ways;
-    MemorySystem sys(cfg);
+    auto sys_sys = makeSystem(cfg);
+    MemorySystem &sys = *sys_sys;
     GraphRunConfig rc;
     rc.placement = Placement::TwoLm;
     rc.threads = 96;

@@ -31,7 +31,8 @@ runScenario(obs::Session &session, const char *scenario, DdoMode ddo,
     cfg.mode = MemoryMode::TwoLm;
     cfg.scale = kScale;
     cfg.ddo.mode = ddo;
-    MemorySystem sys(cfg);
+    auto sys_sys = makeSystem(cfg);
+    MemorySystem &sys = *sys_sys;
     Bytes size = oversized ? cfg.dramTotal() * 22 / 10
                            : cfg.dramTotal() / 4;
     Region arr = sys.allocate(size, "array");

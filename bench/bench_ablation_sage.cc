@@ -78,7 +78,8 @@ main(int argc, char **argv)
             GraphKernel k = kKernels[i / kNCfgs];
             const Cfg &c = kCfgs[i % kNCfgs];
             SystemConfig scfg = graphSystem(c.mode);
-            MemorySystem sys(scfg);
+            auto sys_sys = makeSystem(scfg);
+            MemorySystem &sys = *sys_sys;
             GraphWorkload w(sys, wdc, graphRun(c.placement));
             sys.resetCounters();
             attachRun(session, sys,

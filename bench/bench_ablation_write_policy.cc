@@ -33,7 +33,8 @@ writeMissStream(obs::Session &session, bool insert_on_miss)
     cfg.mode = MemoryMode::TwoLm;
     cfg.scale = 4096;
     cfg.insertOnWriteMiss = insert_on_miss;
-    MemorySystem sys(cfg);
+    auto sys_sys = makeSystem(cfg);
+    MemorySystem &sys = *sys_sys;
     Region arr = sys.allocate(cfg.dramTotal() * 22 / 10, "arr");
     primeDirty(sys, arr, 8);
     sys.resetCounters();
@@ -56,7 +57,8 @@ densenet(obs::Session &session, bool insert_on_miss)
     cfg.mode = MemoryMode::TwoLm;
     cfg.scale = 1u << 14;
     cfg.insertOnWriteMiss = insert_on_miss;
-    MemorySystem sys(cfg);
+    auto sys_sys = makeSystem(cfg);
+    MemorySystem &sys = *sys_sys;
     ComputeGraph g = buildDenseNet264(2304);
     ExecutorConfig ecfg;
     ecfg.threads = 24;

@@ -84,41 +84,7 @@ parseObsFlag(const char *arg, obs::SessionOptions &opts)
 
 } // namespace detail
 
-/**
- * Parse the shared observability flags from a bench's argv:
- *
- *   --stats-json=FILE     hierarchical stats registry as JSON
- *   --stats-prom=FILE     same registry, Prometheus text exposition
- *   --perfetto=FILE       Chrome-trace JSON (ui.perfetto.dev)
- *   --set-heatmap=FILE    per-set DRAM cache conflict CSV
- *   --top-sets=N          hottest-set console report size (default 16)
- *   --causal-trace=FILE   per-request causal attribution JSON
- *   --folded-stacks=FILE  folded flamegraph lines (context;class;cause)
- *   --causal-sample=N     sample 1-in-N demand requests (default 64)
- *   --causal-seed=S       sampling/reservoir seed (default 1)
- *
- * All collection is opt-in: with no flags the returned options are
- * empty, the Session built from them is disabled, and the bench's
- * output is bit-identical to a flagless build. Unknown arguments are
- * fatal so typos don't silently run unobserved.
- */
-inline obs::SessionOptions
-parseObsOptions(int argc, char **argv)
-{
-    obs::SessionOptions opts;
-    for (int i = 1; i < argc; ++i) {
-        if (detail::parseObsFlag(argv[i], opts))
-            continue;
-        fatal("unknown argument '%s' (observability flags: "
-              "--stats-json= --stats-prom= --perfetto= --set-heatmap= "
-              "--top-sets= --causal-trace= --folded-stacks= "
-              "--causal-sample= --causal-seed=)",
-              argv[i]);
-    }
-    return opts;
-}
-
-/** Options shared by every sweep-based bench binary. */
+/** Options shared by every bench binary. */
 struct BenchOptions
 {
     obs::SessionOptions obs;
@@ -126,17 +92,40 @@ struct BenchOptions
     unsigned jobs = 0;
     /** Use the reference per-line access engine instead of batching. */
     bool perLine = false;
+    /** --config= path; empty = use the bench's built-in defaults. */
+    std::string configPath;
 };
 
+/** The flag summary printed when an argument is rejected. */
+inline const char *
+benchUsage()
+{
+    return "flags:\n"
+           "  --config=FILE       declarative SystemConfig JSON; the\n"
+           "                      bench's built-in defaults otherwise\n"
+           "  --jobs=N            run sweep points on N worker threads\n"
+           "                      (default: hardware concurrency;\n"
+           "                      output is byte-identical for any N)\n"
+           "  --per-line          reference per-line access engine\n"
+           "                      (diagnostics; identical, slower)\n"
+           "  --stats-json=FILE   hierarchical stats registry as JSON\n"
+           "  --stats-prom=FILE   same registry, Prometheus text\n"
+           "  --perfetto=FILE     Chrome-trace JSON (ui.perfetto.dev)\n"
+           "  --set-heatmap=FILE  per-set DRAM cache conflict CSV\n"
+           "  --top-sets=N        hottest-set report size (default 16)\n"
+           "  --causal-trace=FILE per-request causal attribution JSON\n"
+           "  --folded-stacks=FILE folded flamegraph lines\n"
+           "  --causal-sample=N   sample 1-in-N requests (default 64)\n"
+           "  --causal-seed=S     sampling/reservoir seed (default 1)";
+}
+
 /**
- * Parse the observability flags plus the sweep-engine flags:
- *
- *   --jobs=N     run sweep points on N worker threads (default: the
- *                host's hardware concurrency; 1 = serial, today's
- *                behavior). Output is byte-identical for every N.
- *   --per-line   drive the memory system through the reference
- *                per-line access engine instead of the batched one
- *                (diagnostics; output is byte-identical, just slower)
+ * Parse the flags every bench shares — observability collection
+ * (opt-in; with no flags the Session is disabled and output is
+ * bit-identical to a flagless build), the sweep-engine flags
+ * (--jobs=N, --per-line), and --config=FILE for a declarative
+ * SystemConfig (see benchConfig()). Unknown arguments are fatal with
+ * the full usage text, so typos never silently run with defaults.
  *
  * Also applies the engine selection process-wide so every
  * MemorySystem the bench builds uses the requested engine.
@@ -150,6 +139,8 @@ parseBenchOptions(int argc, char **argv)
         std::string value;
         if (detail::parseObsFlag(arg, opts.obs))
             continue;
+        if (detail::matchFlag(arg, "--config=", &opts.configPath))
+            continue;
         if (detail::matchFlag(arg, "--jobs=", &value)) {
             opts.jobs = static_cast<unsigned>(
                 detail::numberArg(value, "--jobs="));
@@ -161,15 +152,25 @@ parseBenchOptions(int argc, char **argv)
             opts.perLine = true;
             continue;
         }
-        fatal("unknown argument '%s' (sweep flags: --jobs=N "
-              "--per-line; observability flags: --stats-json= "
-              "--stats-prom= --perfetto= --set-heatmap= --top-sets= "
-              "--causal-trace= --folded-stacks= --causal-sample= "
-              "--causal-seed=)",
-              arg);
+        fatal("unknown argument '%s'\n%s", arg, benchUsage());
     }
     MemorySystem::setBatchedAccessDefault(!opts.perLine);
     return opts;
+}
+
+/**
+ * The SystemConfig a bench should start from: the file named by
+ * --config= when given (unknown keys fatal), else @p defaults. The
+ * bench applies its workload-defining fields (mode, scale, sizing) on
+ * top of the returned config, so a config file customizes the platform
+ * while the bench still measures what its name says.
+ */
+inline SystemConfig
+benchConfig(const BenchOptions &opts, const SystemConfig &defaults = {})
+{
+    if (opts.configPath.empty())
+        return defaults;
+    return SystemConfig::fromJsonFile(opts.configPath);
 }
 
 /**

@@ -48,7 +48,8 @@ runBatch(std::uint64_t batch)
         cfg.mode = MemoryMode::TwoLm;
         cfg.scale = kScale;
         cfg.scatterPages = true;
-        MemorySystem sys(cfg);
+        auto sys_sys = makeSystem(cfg);
+        MemorySystem &sys = *sys_sys;
         Executor ex(sys, g, ecfg);
         pt.ratio = static_cast<double>(ex.plan().arenaBytes) /
                    static_cast<double>(cfg.dramTotal());
@@ -66,7 +67,8 @@ runBatch(std::uint64_t batch)
         cfg.mode = MemoryMode::OneLm;
         cfg.scale = kScale;
         cfg.scatterPages = true;
-        MemorySystem sys(cfg);
+        auto sys_sys = makeSystem(cfg);
+        MemorySystem &sys = *sys_sys;
         AutoTmConfig acfg;
         acfg.exec = ecfg;
         AutoTmExecutor ex(sys, g, acfg);

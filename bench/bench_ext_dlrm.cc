@@ -51,7 +51,8 @@ run(EmbeddingPlacement placement, bool training, double skew)
                    : MemoryMode::OneLm;
     cfg.scale = kScale;
     cfg.scatterPages = placement == EmbeddingPlacement::TwoLm;
-    MemorySystem sys(cfg);
+    auto sys_sys = makeSystem(cfg);
+    MemorySystem &sys = *sys_sys;
     EmbeddingConfig e = baseConfig(cfg, training, skew);
     EmbeddingWorkload w(sys, e, placement);
     w.runBatch();  // warm the caches / LLC

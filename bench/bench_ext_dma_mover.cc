@@ -36,7 +36,8 @@ runAutoTm(const ComputeGraph &g, bool use_dma, unsigned engines,
     cfg.scale = kScale;
     cfg.dmaEngines = engines;
     cfg.dmaEngineBandwidth = engine_bw;
-    MemorySystem sys(cfg);
+    auto sys_sys = makeSystem(cfg);
+    MemorySystem &sys = *sys_sys;
     AutoTmConfig acfg;
     acfg.exec.threads = 24;
     acfg.useDma = use_dma;

@@ -83,7 +83,8 @@ errorRateSweep(obs::Session &session, CsvWriter &csv)
             cfg.fault.nvramWriteCorrectable = rate;
             cfg.fault.dramCorrectable = rate;
             cfg.fault.tagEccUncorrectable = rate / 10;
-            MemorySystem sys(cfg);
+            auto sys_sys = makeSystem(cfg);
+            MemorySystem &sys = *sys_sys;
             // Twice the DRAM cache: the 2LM machine misses heavily
             // and pays its amplification on every fault-prone fill.
             Bytes bytes = 2 * cfg.dramTotal();
@@ -143,7 +144,8 @@ throttleTrace(obs::Session &session, CsvWriter &csv)
     cfg.fault.throttle.engageEpochs = 2;
     cfg.fault.throttle.releaseEpochs = 2;
     cfg.fault.throttle.factor = 0.6;
-    MemorySystem sys(cfg);
+    auto sys_sys = makeSystem(cfg);
+    MemorySystem &sys = *sys_sys;
     attachRun(session, sys, "throttle_trace");
     sys.setActiveThreads(8);
     Region w = sys.allocateIn(MemPool::Nvram, 4 * kMiB, "hot");
@@ -206,7 +208,8 @@ throttleTrace(obs::Session &session, CsvWriter &csv)
 int
 main(int argc, char **argv)
 {
-    obs::Session session(parseObsOptions(argc, argv));
+    bench::BenchOptions opts = bench::parseBenchOptions(argc, argv);
+    obs::Session session(opts.obs);
     CsvWriter csv("fault_degradation.csv");
     csv.row(std::vector<std::string>{"experiment", "series", "x",
                                      "value", "extra"});

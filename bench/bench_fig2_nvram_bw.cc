@@ -65,7 +65,8 @@ runOne(obs::Session &session, const char *figure, KernelOp op,
     SystemConfig cfg;
     cfg.mode = MemoryMode::OneLm;
     cfg.scale = kScale;
-    MemorySystem sys(cfg);
+    auto sys_sys = makeSystem(cfg);
+    MemorySystem &sys = *sys_sys;
     Region arr = sys.allocateIn(MemPool::Nvram, kArray, "array");
 
     attachRun(session, sys, fmt("%s/%s/%uT", figure, v.name, threads));

@@ -93,7 +93,8 @@ main(int argc, char **argv)
             SystemConfig cfg;
             cfg.mode = MemoryMode::TwoLm;
             cfg.scale = kScale;
-            MemorySystem sys(cfg);
+            auto sys_sys = makeSystem(cfg);
+            MemorySystem &sys = *sys_sys;
             Region arr =
                 sys.allocate(cfg.dramTotal() * 22 / 10, "array");
             if (s.prime_dirty)

@@ -29,7 +29,8 @@ using namespace nvsim::dnn;
 int
 main(int argc, char **argv)
 {
-    obs::Session session(parseObsOptions(argc, argv));
+    bench::BenchOptions opts = bench::parseBenchOptions(argc, argv);
+    obs::Session session(opts.obs);
     constexpr std::uint64_t kScale = 1u << 14;
     constexpr std::uint64_t kBatch = 2304;  // ~706 GB arena unscaled
 
@@ -37,7 +38,8 @@ main(int argc, char **argv)
     cfg.mode = MemoryMode::TwoLm;
     cfg.scale = kScale;
     cfg.scatterPages = true;  // OS demand paging (2 MiB THP)
-    MemorySystem sys(cfg);
+    auto sys_sys = makeSystem(cfg);
+    MemorySystem &sys = *sys_sys;
 
     ComputeGraph g = buildDenseNet264(kBatch);
     ExecutorConfig ecfg;

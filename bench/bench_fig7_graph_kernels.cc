@@ -37,7 +37,8 @@ runPoint(obs::Session &session, const char *name, const CsrGraph &g,
          GraphKernel k)
 {
     SystemConfig cfg = graphSystem(MemoryMode::TwoLm);
-    MemorySystem sys(cfg);
+    auto sys_sys = makeSystem(cfg);
+    MemorySystem &sys = *sys_sys;
     GraphWorkload w(sys, g, graphRun(Placement::TwoLm));
     sys.resetCounters();
     attachRun(session, sys, fmt("%s/%s", name, graphKernelName(k)));

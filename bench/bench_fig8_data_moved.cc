@@ -20,7 +20,8 @@ using namespace nvsim::graphs;
 int
 main(int argc, char **argv)
 {
-    obs::Session session(parseObsOptions(argc, argv));
+    bench::BenchOptions opts = bench::parseBenchOptions(argc, argv);
+    obs::Session session(opts.obs);
     banner("Figure 8: total data moved, NUMA (1LM) vs 2LM, wdc12-like",
            "2LM shows significant access amplification over the true "
            "demand traffic of the NUMA configuration");
@@ -38,7 +39,8 @@ main(int argc, char **argv)
                           GraphKernel::KCore, GraphKernel::PageRank}) {
         auto run = [&](MemoryMode mode, Placement p) {
             SystemConfig cfg = graphSystem(mode);
-            MemorySystem sys(cfg);
+            auto sys_sys = makeSystem(cfg);
+            MemorySystem &sys = *sys_sys;
             GraphWorkload w(sys, wdc, graphRun(p));
             sys.resetCounters();
             attachRun(session, sys,

@@ -29,7 +29,8 @@ tracePagerank(obs::Session &session, const char *name,
               const CsrGraph &g, const std::string &csv_path)
 {
     SystemConfig cfg = graphSystem(MemoryMode::TwoLm);
-    MemorySystem sys(cfg);
+    auto sys_sys = makeSystem(cfg);
+    MemorySystem &sys = *sys_sys;
     GraphWorkload w(sys, g, graphRun(Placement::TwoLm));
     sys.resetCounters();
     attachRun(session, sys, fmt("%s/pagerank", name));
@@ -56,7 +57,8 @@ tracePagerank(obs::Session &session, const char *name,
 int
 main(int argc, char **argv)
 {
-    obs::Session session(parseObsOptions(argc, argv));
+    bench::BenchOptions opts = bench::parseBenchOptions(argc, argv);
+    obs::Session session(opts.obs);
     banner("Figure 9: pagerank-push traces in 2LM",
            "stable ~70 GB/s DRAM-only on the fitting input; lower "
            "bandwidth with excess DRAM reads plus heavy NVRAM traffic "

@@ -75,7 +75,8 @@ BM_MemorySystemLoadLine(benchmark::State &state)
     SystemConfig cfg;
     cfg.mode = static_cast<MemoryMode>(state.range(0));
     cfg.scale = 4096;
-    MemorySystem sys(cfg);
+    auto sys_sys = makeSystem(cfg);
+    MemorySystem &sys = *sys_sys;
     Region r = sys.allocate(16 * kMiB, "arr");
     Addr a = r.base;
     for (auto _ : state) {
@@ -97,7 +98,8 @@ BM_MemorySystemNtStoreLine(benchmark::State &state)
     SystemConfig cfg;
     cfg.mode = MemoryMode::TwoLm;
     cfg.scale = 4096;
-    MemorySystem sys(cfg);
+    auto sys_sys = makeSystem(cfg);
+    MemorySystem &sys = *sys_sys;
     Region r = sys.allocate(16 * kMiB, "arr");
     Addr a = r.base;
     for (auto _ : state) {

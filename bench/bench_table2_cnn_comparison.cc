@@ -58,7 +58,8 @@ numbers(const IterationResult &r)
 int
 main(int argc, char **argv)
 {
-    obs::Session session(parseObsOptions(argc, argv));
+    bench::BenchOptions opts = bench::parseBenchOptions(argc, argv);
+    obs::Session session(opts.obs);
     banner("Table II: data moved and runtime, 2LM vs AutoTM",
            "AutoTM: similar DRAM traffic, 50-60% of the NVRAM "
            "traffic, speedups 1.8x / 2.2x / 3.1x");
@@ -79,7 +80,8 @@ main(int argc, char **argv)
         cfg2.mode = MemoryMode::TwoLm;
         cfg2.scale = kScale;
         cfg2.scatterPages = true;  // OS demand paging (2 MiB THP)
-        MemorySystem sys2(cfg2);
+        auto sys2_sys = makeSystem(cfg2);
+        MemorySystem &sys2 = *sys2_sys;
         ExecutorConfig ecfg;
         ecfg.threads = 24;
         Executor ex2(sys2, g, ecfg);
@@ -92,7 +94,8 @@ main(int argc, char **argv)
         // AutoTM run.
         SystemConfig cfg1 = cfg2;
         cfg1.mode = MemoryMode::OneLm;
-        MemorySystem sys1(cfg1);
+        auto sys1_sys = makeSystem(cfg1);
+        MemorySystem &sys1 = *sys1_sys;
         AutoTmConfig acfg;
         acfg.exec = ecfg;
         AutoTmExecutor ex1(sys1, g, acfg);

@@ -93,4 +93,35 @@ for cause in tag_probe dirty_writeback cache_fill_read \
 done
 echo "causal smoke passed: blame trees cover all five causes."
 
+# Policy smoke: the ablation bench must sweep every registered cache
+# policy and emit the documented CSV schema.
+echo "=== policy smoke (pluggable cache-policy ablation) ==="
+pol_dir=$(mktemp -d)
+(cd "$pol_dir" && "$root/build/bench/bench_ablation_policy" \
+    --jobs="$jobs" > bench.log)
+head -1 "$pol_dir/ablation_policy.csv" | grep -q \
+    '^policy,scenario,ratio,miss_rate,effective_gbs,amplification,bypass_frac$'
+for kind in direct_mapped_tag_ecc sram_tag_set_assoc \
+            bypass_selective_insert; do
+    grep -q "^$kind," "$pol_dir/ablation_policy.csv"
+done
+rm -rf "$pol_dir"
+echo "policy smoke passed: every registered policy swept."
+
+# Golden byte-diff: under the default policy the refactored controller
+# must reproduce the seed's figure/table outputs byte-for-byte — the
+# policy interface is an extraction, not a behavior change.
+echo "=== golden byte-diff (default policy vs tests/golden) ==="
+gold_dir=$(mktemp -d)
+(cd "$gold_dir" && \
+    "$root/build/bench/bench_fig2_nvram_bw" --jobs=1 > /dev/null && \
+    "$root/build/bench/bench_fig4_2lm_microbench" --jobs=1 > /dev/null && \
+    "$root/build/bench/bench_table1_amplification" > table1_stdout.txt)
+diff "$root/tests/golden/fig2_nvram_bw.csv" "$gold_dir/fig2_nvram_bw.csv"
+diff "$root/tests/golden/fig4_2lm_microbench.csv" \
+     "$gold_dir/fig4_2lm_microbench.csv"
+diff "$root/tests/golden/table1_stdout.txt" "$gold_dir/table1_stdout.txt"
+rm -rf "$gold_dir"
+echo "golden byte-diff passed: default-policy outputs match the seed."
+
 echo "CI passed: plain and sanitized suites green."

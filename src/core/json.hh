@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal JSON parser for declarative configuration files.
+ *
+ * Counterpart of the streaming writer in obs/json.hh: that side emits,
+ * this side reads. Scope is deliberately small — parse a complete,
+ * well-formed document into a DOM of JsonValue nodes so
+ * SystemConfig::fromJson can walk it. Any malformed input is fatal()
+ * with a line/column position: configuration files are operator input,
+ * and a half-understood config must never silently run.
+ *
+ * Supported: objects, arrays, strings (with the standard escapes,
+ * \uXXXX restricted to ASCII), numbers, true/false/null. Not
+ * supported, by design: comments, trailing commas, duplicate-key
+ * tolerance (duplicates are fatal).
+ */
+
+#ifndef NVSIM_CORE_JSON_HH
+#define NVSIM_CORE_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nvsim
+{
+
+/** One parsed JSON node. */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; fatal() on kind mismatch (operator input). */
+    bool asBool() const;
+    double asNumber() const;
+    /** Number that must be a non-negative integer (counts, bytes). */
+    std::uint64_t asUint() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &items() const;
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+
+    /** Object lookup; nullptr when absent (never fatal). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** @name Construction (used by the parser) */
+    ///@{
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double n);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> items);
+    static JsonValue makeObject(
+        std::vector<std::pair<std::string, JsonValue>> members);
+    ///@}
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parse one complete JSON document from @p text. Trailing garbage
+ * after the document, like every other syntax error, is fatal();
+ * @p what names the input in the error message (e.g. a file name).
+ */
+JsonValue parseJson(const std::string &text,
+                    const std::string &what = "json");
+
+/** Read and parse @p path; fatal() if unreadable. */
+JsonValue parseJsonFile(const std::string &path);
+
+} // namespace nvsim
+
+#endif // NVSIM_CORE_JSON_HH

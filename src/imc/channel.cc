@@ -18,9 +18,11 @@ ChannelController::ChannelController(const ChannelParams &params,
                                      MemoryMode mode)
     : params_(params), mode_(mode), dram_(params.dram),
       nvram_(params.nvram),
-      cache_(DramCacheParams{params.dram.capacity, params.ddo,
-                             params.cacheWays,
-                             params.insertOnWriteMiss}),
+      cache_(makeCachePolicy(
+          DramCacheParams{params.dram.capacity, params.ddo,
+                          params.cacheWays, params.insertOnWriteMiss},
+          params.policy)),
+      lat_(deviceLatencies(params)),
       faultPlan_(params.fault, params.index),
       throttle_(params.fault.throttle)
 {
@@ -31,7 +33,7 @@ ChannelController::ChannelController(const ChannelParams &params,
 ChannelController::ChannelController(ChannelController &&o) noexcept
     : params_(std::move(o.params_)), mode_(o.mode_),
       dram_(std::move(o.dram_)), nvram_(std::move(o.nvram_)),
-      cache_(std::move(o.cache_)), counters_(o.counters_),
+      cache_(std::move(o.cache_)), lat_(o.lat_), counters_(o.counters_),
       epochMisses_(o.epochMisses_), faultPlan_(std::move(o.faultPlan_)),
       throttle_(o.throttle_)
 {
@@ -53,8 +55,8 @@ ChannelController::handleFast(MemRequestKind kind, Addr addr,
 {
     if (mode_ == MemoryMode::TwoLm) {
         CacheResult cr = kind == MemRequestKind::LlcRead
-                             ? cache_.read(addr)
-                             : cache_.write(addr);
+                             ? cache_->read(addr)
+                             : cache_->write(addr);
         dram_.read(cr.actions.dramReads);
         dram_.write(cr.actions.dramWrites);
         if (cr.filled) {
@@ -65,15 +67,9 @@ ChannelController::handleFast(MemRequestKind kind, Addr addr,
             nvram_.write(cr.victim, thread);
         counters_.addOutcome(kind, cr.outcome);
         counters_.addActions(cr.actions);
-        if (kind == MemRequestKind::LlcRead) {
-            return cr.outcome == CacheOutcome::Hit
-                       ? params_.dram.latency
-                       : params_.dram.latency +
-                             params_.nvram.readLatency;
-        }
-        return cr.outcome == CacheOutcome::DdoHit
-                   ? params_.nvram.writeLatency
-                   : params_.dram.latency;
+        counters_.missBypass += cr.bypassed;
+        counters_.sramTagLookups += cr.tagsInSram;
+        return cache_->demandLatency(kind, cr, lat_);
     }
 
     // 1LM: one direct device access.
@@ -125,41 +121,18 @@ ChannelController::handleFastRun1lm(MemRequestKind kind, Addr addr,
     return params_.nvram.writeLatency;
 }
 
+DeviceLatencies
+deviceLatencies(const ChannelParams &params)
+{
+    return DeviceLatencies{params.dram.latency, params.nvram.readLatency,
+                           params.nvram.writeLatency};
+}
+
 CausalBreakdown
 causalBreakdown2lm(MemRequestKind kind, const CacheResult &cr,
                    const ChannelParams &params)
 {
-    CausalBreakdown b;
-    if (cr.outcome == CacheOutcome::DdoHit) {
-        // DDO forwards the store straight to the resident DRAM line.
-        b.add(AccessCause::DdoElideWrite, MemPool::Dram,
-              params.dram.latency);
-        return b;
-    }
-    b.add(AccessCause::TagProbe, MemPool::Dram, params.dram.latency);
-    if (cr.filled) {
-        // Figure 3 order: the victim is evicted before the fetch.
-        if (cr.wroteBack) {
-            b.add(AccessCause::DirtyWriteback, MemPool::Nvram,
-                  params.nvram.writeLatency);
-        }
-        b.add(AccessCause::CacheFillRead, MemPool::Nvram,
-              params.nvram.readLatency);
-        b.add(AccessCause::CacheInsertWrite, MemPool::Dram,
-              params.dram.latency);
-    }
-    if (kind == MemRequestKind::LlcWrite) {
-        if (!cr.filled && cr.wroteBack) {
-            // Write-no-allocate ablation: the demand data itself is
-            // the NVRAM write that rode in the writeback fields.
-            b.add(AccessCause::DataWrite, MemPool::Nvram,
-                  params.nvram.writeLatency);
-        } else {
-            b.add(AccessCause::DataWrite, MemPool::Dram,
-                  params.dram.latency);
-        }
-    }
-    return b;
+    return tagEccBreakdown(kind, cr, deviceLatencies(params));
 }
 
 void
@@ -218,7 +191,7 @@ ChannelController::handle2lm(const MemRequest &req)
         // cost retry latency only.
         MediaFault df = faultPlan_.dramRead();
         if (df.uncorrectable) {
-            DramCache::TagCorruption tc = cache_.corruptTag(req.addr);
+            TagCorruption tc = cache_->corruptTag(req.addr);
             counters_.tagEccInvalidates += 1;
             counters_.uncorrectableErrors += 1;
             counters_.retries += df.retries;
@@ -238,34 +211,22 @@ ChannelController::handle2lm(const MemRequest &req)
     }
 
     CacheResult cr = req.kind == MemRequestKind::LlcRead
-                         ? cache_.read(req.addr)
-                         : cache_.write(req.addr);
+                         ? cache_->read(req.addr)
+                         : cache_->write(req.addr);
     applyActions(req, cr, result);
 
     counters_.addOutcome(req.kind, cr.outcome);
     counters_.addActions(cr.actions);
+    counters_.missBypass += cr.bypassed;
+    counters_.sramTagLookups += cr.tagsInSram;
     if (cr.filled)
         ++epochMisses_;
 
     result.outcome = cr.outcome;
     result.actions = cr.actions;
     if (req.traced)
-        result.breakdown = causalBreakdown2lm(req.kind, cr, params_);
-    if (req.kind == MemRequestKind::LlcRead) {
-        // Hit: one DRAM round trip. Miss: tag-check read then the NVRAM
-        // fetch are serial; the insert write is posted off the critical
-        // path.
-        result.latency = cr.outcome == CacheOutcome::Hit
-                             ? params_.dram.latency
-                             : params_.dram.latency +
-                                   params_.nvram.readLatency;
-    } else {
-        // Writes are posted; the tag-check read still occupies the
-        // request slot before the write can be accepted.
-        result.latency = cr.outcome == CacheOutcome::DdoHit
-                             ? params_.nvram.writeLatency
-                             : params_.dram.latency;
-    }
+        result.breakdown = cache_->breakdown(req.kind, cr, lat_);
+    result.latency = cache_->demandLatency(req.kind, cr, lat_);
     if (result.fault.retries)
         result.latency += result.fault.retries * params_.fault.retryLatency;
     return result;
@@ -353,9 +314,7 @@ ChannelController::drainEpoch()
 double
 ChannelController::missServiceTime() const
 {
-    // Tag-check DRAM read followed by the NVRAM line fetch; the DRAM
-    // insert overlaps with returning data to the LLC.
-    return params_.dram.latency + params_.nvram.readLatency;
+    return cache_->missServiceTime(lat_);
 }
 
 double
@@ -421,9 +380,11 @@ ChannelController::regStats(obs::Group &g)
 
     obs::Group &cache = g.child("cache");
     cache.formula("num_sets", "DRAM cache sets on this channel",
-                  [this] { return static_cast<double>(cache_.numSets()); });
+                  [this] {
+                      return static_cast<double>(cache_->numSets());
+                  });
     cache.formula("ways", "DRAM cache associativity",
-                  [this] { return static_cast<double>(cache_.ways()); });
+                  [this] { return static_cast<double>(cache_->ways()); });
 
     obs::Group &dram = g.child("dram");
     dram.formula("cas_reads", "total 64 B DRAM read transactions",
@@ -472,7 +433,7 @@ ChannelController::regStats(obs::Group &g)
 void
 ChannelController::reset()
 {
-    cache_.invalidateAll();
+    cache_->invalidateAll();
     counters_ = PerfCounters{};
     epochMisses_ = 0;
     // Re-seed the fault stream and cool the DIMM so reruns reproduce.

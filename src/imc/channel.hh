@@ -14,10 +14,11 @@
 #define NVSIM_IMC_CHANNEL_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "fault/fault.hh"
+#include "imc/cache_policy.hh"
 #include "imc/counters.hh"
-#include "imc/dram_cache.hh"
 #include "mem/dram.hh"
 #include "mem/nvram.hh"
 #include "mem/request.hh"
@@ -46,6 +47,8 @@ struct ChannelParams
     DdoConfig ddo;
     unsigned cacheWays = 1;
     bool insertOnWriteMiss = true;
+    /** Cache policy selection + policy-specific knobs (2LM only). */
+    CachePolicyConfig policy;
     /** DDR4 bus bandwidth shared by DRAM and DDR-T transactions. */
     double busBandwidth = 21.3e9;
     /** Concurrent 2LM miss handler entries (MSHR-like). */
@@ -97,15 +100,20 @@ struct AccessResult
 };
 
 /**
- * Derive the ordered blame spans for one 2LM cache access: which
- * Figure 3 steps ran, on which device, at the device's nominal
+ * Derive the ordered blame spans for one tags-in-ECC 2LM cache access:
+ * which Figure 3 steps ran, on which device, at the device's nominal
  * latency. Span count always equals CacheResult::actions.total().
- * Shared by the channel's traced path and by tools that drive
- * DramCache directly (bench_table1_amplification).
+ * Convenience wrapper over tagEccBreakdown for tools that drive
+ * DramCache directly (bench_table1_amplification); the channel's
+ * traced path asks its CachePolicy instead, so non-default policies
+ * blame their own flows.
  */
 CausalBreakdown causalBreakdown2lm(MemRequestKind kind,
                                    const CacheResult &cr,
                                    const ChannelParams &params);
+
+/** The DeviceLatencies slice of a channel's parameters. */
+DeviceLatencies deviceLatencies(const ChannelParams &params);
 
 /** Per-epoch traffic summary of a channel, for the bandwidth solver. */
 struct ChannelEpoch
@@ -194,8 +202,8 @@ class ChannelController
     PerfCounters &counters() { return counters_; }
     const PerfCounters &counters() const { return counters_; }
 
-    DramCache &cache() { return cache_; }
-    const DramCache &cache() const { return cache_; }
+    CachePolicy &cache() { return *cache_; }
+    const CachePolicy &cache() const { return *cache_; }
     NvramDevice &nvram() { return nvram_; }
     const NvramDevice &nvram() const { return nvram_; }
     DramDevice &dram() { return dram_; }
@@ -235,7 +243,8 @@ class ChannelController
     MemoryMode mode_;
     DramDevice dram_;
     NvramDevice nvram_;
-    DramCache cache_;
+    std::unique_ptr<CachePolicy> cache_;
+    DeviceLatencies lat_;
     PerfCounters counters_;
     std::uint64_t epochMisses_ = 0;
     FaultPlan faultPlan_;

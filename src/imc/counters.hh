@@ -49,7 +49,11 @@ namespace nvsim
     X(tagEccInvalidates, tag_ecc_invalidates,                            \
       "2LM tags lost to ECC faults")                                     \
     X(retries, retries, "transient-error retry rounds")                  \
-    X(throttledEpochs, throttled_epochs, "epochs spent write-throttled")
+    X(throttledEpochs, throttled_epochs, "epochs spent write-throttled") \
+    X(missBypass, miss_bypass,                                           \
+      "misses served from NVRAM without inserting the line")             \
+    X(sramTagLookups, sram_tag_lookups,                                  \
+      "tag checks answered by controller SRAM (no device read)")
 
 /** Uncore counter block of one memory channel / IMC. */
 struct PerfCounters

@@ -6,7 +6,8 @@
 namespace nvsim
 {
 
-DramCache::DramCache(const DramCacheParams &params)
+DirectMappedTagEccPolicy::DirectMappedTagEccPolicy(
+    const DramCacheParams &params)
     : params_(params), ways_(params.ways ? params.ways : 1),
       numSets_(params.capacity / kLineSize / ways_),
       ddo_(DdoPolicy::create(params.ddo))
@@ -29,7 +30,7 @@ DramCache::DramCache(const DramCacheParams &params)
 }
 
 std::uint64_t
-DramCache::setOf(Addr addr) const
+DirectMappedTagEccPolicy::setOf(Addr addr) const
 {
     std::uint64_t set, tag;
     splitAddr(addr, set, tag);
@@ -37,7 +38,7 @@ DramCache::setOf(Addr addr) const
 }
 
 std::uint64_t
-DramCache::tagOf(Addr addr) const
+DirectMappedTagEccPolicy::tagOf(Addr addr) const
 {
     std::uint64_t set, tag;
     splitAddr(addr, set, tag);
@@ -45,13 +46,13 @@ DramCache::tagOf(Addr addr) const
 }
 
 Addr
-DramCache::addrOf(std::uint64_t set, std::uint64_t tag) const
+DirectMappedTagEccPolicy::addrOf(std::uint64_t set, std::uint64_t tag) const
 {
     return (tag * numSets_ + set) * kLineSize;
 }
 
-DramCache::Way *
-DramCache::find(std::uint64_t set, std::uint64_t tag)
+DirectMappedTagEccPolicy::Way *
+DirectMappedTagEccPolicy::find(std::uint64_t set, std::uint64_t tag)
 {
     Way *base = &ways_store_[set * ways_];
     for (unsigned w = 0; w < ways_; ++w) {
@@ -61,8 +62,8 @@ DramCache::find(std::uint64_t set, std::uint64_t tag)
     return nullptr;
 }
 
-const DramCache::Way *
-DramCache::find(std::uint64_t set, std::uint64_t tag) const
+const DirectMappedTagEccPolicy::Way *
+DirectMappedTagEccPolicy::find(std::uint64_t set, std::uint64_t tag) const
 {
     const Way *base = &ways_store_[set * ways_];
     for (unsigned w = 0; w < ways_; ++w) {
@@ -72,8 +73,8 @@ DramCache::find(std::uint64_t set, std::uint64_t tag) const
     return nullptr;
 }
 
-DramCache::Way &
-DramCache::victimWay(std::uint64_t set)
+DirectMappedTagEccPolicy::Way &
+DirectMappedTagEccPolicy::victimWay(std::uint64_t set)
 {
     Way *base = &ways_store_[set * ways_];
     Way *victim = base;
@@ -87,15 +88,43 @@ DramCache::victimWay(std::uint64_t set)
 }
 
 void
-DramCache::touchLru(std::uint64_t set, Way &way)
+DirectMappedTagEccPolicy::touchLru(std::uint64_t set, Way &way)
 {
     (void)set;
     way.lru = ++lruClock_;
 }
 
-DramCache::Way &
-DramCache::missHandler(Addr addr, std::uint64_t set, std::uint64_t tag,
-                       CacheResult &result)
+bool
+DirectMappedTagEccPolicy::shouldInsert(Addr addr, MemRequestKind kind)
+{
+    (void)addr;
+    (void)kind;
+    return true;  // the stock controller inserts on every miss
+}
+
+void
+DirectMappedTagEccPolicy::bypassRead(Addr addr, CacheResult &result)
+{
+    result.outcome = CacheOutcome::MissClean;
+    result.actions.nvramReads += 1;
+    result.fill = lineBase(addr);
+    result.filled = true;
+    result.bypassed = true;
+}
+
+void
+DirectMappedTagEccPolicy::bypassWrite(Addr addr, CacheResult &result)
+{
+    result.outcome = CacheOutcome::MissClean;
+    result.actions.nvramWrites += 1;
+    result.victim = lineBase(addr);
+    result.wroteBack = true;
+}
+
+DirectMappedTagEccPolicy::Way &
+DirectMappedTagEccPolicy::missHandler(Addr addr, std::uint64_t set,
+                                      std::uint64_t tag,
+                                      CacheResult &result)
 {
     Way &victim = victimWay(set);
     if (victim.valid) {
@@ -132,7 +161,7 @@ DramCache::missHandler(Addr addr, std::uint64_t set, std::uint64_t tag,
 }
 
 CacheResult
-DramCache::read(Addr addr)
+DirectMappedTagEccPolicy::read(Addr addr)
 {
     std::uint64_t set, tag;
     splitAddr(addr, set, tag);
@@ -151,12 +180,15 @@ DramCache::read(Addr addr)
     }
     if (profiler_)
         profiler_->noteMiss(set);
-    missHandler(addr, set, tag, result);
+    if (shouldInsert(addr, MemRequestKind::LlcRead))
+        missHandler(addr, set, tag, result);
+    else
+        bypassRead(addr, result);
     return result;
 }
 
 CacheResult
-DramCache::write(Addr addr)
+DirectMappedTagEccPolicy::write(Addr addr)
 {
     std::uint64_t set, tag;
     splitAddr(addr, set, tag);
@@ -182,13 +214,12 @@ DramCache::write(Addr addr)
     if (!way) {
         if (profiler_)
             profiler_->noteMiss(set);
-        if (!params_.insertOnWriteMiss) {
-            // Write-no-allocate ablation: the store bypasses the
-            // cache and lands in NVRAM; the current occupant stays.
-            result.outcome = CacheOutcome::MissClean;
-            result.actions.nvramWrites = 1;
-            result.victim = lineBase(addr);
-            result.wroteBack = true;
+        if (!params_.insertOnWriteMiss ||
+            !shouldInsert(addr, MemRequestKind::LlcWrite)) {
+            // Write-no-allocate ablation / selective-insert bypass:
+            // the store lands in NVRAM; the current occupant stays.
+            bypassWrite(addr, result);
+            result.bypassed = params_.insertOnWriteMiss;
             return result;
         }
         // Insert on miss: the miss handler runs first (NVRAM fetch +
@@ -207,8 +238,8 @@ DramCache::write(Addr addr)
     return result;
 }
 
-DramCache::TagCorruption
-DramCache::corruptTag(Addr addr)
+TagCorruption
+DirectMappedTagEccPolicy::corruptTag(Addr addr)
 {
     std::uint64_t set, tag;
     splitAddr(addr, set, tag);
@@ -231,20 +262,20 @@ DramCache::corruptTag(Addr addr)
 }
 
 bool
-DramCache::resident(Addr addr) const
+DirectMappedTagEccPolicy::resident(Addr addr) const
 {
     return find(setOf(addr), tagOf(addr)) != nullptr;
 }
 
 bool
-DramCache::residentDirty(Addr addr) const
+DirectMappedTagEccPolicy::residentDirty(Addr addr) const
 {
     const Way *way = find(setOf(addr), tagOf(addr));
     return way && way->dirty;
 }
 
 void
-DramCache::invalidateAll()
+DirectMappedTagEccPolicy::invalidateAll()
 {
     for (auto &way : ways_store_)
         way = Way{};

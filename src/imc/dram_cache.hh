@@ -1,7 +1,8 @@
 /**
  * @file
  * The 2LM direct-mapped DRAM cache, as reverse engineered in Section IV
- * of the paper (Table I and Figure 3).
+ * of the paper (Table I and Figure 3), expressed as the default
+ * CachePolicy ("direct_mapped_tag_ecc").
  *
  * Properties modelled:
  *  - direct mapped, 64 B lines, insert on every miss (read or write);
@@ -16,6 +17,10 @@
  *    which is why a missing LLC write costs two DRAM writes;
  *  - per-request DeviceActions reproduce Table I exactly:
  *    amplifications 1 / 3 / 4 / 2 / 4 / 5 / 1.
+ *
+ * The insertion decision is a protected hook (shouldInsert) so the
+ * bypass policy (imc/bypass_policy.hh) can gate it on miss frequency
+ * while inheriting the tags-in-ECC probe/DDO machinery unchanged.
  */
 
 #ifndef NVSIM_IMC_DRAM_CACHE_HH
@@ -25,78 +30,32 @@
 #include <memory>
 #include <vector>
 
+#include "imc/cache_policy.hh"
 #include "imc/ddo.hh"
 #include "mem/request.hh"
 
 namespace nvsim
 {
 
-namespace obs
-{
-class SetProfiler;
-} // namespace obs
-
-/** DRAM cache configuration for one channel. */
-struct DramCacheParams
-{
-    Bytes capacity = 32 * kGiB;  //!< DRAM DIMM capacity on this channel
-    DdoConfig ddo;
-    /**
-     * Associativity. The real hardware is direct mapped (1); higher
-     * values exist for the "future hardware" ablation and use LRU
-     * replacement within the set.
-     */
-    unsigned ways = 1;
-    /**
-     * Insert-on-miss for LLC *writes*. The real hardware always
-     * inserts ("our best guess is that the memory controller always
-     * inserts on a miss"), which costs an NVRAM read plus two DRAM
-     * writes per missing store. Setting this false models the
-     * write-no-allocate alternative the paper's critique implies:
-     * missing LLC writes go straight to NVRAM (tag check + NVRAM
-     * write, amplification 2) and leave the cache untouched.
-     */
-    bool insertOnWriteMiss = true;
-};
-
-/**
- * Result of one cache access: the outcome (tag statistics), the device
- * actions (Table I row counts), and the victim address when a dirty
- * line was written back to NVRAM.
- */
-struct CacheResult
-{
-    CacheOutcome outcome = CacheOutcome::Uncached;
-    DeviceActions actions;
-    Addr victim = 0;          //!< valid iff wroteBack
-    bool wroteBack = false;   //!< dirty victim written to NVRAM
-    Addr fill = 0;            //!< NVRAM line fetched on a miss
-    bool filled = false;      //!< miss handler ran (NVRAM read + insert)
-};
-
-/** Direct-mapped (optionally set-associative for ablation) DRAM cache. */
-class DramCache
+/** The reverse-engineered tags-in-ECC 2LM controller policy. */
+class DirectMappedTagEccPolicy : public CachePolicy
 {
   public:
-    explicit DramCache(const DramCacheParams &params);
+    explicit DirectMappedTagEccPolicy(const DramCacheParams &params);
+
+    const char *kindName() const override
+    {
+        return "direct_mapped_tag_ecc";
+    }
 
     /** Handle an LLC read of the line at @p addr. */
-    CacheResult read(Addr addr);
+    CacheResult read(Addr addr) override;
 
     /** Handle an LLC write (writeback / nontemporal store) to @p addr. */
-    CacheResult write(Addr addr);
+    CacheResult write(Addr addr) override;
 
-    /**
-     * What a tag-ECC corruption dropped from the cache. When the lost
-     * line was dirty its latest data existed only in DRAM; the home
-     * NVRAM line is now stale and must be treated as poisoned.
-     */
-    struct TagCorruption
-    {
-        bool dropped = false;   //!< a valid line was invalidated
-        bool wasDirty = false;  //!< the dropped line was dirty
-        Addr line = 0;          //!< address of the dropped line
-    };
+    /** Backward-compatible alias for the namespace-scope type. */
+    using TagCorruption = nvsim::TagCorruption;
 
     /**
      * An uncorrectable ECC fault corrupted the in-ECC tag bits of the
@@ -106,23 +65,23 @@ class DramCache
      * caller re-runs the access, which now misses and refetches from
      * NVRAM — the extra device accesses unique to tags-in-ECC.
      */
-    TagCorruption corruptTag(Addr addr);
+    TagCorruption corruptTag(Addr addr) override;
 
     /** Is the line currently resident? (introspection, no side effects) */
-    bool resident(Addr addr) const;
+    bool resident(Addr addr) const override;
 
     /** Is the resident copy of the line dirty? */
-    bool residentDirty(Addr addr) const;
+    bool residentDirty(Addr addr) const override;
 
     /**
      * Drop every line, writing back nothing (used to reset state
      * between benchmark phases, like a reboot would).
      */
-    void invalidateAll();
+    void invalidateAll() override;
 
-    std::uint64_t numSets() const { return numSets_; }
-    unsigned ways() const { return ways_; }
-    const DramCacheParams &params() const { return params_; }
+    std::uint64_t numSets() const override { return numSets_; }
+    unsigned ways() const override { return ways_; }
+    const DramCacheParams &params() const override { return params_; }
     DdoPolicy &ddo() { return *ddo_; }
 
     /**
@@ -130,10 +89,13 @@ class DramCache
      * owned; typically the Observer's profiler, shared across channels
      * of identical geometry.
      */
-    void setProfiler(obs::SetProfiler *profiler) { profiler_ = profiler; }
-    obs::SetProfiler *profiler() { return profiler_; }
+    void setProfiler(obs::SetProfiler *profiler) override
+    {
+        profiler_ = profiler;
+    }
+    obs::SetProfiler *profiler() override { return profiler_; }
 
-  private:
+  protected:
     struct Way
     {
         std::uint64_t tag = 0;
@@ -141,6 +103,28 @@ class DramCache
         bool valid = false;
         bool dirty = false;
     };
+
+    /**
+     * Insertion gate consulted on every miss. The stock controller
+     * always inserts ("our best guess is that the memory controller
+     * always inserts on a miss"); selective-insert policies override.
+     * Called exactly once per missing request, so overrides may update
+     * miss-frequency state.
+     */
+    virtual bool shouldInsert(Addr addr, MemRequestKind kind);
+
+    /**
+     * Serve a missing read from NVRAM without inserting (bypass): one
+     * NVRAM demand read, cache untouched.
+     */
+    void bypassRead(Addr addr, CacheResult &result);
+
+    /**
+     * Send a missing write straight to NVRAM without inserting: the
+     * demand data rides in the writeback fields (write-no-allocate and
+     * the bypass policy share this encoding).
+     */
+    void bypassWrite(Addr addr, CacheResult &result);
 
     std::uint64_t setOf(Addr addr) const;
     std::uint64_t tagOf(Addr addr) const;
@@ -192,6 +176,13 @@ class DramCache
     std::unique_ptr<DdoPolicy> ddo_;
     obs::SetProfiler *profiler_ = nullptr;  //!< optional, not owned
 };
+
+/**
+ * Historical name: the model predates the policy framework, and the
+ * directed tests/benches that drive the cache without a channel still
+ * use it.
+ */
+using DramCache = DirectMappedTagEccPolicy;
 
 } // namespace nvsim
 

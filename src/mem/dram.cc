@@ -51,6 +51,10 @@ accessCauseName(AccessCause cause)
         return "ddo_elide_write";
       case AccessCause::DirectAccess:
         return "direct_access";
+      case AccessCause::DataRead:
+        return "data_read";
+      case AccessCause::BypassRead:
+        return "bypass_read";
     }
     return "unknown";
 }

@@ -28,6 +28,7 @@ SystemConfig::channelParams() const
     p.insertOnWriteMiss = insertOnWriteMiss;
     p.busBandwidth = busBandwidth;
     p.missHandlerEntries = missHandlerEntries;
+    p.policy = policy;
     p.fault = fault;  // the caller sets p.index per channel
 
     // Size the recent-insert tracker relative to the LLC: a dirty line
@@ -75,6 +76,7 @@ SystemConfig::validate() const
         fatal("epochBytes must be nonzero");
     if (epochBytes < kLineSize)
         fatal("epochBytes must cover at least one line");
+    policy.validate();
     fault.validate();
 }
 

@@ -56,6 +56,12 @@ struct SystemConfig
     bool insertOnWriteMiss = true;
     unsigned missHandlerEntries = 24;
     double busBandwidth = 21.3e9;
+    /**
+     * 2LM cache policy selection + policy knobs; constructed by name
+     * through CachePolicyRegistry. Defaults to the reverse-engineered
+     * tags-in-ECC controller.
+     */
+    CachePolicyConfig policy;
 
     /** LLC (unscaled capacity; divided by scale). */
     Bytes llcCapacity = 33 * kMiB;
@@ -143,6 +149,22 @@ struct SystemConfig
 
     /** Validate invariants; fatal() on nonsense. */
     void validate() const;
+
+    /**
+     * Serialize every user-settable knob as JSON (the same key set
+     * fromJson accepts), so a config can be captured, edited and fed
+     * back via --config=.
+     */
+    std::string toJson() const;
+
+    /**
+     * Parse a config from JSON text / a JSON file. Starts from the
+     * defaults, so a config file only states what it changes. Unknown
+     * keys, malformed JSON and type mismatches are fatal — a typo'd
+     * knob must never silently fall back to its default.
+     */
+    static SystemConfig fromJson(const std::string &text);
+    static SystemConfig fromJsonFile(const std::string &path);
 };
 
 } // namespace nvsim

@@ -910,4 +910,11 @@ MemorySystem::nvramWriteAmplification() const
     return static_cast<double>(media) / static_cast<double>(demand);
 }
 
+std::unique_ptr<MemorySystem>
+makeSystem(const SystemConfig &config)
+{
+    config.validate();
+    return std::make_unique<MemorySystem>(config);
+}
+
 } // namespace nvsim

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -330,6 +331,15 @@ class MemorySystem
 
     std::uint32_t allocFrame(PagePool &pool);
 };
+
+/**
+ * The canonical way to build a system from a declarative config:
+ * validate() first (so every nonsense knob, including an unknown cache
+ * policy, fails before any state is built), then construct. Heap
+ * allocation because MemorySystem pins itself (observers and stats
+ * hold pointers into it), so it must never move after construction.
+ */
+std::unique_ptr<MemorySystem> makeSystem(const SystemConfig &config);
 
 } // namespace nvsim
 

@@ -60,7 +60,7 @@ TEST(Counters, FieldListMatchesStructLayout)
     // struct holds exactly the listed uint64 counters, nothing else.
     static_assert(sizeof(PerfCounters) ==
                   PerfCounters::numFields() * sizeof(std::uint64_t));
-    EXPECT_EQ(PerfCounters::numFields(), 15u);
+    EXPECT_EQ(PerfCounters::numFields(), 17u);
 }
 
 TEST(Counters, PlusEqualsCoversEveryField)

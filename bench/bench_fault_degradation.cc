@@ -126,6 +126,111 @@ errorRateSweep(obs::Session &session, CsvWriter &csv)
     t.print();
 }
 
+/** One point of the maintenance-interference sweep. */
+struct MaintPoint
+{
+    const char *label;
+    MaintenanceConfig config;
+};
+
+/** Maintenance plans from all-off to aggressive, monotone tightening. */
+std::vector<MaintPoint>
+maintenancePoints()
+{
+    std::vector<MaintPoint> points;
+    points.push_back({"off", {}});
+
+    MaintenanceConfig m;
+    m.seed = 20210321;
+    m.refresh.trefi = 7.8e-6;  // JEDEC nominal
+    points.push_back({"refresh", m});
+
+    m.scrub.interval = 64;  // one patrol read per 64 demand requests
+    m.scrub.correctable = 0.01;
+    m.scrub.uncorrectable = 0.001;
+    points.push_back({"scrub_64", m});
+
+    m.scrub.interval = 16;
+    points.push_back({"scrub_16", m});
+
+    m.rowhammer.threshold = 2048;
+    points.push_back({"rowhammer_2k", m});
+
+    m.refresh.trefi = 3.9e-6;  // high-temperature 2x refresh
+    m.scrub.interval = 8;
+    m.rowhammer.threshold = 512;
+    points.push_back({"tight", m});
+    return points;
+}
+
+void
+maintenanceInterferenceSweep(obs::Session &session, CsvWriter &csv)
+{
+    banner("Maintenance sweep: amplification vs self-management "
+           "pressure",
+           "refresh, patrol scrub and RowHammer mitigation steal DRAM "
+           "slots; 2LM pays them on every tag probe and fill while "
+           "1LM's NVRAM traffic dodges the DRAM entirely");
+
+    Table t({"plan", "2lm_amp", "1lm_amp", "2lm_rel_bw", "1lm_rel_bw"});
+    double base_bw[2] = {0, 0};
+    double off_amp[2] = {0, 0};
+    double tight_amp[2] = {0, 0};
+    for (const MaintPoint &point : maintenancePoints()) {
+        double bw[2], amp[2];
+        for (MemoryMode mode :
+             {MemoryMode::TwoLm, MemoryMode::OneLm}) {
+            SystemConfig cfg = baseConfig(mode);
+            cfg.maintenance = point.config;
+            auto sys_sys = makeSystem(cfg);
+            MemorySystem &sys = *sys_sys;
+            Bytes bytes = 2 * cfg.dramTotal();
+            Region r =
+                cfg.mode == MemoryMode::OneLm
+                    ? sys.allocateIn(MemPool::Nvram, bytes, "arr")
+                    : sys.allocate(bytes, "arr");
+            attachRun(session, sys,
+                      fmt("maintenance/%s/%s", memoryModeName(mode),
+                          point.label));
+            std::size_t slot = mode == MemoryMode::OneLm;
+            bw[slot] = streamBandwidth(sys, r, 2);
+            amp[slot] = sys.counters().amplification();
+            session.endRun();
+        }
+        if (base_bw[0] == 0) {
+            base_bw[0] = bw[0];
+            base_bw[1] = bw[1];
+            off_amp[0] = amp[0];
+            off_amp[1] = amp[1];
+        }
+        tight_amp[0] = amp[0];
+        tight_amp[1] = amp[1];
+        double rel2 = bw[0] / base_bw[0], rel1 = bw[1] / base_bw[1];
+        t.row({point.label, fmt("%.3f", amp[0]), fmt("%.3f", amp[1]),
+               fmt("%.3f", rel2), fmt("%.3f", rel1)});
+        csv.row(std::vector<std::string>{"maintenance", "2lm",
+                                         point.label,
+                                         fmt("%f", amp[0]),
+                                         fmt("%f", rel2)});
+        csv.row(std::vector<std::string>{"maintenance", "1lm",
+                                         point.label,
+                                         fmt("%f", amp[1]),
+                                         fmt("%f", rel1)});
+    }
+    t.print();
+
+    // The headline claim: hardware cache management turns maintenance
+    // into amplified maintenance. The 2LM machine's amplification must
+    // inflate faster than the 1LM machine's as the plans tighten.
+    double inflate2 = tight_amp[0] / off_amp[0];
+    double inflate1 = tight_amp[1] / off_amp[1];
+    std::printf("\nmaintenance off -> tight: 2LM amplification x%.3f, "
+                "1LM x%.3f -> 2LM inflates %s\n",
+                inflate2, inflate1,
+                inflate2 > inflate1 ? "faster (as expected)"
+                                    : "SLOWER (unexpected)");
+}
+
 void
 throttleTrace(obs::Session &session, CsvWriter &csv)
 {
@@ -214,6 +319,7 @@ main(int argc, char **argv)
     csv.row(std::vector<std::string>{"experiment", "series", "x",
                                      "value", "extra"});
     errorRateSweep(session, csv);
+    maintenanceInterferenceSweep(session, csv);
     throttleTrace(session, csv);
     csv.close();
     session.write();  // explicit: I/O failure is fatal, not a warning

@@ -59,10 +59,11 @@ constexpr std::size_t kNThreads = std::size(kThreads);
 constexpr std::size_t kPointsPerFigure = kNThreads * kNVariants;
 
 double
-runOne(obs::Session &session, const char *figure, KernelOp op,
-       const Variant &v, unsigned threads)
+runOne(obs::Session &session, const SystemConfig &base,
+       const char *figure, KernelOp op, const Variant &v,
+       unsigned threads)
 {
-    SystemConfig cfg;
+    SystemConfig cfg = base;
     cfg.mode = MemoryMode::OneLm;
     cfg.scale = kScale;
     auto sys_sys = makeSystem(cfg);
@@ -97,6 +98,7 @@ main(int argc, char **argv)
     // loop below replays the results in declaration order, so console
     // and CSV output are byte-identical for any --jobs=N.
     exec::SweepRunner runner(effectiveJobs(opts, session));
+    SystemConfig base = benchConfig(opts);
     std::size_t n_points = std::size(kFigures) * kPointsPerFigure;
     std::vector<double> bw = runner.map<double>(
         n_points, [&](std::size_t i) {
@@ -104,7 +106,8 @@ main(int argc, char **argv)
             unsigned threads =
                 kThreads[i % kPointsPerFigure / kNVariants];
             const Variant &v = kVariants[i % kNVariants];
-            return runOne(session, fig.name, fig.op, v, threads);
+            return runOne(session, base, fig.name, fig.op, v,
+                          threads);
         });
 
     std::size_t i = 0;

@@ -90,7 +90,7 @@ main(int argc, char **argv)
             const Scenario &s = kScenarios[i / kPatterns];
             AccessPattern pattern = patternOf(i);
 
-            SystemConfig cfg;
+            SystemConfig cfg = benchConfig(opts);
             cfg.mode = MemoryMode::TwoLm;
             cfg.scale = kScale;
             auto sys_sys = makeSystem(cfg);

@@ -5,8 +5,9 @@ Runs bench_fig2_nvram_bw, bench_fig4_2lm_microbench and
 bench_table1_amplification from an existing build tree inside a
 scratch directory, extracts the headline metrics from their CSVs and
 console tables, exercises the causal tracer at two seeds, times the
-sweep/access engines against each other, and writes everything to one
-JSON file (default BENCH_PR4.json):
+sweep/access engines against each other, runs the maintenance
+interference sweep, and writes everything to one JSON file (default
+BENCH_PR6.json):
 
   - fig2: peak bandwidth per figure/variant (GB/s);
   - fig4: per-scenario effective bandwidth and device-traffic split;
@@ -18,6 +19,10 @@ JSON file (default BENCH_PR4.json):
   - engine_comparison: wall-clock for --jobs=1 vs --jobs=<ncpu> and
     --per-line vs batched on fig2/fig4, with the CSV digests proving
     all variants produced byte-identical results;
+  - maintenance: amplification and relative bandwidth per point of
+    the bench_fault_degradation maintenance sweep, plus the headline
+    verdicts (2LM inflates faster under maintenance, degrades faster
+    under faults);
   - timings: host wall-clock seconds for every bench invocation made
     by this script.
 
@@ -93,6 +98,26 @@ def table1_section(build, scratch):
         if m and "@" in m.group(3):
             blame[m.group(1)] = m.group(3).split(" + ")
     return {"amplification": amp, "per_cause_blame": blame}
+
+
+def maintenance_section(build, scratch):
+    sub = scratch / "maintenance"
+    sub.mkdir()
+    log = run_bench(build, "bench_fault_degradation", sub)
+    _, rows = read_csv(sub / "fault_degradation.csv")
+    sweep = {}
+    for experiment, series, x, value, extra in rows:
+        if experiment != "maintenance":
+            continue
+        sweep[f"{series}/{x}"] = {"amplification": float(value),
+                                  "rel_bandwidth": float(extra)}
+    return {
+        "sweep": dict(sorted(sweep.items())),
+        "two_lm_inflates_faster":
+            "2LM inflates faster (as expected)" in log,
+        "two_lm_degrades_faster_under_faults":
+            "2LM degrades faster (as expected)" in log,
+    }
 
 
 def digest(path):
@@ -175,7 +200,7 @@ def engine_comparison(build, scratch):
 
 def main():
     build = Path(sys.argv[1] if len(sys.argv) > 1 else "build").resolve()
-    out = Path(sys.argv[2] if len(sys.argv) > 2 else "BENCH_PR4.json")
+    out = Path(sys.argv[2] if len(sys.argv) > 2 else "BENCH_PR6.json")
     if not (build / "bench" / "bench_fig2_nvram_bw").exists():
         print(f"no benches under {build}/bench — build first", file=sys.stderr)
         return 2
@@ -214,6 +239,7 @@ def main():
         }
 
         report["engine_comparison"] = engine_comparison(build, scratch)
+        report["maintenance"] = maintenance_section(build, scratch)
         report["timings"] = TIMINGS
 
     out.write_text(json.dumps(report, indent=2) + "\n")
@@ -222,7 +248,8 @@ def main():
         for b in ("bench_fig4_2lm_microbench", "bench_fig2_nvram_bw"))
     ok = (report["causal_seed_comparison"]["same_seed_identical"]
           and report["flags_off"]["csv_bit_identical"]
-          and engines_ok)
+          and engines_ok
+          and report["maintenance"]["two_lm_inflates_faster"])
     print(f"wrote {out}"
           + ("" if ok else " (WARNING: determinism checks failed)"))
     return 0 if ok else 1

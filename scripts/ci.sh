@@ -124,4 +124,59 @@ diff "$root/tests/golden/table1_stdout.txt" "$gold_dir/table1_stdout.txt"
 rm -rf "$gold_dir"
 echo "golden byte-diff passed: default-policy outputs match the seed."
 
+# Maintenance-off equivalence: a config that spells the whole
+# maintenance block out explicitly, with every engine off, must
+# reproduce the golden figure outputs byte-for-byte — the subsystem is
+# behavior-neutral until enabled (no RNG draws, no timing change).
+echo "=== maintenance-off golden byte-diff ==="
+moff_dir=$(mktemp -d)
+cat > "$moff_dir/maint_off.json" <<'EOF'
+{
+  "maintenance": {
+    "seed": 1,
+    "refresh": {"trefi": 0, "trfc": 350e-9},
+    "scrub": {"interval": 0, "correctable": 0, "uncorrectable": 0,
+              "retire_threshold": 2, "retire_capacity": 64},
+    "rowhammer": {"threshold": 0, "tracker_entries": 64,
+                  "row_bytes": 8192, "blast_radius": 2,
+                  "refresh_latency": 60e-9, "window": 64e-3}
+  }
+}
+EOF
+(cd "$moff_dir" && \
+    "$root/build/bench/bench_fig2_nvram_bw" --jobs=1 \
+        --config=maint_off.json > /dev/null && \
+    "$root/build/bench/bench_fig4_2lm_microbench" --jobs=1 \
+        --config=maint_off.json > /dev/null && \
+    "$root/build/bench/bench_table1_amplification" > table1_stdout.txt)
+diff "$root/tests/golden/fig2_nvram_bw.csv" "$moff_dir/fig2_nvram_bw.csv"
+diff "$root/tests/golden/fig4_2lm_microbench.csv" \
+     "$moff_dir/fig4_2lm_microbench.csv"
+diff "$root/tests/golden/table1_stdout.txt" "$moff_dir/table1_stdout.txt"
+rm -rf "$moff_dir"
+echo "maintenance-off byte-diff passed: all-off equals absent."
+
+# Maintenance smoke: the interference sweep must emit one row per
+# (plan, mode) point and reach both headline verdicts — 2LM degrades
+# faster under faults and inflates faster under maintenance.
+echo "=== maintenance smoke (interference sweep) ==="
+maint_dir=$(mktemp -d)
+(cd "$maint_dir" && "$root/build/bench/bench_fault_degradation" \
+    > bench.log)
+for plan in off refresh scrub_64 scrub_16 rowhammer_2k tight; do
+    for mode in 2lm 1lm; do
+        grep -q "^maintenance,$mode,$plan," \
+            "$maint_dir/fault_degradation.csv"
+    done
+done
+grep -q "2LM inflates faster (as expected)" "$maint_dir/bench.log"
+grep -q "2LM degrades faster (as expected)" "$maint_dir/bench.log"
+rm -rf "$maint_dir"
+echo "maintenance smoke passed: sweep rows and verdicts present."
+
+# Machine-readable bench report for this PR.
+echo "=== bench report (BENCH_PR6.json) ==="
+python3 "$root/scripts/bench_report.py" "$root/build" \
+    "$root/BENCH_PR6.json"
+
 echo "CI passed: plain and sanitized suites green."

@@ -132,6 +132,10 @@ faultEventKindName(FaultEventKind kind)
         return "throttle_released";
       case FaultEventKind::ChannelOfflined:
         return "channel_offlined";
+      case FaultEventKind::LineRetired:
+        return "line_retired";
+      case FaultEventKind::TargetedRefresh:
+        return "targeted_refresh";
     }
     return "unknown";
 }
@@ -166,7 +170,7 @@ std::string
 FaultLog::summary() const
 {
     std::string s;
-    for (std::size_t k = 0; k < 8; ++k) {
+    for (std::size_t k = 0; k < kNumFaultEventKinds; ++k) {
         if (!counts_[k])
             continue;
         s += strprintf("%s: %llu\n",

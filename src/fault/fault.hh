@@ -220,7 +220,12 @@ enum class FaultEventKind : std::uint8_t {
     ThrottleEngaged,
     ThrottleReleased,
     ChannelOfflined,
+    LineRetired,         //!< patrol scrub mapped a DRAM frame out
+    TargetedRefresh,     //!< RowHammer mitigation fired on a hot row
 };
+
+/** Number of FaultEventKind values (sizes FaultLog's count table). */
+inline constexpr std::size_t kNumFaultEventKinds = 10;
 
 const char *faultEventKindName(FaultEventKind kind);
 
@@ -268,7 +273,7 @@ class FaultLog
 
   private:
     std::vector<Event> events_;
-    std::uint64_t counts_[8] = {};
+    std::uint64_t counts_[kNumFaultEventKinds] = {};
     std::uint64_t poisonCreated_ = 0;
     std::uint64_t poisonPropagated_ = 0;
     std::uint64_t poisonCleared_ = 0;

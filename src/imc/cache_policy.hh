@@ -161,6 +161,25 @@ class CachePolicy
      */
     virtual TagCorruption corruptTag(Addr addr) = 0;
 
+    /**
+     * The patrol-scrub retirement ladder mapped the cache frame that
+     * channel-local byte address @p frame falls in out of service: the
+     * frame's resident line (if any) is dropped and reported so the
+     * caller can write it back or poison it, and the frame never holds
+     * a line again until invalidateAll() (a reboot remapping spare
+     * rows). Policies without per-frame device state may ignore
+     * retirement; the default is a no-op.
+     */
+    virtual TagCorruption
+    retireFrame(Addr frame)
+    {
+        (void)frame;
+        return {};
+    }
+
+    /** Ways currently retired (0 for policies without frame state). */
+    virtual std::uint64_t retiredWays() const { return 0; }
+
     /** Is the line currently resident? (introspection, no side effects) */
     virtual bool resident(Addr addr) const = 0;
 

@@ -1,6 +1,7 @@
 #include "imc/channel.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/logging.hh"
 #include "obs/stats.hh"
@@ -24,10 +25,16 @@ ChannelController::ChannelController(const ChannelParams &params,
           params.policy)),
       lat_(deviceLatencies(params)),
       faultPlan_(params.fault, params.index),
-      throttle_(params.fault.throttle)
+      throttle_(params.fault.throttle),
+      maint_(params.maintenance, params.dram.capacity, params.index)
 {
     if (faultPlan_.enabled())
         nvram_.setFaultPlan(&faultPlan_);
+    // A demand access that lands during a REF waits out the residual
+    // tRFC; fold the expected stall into the DRAM load-to-use latency
+    // once (exactly zero when refresh is off).
+    if (maint_.enabled())
+        lat_.dram += maint_.refreshDemandStall();
 }
 
 ChannelController::ChannelController(ChannelController &&o) noexcept
@@ -35,7 +42,7 @@ ChannelController::ChannelController(ChannelController &&o) noexcept
       dram_(std::move(o.dram_)), nvram_(std::move(o.nvram_)),
       cache_(std::move(o.cache_)), lat_(o.lat_), counters_(o.counters_),
       epochMisses_(o.epochMisses_), faultPlan_(std::move(o.faultPlan_)),
-      throttle_(o.throttle_)
+      throttle_(o.throttle_), maint_(std::move(o.maint_))
 {
     // The moved NvramDevice still points at o's plan; re-wire it.
     nvram_.setFaultPlan(faultPlan_.enabled() ? &faultPlan_ : nullptr);
@@ -44,9 +51,12 @@ ChannelController::ChannelController(ChannelController &&o) noexcept
 AccessResult
 ChannelController::handle(const MemRequest &req, MemPool pool)
 {
-    if (mode_ == MemoryMode::TwoLm)
-        return handle2lm(req);
-    return handle1lm(req, pool);
+    AccessResult result = mode_ == MemoryMode::TwoLm
+                              ? handle2lm(req)
+                              : handle1lm(req, pool);
+    if (maint_.enabled())
+        runMaintenance(req, pool, result);
+    return result;
 }
 
 double
@@ -195,7 +205,7 @@ ChannelController::handle2lm(const MemRequest &req)
             counters_.tagEccInvalidates += 1;
             counters_.uncorrectableErrors += 1;
             counters_.retries += df.retries;
-            result.fault.tagEccInvalidate = true;
+            result.fault.tagEccInvalidates += 1;
             result.fault.uncorrectable += 1;
             result.fault.retries += df.retries;
             if (tc.dropped && tc.wasDirty) {
@@ -244,7 +254,7 @@ ChannelController::handle1lm(const MemRequest &req, MemPool pool)
             dram_.read(1);
             counters_.dramRead += 1;
             result.actions.dramReads = 1;
-            result.latency = params_.dram.latency;
+            result.latency = lat_.dram;
             if (faultPlan_.enabled()) {
                 // 1LM has no tags in the ECC bits: an uncorrectable
                 // ECC fault poisons the data line only.
@@ -255,7 +265,7 @@ ChannelController::handle1lm(const MemRequest &req, MemPool pool)
                     result.fault.uncorrectable += 1;
                     result.fault.retries += df.retries;
                     result.fault.demandPoisoned = true;
-                    result.fault.dramUncorrectable = true;
+                    result.fault.dramUncorrectable += 1;
                 } else if (df.correctable) {
                     counters_.correctableErrors += 1;
                     counters_.retries += df.retries;
@@ -275,7 +285,7 @@ ChannelController::handle1lm(const MemRequest &req, MemPool pool)
             dram_.write(1);
             counters_.dramWrite += 1;
             result.actions.dramWrites = 1;
-            result.latency = params_.dram.latency;
+            result.latency = lat_.dram;
         } else {
             noteMediaFault(nvram_.write(req.addr, req.thread), result,
                            /*demand_line=*/true, req.addr);
@@ -295,6 +305,104 @@ ChannelController::handle1lm(const MemRequest &req, MemPool pool)
 }
 
 void
+ChannelController::runMaintenance(const MemRequest &req, MemPool pool,
+                                  AccessResult &result)
+{
+    (void)pool;
+    // Every DRAM transaction of the demand request activates its row:
+    // in 2LM the tag probes and fills count too, so hardware cache
+    // management generates its own RowHammer pressure. A 1LM NVRAM
+    // access never touches a DRAM row.
+    unsigned triggers = 0;
+    std::uint64_t dram_txns = static_cast<std::uint64_t>(
+        result.actions.dramReads + result.actions.dramWrites);
+    if (dram_txns > 0)
+        triggers += maint_.noteActivation(req.addr, dram_txns);
+
+    // The patrol scrubber steals DRAM demand slots, so its cadence
+    // counts requests that contended for the DRAM device: every 2LM
+    // request (the tag probe touches DRAM), but only the DRAM-pool
+    // fraction of 1LM traffic. An app-direct NVRAM stream shares no
+    // device with the scrubber and pays nothing — one reason 1LM
+    // amplification stays flat while 2LM's inflates.
+    ScrubOutcome sc =
+        dram_txns > 0 ? maint_.demandTick() : ScrubOutcome{};
+    if (sc.read) {
+        // The patrol read steals a demand slot on the DRAM device and
+        // activates the scrubbed frame's row like any other read.
+        dram_.read(1);
+        counters_.dramRead += 1;
+        counters_.scrubReads += 1;
+        maint_.noteScrubTime(lat_.dram);
+        result.latency += lat_.dram;
+        if (req.traced)
+            result.breakdown.add(AccessCause::PatrolScrub, MemPool::Dram,
+                                 lat_.dram);
+        triggers += maint_.noteActivation(sc.frame, 1);
+
+        if (sc.uncorrectableError) {
+            counters_.uncorrectableErrors += 1;
+            result.fault.uncorrectable += 1;
+            if (mode_ == MemoryMode::TwoLm) {
+                // The UE took the in-ECC tag with it: the frame's line
+                // is dropped (dirty data lost -> poison) whether or not
+                // spare capacity lets us retire the frame for good.
+                TagCorruption tc = sc.retire
+                                       ? cache_->retireFrame(sc.frame)
+                                       : cache_->corruptTag(sc.frame);
+                counters_.tagEccInvalidates += 1;
+                result.fault.tagEccInvalidates += 1;
+                if (tc.dropped && tc.wasDirty) {
+                    result.fault.victimPoisoned = true;
+                    result.fault.victimLine = tc.line;
+                }
+            } else {
+                // 1LM: a plain DRAM data UE at the scrubbed frame.
+                result.fault.dramUncorrectable += 1;
+                result.fault.victimPoisoned = true;
+                result.fault.victimLine = sc.frame;
+            }
+        } else if (sc.correctableError) {
+            counters_.correctableErrors += 1;
+            counters_.scrubCorrected += 1;
+            result.fault.correctable += 1;
+            // Scrub in place: write the corrected line back.
+            dram_.write(1);
+            counters_.dramWrite += 1;
+            if (sc.retire && mode_ == MemoryMode::TwoLm) {
+                TagCorruption tc = cache_->retireFrame(sc.frame);
+                if (tc.dropped && tc.wasDirty) {
+                    // No write lost: the repeat-CE data is still
+                    // correctable, so the dirty line goes home to
+                    // NVRAM before the frame is mapped out.
+                    noteMediaFault(nvram_.write(tc.line, req.thread),
+                                   result, /*demand_line=*/false,
+                                   tc.line);
+                    counters_.nvramWrite += 1;
+                }
+            }
+        }
+        if (sc.retire) {
+            counters_.linesRetired += 1;
+            result.fault.linesRetired += 1;
+            result.fault.retiredLine = sc.frame;
+        }
+    }
+
+    if (triggers > 0) {
+        counters_.targetedRefreshes += triggers;
+        result.fault.targetedRefreshes += triggers;
+        double t = static_cast<double>(triggers) *
+                   maint_.config().rowhammer.blastRadius *
+                   maint_.config().rowhammer.refreshLatency;
+        result.latency += t;
+        if (req.traced)
+            result.breakdown.add(AccessCause::TargetedRefresh,
+                                 MemPool::Dram, t);
+    }
+}
+
+void
 ChannelController::drainBuffers()
 {
     nvram_.flushWpq();
@@ -308,6 +416,8 @@ ChannelController::drainEpoch()
     e.nvram = nvram_.drainEpoch();
     e.misses = epochMisses_;
     epochMisses_ = 0;
+    if (maint_.enabled())
+        e.maintTime = maint_.drainTargetedTime();
     return e;
 }
 
@@ -326,9 +436,16 @@ ChannelController::epochTime(const ChannelEpoch &epoch) const
                        static_cast<double>(epoch.nvram.demandBytes());
     double t_bus = bus_bytes / params_.busBandwidth;
 
-    // DRAM device throughput.
+    // DRAM device throughput. Maintenance steals bank time twice over:
+    // refresh blocks a duty fraction tRFC/tREFI of every second, and
+    // targeted-refresh mitigations block the banks outright, so the
+    // demand traffic must fit in what is left.
     double t_dram = static_cast<double>(epoch.dram.bytes()) /
                     params_.dram.bandwidth;
+    if (maint_.enabled()) {
+        double duty = maint_.refreshDuty();
+        t_dram = (t_dram + epoch.maintTime) / (1.0 - duty);
+    }
 
     // NVRAM media: reads and writes share the media controller, so
     // their service times add. Write bandwidth degrades with stream
@@ -351,6 +468,23 @@ ChannelController::epochTime(const ChannelEpoch &epoch) const
     }
 
     return std::max({t_bus, t_dram, t_media, t_mshr});
+}
+
+void
+ChannelController::noteMaintenanceEpoch(const ChannelEpoch &epoch,
+                                        double dt)
+{
+    if (!maint_.enabled())
+        return;
+    std::uint64_t slots = maint_.closeEpoch(dt);
+    counters_.refreshSlots += slots;
+    double stall = epoch.maintTime + maint_.drainScrubTime() +
+                   static_cast<double>(slots) *
+                       maint_.config().refresh.trfc;
+    if (stall > 0) {
+        counters_.maintenanceStallNs +=
+            static_cast<std::uint64_t>(std::llround(stall * 1e9));
+    }
 }
 
 ThrottleState::Transition
@@ -422,6 +556,25 @@ ChannelController::regStats(obs::Group &g)
                   "media bytes written per demand byte written",
                   [this] { return nvram_.writeAmplification(); });
 
+    if (maint_.enabled()) {
+        obs::Group &maint = g.child("maintenance");
+        maint.formula("refresh_duty",
+                      "fraction of bank time lost to tREFI/tRFC refresh",
+                      [this] { return maint_.refreshDuty(); });
+        maint.formula("retired_frames",
+                      "DRAM frames mapped out by the retirement ladder",
+                      [this] {
+                          return static_cast<double>(
+                              maint_.retiredFrames());
+                      });
+        maint.formula("tracked_rows",
+                      "rows currently in the RowHammer tracker",
+                      [this] {
+                          return static_cast<double>(
+                              maint_.trackedRows());
+                      });
+    }
+
     obs::Group &throttle = g.child("throttle");
     throttle.formula("engaged", "1 while the thermal throttle is engaged",
                      [this] { return throttle_.engaged() ? 1.0 : 0.0; });
@@ -439,6 +592,7 @@ ChannelController::reset()
     // Re-seed the fault stream and cool the DIMM so reruns reproduce.
     faultPlan_ = FaultPlan(params_.fault, params_.index);
     throttle_.reset();
+    maint_.reset();
     drainEpoch();
     drainBuffers();
     drainEpoch();

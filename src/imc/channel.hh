@@ -20,6 +20,7 @@
 #include "imc/cache_policy.hh"
 #include "imc/counters.hh"
 #include "mem/dram.hh"
+#include "mem/maintenance/maintenance.hh"
 #include "mem/nvram.hh"
 #include "mem/request.hh"
 
@@ -55,6 +56,8 @@ struct ChannelParams
     unsigned missHandlerEntries = 24;
     /** Fault-injection plan (zero rates: behavior-neutral). */
     FaultConfig fault;
+    /** DRAM self-management (refresh/scrub/RowHammer; all-off default). */
+    MaintenanceConfig maintenance;
     /** Index of this channel in the system (fault-stream derivation). */
     unsigned index = 0;
 };
@@ -75,16 +78,27 @@ struct RequestFaults
      *  its data; its channel-local address is victimLine. */
     bool victimPoisoned = false;
     Addr victimLine = 0;
-    /** A DRAM ECC fault corrupted the in-ECC 2LM tag. */
-    bool tagEccInvalidate = false;
-    /** The uncorrectable error was a 1LM DRAM data fault. */
-    bool dramUncorrectable = false;
+    /** DRAM ECC faults that corrupted in-ECC 2LM tags. A demand tag
+     *  fault and a scrub-found UE can land in one request, so these
+     *  are counts, not flags. */
+    std::uint32_t tagEccInvalidates = 0;
+    /** Of the uncorrectable errors, how many were 1LM DRAM data
+     *  faults (the rest are NVRAM media). */
+    std::uint32_t dramUncorrectable = 0;
+    /** Frames the scrub retirement ladder mapped out during this
+     *  request; retiredLine is the channel-local frame address of the
+     *  last one. */
+    std::uint32_t linesRetired = 0;
+    Addr retiredLine = 0;
+    /** RowHammer targeted-refresh mitigations fired. */
+    std::uint32_t targetedRefreshes = 0;
 
     bool
     any() const
     {
         return retries || correctable || uncorrectable ||
-               demandPoisoned || victimPoisoned || tagEccInvalidate;
+               demandPoisoned || victimPoisoned || tagEccInvalidates ||
+               linesRetired || targetedRefreshes;
     }
 };
 
@@ -121,6 +135,8 @@ struct ChannelEpoch
     DramEpoch dram;
     NvramEpoch nvram;
     std::uint64_t misses = 0;  //!< 2LM miss handler activations
+    /** Targeted-refresh seconds the banks lost this epoch. */
+    double maintTime = 0;
 };
 
 /** A memory channel with its controller logic. */
@@ -197,6 +213,16 @@ class ChannelController
     double throttleFactor() const { return throttle_.factor(); }
     bool throttled() const { return throttle_.engaged(); }
 
+    /**
+     * Close the maintenance epoch: issue the REF commands @p dt covers
+     * (tREFI accounting), advance the RowHammer tREFW window, and book
+     * the epoch's refresh/scrub/targeted-refresh time into the
+     * maintenanceStallNs counter. No-op when maintenance is off.
+     */
+    void noteMaintenanceEpoch(const ChannelEpoch &epoch, double dt);
+
+    const MaintenanceEngine &maintenance() const { return maint_; }
+
     const FaultPlan &faultPlan() const { return faultPlan_; }
 
     PerfCounters &counters() { return counters_; }
@@ -239,6 +265,15 @@ class ChannelController
     void noteMediaFault(const MediaFault &f, AccessResult &result,
                         bool demand_line, Addr line);
 
+    /**
+     * Per-demand-request maintenance work: feed the RowHammer tracker
+     * the request's DRAM activations (tag probes included), run the
+     * patrol scrubber's cadence tick, walk the ECC escalation ladder on
+     * scrub findings, and charge targeted-refresh time to the request.
+     */
+    void runMaintenance(const MemRequest &req, MemPool pool,
+                        AccessResult &result);
+
     ChannelParams params_;
     MemoryMode mode_;
     DramDevice dram_;
@@ -249,6 +284,7 @@ class ChannelController
     std::uint64_t epochMisses_ = 0;
     FaultPlan faultPlan_;
     ThrottleState throttle_;
+    MaintenanceEngine maint_;
 };
 
 } // namespace nvsim

@@ -30,7 +30,8 @@ namespace nvsim
 /**
  * The full counter set: X(member, snake_name, description). Fault /
  * degradation events (the block from correctableErrors down) are zero
- * on a fault-free machine.
+ * on a fault-free machine; the maintenance block (refreshSlots down)
+ * is zero while the maintenance subsystem is off.
  */
 #define NVSIM_PERF_COUNTER_FIELDS(X)                                     \
     X(dramRead, dram_read, "CAS.RD: 64 B DRAM reads")                    \
@@ -53,7 +54,18 @@ namespace nvsim
     X(missBypass, miss_bypass,                                           \
       "misses served from NVRAM without inserting the line")             \
     X(sramTagLookups, sram_tag_lookups,                                  \
-      "tag checks answered by controller SRAM (no device read)")
+      "tag checks answered by controller SRAM (no device read)")         \
+    X(refreshSlots, refresh_slots,                                       \
+      "REF commands issued (each blocks the banks for tRFC)")            \
+    X(scrubReads, scrub_reads, "patrol-scrub DRAM reads")                \
+    X(scrubCorrected, scrub_corrected,                                   \
+      "correctable errors found and scrubbed in place")                  \
+    X(linesRetired, lines_retired,                                       \
+      "cache frames mapped out by the repeat-CE/UE retirement ladder")   \
+    X(targetedRefreshes, targeted_refreshes,                             \
+      "RowHammer targeted-refresh mitigations fired")                    \
+    X(maintenanceStallNs, maintenance_stall_ns,                          \
+      "nanoseconds of DRAM bank time lost to maintenance")
 
 /** Uncore counter block of one memory channel / IMC. */
 struct PerfCounters

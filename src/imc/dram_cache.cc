@@ -77,13 +77,16 @@ DirectMappedTagEccPolicy::Way &
 DirectMappedTagEccPolicy::victimWay(std::uint64_t set)
 {
     Way *base = &ways_store_[set * ways_];
-    Way *victim = base;
+    Way *victim = nullptr;
     for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].retired)
+            continue;
         if (!base[w].valid)
             return base[w];
-        if (base[w].lru < victim->lru)
+        if (!victim || base[w].lru < victim->lru)
             victim = &base[w];
     }
+    // Precondition: !setRetired(set), so one serviceable way exists.
     return *victim;
 }
 
@@ -180,7 +183,7 @@ DirectMappedTagEccPolicy::read(Addr addr)
     }
     if (profiler_)
         profiler_->noteMiss(set);
-    if (shouldInsert(addr, MemRequestKind::LlcRead))
+    if (shouldInsert(addr, MemRequestKind::LlcRead) && !setRetired(set))
         missHandler(addr, set, tag, result);
     else
         bypassRead(addr, result);
@@ -215,9 +218,11 @@ DirectMappedTagEccPolicy::write(Addr addr)
         if (profiler_)
             profiler_->noteMiss(set);
         if (!params_.insertOnWriteMiss ||
-            !shouldInsert(addr, MemRequestKind::LlcWrite)) {
-            // Write-no-allocate ablation / selective-insert bypass:
-            // the store lands in NVRAM; the current occupant stays.
+            !shouldInsert(addr, MemRequestKind::LlcWrite) ||
+            setRetired(set)) {
+            // Write-no-allocate ablation / selective-insert bypass /
+            // fully-retired set: the store lands in NVRAM; the current
+            // occupant (if the set still has one) stays.
             bypassWrite(addr, result);
             result.bypassed = params_.insertOnWriteMiss;
             return result;
@@ -246,8 +251,11 @@ DirectMappedTagEccPolicy::corruptTag(Addr addr)
     TagCorruption tc;
 
     Way *way = find(set, tag);
-    if (!way)
+    if (!way) {
+        if (setRetired(set))
+            return tc;  // nothing serviceable left to corrupt
         way = &victimWay(set);
+    }
     if (!way->valid)
         return tc;
 
@@ -258,6 +266,33 @@ DirectMappedTagEccPolicy::corruptTag(Addr addr)
     // must not elide their tag check.
     ddo_->noteEvict(tc.line);
     *way = Way{};
+    return tc;
+}
+
+TagCorruption
+DirectMappedTagEccPolicy::retireFrame(Addr frame)
+{
+    // The scrubber walks device frames; fold the frame index onto the
+    // way store (for the direct-mapped geometry this is exactly the
+    // set the frame backs).
+    std::uint64_t idx = lineIndex(frame) % (numSets_ * ways_);
+    Way &way = ways_store_[idx];
+    TagCorruption tc;
+    if (way.retired)
+        return tc;
+    if (way.valid) {
+        tc.dropped = true;
+        tc.wasDirty = way.dirty;
+        tc.line = addrOf(idx / ways_, way.tag);
+        // Keep the DDO tracker consistent: the line is gone, later
+        // writes must not elide their tag check.
+        ddo_->noteEvict(tc.line);
+        if (profiler_)
+            profiler_->noteEviction(idx / ways_);
+    }
+    way = Way{};
+    way.retired = true;
+    ++retiredWays_;
     return tc;
 }
 
@@ -279,6 +314,8 @@ DirectMappedTagEccPolicy::invalidateAll()
 {
     for (auto &way : ways_store_)
         way = Way{};
+    // A reboot remaps retired rows onto spares: retirement clears too.
+    retiredWays_ = 0;
     // Recreate the DDO policy so no stale insert knowledge survives.
     ddo_ = DdoPolicy::create(params_.ddo);
 }

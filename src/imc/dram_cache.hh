@@ -67,6 +67,15 @@ class DirectMappedTagEccPolicy : public CachePolicy
      */
     TagCorruption corruptTag(Addr addr) override;
 
+    /**
+     * Patrol-scrub retirement: the way backing @p frame is mapped out
+     * (valid line dropped and reported, frame marked unusable). A set
+     * whose every way is retired serves all traffic as NVRAM bypasses.
+     */
+    TagCorruption retireFrame(Addr frame) override;
+
+    std::uint64_t retiredWays() const override { return retiredWays_; }
+
     /** Is the line currently resident? (introspection, no side effects) */
     bool resident(Addr addr) const override;
 
@@ -102,6 +111,8 @@ class DirectMappedTagEccPolicy : public CachePolicy
         std::uint32_t lru = 0;
         bool valid = false;
         bool dirty = false;
+        /** Mapped out by the scrub retirement ladder; never refilled. */
+        bool retired = false;
     };
 
     /**
@@ -153,8 +164,26 @@ class DirectMappedTagEccPolicy : public CachePolicy
     Way *find(std::uint64_t set, std::uint64_t tag);
     const Way *find(std::uint64_t set, std::uint64_t tag) const;
 
-    /** LRU victim way of @p set. */
+    /**
+     * LRU victim among @p set's serviceable ways. Retired ways are
+     * skipped; callers must check setRetired() first (the precondition
+     * is that at least one way is serviceable).
+     */
     Way &victimWay(std::uint64_t set);
+
+    /** Every way of @p set is retired (forced-bypass set). */
+    bool
+    setRetired(std::uint64_t set) const
+    {
+        if (retiredWays_ == 0)
+            return false;  // keep the maintenance-off path branch-cheap
+        const Way *base = &ways_store_[set * ways_];
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (!base[w].retired)
+                return false;
+        }
+        return true;
+    }
 
     void touchLru(std::uint64_t set, Way &way);
 
@@ -172,6 +201,7 @@ class DirectMappedTagEccPolicy : public CachePolicy
     int setShift_ = -1;          //!< log2(numSets_) when a power of two
     std::uint64_t setMask_ = 0;  //!< numSets_ - 1 when a power of two
     std::vector<Way> ways_store_;  //!< numSets_ * ways_ entries
+    std::uint64_t retiredWays_ = 0;
     std::uint32_t lruClock_ = 0;
     std::unique_ptr<DdoPolicy> ddo_;
     obs::SetProfiler *profiler_ = nullptr;  //!< optional, not owned

@@ -67,6 +67,12 @@ SramTagSetAssocPolicy::read(Addr addr)
     }
     if (profiler_)
         profiler_->noteMiss(set);
+    if (setRetired(set)) {
+        // Every way was mapped out by the scrub retirement ladder:
+        // serve straight from NVRAM without filling.
+        bypassRead(addr, result);
+        return result;
+    }
     fill(addr, set, tag, result);
     result.actions.dramWrites += 1;  // install the fetched line
     return result;
@@ -95,6 +101,12 @@ SramTagSetAssocPolicy::write(Addr addr)
     if (!params_.insertOnWriteMiss) {
         // Write-no-allocate ablation: straight to NVRAM, no fill.
         bypassWrite(addr, result);
+        return result;
+    }
+    if (setRetired(set)) {
+        // Fully-retired set: the store lands in NVRAM, no fill.
+        bypassWrite(addr, result);
+        result.bypassed = true;
         return result;
     }
     // Insert on miss, but — unlike tags-in-ECC — the demand data is

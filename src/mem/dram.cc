@@ -55,6 +55,10 @@ accessCauseName(AccessCause cause)
         return "data_read";
       case AccessCause::BypassRead:
         return "bypass_read";
+      case AccessCause::PatrolScrub:
+        return "patrol_scrub";
+      case AccessCause::TargetedRefresh:
+        return "targeted_refresh";
     }
     return "unknown";
 }

@@ -179,6 +179,14 @@ Observer::noteChannelOffline(double t, unsigned channel)
 }
 
 void
+Observer::noteMaintenance(double t, unsigned channel, const char *event)
+{
+    if (!tracer_)
+        return;
+    tracer_->instant(channelTrack(channel), event, t);
+}
+
+void
 Observer::kernelSpan(const std::string &name, double t0, double t1)
 {
     if (!tracer_)

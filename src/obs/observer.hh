@@ -129,6 +129,8 @@ class Observer
     void noteDma(double t0, double t1, std::uint64_t bytes);
     void noteThrottle(double t, unsigned channel, bool engaged);
     void noteChannelOffline(double t, unsigned channel);
+    /** A maintenance event (line retirement, targeted refresh) fired. */
+    void noteMaintenance(double t, unsigned channel, const char *event);
 
     /** A named workload span (microbench kernel, DNN op). */
     void kernelSpan(const std::string &name, double t0, double t1);

@@ -30,6 +30,7 @@ SystemConfig::channelParams() const
     p.missHandlerEntries = missHandlerEntries;
     p.policy = policy;
     p.fault = fault;  // the caller sets p.index per channel
+    p.maintenance = maintenance;
 
     // Size the recent-insert tracker relative to the LLC: a dirty line
     // written back after a full LLC residency must still be remembered,
@@ -78,6 +79,17 @@ SystemConfig::validate() const
         fatal("epochBytes must cover at least one line");
     policy.validate();
     fault.validate();
+    maintenance.validate();
+    if (maintenance.scrub.enabled() &&
+        maintenance.scrub.retireCapacity >
+            scaledDramPerDimm() / kLineSize) {
+        fatal("maintenance scrub retirement capacity %llu exceeds the "
+              "%llu cache lines of a scaled DRAM DIMM",
+              static_cast<unsigned long long>(
+                  maintenance.scrub.retireCapacity),
+              static_cast<unsigned long long>(scaledDramPerDimm() /
+                                              kLineSize));
+    }
 }
 
 } // namespace nvsim

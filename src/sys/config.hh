@@ -50,6 +50,13 @@ struct SystemConfig
      */
     FaultConfig fault;
 
+    /**
+     * DRAM self-management (refresh, patrol scrub, RowHammer
+     * mitigation). All-off by default, which is behavior-neutral: no
+     * RNG draws, no timing change, bit-identical output.
+     */
+    MaintenanceConfig maintenance;
+
     /** 2LM cache options. */
     DdoConfig ddo;
     unsigned cacheWays = 1;

@@ -220,6 +220,54 @@ parseFault(const JsonValue &v, FaultConfig &p)
 }
 
 void
+parseRefresh(const JsonValue &v, RefreshConfig &p)
+{
+    KeyChecker k(v, "maintenance.refresh");
+    setDouble(k.get("trefi"), p.trefi);
+    setDouble(k.get("trfc"), p.trfc);
+    k.finish();
+}
+
+void
+parseScrub(const JsonValue &v, ScrubConfig &p)
+{
+    KeyChecker k(v, "maintenance.scrub");
+    setDouble(k.get("interval"), p.interval);
+    setDouble(k.get("correctable"), p.correctable);
+    setDouble(k.get("uncorrectable"), p.uncorrectable);
+    setUnsigned(k.get("retire_threshold"), p.retireThreshold);
+    setU64(k.get("retire_capacity"), p.retireCapacity);
+    k.finish();
+}
+
+void
+parseRowHammer(const JsonValue &v, RowHammerConfig &p)
+{
+    KeyChecker k(v, "maintenance.rowhammer");
+    setU64(k.get("threshold"), p.threshold);
+    setU32(k.get("tracker_entries"), p.trackerEntries);
+    setU64(k.get("row_bytes"), p.rowBytes);
+    setUnsigned(k.get("blast_radius"), p.blastRadius);
+    setDouble(k.get("refresh_latency"), p.refreshLatency);
+    setDouble(k.get("window"), p.window);
+    k.finish();
+}
+
+void
+parseMaintenance(const JsonValue &v, MaintenanceConfig &p)
+{
+    KeyChecker k(v, "maintenance");
+    setU64(k.get("seed"), p.seed);
+    if (const JsonValue *r = k.get("refresh"))
+        parseRefresh(*r, p.refresh);
+    if (const JsonValue *s = k.get("scrub"))
+        parseScrub(*s, p.scrub);
+    if (const JsonValue *rh = k.get("rowhammer"))
+        parseRowHammer(*rh, p.rowhammer);
+    k.finish();
+}
+
+void
 parseLlc(const JsonValue &v, SystemConfig &c)
 {
     KeyChecker k(v, "llc");
@@ -245,6 +293,8 @@ configFromRoot(const JsonValue &root)
         parseNvram(*v, c.nvram);
     if (const JsonValue *v = k.get("fault"))
         parseFault(*v, c.fault);
+    if (const JsonValue *v = k.get("maintenance"))
+        parseMaintenance(*v, c.maintenance);
     if (const JsonValue *v = k.get("ddo"))
         parseDdo(*v, c.ddo);
     if (const JsonValue *v = k.get("policy"))
@@ -340,6 +390,33 @@ SystemConfig::toJson() const
     w.field("release_epochs",
             std::uint64_t(fault.throttle.releaseEpochs));
     w.field("factor", fault.throttle.factor);
+    w.endObject();
+    w.endObject();
+
+    w.beginObject("maintenance");
+    w.field("seed", std::uint64_t(maintenance.seed));
+    w.beginObject("refresh");
+    w.field("trefi", maintenance.refresh.trefi);
+    w.field("trfc", maintenance.refresh.trfc);
+    w.endObject();
+    w.beginObject("scrub");
+    w.field("interval", maintenance.scrub.interval);
+    w.field("correctable", maintenance.scrub.correctable);
+    w.field("uncorrectable", maintenance.scrub.uncorrectable);
+    w.field("retire_threshold",
+            std::uint64_t(maintenance.scrub.retireThreshold));
+    w.field("retire_capacity",
+            std::uint64_t(maintenance.scrub.retireCapacity));
+    w.endObject();
+    w.beginObject("rowhammer");
+    w.field("threshold", std::uint64_t(maintenance.rowhammer.threshold));
+    w.field("tracker_entries",
+            std::uint64_t(maintenance.rowhammer.trackerEntries));
+    w.field("row_bytes", std::uint64_t(maintenance.rowhammer.rowBytes));
+    w.field("blast_radius",
+            std::uint64_t(maintenance.rowhammer.blastRadius));
+    w.field("refresh_latency", maintenance.rowhammer.refreshLatency);
+    w.field("window", maintenance.rowhammer.window);
     w.endObject();
     w.endObject();
 

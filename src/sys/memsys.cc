@@ -30,6 +30,7 @@ MemorySystem::MemorySystem(const SystemConfig &config)
 {
     config_.validate();
     faultEnabled_ = config_.fault.enabled();
+    maintEnabled_ = config_.maintenance.enabled();
     ChannelParams cp = config_.channelParams();
     channels_.reserve(config_.totalChannels());
     online_.reserve(config_.totalChannels());
@@ -174,6 +175,16 @@ MemorySystem::attachObserver(obs::Observer *observer)
                   [this] {
                       return static_cast<double>(
                           faultLog_.poisonCleared());
+                  });
+    fault.formula("lines_retired",
+                  "DRAM frames mapped out by patrol scrub", [this] {
+                      return static_cast<double>(
+                          faultLog_.count(FaultEventKind::LineRetired));
+                  });
+    fault.formula("targeted_refreshes",
+                  "RowHammer targeted-refresh mitigations", [this] {
+                      return static_cast<double>(faultLog_.count(
+                          FaultEventKind::TargetedRefresh));
                   });
 }
 
@@ -331,7 +342,7 @@ MemorySystem::clearPoison(Addr phys_line)
 bool
 MemorySystem::isPoisoned(Addr addr)
 {
-    if (!faultEnabled_)
+    if (!faultEnabled_ && !maintEnabled_)
         return false;
     return poisoned_.count(lineBase(translate(addr))) != 0;
 }
@@ -344,22 +355,35 @@ MemorySystem::noteRequestFaults(const RequestFaults &f,
     for (std::uint32_t i = 0; i < f.correctable; ++i)
         faultLog_.record(now_, ch, FaultEventKind::CorrectableMedia,
                          phys);
-    if (f.tagEccInvalidate)
+    for (std::uint32_t i = 0; i < f.tagEccInvalidates; ++i)
         faultLog_.record(now_, ch, FaultEventKind::TagEccInvalidate,
                          phys);
-    // Classify the uncorrectable count: one is the tag-ECC fault or
-    // the 1LM DRAM data fault if flagged; the rest are NVRAM media.
+    // Classify the uncorrectable count: tag-ECC invalidates (recorded
+    // above) and 1LM DRAM data faults account for some; the remainder
+    // are NVRAM media errors.
     std::uint32_t media_uc = f.uncorrectable;
-    if (f.tagEccInvalidate && media_uc)
-        --media_uc;  // already recorded as TagEccInvalidate above
-    if (f.dramUncorrectable && media_uc) {
-        --media_uc;
+    media_uc -= std::min(f.tagEccInvalidates, media_uc);
+    std::uint32_t dram_uc = std::min(f.dramUncorrectable, media_uc);
+    media_uc -= dram_uc;
+    for (std::uint32_t i = 0; i < dram_uc; ++i)
         faultLog_.record(now_, ch, FaultEventKind::DramUncorrectable,
                          phys);
-    }
     for (std::uint32_t i = 0; i < media_uc; ++i)
         faultLog_.record(now_, ch, FaultEventKind::UncorrectableMedia,
                          phys);
+
+    for (std::uint32_t i = 0; i < f.linesRetired; ++i) {
+        faultLog_.record(now_, ch, FaultEventKind::LineRetired,
+                         physOfLocal(ch, lineBase(f.retiredLine)));
+    }
+    for (std::uint32_t i = 0; i < f.targetedRefreshes; ++i)
+        faultLog_.record(now_, ch, FaultEventKind::TargetedRefresh, phys);
+    if (obs_ && (f.linesRetired || f.targetedRefreshes)) {
+        if (f.linesRetired)
+            obs_->noteMaintenance(now_, ch, "scrub line retired");
+        if (f.targetedRefreshes)
+            obs_->noteMaintenance(now_, ch, "targeted refresh");
+    }
 
     if (f.victimPoisoned) {
         // A dirty line's only copy was lost (writeback UC error or a
@@ -391,7 +415,7 @@ MemorySystem::issueToImc(MemRequestKind kind, Addr line_addr,
     // addresses; translate() preserves the pool).
     Addr phys = translate(line_addr);
 
-    if (faultEnabled_ && !poisoned_.empty()) {
+    if ((faultEnabled_ || maintEnabled_) && !poisoned_.empty()) {
         if (kind == MemRequestKind::LlcRead) {
             if (charge_demand && poisoned_.count(phys)) {
                 // Demand load of a poisoned line: machine check; the
@@ -433,7 +457,7 @@ MemorySystem::issueToImc(MemRequestKind kind, Addr line_addr,
                            res.latency, ch_idx);
         }
     }
-    if (faultEnabled_ && res.fault.any())
+    if ((faultEnabled_ || maintEnabled_) && res.fault.any())
         noteRequestFaults(res.fault, kind, phys, ch_idx, charge_demand);
 }
 
@@ -484,7 +508,8 @@ MemorySystem::accessRange(unsigned thread, CpuOp op, Addr addr,
     // The reference per-line engine: required whenever per-request
     // hooks may fire (observer, faults), addresses are remapped
     // (scattered pages), or batching is disabled.
-    if (!batched_ || obs_ || faultEnabled_ || config_.scatterPages) {
+    if (!batched_ || obs_ || faultEnabled_ || maintEnabled_ ||
+        config_.scatterPages) {
         for (Addr line = first; line <= last; line += kLineSize)
             touchLine(thread, op, line);
         return;
@@ -683,10 +708,11 @@ void
 MemorySystem::finishEpoch()
 {
     // Resource-side: each channel moves its epoch traffic in parallel
-    // with the others. With faults enabled the drained epochs are kept
-    // so the throttle automata can observe the epoch's write rate.
+    // with the others. With faults or maintenance enabled the drained
+    // epochs are kept so the throttle automata can observe the epoch's
+    // write rate and the maintenance engines can close their epoch.
     double t_resource = 0;
-    if (!faultEnabled_) {
+    if (!faultEnabled_ && !maintEnabled_) {
         for (auto &ch : channels_) {
             ChannelEpoch e = ch.drainEpoch();
             t_resource = std::max(t_resource, ch.epochTime(e));
@@ -724,6 +750,15 @@ MemorySystem::finishEpoch()
 
     bool had_activity = epochDemandBytes_ > 0 || epochComputeFloor_ > 0;
     now_ += dt;
+
+    if (maintEnabled_) {
+        // Close each channel's maintenance epoch: the REF commands dt
+        // covers, the RowHammer tREFW window advance, and the epoch's
+        // refresh/scrub/targeted-refresh stall time — before the trace
+        // samples below, so the deltas land in this epoch.
+        for (std::size_t i = 0; i < channels_.size(); ++i)
+            channels_[i].noteMaintenanceEpoch(epochScratch_[i], dt);
+    }
 
     if (faultEnabled_) {
         // Feed the per-DIMM thermal-throttle automata this epoch's
@@ -809,6 +844,22 @@ MemorySystem::finishEpoch()
                 trace_.record("throttle_factor", now_, min_factor);
                 trace_.record("poisoned_lines", now_,
                               static_cast<double>(poisoned_.size()));
+            }
+            if (maintEnabled_) {
+                // Maintenance channels (only on self-managing DRAM so
+                // maintenance-off traces stay bit-identical).
+                trace_.record("scrub_reads", now_,
+                              static_cast<double>(d.scrubReads));
+                trace_.record("scrub_corrected", now_,
+                              static_cast<double>(d.scrubCorrected));
+                trace_.record("lines_retired", now_,
+                              static_cast<double>(d.linesRetired));
+                trace_.record("targeted_refreshes", now_,
+                              static_cast<double>(d.targetedRefreshes));
+                trace_.record("refresh_slots", now_,
+                              static_cast<double>(d.refreshSlots));
+                trace_.record("maintenance_stall_ns", now_,
+                              static_cast<double>(d.maintenanceStallNs));
             }
         }
     }

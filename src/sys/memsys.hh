@@ -310,6 +310,10 @@ class MemorySystem
     // Fault state. faultEnabled_ caches config_.fault.enabled() so the
     // hot paths pay one predictable branch on a fault-free machine.
     bool faultEnabled_ = false;
+    // Cached config_.maintenance.enabled(): maintenance produces fault
+    // side effects (scrub UEs, retirement) and per-epoch bookkeeping,
+    // so it forces the same reference paths fault injection does.
+    bool maintEnabled_ = false;
     FaultLog faultLog_;
     std::unordered_set<Addr> poisoned_;     //!< poisoned phys lines
     std::vector<unsigned> online_;          //!< online channel indices

@@ -181,4 +181,78 @@ TEST(FaultConfigValidateDeathTest, RejectsZeroThrottleEpochs)
                 "[Ee]poch");
 }
 
+// --- MaintenanceConfig::validate(), reached through SystemConfig ---
+
+TEST(MaintenanceConfigValidateDeathTest, RejectsNegativeRefreshCadence)
+{
+    SystemConfig cfg = okConfig();
+    cfg.maintenance.refresh.trefi = -7.8e-6;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "negative cadence");
+}
+
+TEST(MaintenanceConfigValidateDeathTest, RejectsRefreshEatingAllBankTime)
+{
+    SystemConfig cfg = okConfig();
+    cfg.maintenance.refresh.trefi = 100e-9;
+    cfg.maintenance.refresh.trfc = 350e-9;  // tRFC >= tREFI
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "all bank time refreshing");
+}
+
+TEST(MaintenanceConfigValidateDeathTest, RejectsNegativeScrubInterval)
+{
+    SystemConfig cfg = okConfig();
+    cfg.maintenance.scrub.interval = -100;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "negative cadence");
+}
+
+TEST(MaintenanceConfigValidateDeathTest, RejectsZeroRetireThreshold)
+{
+    SystemConfig cfg = okConfig();
+    cfg.maintenance.scrub.interval = 100;
+    cfg.maintenance.scrub.retireThreshold = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "retire threshold");
+}
+
+TEST(MaintenanceConfigValidateDeathTest, RejectsScrubRateAboveOne)
+{
+    SystemConfig cfg = okConfig();
+    cfg.maintenance.scrub.interval = 100;
+    cfg.maintenance.scrub.correctable = 1.5;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "\\[0, 1\\]");
+}
+
+TEST(MaintenanceConfigValidateDeathTest,
+     RejectsRetireCapacityAboveCacheSize)
+{
+    SystemConfig cfg = okConfig();
+    cfg.maintenance.scrub.interval = 100;
+    // More spare rows than the scaled DIMM has cache lines.
+    cfg.maintenance.scrub.retireCapacity =
+        cfg.scaledDramPerDimm() / kLineSize + 1;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "retirement capacity");
+}
+
+TEST(MaintenanceConfigValidateDeathTest, RejectsZeroRowHammerTracker)
+{
+    SystemConfig cfg = okConfig();
+    cfg.maintenance.rowhammer.threshold = 1000;
+    cfg.maintenance.rowhammer.trackerEntries = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "tracker");
+}
+
+TEST(MaintenanceConfigValidate, AllOffDefaultsPassAndStayDisabled)
+{
+    SystemConfig cfg = okConfig();
+    EXPECT_FALSE(cfg.maintenance.enabled());
+    cfg.validate();
+    SUCCEED();
+}
+
 } // namespace

@@ -60,7 +60,23 @@ TEST(Counters, FieldListMatchesStructLayout)
     // struct holds exactly the listed uint64 counters, nothing else.
     static_assert(sizeof(PerfCounters) ==
                   PerfCounters::numFields() * sizeof(std::uint64_t));
-    EXPECT_EQ(PerfCounters::numFields(), 17u);
+    EXPECT_EQ(PerfCounters::numFields(), 23u);
+}
+
+TEST(Counters, MaintenanceCountersAreInTheList)
+{
+    // The maintenance counters ride the same X-macro as everything
+    // else, so trace channels, CSV dumps and JSON stats get them for
+    // free — and a field added outside the list cannot compile (the
+    // static_assert above) or pass NamedCoversEveryField.
+    PerfCounters c = distinct();
+    auto named = c.named();
+    for (const char *name :
+         {"refresh_slots", "scrub_reads", "scrub_corrected",
+          "lines_retired", "targeted_refreshes",
+          "maintenance_stall_ns"}) {
+        EXPECT_EQ(named.count(name), 1u) << name;
+    }
 }
 
 TEST(Counters, PlusEqualsCoversEveryField)

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <tuple>
 
 #include "core/rng.hh"
@@ -258,6 +259,227 @@ TEST(MemSysFaultFuzz, FaultReplayDeterminism)
             sys.counters().uncorrectableErrors,
             sys.faultLog().machineChecks(), sys.poisonedLines(),
             sys.now());
+    };
+    EXPECT_EQ(run(), run());
+}
+
+// --- Maintenance fuzz ----------------------------------------------------
+
+namespace
+{
+
+/** Random but valid maintenance plan derived from a fuzz seed. */
+MaintenanceConfig
+randomMaintenanceConfig(Rng &rng, bool correctableOnly)
+{
+    MaintenanceConfig m;
+    m.seed = rng.next();
+    auto rate = [&rng](double max) {
+        return static_cast<double>(rng.below(1000)) / 1000.0 * max;
+    };
+    if (rng.below(4) != 0) {
+        m.refresh.trefi = 3.9e-6 + rate(8e-6);
+        m.refresh.trfc = 200e-9 + rate(150e-9);
+    }
+    if (rng.below(4) != 0) {
+        m.scrub.interval = 2 + static_cast<double>(rng.below(64));
+        m.scrub.correctable = 0.01 + rate(0.2);
+        m.scrub.uncorrectable = correctableOnly ? 0.0 : rate(0.02);
+        m.scrub.retireThreshold = 1 + static_cast<unsigned>(rng.below(4));
+        m.scrub.retireCapacity = 1 + rng.below(64);
+    }
+    if (rng.below(4) != 0) {
+        m.rowhammer.threshold = 64 + rng.below(4096);
+        m.rowhammer.trackerEntries =
+            4 + static_cast<std::uint32_t>(rng.below(64));
+        m.rowhammer.window = 1e-4 + rate(64e-3);
+    }
+    return m;
+}
+
+/** All maintenance counters, for monotonicity snapshots. */
+std::array<std::uint64_t, 6>
+maintenanceSnapshot(const PerfCounters &c)
+{
+    return {c.refreshSlots,      c.scrubReads, c.scrubCorrected,
+            c.linesRetired,      c.targetedRefreshes,
+            c.maintenanceStallNs};
+}
+
+} // namespace
+
+class MemSysMaintenanceFuzz
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MemSysMaintenanceFuzz, MaintenanceNeverBreaksInvariants)
+{
+    Rng rng(GetParam());
+    SystemConfig cfg;
+    cfg.mode = rng.below(2) ? MemoryMode::TwoLm : MemoryMode::OneLm;
+    cfg.scale = 1u << 14;
+    cfg.scatterPages = rng.below(2) != 0;
+    cfg.cacheWays = 1 + static_cast<unsigned>(rng.below(4));
+    cfg.epochBytes = 32 * kKiB;
+    // Correctable-only scrub: a CE is logged and scrubbed in place, so
+    // no poison and no machine check may ever appear — even while the
+    // repeat-CE ladder retires frames.
+    cfg.maintenance = randomMaintenanceConfig(rng, true);
+    cfg.validate();
+    MemorySystem sys(cfg);
+
+    Region arr = sys.allocate(cfg.dramTotal() * 3 / 2, "fuzz");
+    sys.setActiveThreads(6);
+
+    double last_now = 0;
+    auto last_snap = maintenanceSnapshot(sys.counters());
+    for (int step = 0; step < 40000; ++step) {
+        unsigned thread = static_cast<unsigned>(rng.below(6));
+        Addr addr =
+            arr.base + rng.below(arr.size / kLineSize) * kLineSize;
+        Bytes size = (1 + rng.below(4)) * kLineSize;
+        if (addr + size > arr.base + arr.size)
+            size = kLineSize;
+        sys.access(thread, static_cast<CpuOp>(rng.below(3)), addr,
+                   size);
+
+        if (rng.below(2000) == 0) {
+            sys.advanceEpoch();
+            ASSERT_GE(sys.now(), last_now);
+            last_now = sys.now();
+            // Maintenance counters only ever grow.
+            auto snap = maintenanceSnapshot(sys.counters());
+            for (std::size_t i = 0; i < snap.size(); ++i)
+                ASSERT_GE(snap[i], last_snap[i]) << "counter " << i;
+            last_snap = snap;
+        }
+    }
+    sys.quiesce();
+
+    const PerfCounters c = sys.counters();
+    const FaultLog &log = sys.faultLog();
+
+    // Correctable-only: nothing may poison a line or machine-check.
+    EXPECT_EQ(log.poisonCreated(), 0u);
+    EXPECT_EQ(log.machineChecks(), 0u);
+    EXPECT_EQ(sys.poisonedLines(), 0u);
+    EXPECT_EQ(c.uncorrectableErrors, 0u);
+
+    // Scrub accounting: every corrected (and every retired) frame came
+    // from a patrol read; the retirement log mirrors the counter.
+    EXPECT_LE(c.scrubCorrected, c.scrubReads);
+    EXPECT_LE(c.linesRetired, c.scrubCorrected);
+    EXPECT_EQ(c.linesRetired, log.count(FaultEventKind::LineRetired));
+    EXPECT_EQ(c.targetedRefreshes,
+              log.count(FaultEventKind::TargetedRefresh));
+
+    // The per-channel scrub engines agree with the global counter.
+    std::uint64_t retired = 0;
+    for (unsigned i = 0; i < sys.numChannels(); ++i)
+        retired += sys.channel(i).maintenance().retiredFrames();
+    EXPECT_EQ(retired, c.linesRetired);
+
+    if (cfg.mode == MemoryMode::TwoLm) {
+        // Demand is still fully classified. NOTE: no upper bound on
+        // amplification here — patrol reads are real DRAM traffic on
+        // top of demand, so Table I's <= 5 ceiling no longer applies.
+        EXPECT_EQ(c.tagHit + c.tagMissClean + c.tagMissDirty + c.ddoHit,
+                  c.demand());
+        EXPECT_GE(c.amplification(), 1.0);
+    }
+    if (cfg.maintenance.scrub.enabled()) {
+        EXPECT_GT(c.scrubReads, 0u);
+    }
+    if (cfg.maintenance.refresh.enabled()) {
+        EXPECT_GT(c.refreshSlots, 0u);
+        EXPECT_GT(c.maintenanceStallNs, 0u);
+    }
+
+    // Nothing left buffered after quiesce.
+    for (unsigned i = 0; i < sys.numChannels(); ++i) {
+        EXPECT_EQ(sys.channel(i).nvram().epoch().demandReads, 0u);
+        EXPECT_EQ(sys.channel(i).dram().epoch().casReads, 0u);
+    }
+    EXPECT_GT(sys.now(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemSysMaintenanceFuzz,
+                         ::testing::Values(0x3A1111u, 0x3A1112u,
+                                           0x3A1113u, 0x3A1114u,
+                                           0x3A1115u, 0x3A1116u));
+
+TEST(MemSysMaintenanceFuzz, UncorrectableScrubEscalatesButConserves)
+{
+    // UE-capable scrub drives the full escalation path (poison,
+    // invalidate+refetch, retirement); the fault layer's conservation
+    // laws must still hold.
+    SystemConfig cfg;
+    cfg.mode = MemoryMode::TwoLm;
+    cfg.scale = 1u << 14;
+    cfg.maintenance.seed = 9;
+    cfg.maintenance.scrub.interval = 4;
+    cfg.maintenance.scrub.correctable = 0.05;
+    cfg.maintenance.scrub.uncorrectable = 0.02;
+    cfg.maintenance.scrub.retireCapacity = 32;
+    cfg.validate();
+    MemorySystem sys(cfg);
+    Region arr = sys.allocate(cfg.dramTotal() * 2, "fuzz");
+    sys.setActiveThreads(4);
+    Rng rng(99);
+    for (int i = 0; i < 30000; ++i) {
+        sys.access(static_cast<unsigned>(rng.below(4)),
+                   static_cast<CpuOp>(rng.below(3)),
+                   arr.base + rng.below(arr.size / kLineSize) * kLineSize,
+                   kLineSize);
+    }
+    sys.quiesce();
+
+    const FaultLog &log = sys.faultLog();
+    EXPECT_GT(sys.counters().scrubReads, 0u);
+    EXPECT_GT(log.count(FaultEventKind::LineRetired), 0u);
+    EXPECT_EQ(log.poisonCreated() + log.poisonPropagated(),
+              log.poisonCleared() + sys.poisonedLines());
+    EXPECT_LE(log.machineChecks(),
+              log.poisonCreated() + log.poisonPropagated() +
+                  log.uncorrectable() +
+                  log.count(FaultEventKind::DramUncorrectable));
+}
+
+TEST(MemSysMaintenanceFuzz, MaintenanceReplayDeterminism)
+{
+    // Full maintenance stack on: two identical runs produce
+    // bit-identical counters, retirement totals and time.
+    auto run = [] {
+        SystemConfig cfg;
+        cfg.mode = MemoryMode::TwoLm;
+        cfg.scale = 1u << 14;
+        cfg.scatterPages = true;
+        cfg.maintenance.seed = 4242;
+        cfg.maintenance.refresh.trefi = 7.8e-6;
+        cfg.maintenance.scrub.interval = 8;
+        cfg.maintenance.scrub.correctable = 0.1;
+        cfg.maintenance.scrub.uncorrectable = 0.005;
+        cfg.maintenance.rowhammer.threshold = 512;
+        MemorySystem sys(cfg);
+        Region arr = sys.allocate(cfg.dramTotal() * 2, "fuzz");
+        sys.setActiveThreads(4);
+        Rng rng(77);
+        for (int i = 0; i < 20000; ++i) {
+            sys.access(static_cast<unsigned>(rng.below(4)),
+                       static_cast<CpuOp>(rng.below(3)),
+                       arr.base +
+                           rng.below(arr.size / kLineSize) * kLineSize,
+                       kLineSize);
+        }
+        sys.quiesce();
+        const PerfCounters c = sys.counters();
+        return std::make_tuple(c.deviceAccesses(), c.scrubReads,
+                               c.scrubCorrected, c.linesRetired,
+                               c.targetedRefreshes, c.refreshSlots,
+                               c.maintenanceStallNs,
+                               sys.faultLog().machineChecks(),
+                               sys.poisonedLines(), sys.now());
     };
     EXPECT_EQ(run(), run());
 }

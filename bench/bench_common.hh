@@ -51,6 +51,34 @@ numberArg(const std::string &value, const char *flag)
     return v;
 }
 
+/**
+ * Duration argument: a positive number with an optional s/ms/us/ns
+ * suffix (plain numbers are seconds). Returns seconds.
+ */
+inline double
+timeArg(const std::string &value, const char *flag)
+{
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str())
+        fatal("%s wants a duration, got '%s'", flag, value.c_str());
+    std::string unit(end);
+    if (unit == "" || unit == "s")
+        ;  // seconds
+    else if (unit == "ms")
+        v *= 1e-3;
+    else if (unit == "us")
+        v *= 1e-6;
+    else if (unit == "ns")
+        v *= 1e-9;
+    else
+        fatal("%s: unknown duration unit '%s' (use s/ms/us/ns)", flag,
+              unit.c_str());
+    if (v <= 0)
+        fatal("%s must be positive, got '%s'", flag, value.c_str());
+    return v;
+}
+
 /** Consume one observability flag; false if @p arg is not one. */
 inline bool
 parseObsFlag(const char *arg, obs::SessionOptions &opts)
@@ -77,6 +105,21 @@ parseObsFlag(const char *arg, obs::SessionOptions &opts)
     }
     if (matchFlag(arg, "--causal-seed=", &value)) {
         opts.causalSeed = numberArg(value, "--causal-seed=");
+        return true;
+    }
+    if (matchFlag(arg, "--telemetry=", &opts.telemetry.csvPath) ||
+        matchFlag(arg, "--telemetry-json=", &opts.telemetry.jsonPath) ||
+        matchFlag(arg, "--slo=", &opts.telemetry.sloSpec)) {
+        return true;
+    }
+    if (matchFlag(arg, "--telemetry-window=", &value)) {
+        opts.telemetry.windowSeconds =
+            timeArg(value, "--telemetry-window=");
+        return true;
+    }
+    if (matchFlag(arg, "--telemetry-ring=", &value)) {
+        opts.telemetry.ringWindows = static_cast<std::size_t>(
+            numberArg(value, "--telemetry-ring="));
         return true;
     }
     return false;
@@ -116,7 +159,18 @@ benchUsage()
            "  --causal-trace=FILE per-request causal attribution JSON\n"
            "  --folded-stacks=FILE folded flamegraph lines\n"
            "  --causal-sample=N   sample 1-in-N requests (default 64)\n"
-           "  --causal-seed=S     sampling/reservoir seed (default 1)";
+           "  --causal-seed=S     sampling/reservoir seed (default 1)\n"
+           "  --telemetry=FILE    windowed counter/rate time-series CSV\n"
+           "                      (does not force serial execution)\n"
+           "  --telemetry-json=FILE nvsim-telemetry-v1 JSON (totals,\n"
+           "                      latency percentiles, windows, SLO)\n"
+           "  --telemetry-window=T window length; s/ms/us/ns suffix\n"
+           "                      (default 1ms)\n"
+           "  --telemetry-ring=N  windows kept per run, 0 = unbounded\n"
+           "                      (default 4096; oldest evicted first)\n"
+           "  --slo=SPEC          objectives, e.g.\n"
+           "                      'p99_ns<2000;eff_gbs>10@95%'; the\n"
+           "                      report prints PASS/FAIL per run";
 }
 
 /**
@@ -175,15 +229,16 @@ benchConfig(const BenchOptions &opts, const SystemConfig &defaults = {})
 
 /**
  * Worker count a sweep should actually use: the requested --jobs
- * (hardware concurrency when unset), forced to 1 when an observability
- * session is enabled — the obs Session serializes runs on one
- * timeline, so observed sweeps stay serial.
+ * (hardware concurrency when unset), forced to 1 when Observer-based
+ * collection is on — the obs Session serializes those runs on one
+ * timeline. Telemetry-only sessions keep full parallelism (runs are
+ * independent and the export is order-normalized).
  */
 inline unsigned
 effectiveJobs(const BenchOptions &opts, const obs::Session &session)
 {
     unsigned jobs = opts.jobs ? opts.jobs : exec::hardwareJobs();
-    if (session.enabled() && jobs > 1) {
+    if (session.serialRequired() && jobs > 1) {
         inform("observability session enabled: running sweep serially "
                "(--jobs=%u ignored)",
                jobs);
@@ -193,9 +248,10 @@ effectiveJobs(const BenchOptions &opts, const obs::Session &session)
 }
 
 /**
- * Begin observing @p label and attach the observer to @p sys — the
- * begin/attach boilerplate every bench run repeats. No-op (returns
- * null) when the session is disabled.
+ * Begin observing @p label and attach the observer and/or telemetry
+ * collector to @p sys — the begin/attach boilerplate every bench run
+ * repeats. Either may be null (its flags off); with no flags at all
+ * both are and the run is untouched.
  */
 inline obs::Observer *
 attachRun(obs::Session &session, MemorySystem &sys,
@@ -204,6 +260,8 @@ attachRun(obs::Session &session, MemorySystem &sys,
     obs::Observer *o = session.beginRun(label);
     if (o)
         sys.attachObserver(o);
+    if (obs::TelemetryRun *tel = session.beginTelemetryRun(label))
+        sys.attachTelemetry(tel);
     return o;
 }
 

@@ -25,6 +25,9 @@ namespace
 
 constexpr std::uint64_t kScale = 1u << 14;
 
+const std::uint64_t kBatches[] = {256, 512, 768, 1152, 1536, 2304,
+                                  3072};
+
 struct Point
 {
     double ratio;          //!< arena / DRAM cache
@@ -35,7 +38,8 @@ struct Point
 };
 
 Point
-runBatch(std::uint64_t batch)
+runBatch(obs::Session &session, const SystemConfig &base,
+         std::uint64_t batch)
 {
     ComputeGraph g = buildDenseNet264(batch);
     ExecutorConfig ecfg;
@@ -44,7 +48,7 @@ runBatch(std::uint64_t batch)
     Point pt{};
 
     {
-        SystemConfig cfg;
+        SystemConfig cfg = base;
         cfg.mode = MemoryMode::TwoLm;
         cfg.scale = kScale;
         cfg.scatterPages = true;
@@ -55,7 +59,11 @@ runBatch(std::uint64_t batch)
                    static_cast<double>(cfg.dramTotal());
         ex.runIteration();
         sys.resetCounters();
+        attachRun(session, sys,
+                  fmt("2lm/batch%llu",
+                      static_cast<unsigned long long>(batch)));
         IterationResult r = ex.runIteration();
+        session.endRun();
         pt.two_lm_seconds = r.seconds;
         pt.dirty_miss_frac =
             static_cast<double>(r.counters.tagMissDirty) /
@@ -63,7 +71,7 @@ runBatch(std::uint64_t batch)
         pt.per_sample_2lm = r.seconds / static_cast<double>(batch);
     }
     {
-        SystemConfig cfg;
+        SystemConfig cfg = base;
         cfg.mode = MemoryMode::OneLm;
         cfg.scale = kScale;
         cfg.scatterPages = true;
@@ -74,7 +82,11 @@ runBatch(std::uint64_t batch)
         AutoTmExecutor ex(sys, g, acfg);
         ex.runIteration();
         sys.resetCounters();
+        attachRun(session, sys,
+                  fmt("autotm/batch%llu",
+                      static_cast<unsigned long long>(batch)));
         pt.autotm_seconds = ex.runIteration().seconds;
+        session.endRun();
     }
     return pt;
 }
@@ -82,8 +94,10 @@ runBatch(std::uint64_t batch)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    obs::Session session(opts.obs);
     banner("Extension: batch-size sweep across the cache boundary "
            "(DenseNet 264)",
            "below the cache boundary hardware and software management "
@@ -95,11 +109,20 @@ main()
                                      "two_lm_s", "autotm_s",
                                      "dirty_miss_frac", "speedup"});
 
+    // One task per batch size; the replay loop prints in declaration
+    // order so output is byte-identical for any --jobs=N.
+    SystemConfig base = benchConfig(opts);
+    exec::SweepRunner runner(effectiveJobs(opts, session));
+    std::vector<Point> points = runner.map<Point>(
+        std::size(kBatches), [&](std::size_t i) {
+            return runBatch(session, base, kBatches[i]);
+        });
+
     Table t({"batch", "arena/$", "2LM it(s)", "AutoTM it(s)",
              "dirty miss", "speedup"});
-    for (std::uint64_t batch : {256u, 512u, 768u, 1152u, 1536u, 2304u,
-                                3072u}) {
-        Point p = runBatch(batch);
+    for (std::size_t i = 0; i < std::size(kBatches); ++i) {
+        std::uint64_t batch = kBatches[i];
+        const Point &p = points[i];
         t.row({fmt("%llu", static_cast<unsigned long long>(batch)),
                fmt("%.2f", p.ratio), fmt("%.4f", p.two_lm_seconds),
                fmt("%.4f", p.autotm_seconds),
@@ -114,6 +137,7 @@ main()
     t.print();
 
     csv.close();
+    session.write();
     std::printf("\nrows written to ext_batch_scaling.csv\n");
     return 0;
 }

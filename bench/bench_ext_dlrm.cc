@@ -24,6 +24,17 @@ namespace
 
 constexpr std::uint64_t kScale = 8192;
 
+const double kSkews[] = {1.0, 3.0};
+const bool kTraining[] = {false, true};
+const EmbeddingPlacement kPlacements[] = {
+    EmbeddingPlacement::TwoLm,
+    EmbeddingPlacement::AppDirect,
+    EmbeddingPlacement::SoftwareCached,
+};
+
+constexpr std::size_t kNPlacements = std::size(kPlacements);
+constexpr std::size_t kNTraining = std::size(kTraining);
+
 EmbeddingConfig
 baseConfig(const SystemConfig &sys_cfg, bool training, double skew)
 {
@@ -42,10 +53,19 @@ baseConfig(const SystemConfig &sys_cfg, bool training, double skew)
     return e;
 }
 
-EmbeddingResult
-run(EmbeddingPlacement placement, bool training, double skew)
+const char *
+caseName(double skew, bool training)
 {
-    SystemConfig cfg;
+    if (skew == 1.0)
+        return training ? "uniform_training" : "uniform_inference";
+    return training ? "zipf_training" : "zipf_inference";
+}
+
+EmbeddingResult
+run(obs::Session &session, const SystemConfig &base,
+    EmbeddingPlacement placement, bool training, double skew)
+{
+    SystemConfig cfg = base;
     cfg.mode = placement == EmbeddingPlacement::TwoLm
                    ? MemoryMode::TwoLm
                    : MemoryMode::OneLm;
@@ -57,14 +77,21 @@ run(EmbeddingPlacement placement, bool training, double skew)
     EmbeddingWorkload w(sys, e, placement);
     w.runBatch();  // warm the caches / LLC
     sys.resetCounters();
-    return w.runBatch();
+    attachRun(session, sys,
+              fmt("%s/%s", caseName(skew, training),
+                  embeddingPlacementName(placement)));
+    EmbeddingResult r = w.runBatch();
+    session.endRun();
+    return r;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    obs::Session session(opts.obs);
     banner("Extension: DLRM embedding tables at 2.2x the DRAM cache",
            "hardware caching suffers gather-miss amplification and "
            "(when training) dirty-row writebacks; app-direct reads "
@@ -76,20 +103,34 @@ main()
                                      "lookups_per_s", "amplification",
                                      "nvram_wr_lines", "hot_frac"});
 
-    for (double skew : {1.0, 3.0}) {
+    // One task per (skew, training, placement); the collection loop
+    // below replays results in declaration order, so output is
+    // byte-identical for any --jobs=N.
+    exec::SweepRunner runner(effectiveJobs(opts, session));
+    SystemConfig base = benchConfig(opts);
+    std::size_t n_points =
+        std::size(kSkews) * kNTraining * kNPlacements;
+    std::vector<EmbeddingResult> results =
+        runner.map<EmbeddingResult>(n_points, [&](std::size_t i) {
+            double skew = kSkews[i / (kNTraining * kNPlacements)];
+            bool training = kTraining[i / kNPlacements % kNTraining];
+            EmbeddingPlacement p = kPlacements[i % kNPlacements];
+            return run(session, base, p, training, skew);
+        });
+
+    std::size_t i = 0;
+    for (double skew : kSkews) {
       std::printf("===== %s lookups =====\n",
                   skew == 1.0 ? "uniform" : "Zipf-skewed");
-      for (bool training : {false, true}) {
+      for (bool training : kTraining) {
         std::printf("--- %s ---\n",
                     training ? "training (gather + scatter update)"
                              : "inference (gather only)");
         Table t({"placement", "Mlookups/s", "amplification",
                  "NVRAM wr", "hot hits"});
         double base_rate = 0;
-        for (EmbeddingPlacement p :
-             {EmbeddingPlacement::TwoLm, EmbeddingPlacement::AppDirect,
-              EmbeddingPlacement::SoftwareCached}) {
-            EmbeddingResult r = run(p, training, skew);
+        for (EmbeddingPlacement p : kPlacements) {
+            EmbeddingResult r = results[i++];
             if (p == EmbeddingPlacement::TwoLm)
                 base_rate = r.lookupsPerSecond();
             t.row({embeddingPlacementName(p),
@@ -99,9 +140,7 @@ main()
                    formatBytes(r.counters.nvramWrite * kLineSize),
                    fmt("%.2f", r.hotHitFraction)});
             csv.row(std::vector<std::string>{
-                fmt("%s_%s", skew == 1.0 ? "uniform" : "zipf",
-                    training ? "training" : "inference"),
-                embeddingPlacementName(p),
+                caseName(skew, training), embeddingPlacementName(p),
                 fmt("%f", r.lookupsPerSecond()),
                 fmt("%f", r.counters.amplification()),
                 fmt("%llu", static_cast<unsigned long long>(
@@ -113,6 +152,7 @@ main()
       }
     }
     csv.close();
+    session.write();
     std::printf("rows written to ext_dlrm.csv\n");
     return 0;
 }

@@ -27,11 +27,27 @@ namespace
 constexpr std::uint64_t kScale = 1u << 14;
 constexpr std::uint64_t kBatch = 2304;
 
-double
-runAutoTm(const ComputeGraph &g, bool use_dma, unsigned engines,
-          double engine_bw, Bytes *moved)
+struct Sweep
 {
-    SystemConfig cfg;
+    const char *name;
+    const char *label;  //!< obs run label
+    unsigned engines;
+    double bw;
+};
+
+const Sweep kSweeps[] = {
+    {"I/O-class engine (today)", "dma/1x3", 1, 3e9},
+    {"4 engines x 8 GB/s", "dma/4x8", 4, 8e9},
+    {"4 engines x 16 GB/s", "dma/4x16", 4, 16e9},
+    {"8 engines x 16 GB/s", "dma/8x16", 8, 16e9},
+};
+
+double
+runAutoTm(obs::Session &session, const SystemConfig &base,
+          const ComputeGraph &g, const char *label, bool use_dma,
+          unsigned engines, double engine_bw, Bytes *moved)
+{
+    SystemConfig cfg = base;
     cfg.mode = MemoryMode::OneLm;
     cfg.scale = kScale;
     cfg.dmaEngines = engines;
@@ -44,7 +60,9 @@ runAutoTm(const ComputeGraph &g, bool use_dma, unsigned engines,
     AutoTmExecutor ex(sys, g, acfg);
     ex.runIteration();
     sys.resetCounters();
+    attachRun(session, sys, label);
     IterationResult r = ex.runIteration();
+    session.endRun();
     if (moved)
         *moved = ex.stats().bytesToDram + ex.stats().bytesToNvram;
     return r.seconds;
@@ -53,8 +71,10 @@ runAutoTm(const ComputeGraph &g, bool use_dma, unsigned engines,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    obs::Session session(opts.obs);
     banner("Extension: DMA copy engines for tensor movement (Sec "
            "VII-B)",
            "software management plus asynchronous hardware movers "
@@ -68,39 +88,40 @@ main()
                                      "engine_gbs", "seconds",
                                      "speedup_vs_cpu"});
 
+    // The CPU-moved baseline runs first (every sweep point normalizes
+    // against it), then the engine sweep runs in parallel.
+    SystemConfig base = benchConfig(opts);
     Bytes moved = 0;
-    double cpu = runAutoTm(g, false, 4, 8e9, &moved);
+    double cpu =
+        runAutoTm(session, base, g, "cpu", false, 4, 8e9, &moved);
     std::printf("AutoTM with CPU moves: %.4f s (%s moved per "
                 "iteration)\n\n",
                 cpu, fmt("%.1f MiB", moved / 1048576.0).c_str());
     csv.row(std::vector<std::string>{"cpu", "0", "0", fmt("%f", cpu),
                                      "1.00"});
 
+    exec::SweepRunner runner(effectiveJobs(opts, session));
+    std::vector<double> secs = runner.map<double>(
+        std::size(kSweeps), [&](std::size_t i) {
+            const Sweep &s = kSweeps[i];
+            return runAutoTm(session, base, g, s.label, true,
+                             s.engines, s.bw, nullptr);
+        });
+
     Table t({"DMA config", "aggregate GB/s", "iteration(s)",
              "speedup vs CPU moves"});
-    struct Sweep
-    {
-        const char *name;
-        unsigned engines;
-        double bw;
-    };
-    const Sweep sweeps[] = {
-        {"I/O-class engine (today)", 1, 3e9},
-        {"4 engines x 8 GB/s", 4, 8e9},
-        {"4 engines x 16 GB/s", 4, 16e9},
-        {"8 engines x 16 GB/s", 8, 16e9},
-    };
-    for (const Sweep &s : sweeps) {
-        double secs = runAutoTm(g, true, s.engines, s.bw, nullptr);
+    for (std::size_t i = 0; i < std::size(kSweeps); ++i) {
+        const Sweep &s = kSweeps[i];
         t.row({s.name, fmt("%.0f", s.engines * s.bw / 1e9),
-               fmt("%.4f", secs), fmt("%.2fx", cpu / secs)});
+               fmt("%.4f", secs[i]), fmt("%.2fx", cpu / secs[i])});
         csv.row(std::vector<std::string>{
             "dma", fmt("%u", s.engines), fmt("%f", s.bw / 1e9),
-            fmt("%f", secs), fmt("%f", cpu / secs)});
+            fmt("%f", secs[i]), fmt("%f", cpu / secs[i])});
     }
     t.print();
 
     csv.close();
+    session.write();
     std::printf("\nrows written to ext_dma_mover.csv\n");
     return 0;
 }

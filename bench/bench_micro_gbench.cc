@@ -4,6 +4,13 @@
  * how many simulated accesses per second each layer sustains. These
  * guard the simulator's throughput (the figure benches stream hundreds
  * of millions of lines) rather than reproducing a paper result.
+ *
+ * This binary deliberately does NOT take the shared bench flags
+ * (--telemetry=, --jobs=, ...): BENCHMARK_MAIN() owns argv and rejects
+ * unknown flags, and the google-benchmark harness re-runs each body an
+ * adaptive number of times, which would fold warmup iterations into
+ * any attached telemetry windows. Use the figure benches for
+ * observability output.
  */
 
 #include <benchmark/benchmark.h>

@@ -7,7 +7,7 @@ scratch directory, extracts the headline metrics from their CSVs and
 console tables, exercises the causal tracer at two seeds, times the
 sweep/access engines against each other, runs the maintenance
 interference sweep, and writes everything to one JSON file (default
-BENCH_PR6.json):
+BENCH_PR7.json):
 
   - fig2: peak bandwidth per figure/variant (GB/s);
   - fig4: per-scenario effective bandwidth and device-traffic split;
@@ -23,13 +23,35 @@ BENCH_PR6.json):
     the bench_fault_degradation maintenance sweep, plus the headline
     verdicts (2LM inflates faster under maintenance, degrades faster
     under faults);
+  - telemetry: the epoch-telemetry engine's whole-run percentiles and
+    counter totals on fig4, plus the proof that --jobs=N telemetry
+    exports are byte-identical to serial;
+  - host_phases: per-phase host wall-clock from the NVSIM_HOST_PROFILE
+    profiler (sweep batches, observability/telemetry writes);
+  - host_calibration: seconds for a fixed CPU-bound workload, the
+    yardstick the perf gate uses to compare wall-clock across hosts;
   - timings: host wall-clock seconds for every bench invocation made
     by this script.
 
+With --against PREV.json the script additionally compares the fresh
+report's performance-bearing metrics to the previous PR's report and
+exits 1 when any regresses by more than --threshold (default 10%):
+engine_comparison serial seconds (higher is worse), fig2 peak GB/s
+and fig4 effective GB/s (lower is worse). Metrics missing from either
+side are skipped, so the gate tolerates schema growth. The simulated
+GB/s metrics are deterministic; the wall-clock seconds are not
+comparable across differently loaded hosts, so each report records a
+host_calibration yardstick (fixed CPU-bound workload, best of 5) and
+the gate compares seconds-per-calibration-second. A baseline without
+the yardstick gets its wall-clock metrics skipped (with a note)
+rather than producing noise-driven verdicts.
+
 Usage:
     python3 scripts/bench_report.py [build_dir] [out.json]
+        [--against PREV.json] [--threshold 0.10]
 """
 
+import argparse
 import csv
 import hashlib
 import json
@@ -45,14 +67,23 @@ from pathlib import Path
 # Every bench invocation appends {bench, flags, seconds} here.
 TIMINGS = []
 
+# host-profile: <phase> <calls> <seconds> lines seen on stderr.
+HOST_PHASES = defaultdict(lambda: {"calls": 0, "seconds": 0.0})
 
-def run_bench(build, name, scratch, *flags):
+
+def run_bench(build, name, scratch, *flags, env=None):
     exe = Path(build) / "bench" / name
+    run_env = dict(os.environ, **(env or {}))
     t0 = time.monotonic()
-    proc = subprocess.run([str(exe), *flags], cwd=scratch,
+    proc = subprocess.run([str(exe), *flags], cwd=scratch, env=run_env,
                           capture_output=True, text=True, check=True)
     TIMINGS.append({"bench": name, "flags": list(flags),
                     "seconds": round(time.monotonic() - t0, 3)})
+    for line in proc.stderr.splitlines():
+        m = re.match(r"host-profile: (\S+) (\d+) ([\d.]+)$", line)
+        if m:
+            HOST_PHASES[m.group(1)]["calls"] += int(m.group(2))
+            HOST_PHASES[m.group(1)]["seconds"] += float(m.group(3))
     return proc.stdout
 
 
@@ -198,9 +229,129 @@ def engine_comparison(build, scratch):
     return section
 
 
+def telemetry_section(build, scratch):
+    """Telemetry engine on fig4: percentiles, totals, --jobs identity."""
+    ncpu = os.cpu_count() or 1
+    runs = {}
+    for tag, jobs in [("serial", 1), ("parallel", ncpu)]:
+        sub = scratch / f"telemetry_{tag}"
+        sub.mkdir()
+        run_bench(build, "bench_fig4_2lm_microbench", sub,
+                  f"--jobs={jobs}", "--telemetry=tel.csv",
+                  "--telemetry-json=tel.json", "--telemetry-window=1ms")
+        runs[tag] = {
+            "jobs": jobs,
+            "csv_sha256": digest(sub / "tel.csv"),
+            "json_sha256": digest(sub / "tel.json"),
+        }
+    tel = json.loads((scratch / "telemetry_serial" / "tel.json")
+                     .read_text())
+    first = (tel["runs"][0].get("telemetry", {})
+             if tel.get("runs") else {})
+    return {
+        "schema": tel.get("schema"),
+        "num_runs": len(tel.get("runs", [])),
+        "first_run_latency": first.get("latency"),
+        "first_run_windows": len(first.get("windows", [])),
+        "runs": runs,
+        "jobs_byte_identical":
+            runs["serial"]["csv_sha256"] == runs["parallel"]["csv_sha256"]
+            and runs["serial"]["json_sha256"]
+            == runs["parallel"]["json_sha256"],
+    }
+
+
+def host_calibration():
+    """Seconds for a fixed CPU-bound workload (best of 5).
+
+    The engine_comparison wall-clock seconds depend on how fast (and
+    how loaded) the host is, so two reports recorded in different
+    sessions are not directly comparable. This yardstick runs the same
+    work in every session; the gate divides it out.
+    """
+    data = b"\x00" * (1 << 20)
+    best = None
+    for _ in range(5):
+        t0 = time.monotonic()
+        h = hashlib.sha256()
+        for _ in range(64):
+            h.update(data)
+        h.hexdigest()
+        elapsed = time.monotonic() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return round(best, 6)
+
+
+def gate_metrics(report):
+    """Flat {name: (value, higher_is_worse, wall_clock)}."""
+    out = {}
+    ec = report.get("engine_comparison", {})
+    for bench, sec in ec.items():
+        if not isinstance(sec, dict) or "serial" not in sec:
+            continue
+        out[f"engine_comparison/{bench}/serial_s"] = (
+            sec["serial"]["seconds"], True, True)
+    for key, gbs in report.get("fig2", {}).get("peak_gbs", {}).items():
+        out[f"fig2/{key}/peak_gbs"] = (gbs, False, False)
+    for key, metrics in report.get("fig4", {}).items():
+        if isinstance(metrics, dict) and "effective" in metrics:
+            out[f"fig4/{key}/effective_gbs"] = (metrics["effective"],
+                                                False, False)
+    return out
+
+
+def perf_gate(report, against_path, threshold):
+    """Compare to the previous report; list of regression strings."""
+    prev = json.loads(Path(against_path).read_text())
+    cur_m, prev_m = gate_metrics(report), gate_metrics(prev)
+    cur_cal = report.get("host_calibration")
+    prev_cal = prev.get("host_calibration")
+    regressions = []
+    compared = skipped = 0
+    for name, (cur, higher_is_worse, wall_clock) in sorted(cur_m.items()):
+        if name not in prev_m:
+            continue
+        base = prev_m[name][0]
+        if base <= 0:
+            continue
+        if wall_clock:
+            if not (cur_cal and prev_cal):
+                skipped += 1
+                continue
+            # Divide out host speed so a slower or busier machine does
+            # not read as a code regression (and a faster one does not
+            # mask a real slowdown).
+            cur, base = cur / cur_cal, base / prev_cal
+        compared += 1
+        change = (cur - base) / base
+        worse = change if higher_is_worse else -change
+        if worse > threshold:
+            direction = "slower" if higher_is_worse else "lower"
+            regressions.append(
+                f"{name}: {base:g} -> {cur:g} "
+                f"({100 * worse:.1f}% {direction}, "
+                f"threshold {100 * threshold:.0f}%)")
+    print(f"perf gate: compared {compared} metrics against "
+          f"{against_path}, {len(regressions)} regression(s)"
+          + (f"; skipped {skipped} wall-clock metric(s): baseline has "
+             "no host_calibration" if skipped else ""))
+    for r in regressions:
+        print(f"  REGRESSION {r}")
+    return regressions
+
+
 def main():
-    build = Path(sys.argv[1] if len(sys.argv) > 1 else "build").resolve()
-    out = Path(sys.argv[2] if len(sys.argv) > 2 else "BENCH_PR6.json")
+    parser = argparse.ArgumentParser(
+        description="bench report + optional perf-regression gate")
+    parser.add_argument("build", nargs="?", default="build")
+    parser.add_argument("out", nargs="?", default="BENCH_PR7.json")
+    parser.add_argument("--against", metavar="PREV.json",
+                        help="previous report to gate against")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative regression budget (default 0.10)")
+    args = parser.parse_args()
+    build = Path(args.build).resolve()
+    out = Path(args.out)
     if not (build / "bench" / "bench_fig2_nvram_bw").exists():
         print(f"no benches under {build}/bench — build first", file=sys.stderr)
         return 2
@@ -240,6 +391,19 @@ def main():
 
         report["engine_comparison"] = engine_comparison(build, scratch)
         report["maintenance"] = maintenance_section(build, scratch)
+        report["telemetry"] = telemetry_section(build, scratch)
+
+        # One profiled run so host_phases is populated even when the
+        # environment doesn't export NVSIM_HOST_PROFILE.
+        prof = scratch / "hostprof"
+        prof.mkdir()
+        run_bench(build, "bench_fig4_2lm_microbench", prof, "--jobs=1",
+                  "--telemetry=tel.csv",
+                  env={"NVSIM_HOST_PROFILE": "1"})
+        report["host_phases"] = {
+            k: {"calls": v["calls"], "seconds": round(v["seconds"], 6)}
+            for k, v in sorted(HOST_PHASES.items())}
+        report["host_calibration"] = host_calibration()
         report["timings"] = TIMINGS
 
     out.write_text(json.dumps(report, indent=2) + "\n")
@@ -249,10 +413,16 @@ def main():
     ok = (report["causal_seed_comparison"]["same_seed_identical"]
           and report["flags_off"]["csv_bit_identical"]
           and engines_ok
-          and report["maintenance"]["two_lm_inflates_faster"])
+          and report["maintenance"]["two_lm_inflates_faster"]
+          and report["telemetry"]["jobs_byte_identical"])
     print(f"wrote {out}"
           + ("" if ok else " (WARNING: determinism checks failed)"))
-    return 0 if ok else 1
+    if not ok:
+        return 1
+    if args.against:
+        if perf_gate(report, args.against, args.threshold):
+            return 1
+    return 0
 
 
 if __name__ == "__main__":

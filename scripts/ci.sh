@@ -174,9 +174,92 @@ grep -q "2LM degrades faster (as expected)" "$maint_dir/bench.log"
 rm -rf "$maint_dir"
 echo "maintenance smoke passed: sweep rows and verdicts present."
 
-# Machine-readable bench report for this PR.
-echo "=== bench report (BENCH_PR6.json) ==="
+# Telemetry smoke: one run with every telemetry output enabled. The
+# CSV must carry the documented header, the JSON must parse and carry
+# the schema marker, and the SLO report must print a verdict per run.
+echo "=== telemetry smoke (windowed series / JSON / SLO report) ==="
+tel_dir=$(mktemp -d)
+(cd "$tel_dir" && "$root/build/bench/bench_fig4_2lm_microbench" \
+    --telemetry=tel.csv --telemetry-json=tel.json \
+    --telemetry-window=1ms --slo='p99_ns<100000@95%;amplification<8' \
+    > bench.log)
+head -1 "$tel_dir/tel.csv" | grep -q '^run,window,t0,t1,channel,metric,value$'
+python3 -m json.tool "$tel_dir/tel.json" > /dev/null
+grep -q '"schema": "nvsim-telemetry-v1"' "$tel_dir/tel.json" || \
+    grep -q '"schema":"nvsim-telemetry-v1"' "$tel_dir/tel.json"
+grep -q '=== SLO report:' "$tel_dir/bench.log"
+grep -Eq 'PASS|FAIL' "$tel_dir/bench.log"
+rm -rf "$tel_dir"
+echo "telemetry smoke passed: artifacts written and valid."
+
+# Telemetry byte-diff: unlike the Observer outputs, telemetry keeps
+# the sweep parallel — and its exports must still be byte-identical
+# for any --jobs=N (per-run collectors, order-normalized rendering).
+echo "=== telemetry determinism (--jobs byte-diff) ==="
+teld_dir=$(mktemp -d)
+for n in 1 4; do
+    mkdir -p "$teld_dir/jobs$n"
+    (cd "$teld_dir/jobs$n" && \
+        "$root/build/bench/bench_fig4_2lm_microbench" --jobs=$n \
+        --telemetry=tel.csv --telemetry-json=tel.json > /dev/null)
+done
+diff "$teld_dir/jobs1/tel.csv" "$teld_dir/jobs4/tel.csv"
+diff "$teld_dir/jobs1/tel.json" "$teld_dir/jobs4/tel.json"
+rm -rf "$teld_dir"
+echo "telemetry determinism passed: exports byte-identical."
+
+# Prometheus strict lint: the exposition-format rules scrapers only
+# half-enforce (one TYPE per family, counters end _total, histogram
+# le monotonic with +Inf == _count, no duplicate samples).
+echo "=== prometheus strict lint ==="
+prom_dir=$(mktemp -d)
+(cd "$prom_dir" && "$root/build/bench/bench_fig4_2lm_microbench" \
+    --stats-prom=stats.prom --telemetry-json=tel.json > /dev/null)
+python3 "$root/scripts/prom_lint.py" "$prom_dir/stats.prom"
+rm -rf "$prom_dir"
+echo "prometheus lint passed: exposition is strictly valid."
+
+# Machine-readable bench report for this PR, then the perf gate: the
+# fresh report must not regress >10% against the previous PR's
+# checked-in report. NVSIM_PERF_GATE=off skips the comparison (for
+# hosts whose wall-clock is incomparable to the recorded baseline);
+# the report itself is always written.
+echo "=== bench report + perf gate (BENCH_PR7.json) ==="
 python3 "$root/scripts/bench_report.py" "$root/build" \
-    "$root/BENCH_PR6.json"
+    "$root/BENCH_PR7.json"
+if [ "${NVSIM_PERF_GATE:-on}" = "off" ]; then
+    echo "perf gate skipped (NVSIM_PERF_GATE=off)."
+elif [ ! -f "$root/BENCH_PR6.json" ]; then
+    echo "perf gate skipped (no BENCH_PR6.json baseline)."
+else
+    python3 - "$root/BENCH_PR7.json" "$root/BENCH_PR6.json" <<'EOF'
+import json, os, sys
+sys.path.insert(0, os.path.join(os.path.dirname(sys.argv[1]), "scripts"))
+from bench_report import perf_gate
+report = json.loads(open(sys.argv[1]).read())
+if perf_gate(report, sys.argv[2], 0.10):
+    sys.exit(1)
+EOF
+    # Gate self-test: a tampered baseline whose serial seconds are 10x
+    # faster than reality must trip the gate — proving it can fail.
+    python3 - "$root/BENCH_PR7.json" <<'EOF'
+import copy, json, os, sys, tempfile
+sys.path.insert(0, os.path.join(os.path.dirname(sys.argv[1]), "scripts"))
+from bench_report import perf_gate
+report = json.loads(open(sys.argv[1]).read())
+fast = copy.deepcopy(report)
+for bench in fast.get("engine_comparison", {}).values():
+    if isinstance(bench, dict) and "serial" in bench:
+        bench["serial"]["seconds"] /= 10.0
+with tempfile.NamedTemporaryFile("w", suffix=".json") as f:
+    json.dump(fast, f)
+    f.flush()
+    if not perf_gate(report, f.name, 0.10):
+        print("perf-gate self-test FAILED: injected 10x slowdown "
+              "not detected")
+        sys.exit(1)
+print("perf-gate self-test passed: injected slowdown detected.")
+EOF
+fi
 
 echo "CI passed: plain and sanitized suites green."

@@ -12,6 +12,7 @@ Usage:
     python3 scripts/plot_traces.py fig5_traces.csv [out.png]
     python3 scripts/plot_traces.py fig2_nvram_bw.csv
     python3 scripts/plot_traces.py fig4_folded.txt [out.svg]
+    python3 scripts/plot_traces.py tel.csv          # --telemetry= series
 
 Requires matplotlib for the CSV plots (not needed for the simulation
 itself, nor for the flamegraph).
@@ -116,6 +117,50 @@ def plot_sweep(header, rows, out):
         ax.set_xlabel("threads")
         ax.set_ylabel("GB/s")
         ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_telemetry(header, rows, out):
+    """--telemetry= windowed series (run,window,t0,t1,channel,metric,
+    value): bandwidth rates on top, latency percentiles below, one
+    line per run. Only the aggregate ("all") channel is drawn; the
+    per-channel rows carry the same metrics at finer grain."""
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    rates = ("eff_gbs", "dram_gbs", "nvram_gbs")
+    pcts = ("p50_ns", "p99_ns")
+    series = defaultdict(lambda: ([], []))
+    for run, _window, t0, _t1, channel, metric, value in rows:
+        if channel != "all" or metric not in rates + pcts:
+            continue
+        xs, ys = series[(run, metric)]
+        xs.append(float(t0) * 1e3)
+        ys.append(float(value))
+
+    if not series:
+        print(f"no plottable telemetry metrics in {header}")
+        return
+
+    have_pcts = any(m in pcts for _, m in series)
+    n = 1 + have_pcts
+    fig, axes = plt.subplots(n, 1, figsize=(10, 3.2 * n), sharex=True)
+    if n == 1:
+        axes = [axes]
+    for (run, metric), (xs, ys) in sorted(series.items()):
+        ax = axes[1] if metric in pcts and have_pcts else axes[0]
+        ax.plot(xs, ys, label=f"{run}:{metric}", linewidth=0.9)
+    axes[0].set_ylabel("GB/s")
+    axes[0].legend(fontsize=6, ncol=2)
+    if have_pcts:
+        axes[1].set_ylabel("latency (ns)")
+        axes[1].set_yscale("log")
+        axes[1].legend(fontsize=6, ncol=2)
+    axes[-1].set_xlabel("simulated time (ms)")
     fig.tight_layout()
     fig.savefig(out, dpi=150)
     print(f"wrote {out}")
@@ -241,6 +286,9 @@ def main():
         plot_sweep(header, rows, out)
     elif header[:2] == ["run", "set"]:
         plot_heatmap(header, rows, out)
+    elif header == ["run", "window", "t0", "t1", "channel", "metric",
+                    "value"]:
+        plot_telemetry(header, rows, out)
     else:
         print(f"don't know how to plot columns {header}; "
               "see EXPERIMENTS.md for the semantics")

@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Strict Prometheus text-exposition lint for nvsim --stats-prom output.
+
+Checks the rules the exposition format specifies but most scrapers only
+half-enforce, so a regression in the writer fails CI instead of showing
+up as silently dropped samples:
+
+  - every sample's metric belongs to a family announced by a # TYPE
+    line, and # HELP / # TYPE precede the family's first sample;
+  - at most one # HELP and one # TYPE per family, and all of a
+    family's lines (comments and samples) are contiguous;
+  - counter family names end in _total;
+  - histogram families emit _bucket/_sum/_count series only, bucket
+    le= values are monotonically increasing with cumulative counts,
+    an le="+Inf" bucket exists and equals _count;
+  - no duplicate (name, labels) sample, labels are well-formed, and
+    every value parses as a float.
+
+Usage: python3 scripts/prom_lint.py FILE [FILE...]; exits nonzero with
+one line per violation.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def base_family(name):
+    """Family a series belongs to (histogram suffixes stripped)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_labels(text, errors, lineno):
+    labels = {}
+    rest = text
+    while rest:
+        m = LABEL_RE.match(rest)
+        if not m:
+            errors.append(f"line {lineno}: malformed labels at '{rest}'")
+            return labels
+        if m.group(1) in labels:
+            errors.append(
+                f"line {lineno}: duplicate label '{m.group(1)}'")
+        labels[m.group(1)] = m.group(2)
+        rest = rest[m.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+    return labels
+
+
+def lint(path):
+    errors = []
+    types = {}        # family -> type
+    helps = set()
+    family_order = []  # families in first-appearance order
+    closed = set()     # families whose block has ended
+    seen_samples = set()
+    samples = []       # (lineno, name, labels-dict, value)
+    current = None
+
+    def enter_family(fam, lineno):
+        nonlocal current
+        if fam != current:
+            if fam in closed:
+                errors.append(
+                    f"line {lineno}: family '{fam}' reappears after "
+                    "other families (exposition must be contiguous)")
+            if current is not None:
+                closed.add(current)
+            if fam not in family_order:
+                family_order.append(fam)
+            current = fam
+
+    with open(path) as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.startswith("# HELP "):
+                parts = line.split(" ", 3)
+                fam = parts[2] if len(parts) > 2 else ""
+                if fam in helps:
+                    errors.append(
+                        f"line {lineno}: duplicate # HELP for '{fam}'")
+                helps.add(fam)
+                enter_family(fam, lineno)
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ")
+                if len(parts) != 4:
+                    errors.append(f"line {lineno}: malformed # TYPE")
+                    continue
+                fam, kind = parts[2], parts[3]
+                if fam in types:
+                    errors.append(
+                        f"line {lineno}: duplicate # TYPE for '{fam}'")
+                if kind not in ("counter", "gauge", "histogram",
+                                "summary", "untyped"):
+                    errors.append(
+                        f"line {lineno}: unknown type '{kind}'")
+                types[fam] = kind
+                enter_family(fam, lineno)
+                if kind == "counter" and not fam.endswith("_total"):
+                    errors.append(
+                        f"line {lineno}: counter '{fam}' does not end "
+                        "in _total")
+                continue
+            if line.startswith("#"):
+                continue  # plain comment
+            m = SAMPLE_RE.match(line)
+            if not m:
+                errors.append(f"line {lineno}: unparsable sample: "
+                              f"{line!r}")
+                continue
+            name = m.group("name")
+            fam = base_family(name)
+            if fam not in types:
+                errors.append(
+                    f"line {lineno}: sample '{name}' has no # TYPE")
+            elif types[fam] != "histogram" and name != fam:
+                # _bucket/_sum/_count on a non-histogram family is a
+                # name collision, unless the bare name simply contains
+                # the suffix (then base_family mis-stripped: re-check).
+                if name in types:
+                    fam = name
+                else:
+                    errors.append(
+                        f"line {lineno}: series '{name}' extends "
+                        f"non-histogram family '{fam}'")
+            enter_family(fam, lineno)
+            labels = parse_labels(m.group("labels") or "", errors,
+                                  lineno)
+            try:
+                float(m.group("value"))
+            except ValueError:
+                errors.append(
+                    f"line {lineno}: value '{m.group('value')}' is "
+                    "not a float")
+            key = (name, tuple(sorted(labels.items())))
+            if key in seen_samples:
+                errors.append(
+                    f"line {lineno}: duplicate sample {name}"
+                    f"{dict(labels)}")
+            seen_samples.add(key)
+            samples.append((lineno, name, labels, m.group("value")))
+
+    errors.extend(check_histograms(types, samples))
+    return errors
+
+
+def check_histograms(types, samples):
+    """le monotonicity, +Inf presence, +Inf == _count per series."""
+    errors = []
+    buckets = {}  # (family, non-le labels) -> [(lineno, le, count)]
+    counts = {}   # (family, labels) -> value
+    for lineno, name, labels, value in samples:
+        fam = base_family(name)
+        if types.get(fam) != "histogram":
+            continue
+        if name.endswith("_bucket"):
+            le = labels.get("le")
+            if le is None:
+                errors.append(
+                    f"line {lineno}: histogram bucket without le=")
+                continue
+            key = (fam, tuple(sorted((k, v) for k, v in labels.items()
+                                     if k != "le")))
+            buckets.setdefault(key, []).append(
+                (lineno, le, float(value)))
+        elif name.endswith("_count"):
+            counts[(fam, tuple(sorted(labels.items())))] = float(value)
+
+    for (fam, labels), series in buckets.items():
+        prev_le, prev_count = None, -1.0
+        inf_count = None
+        for lineno, le, count in series:
+            le_val = float("inf") if le == "+Inf" else float(le)
+            if prev_le is not None and le_val <= prev_le:
+                errors.append(
+                    f"line {lineno}: {fam} bucket le={le} not "
+                    "increasing")
+            if count < prev_count:
+                errors.append(
+                    f"line {lineno}: {fam} bucket le={le} count "
+                    "decreased (not cumulative)")
+            prev_le, prev_count = le_val, count
+            if le == "+Inf":
+                inf_count = count
+        if inf_count is None:
+            errors.append(f"{fam}{dict(labels)}: no le=\"+Inf\" bucket")
+            continue
+        total = counts.get((fam, labels))
+        if total is not None and total != inf_count:
+            errors.append(
+                f"{fam}{dict(labels)}: le=\"+Inf\" ({inf_count:g}) != "
+                f"_count ({total:g})")
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in sys.argv[1:]:
+        errors = lint(path)
+        if errors:
+            failed = True
+            for e in errors:
+                print(f"{path}: {e}")
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

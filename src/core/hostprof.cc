@@ -1,0 +1,75 @@
+#include "core/hostprof.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace nvsim
+{
+
+namespace
+{
+
+struct PhaseTotals
+{
+    std::uint64_t calls = 0;
+    double seconds = 0;
+};
+
+// Leaked on purpose: the atexit report runs during static
+// destruction, after function-local statics constructed later than
+// the handler's registration would already be gone.
+std::mutex &
+profMutex()
+{
+    static std::mutex *mu = new std::mutex;
+    return *mu;
+}
+
+std::map<std::string, PhaseTotals> &
+profTable()
+{
+    static auto *table = new std::map<std::string, PhaseTotals>;
+    return *table;
+}
+
+} // namespace
+
+bool
+HostProfiler::enabled()
+{
+    static bool on = [] {
+        const char *v = std::getenv("NVSIM_HOST_PROFILE");
+        bool yes = v && std::strcmp(v, "1") == 0;
+        if (yes)
+            std::atexit(&HostProfiler::report);
+        return yes;
+    }();
+    return on;
+}
+
+void
+HostProfiler::add(const char *phase, double seconds)
+{
+    std::lock_guard<std::mutex> lock(profMutex());
+    PhaseTotals &t = profTable()[phase];
+    ++t.calls;
+    t.seconds += seconds;
+}
+
+void
+HostProfiler::report()
+{
+    std::lock_guard<std::mutex> lock(profMutex());
+    for (const auto &[phase, t] : profTable()) {
+        std::fprintf(stderr, "host-profile: %s %llu %.6f\n",
+                     phase.c_str(),
+                     static_cast<unsigned long long>(t.calls),
+                     t.seconds);
+    }
+}
+
+} // namespace nvsim

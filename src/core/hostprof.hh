@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Host-side phase profiler: wall-clock totals per named phase.
+ *
+ * Off unless NVSIM_HOST_PROFILE=1 is in the environment; when on,
+ * HostPhase RAII scopes accumulate wall-clock seconds and call counts
+ * per phase name, and the totals are dumped to stderr at process exit:
+ *
+ *   host-profile: <phase> <calls> <seconds>
+ *
+ * scripts/bench_report.py parses these lines into the host_phases
+ * section of BENCH_PRn.json, so the CI perf gate can see *where* host
+ * time went, not just that a bench got slower. Thread-safe: sweep
+ * workers profile concurrently under one mutex (the scopes wrap
+ * coarse phases, not per-access work).
+ */
+
+#ifndef NVSIM_CORE_HOSTPROF_HH
+#define NVSIM_CORE_HOSTPROF_HH
+
+#include <chrono>
+
+namespace nvsim
+{
+
+class HostProfiler
+{
+  public:
+    /** Is NVSIM_HOST_PROFILE=1 set? (cached; registers the dump). */
+    static bool enabled();
+
+    /** Account @p seconds of wall clock against @p phase. */
+    static void add(const char *phase, double seconds);
+
+    /** Dump accumulated totals to stderr (atexit; idempotent-safe). */
+    static void report();
+};
+
+/** RAII scope charging its lifetime to @p phase. Free when off. */
+class HostPhase
+{
+  public:
+    explicit HostPhase(const char *phase)
+        : phase_(HostProfiler::enabled() ? phase : nullptr)
+    {
+        if (phase_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~HostPhase()
+    {
+        if (phase_) {
+            std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - start_;
+            HostProfiler::add(phase_, dt.count());
+        }
+    }
+
+    HostPhase(const HostPhase &) = delete;
+    HostPhase &operator=(const HostPhase &) = delete;
+
+  private:
+    const char *phase_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace nvsim
+
+#endif // NVSIM_CORE_HOSTPROF_HH

@@ -5,7 +5,7 @@
 namespace nvsim
 {
 
-const std::vector<Sample> TimeSeries::kEmpty;
+const Ring<Sample> TimeSeries::kEmpty;
 
 void
 TimeSeries::record(const std::string &name, double time, double value)
@@ -13,12 +13,13 @@ TimeSeries::record(const std::string &name, double time, double value)
     auto it = channels_.find(name);
     if (it == channels_.end()) {
         order_.push_back(name);
-        it = channels_.emplace(name, std::vector<Sample>{}).first;
+        it = channels_.emplace(name, Ring<Sample>(channelCapacity_))
+                 .first;
     }
-    it->second.push_back({time, value});
+    it->second.push({time, value});
 }
 
-const std::vector<Sample> &
+const Ring<Sample> &
 TimeSeries::channel(const std::string &name) const
 {
     auto it = channels_.find(name);

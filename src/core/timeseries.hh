@@ -6,17 +6,129 @@
  * through time. TimeSeries stores (time, value) samples per named
  * channel, and supports sliding-window averaging (Fig 10 averages over a
  * 2.5 s window "to filter high frequency components").
+ *
+ * Storage is the Ring template below: unbounded by default (the figure
+ * traces keep every epoch), optionally capacity-bounded so long-running
+ * collectors — the telemetry engine's per-run window ring — retain only
+ * the newest N entries while counting what they evicted. One ring type
+ * serves both users; there is no second time-series implementation.
  */
 
 #ifndef NVSIM_CORE_TIMESERIES_HH
 #define NVSIM_CORE_TIMESERIES_HH
 
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
 
 namespace nvsim
 {
+
+/**
+ * Append-only ring buffer. Capacity 0 (the default) never evicts —
+ * the ring degenerates to a plain growable array. With a capacity,
+ * pushing past it overwrites the oldest element and bumps dropped().
+ * Indexing is logical: [0] is the oldest element still retained.
+ */
+template <typename T>
+class Ring
+{
+  public:
+    Ring() = default;
+    explicit Ring(std::size_t capacity) : capacity_(capacity) {}
+
+    void
+    push(T v)
+    {
+        if (capacity_ == 0 || buf_.size() < capacity_) {
+            buf_.push_back(std::move(v));
+            return;
+        }
+        buf_[head_] = std::move(v);
+        head_ = (head_ + 1) % capacity_;
+        ++dropped_;
+    }
+
+    std::size_t size() const { return buf_.size(); }
+    bool empty() const { return buf_.empty(); }
+    /** Elements evicted to make room (0 while unbounded). */
+    std::uint64_t dropped() const { return dropped_; }
+    /** 0 = unbounded. */
+    std::size_t capacity() const { return capacity_; }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        return buf_[(head_ + i) % buf_.size()];
+    }
+
+    T &
+    operator[](std::size_t i)
+    {
+        return buf_[(head_ + i) % buf_.size()];
+    }
+
+    const T &back() const { return (*this)[buf_.size() - 1]; }
+    T &back() { return (*this)[buf_.size() - 1]; }
+
+    void
+    clear()
+    {
+        buf_.clear();
+        head_ = 0;
+        dropped_ = 0;
+    }
+
+    /** Oldest-to-newest iteration (range-for support). */
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = T;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const T *;
+        using reference = const T &;
+
+        const_iterator(const Ring *r, std::size_t i) : r_(r), i_(i) {}
+        reference operator*() const { return (*r_)[i_]; }
+        pointer operator->() const { return &(*r_)[i_]; }
+
+        const_iterator &
+        operator++()
+        {
+            ++i_;
+            return *this;
+        }
+
+        bool
+        operator==(const const_iterator &o) const
+        {
+            return i_ == o.i_;
+        }
+
+        bool
+        operator!=(const const_iterator &o) const
+        {
+            return i_ != o.i_;
+        }
+
+      private:
+        const Ring *r_;
+        std::size_t i_;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, buf_.size()}; }
+
+  private:
+    std::vector<T> buf_;
+    std::size_t head_ = 0;  //!< physical index of the oldest element
+    std::uint64_t dropped_ = 0;
+    std::size_t capacity_ = 0;
+};
 
 /** One sampled point. */
 struct Sample
@@ -29,11 +141,17 @@ struct Sample
 class TimeSeries
 {
   public:
+    /** Unbounded channels (the figure traces keep every epoch). */
+    TimeSeries() = default;
+
+    /** Bounded: each channel retains only the newest @p cap samples. */
+    explicit TimeSeries(std::size_t cap) : channelCapacity_(cap) {}
+
     /** Append a sample to channel @p name. */
     void record(const std::string &name, double time, double value);
 
     /** All samples of a channel (empty if unknown). */
-    const std::vector<Sample> &channel(const std::string &name) const;
+    const Ring<Sample> &channel(const std::string &name) const;
 
     /** Channel names in first-use order. */
     const std::vector<std::string> &names() const { return order_; }
@@ -54,9 +172,10 @@ class TimeSeries
     double max(const std::string &name) const;
 
   private:
+    std::size_t channelCapacity_ = 0;  //!< 0 = unbounded
     std::vector<std::string> order_;
-    std::map<std::string, std::vector<Sample>> channels_;
-    static const std::vector<Sample> kEmpty;
+    std::map<std::string, Ring<Sample>> channels_;
+    static const Ring<Sample> kEmpty;
 };
 
 } // namespace nvsim

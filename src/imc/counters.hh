@@ -18,6 +18,7 @@
 #ifndef NVSIM_IMC_COUNTERS_HH
 #define NVSIM_IMC_COUNTERS_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -67,6 +68,26 @@ namespace nvsim
     X(maintenanceStallNs, maintenance_stall_ns,                          \
       "nanoseconds of DRAM bank time lost to maintenance")
 
+/** Number of counters in NVSIM_PERF_COUNTER_FIELDS. */
+inline constexpr std::size_t kNumPerfFields = 0
+#define NVSIM_PERF_COUNT(member, name, desc) +1
+    NVSIM_PERF_COUNTER_FIELDS(NVSIM_PERF_COUNT)
+#undef NVSIM_PERF_COUNT
+    ;
+
+/**
+ * Positional index of each counter, in NVSIM_PERF_COUNTER_FIELDS
+ * declaration order. Lets array-shaped consumers (the telemetry
+ * engine's per-window delta vectors) address fields by name without
+ * depending on anything outside this header.
+ */
+enum class PerfField : std::size_t
+{
+#define NVSIM_PERF_ENUM(member, name, desc) member,
+    NVSIM_PERF_COUNTER_FIELDS(NVSIM_PERF_ENUM)
+#undef NVSIM_PERF_ENUM
+};
+
 /** Uncore counter block of one memory channel / IMC. */
 struct PerfCounters
 {
@@ -97,12 +118,35 @@ struct PerfCounters
     }
 
     /** Number of counters in the block. */
-    static constexpr std::size_t
-    numFields()
+    static constexpr std::size_t numFields() { return kNumPerfFields; }
+
+    /** snake_case name of field @p i (declaration order). */
+    static const char *
+    fieldName(std::size_t i)
     {
-#define NVSIM_PERF_COUNT(member, name, desc) +1
-        return 0 NVSIM_PERF_COUNTER_FIELDS(NVSIM_PERF_COUNT);
-#undef NVSIM_PERF_COUNT
+        static constexpr std::array<const char *, kNumPerfFields>
+            kNames = {
+#define NVSIM_PERF_NAME(member, name, desc) #name,
+                NVSIM_PERF_COUNTER_FIELDS(NVSIM_PERF_NAME)
+#undef NVSIM_PERF_NAME
+            };
+        return kNames[i];
+    }
+
+    /**
+     * The counters as a dense array, in declaration order. Header-only
+     * on purpose: obs-layer code (which nvsim_imc links, not the other
+     * way round) can consume counter blocks without a link dependency
+     * on counters.cc.
+     */
+    std::array<std::uint64_t, kNumPerfFields>
+    asArray() const
+    {
+        std::array<std::uint64_t, kNumPerfFields> out;
+        std::size_t i = 0;
+        forEachField([&](const char *, const char *,
+                         std::uint64_t v) { out[i++] = v; });
+        return out;
     }
 
     /** Record the device actions of one request. */

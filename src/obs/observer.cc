@@ -6,6 +6,7 @@
 #include "core/logging.hh"
 #include "obs/causal.hh"
 #include "obs/prometheus.hh"
+#include "obs/telemetry/telemetry.hh"
 
 namespace nvsim::obs
 {
@@ -137,18 +138,38 @@ Observer::noteEpoch(const EpochSample &s)
     double dt = s.t1 - s.t0;
     if (dt <= 0)
         return;
+    const PerfCounters &d = s.delta;
     double line_gbs = static_cast<double>(kLineSize) / dt / 1e9;
     tracer_->span(Track::Epochs, "epoch", s.t0, s.t1,
                   {{"demand_GBps",
                     static_cast<double>(s.demandBytes) / dt / 1e9}});
     tracer_->counter("dram_read_GBps", s.t1,
-                     static_cast<double>(s.dramRead) * line_gbs);
+                     static_cast<double>(d.dramRead) * line_gbs);
     tracer_->counter("dram_write_GBps", s.t1,
-                     static_cast<double>(s.dramWrite) * line_gbs);
+                     static_cast<double>(d.dramWrite) * line_gbs);
     tracer_->counter("nvram_read_GBps", s.t1,
-                     static_cast<double>(s.nvramRead) * line_gbs);
+                     static_cast<double>(d.nvramRead) * line_gbs);
     tracer_->counter("nvram_write_GBps", s.t1,
-                     static_cast<double>(s.nvramWrite) * line_gbs);
+                     static_cast<double>(d.nvramWrite) * line_gbs);
+    if (s.maintenance) {
+        // Maintenance tracks are only emitted on epochs that saw
+        // maintenance activity, so traces of maintenance-off runs are
+        // unchanged and the counter tracks stay sparse.
+        tracer_->counter("refresh_slots_per_s", s.t1,
+                         static_cast<double>(d.refreshSlots) / dt);
+        tracer_->counter("scrub_read_GBps", s.t1,
+                         static_cast<double>(d.scrubReads) * line_gbs);
+        tracer_->counter("scrub_corrected_per_s", s.t1,
+                         static_cast<double>(d.scrubCorrected) / dt);
+        tracer_->counter("lines_retired_per_s", s.t1,
+                         static_cast<double>(d.linesRetired) / dt);
+        tracer_->counter(
+            "targeted_refreshes_per_s", s.t1,
+            static_cast<double>(d.targetedRefreshes) / dt);
+        tracer_->counter(
+            "maintenance_duty", s.t1,
+            static_cast<double>(d.maintenanceStallNs) * 1e-9 / dt);
+    }
 }
 
 void
@@ -221,11 +242,12 @@ Observer::seal()
         statsJson_ = os.str();
     }
     {
-        std::ostringstream os;
         std::string extra;
         if (!runLabel_.empty())
             extra = "run=\"" + promEscapeLabel(runLabel_) + "\"";
-        writePrometheus(registry_, os, "nvsim", extra);
+        collectPrometheus(registry_, promFamilies_, "nvsim", extra);
+        std::ostringstream os;
+        renderPrometheus(promFamilies_, os);
         statsProm_ = os.str();
     }
 }
@@ -242,6 +264,27 @@ Observer::statsProm()
 {
     seal();
     return statsProm_;
+}
+
+const std::vector<PromFamily> &
+Observer::promFamilies()
+{
+    seal();
+    return promFamilies_;
+}
+
+void
+Observer::attachTelemetry(TelemetryRun *tel)
+{
+    Group &g = root().child("telemetry");
+    g.formula("latency_p50_ns", "median request latency (sketch)",
+              [tel] { return double(tel->quantileNs(0.50)); });
+    g.formula("latency_p90_ns", "p90 request latency (sketch)",
+              [tel] { return double(tel->quantileNs(0.90)); });
+    g.formula("latency_p99_ns", "p99 request latency (sketch)",
+              [tel] { return double(tel->quantileNs(0.99)); });
+    g.formula("latency_p999_ns", "p99.9 request latency (sketch)",
+              [tel] { return double(tel->quantileNs(0.999)); });
 }
 
 } // namespace nvsim::obs

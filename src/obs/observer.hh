@@ -34,9 +34,11 @@
 #include <memory>
 #include <string>
 
+#include "imc/counters.hh"
 #include "mem/request.hh"
 #include "obs/heatmap.hh"
 #include "obs/perfetto.hh"
+#include "obs/prometheus.hh"
 #include "obs/stats.hh"
 
 namespace nvsim::obs
@@ -44,18 +46,18 @@ namespace nvsim::obs
 
 class CausalTracer;
 struct CausalOptions;
+class TelemetryRun;
 
 /** One epoch's sample, delivered at each epoch boundary. */
 struct EpochSample
 {
     double t0 = 0;  //!< epoch start (simulated seconds)
     double t1 = 0;  //!< epoch end
-    /** Delta 64 B device transactions over the epoch. */
-    std::uint64_t dramRead = 0;
-    std::uint64_t dramWrite = 0;
-    std::uint64_t nvramRead = 0;
-    std::uint64_t nvramWrite = 0;
     std::uint64_t demandBytes = 0;
+    /** Any maintenance activity (refresh/scrub/...) this epoch. */
+    bool maintenance = false;
+    /** System-wide counter deltas over the epoch. */
+    PerfCounters delta;
 };
 
 /** Per-run observability hub. */
@@ -103,6 +105,14 @@ class Observer
     void enableCausal(const CausalOptions &opts);
     CausalTracer *causal() { return causal_.get(); }
     const CausalTracer *causal() const { return causal_.get(); }
+
+    /**
+     * Register the telemetry run's summary quantiles as gauge
+     * formulas under the registry's "telemetry" group, so the latency
+     * sketch shows up in the stats JSON / Prometheus dump. @p tel must
+     * outlive seal().
+     */
+    void attachTelemetry(TelemetryRun *tel);
 
     /**
      * Callback run from the destructor while this Observer is still
@@ -163,6 +173,13 @@ class Observer
     const std::string &statsJson();
     const std::string &statsProm();
 
+    /**
+     * Family-shaped Prometheus samples; seals on first use. Sessions
+     * merge these across runs (obs/prometheus.hh) so the combined
+     * exposition stays strictly valid.
+     */
+    const std::vector<PromFamily> &promFamilies();
+
   private:
     Log2Histogram &latencyHist(CacheOutcome outcome);
     Log2Histogram &accessHist(CacheOutcome outcome);
@@ -183,6 +200,7 @@ class Observer
     bool sealed_ = false;
     std::string statsJson_;
     std::string statsProm_;
+    std::vector<PromFamily> promFamilies_;
 };
 
 /** Stats-group name of an outcome class. */

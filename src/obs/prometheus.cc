@@ -1,5 +1,7 @@
 #include "obs/prometheus.hh"
 
+#include <unordered_map>
+
 #include "core/logging.hh"
 #include "obs/stats.hh"
 
@@ -62,21 +64,48 @@ renderLabels(
     return out;
 }
 
-void
-writeSample(std::ostream &out, const std::string &name,
-            const std::string &labels, double value)
+/** Families indexed by name; appends preserve first-seen order. */
+class FamilySet
 {
-    out << name;
-    if (!labels.empty())
-        out << '{' << labels << '}';
-    out << ' ' << strprintf("%.9g", value) << '\n';
-}
+  public:
+    explicit FamilySet(std::vector<PromFamily> &families)
+        : families_(families)
+    {
+        for (std::size_t i = 0; i < families_.size(); ++i)
+            index_.emplace(families_[i].name, i);
+    }
+
+    PromFamily &
+    family(const std::string &name, const std::string &type,
+           const std::string &help)
+    {
+        auto it = index_.find(name);
+        if (it == index_.end()) {
+            index_.emplace(name, families_.size());
+            families_.push_back(PromFamily{name, type, help, {}});
+            return families_.back();
+        }
+        PromFamily &f = families_[it->second];
+        if (f.type != type) {
+            panic("prometheus: metric '%s' collected as both %s and "
+                  "%s",
+                  name.c_str(), f.type.c_str(), type.c_str());
+        }
+        if (f.help.empty())
+            f.help = help;
+        return f;
+    }
+
+  private:
+    std::vector<PromFamily> &families_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
 
 void
-writeGroup(std::ostream &out, const Group &group,
-           const std::string &path,
-           std::vector<std::pair<std::string, std::string>> labels,
-           const std::string &extra)
+collectGroup(FamilySet &set, const Group &group,
+             const std::string &path,
+             std::vector<std::pair<std::string, std::string>> labels,
+             const std::string &extra)
 {
     for (const auto &kv : group.labels())
         labels.push_back(kv);
@@ -85,21 +114,23 @@ writeGroup(std::ostream &out, const Group &group,
     for (const Stat &s : group.stats()) {
         std::string name = promSanitizeName(
             path.empty() ? s.name : path + "_" + s.name);
-        if (!s.desc.empty())
-            out << "# HELP " << name << ' ' << s.desc << '\n';
         switch (s.kind) {
-          case StatKind::Scalar:
-            out << "# TYPE " << name << " counter\n";
-            writeSample(out, name, rendered,
-                        static_cast<double>(s.scalar->value()));
+          case StatKind::Scalar: {
+            // Counters carry the conventional _total suffix.
+            std::string total = name + "_total";
+            set.family(total, "counter", s.desc)
+                .samples.push_back(
+                    {total, rendered,
+                     static_cast<double>(s.scalar->value())});
             break;
+          }
           case StatKind::Formula:
-            out << "# TYPE " << name << " gauge\n";
-            writeSample(out, name, rendered, s.formula());
+            set.family(name, "gauge", s.desc)
+                .samples.push_back({name, rendered, s.formula()});
             break;
           case StatKind::Histogram: {
             const Log2Histogram &h = *s.histogram;
-            out << "# TYPE " << name << " histogram\n";
+            PromFamily &fam = set.family(name, "histogram", s.desc);
             std::uint64_t cumulative = 0;
             for (unsigned i = 0; i < h.numBuckets(); ++i) {
                 cumulative += h.bucketCount(i);
@@ -110,19 +141,20 @@ writeGroup(std::ostream &out, const Group &group,
                 std::string le = strprintf(
                     "le=\"%llu\"", static_cast<unsigned long long>(
                                        h.bucketHigh(i) - 1));
-                writeSample(out, name + "_bucket",
-                            rendered.empty() ? le : rendered + "," + le,
-                            static_cast<double>(cumulative));
+                fam.samples.push_back(
+                    {name + "_bucket",
+                     rendered.empty() ? le : rendered + "," + le,
+                     static_cast<double>(cumulative)});
             }
             std::string le_inf = "le=\"+Inf\"";
-            writeSample(out, name + "_bucket",
-                        rendered.empty() ? le_inf
-                                         : rendered + "," + le_inf,
-                        static_cast<double>(h.count()));
-            writeSample(out, name + "_sum", rendered,
-                        static_cast<double>(h.sum()));
-            writeSample(out, name + "_count", rendered,
-                        static_cast<double>(h.count()));
+            fam.samples.push_back(
+                {name + "_bucket",
+                 rendered.empty() ? le_inf : rendered + "," + le_inf,
+                 static_cast<double>(h.count())});
+            fam.samples.push_back({name + "_sum", rendered,
+                                   static_cast<double>(h.sum())});
+            fam.samples.push_back({name + "_count", rendered,
+                                   static_cast<double>(h.count())});
             break;
           }
         }
@@ -131,20 +163,61 @@ writeGroup(std::ostream &out, const Group &group,
     for (const auto &c : group.children()) {
         std::string child_path =
             path.empty() ? c->name() : path + "_" + c->name();
-        writeGroup(out, *c, child_path, labels, extra);
+        collectGroup(set, *c, child_path, labels, extra);
     }
 }
 
 } // namespace
 
 void
+collectPrometheus(const Registry &registry,
+                  std::vector<PromFamily> &families,
+                  const std::string &prefix,
+                  const std::string &extra_labels)
+{
+    FamilySet set(families);
+    collectGroup(set, registry.root(),
+                 prefix.empty() ? "" : promSanitizeName(prefix), {},
+                 extra_labels);
+}
+
+void
+mergePrometheus(std::vector<PromFamily> &dst,
+                const std::vector<PromFamily> &src)
+{
+    FamilySet set(dst);
+    for (const PromFamily &f : src) {
+        PromFamily &d = set.family(f.name, f.type, f.help);
+        d.samples.insert(d.samples.end(), f.samples.begin(),
+                         f.samples.end());
+    }
+}
+
+void
+renderPrometheus(const std::vector<PromFamily> &families,
+                 std::ostream &out)
+{
+    for (const PromFamily &f : families) {
+        if (!f.help.empty())
+            out << "# HELP " << f.name << ' ' << f.help << '\n';
+        out << "# TYPE " << f.name << ' ' << f.type << '\n';
+        for (const PromSample &s : f.samples) {
+            out << s.name;
+            if (!s.labels.empty())
+                out << '{' << s.labels << '}';
+            out << ' ' << strprintf("%.9g", s.value) << '\n';
+        }
+    }
+}
+
+void
 writePrometheus(const Registry &registry, std::ostream &out,
                 const std::string &prefix,
                 const std::string &extra_labels)
 {
-    writeGroup(out, registry.root(),
-               prefix.empty() ? "" : promSanitizeName(prefix), {},
-               extra_labels);
+    std::vector<PromFamily> families;
+    collectPrometheus(registry, families, prefix, extra_labels);
+    renderPrometheus(families, out);
 }
 
 } // namespace nvsim::obs

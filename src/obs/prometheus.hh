@@ -4,8 +4,18 @@
  *
  * Metric names are the sanitized dot-joined group path plus the stat
  * name; group labels become Prometheus labels (values escaped per the
- * exposition format). Histograms emit the standard cumulative
- * `_bucket{le="..."}` series plus `_sum` and `_count`.
+ * exposition format). Scalars are counters and get the conventional
+ * `_total` suffix; formulas are gauges; histograms emit the standard
+ * cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+ *
+ * Export is family-shaped so multi-run output is *strictly* valid:
+ * collectPrometheus() appends samples into PromFamily records (merging
+ * by family name), and renderPrometheus() emits each family as one
+ * block — a single `# HELP`/`# TYPE` pair followed by every sample of
+ * that metric across all runs. Naively concatenating per-run dumps
+ * would repeat TYPE lines and split a metric's samples into multiple
+ * groups, both of which the exposition format forbids (and
+ * scripts/prom_lint.py rejects).
  */
 
 #ifndef NVSIM_OBS_PROMETHEUS_HH
@@ -13,11 +23,29 @@
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace nvsim::obs
 {
 
 class Registry;
+
+/** One exposition sample: `name{labels} value`. */
+struct PromSample
+{
+    std::string name;    //!< sample name (may carry _bucket/_sum/...)
+    std::string labels;  //!< rendered label pairs, may be empty
+    double value = 0;
+};
+
+/** One metric family: HELP/TYPE plus its samples across runs. */
+struct PromFamily
+{
+    std::string name;  //!< family name (histogram base name)
+    std::string type;  //!< "counter" | "gauge" | "histogram"
+    std::string help;  //!< may be empty (no HELP line)
+    std::vector<PromSample> samples;
+};
 
 /**
  * Sanitize @p name into a legal Prometheus metric name: characters
@@ -33,10 +61,27 @@ std::string promSanitizeName(const std::string &name);
 std::string promEscapeLabel(const std::string &value);
 
 /**
- * Write the registry in text exposition format. Every metric name is
- * prefixed with @p prefix (e.g. "nvsim"); @p extra_labels (already
- * rendered, e.g. `run="4b"`) is merged into every sample's label set
- * and may be empty.
+ * Append the registry's samples to @p families, merging into existing
+ * families by name. Every metric name is prefixed with @p prefix
+ * (e.g. "nvsim"); @p extra_labels (already rendered, e.g. `run="4b"`)
+ * is merged into every sample's label set and may be empty.
+ */
+void collectPrometheus(const Registry &registry,
+                       std::vector<PromFamily> &families,
+                       const std::string &prefix = "nvsim",
+                       const std::string &extra_labels = "");
+
+/** Append @p src's families/samples into @p dst (merge by name). */
+void mergePrometheus(std::vector<PromFamily> &dst,
+                     const std::vector<PromFamily> &src);
+
+/** Render families in order, one HELP/TYPE block per family. */
+void renderPrometheus(const std::vector<PromFamily> &families,
+                      std::ostream &out);
+
+/**
+ * One-registry convenience: collect + render (what a single-run
+ * caller wants).
  */
 void writePrometheus(const Registry &registry, std::ostream &out,
                      const std::string &prefix = "nvsim",

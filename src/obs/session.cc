@@ -5,6 +5,7 @@
 
 #include <sstream>
 
+#include "core/hostprof.hh"
 #include "core/logging.hh"
 #include "obs/causal.hh"
 #include "obs/json.hh"
@@ -27,7 +28,8 @@ rstrip(std::string s)
 
 } // namespace
 
-Session::Session(SessionOptions opts) : opts_(std::move(opts))
+Session::Session(SessionOptions opts)
+    : opts_(std::move(opts)), telSession_(opts_.telemetry)
 {
     if (!opts_.perfettoPath.empty()) {
         tracer_.nameTrack(Track::Runs, "runs");
@@ -50,7 +52,9 @@ Session::~Session()
 Observer *
 Session::beginRun(const std::string &label)
 {
-    if (!enabled())
+    // Telemetry-only sessions run parallel sweeps; a shared Observer
+    // would race, so only serial (observer-output) sessions get one.
+    if (!opts_.any())
         return nullptr;
     endRun();
     current_ = std::make_unique<Observer>(label);
@@ -73,15 +77,49 @@ Session::beginRun(const std::string &label)
     return current_.get();
 }
 
+TelemetryRun *
+Session::beginTelemetryRun(const std::string &label)
+{
+    TelemetryRun *tel = telSession_.beginRun(label);
+    if (!tel)
+        return nullptr;
+    // In serial mode the open Observer exports the run's summary
+    // quantiles as stats, and endRun() renders the windows onto the
+    // Perfetto timeline. In parallel mode workers own their runs
+    // privately; the session only touches them at write time.
+    if (current_ && current_->runLabel() == label) {
+        current_->attachTelemetry(tel);
+        currentTel_ = tel;
+    }
+    return tel;
+}
+
 void
 Session::endRun()
 {
     if (!current_)
         return;
+    if (currentTel_) {
+        currentTel_->finish();
+        if (!opts_.perfettoPath.empty()) {
+            // One counter sample per window, stamped at window end on
+            // the run's own time base (still set from beginRun()).
+            double w = currentTel_->windowSeconds();
+            for (const TelemetryWindow &win : currentTel_->windows()) {
+                double t = static_cast<double>(win.index + 1) * w;
+                double v = 0;
+                if (TelemetryRun::windowMetric(win, "eff_gbs", &v))
+                    tracer_.counter("tel_eff_GBps", t, v);
+                if (TelemetryRun::windowMetric(win, "p99_ns", &v))
+                    tracer_.counter("tel_p99_ns", t, v);
+            }
+        }
+        currentTel_ = nullptr;
+    }
     current_->seal();
     runsJson_.emplace_back(current_->runLabel(),
                            rstrip(current_->statsJson()));
-    promText_ += current_->statsProm();
+    mergePrometheus(promFamilies_, current_->promFamilies());
     if (const CausalTracer *causal = current_->causal()) {
         causal->foldedLines(foldedLines_, current_->runLabel());
         std::ostringstream os;
@@ -122,6 +160,11 @@ Session::writeFiles(bool from_destructor)
     if (written_ || !enabled())
         return;
     written_ = true;
+    HostPhase phase("obs.write");
+
+    telSession_.writeFiles(from_destructor);
+    if (!opts_.any())
+        return;
 
     auto open = [&](const std::string &path,
                     std::ofstream &ofs) -> bool {
@@ -155,7 +198,7 @@ Session::writeFiles(bool from_destructor)
     if (!opts_.statsPromPath.empty()) {
         std::ofstream ofs;
         if (open(opts_.statsPromPath, ofs)) {
-            ofs << promText_;
+            renderPrometheus(promFamilies_, ofs);
             inform("obs: wrote Prometheus text to %s",
                    opts_.statsPromPath.c_str());
         }

@@ -15,6 +15,11 @@
  *   --perfetto=F      Chrome-trace JSON; open in ui.perfetto.dev
  *   --set-heatmap=F   CSV run,set,hits,misses,evictions
  *
+ * The session also owns the telemetry engine's per-run collectors
+ * (--telemetry= / --telemetry-json= / --slo=, see
+ * obs/telemetry/telemetry.hh); unlike the Observer outputs these do
+ * not force serial execution.
+ *
  * With no option set the session is disabled: beginRun() returns
  * nullptr and nothing is collected or written.
  */
@@ -29,6 +34,7 @@
 
 #include "obs/observer.hh"
 #include "obs/perfetto.hh"
+#include "obs/telemetry/telemetry.hh"
 
 namespace nvsim::obs
 {
@@ -50,12 +56,20 @@ struct SessionOptions
     std::uint64_t causalSeed = 1;           //!< --causal-seed=
     ///@}
 
+    /** Telemetry engine outputs (obs/telemetry/telemetry.hh). */
+    TelemetryOptions telemetry;
+
     bool
     causal() const
     {
         return !causalJsonPath.empty() || !foldedPath.empty();
     }
 
+    /**
+     * Any Observer-based output requested. These force serial
+     * execution (one Observer, one Perfetto timeline); telemetry
+     * alone does not (see Session::serialRequired()).
+     */
     bool
     any() const
     {
@@ -63,6 +77,9 @@ struct SessionOptions
                !perfettoPath.empty() || !heatmapPath.empty() ||
                causal();
     }
+
+    /** Any output at all (observer or telemetry). */
+    bool anyOutput() const { return any() || telemetry.any(); }
 };
 
 /** Multi-run collection session. */
@@ -77,14 +94,31 @@ class Session
     Session(const Session &) = delete;
     Session &operator=(const Session &) = delete;
 
-    bool enabled() const { return opts_.any(); }
+    bool enabled() const { return opts_.anyOutput(); }
+
+    /**
+     * Do the requested outputs force serial execution? Observer-based
+     * collection does (a shared Perfetto timeline, live formula
+     * stats); telemetry-only sessions keep --jobs=N parallelism (runs
+     * are independent and the export is order-normalized).
+     */
+    bool serialRequired() const { return opts_.any(); }
 
     /**
      * Start observing a run. Returns the Observer to attach to the
-     * run's MemorySystem, or nullptr when the session is disabled
-     * (callers need no flag checks). An open run is ended first.
+     * run's MemorySystem, or nullptr when no observer output was
+     * requested (callers need no flag checks). An open run is ended
+     * first.
      */
     Observer *beginRun(const std::string &label);
+
+    /**
+     * Start the telemetry collector for one run; nullptr when
+     * telemetry is off. Thread-safe (parallel sweep workers call this
+     * concurrently). When an Observer run with the same label is open,
+     * the run's summary quantiles are also registered as stats.
+     */
+    TelemetryRun *beginTelemetryRun(const std::string &label);
 
     /**
      * Snapshot the current run's Observer. Must be called while the
@@ -105,11 +139,13 @@ class Session
     SessionOptions opts_;
     std::unique_ptr<Observer> current_;
     std::vector<std::unique_ptr<Observer>> done_;  //!< sealed past runs
+    TelemetrySession telSession_;
+    TelemetryRun *currentTel_ = nullptr;  //!< only set in serial mode
     PerfettoTracer tracer_;
     double runStart_ = 0;  //!< absolute start time of the open run
 
     std::vector<std::pair<std::string, std::string>> runsJson_;
-    std::string promText_;
+    std::vector<PromFamily> promFamilies_;
     std::vector<std::string> heatRows_;
     std::vector<std::pair<std::string, std::string>> causalRuns_;
     std::vector<std::string> foldedLines_;

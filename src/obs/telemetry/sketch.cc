@@ -1,0 +1,166 @@
+#include "obs/telemetry/sketch.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace nvsim::obs
+{
+
+unsigned
+LatencySketch::bucketOf(std::uint64_t v)
+{
+    if (v < kSubBuckets)
+        return static_cast<unsigned>(v);
+    unsigned msb = static_cast<unsigned>(std::bit_width(v) - 1);
+    unsigned octave = msb - kSubBits;
+    unsigned sub =
+        static_cast<unsigned>((v >> octave) - kSubBuckets);
+    return (octave + 1) * kSubBuckets + sub;
+}
+
+std::uint64_t
+LatencySketch::bucketLow(unsigned b)
+{
+    if (b < kSubBuckets)
+        return b;
+    unsigned octave = b / kSubBuckets - 1;
+    unsigned sub = b % kSubBuckets;
+    return static_cast<std::uint64_t>(kSubBuckets + sub) << octave;
+}
+
+std::uint64_t
+LatencySketch::bucketHigh(unsigned b)
+{
+    if (b < kSubBuckets)
+        return b + 1;
+    unsigned octave = b / kSubBuckets - 1;
+    return bucketLow(b) + (static_cast<std::uint64_t>(1) << octave);
+}
+
+std::uint64_t
+LatencySketch::bucketMid(unsigned b)
+{
+    std::uint64_t lo = bucketLow(b);
+    return lo + (bucketHigh(b) - lo) / 2;
+}
+
+void
+LatencySketch::grow(unsigned bucket)
+{
+    if (bucket >= buckets_.size())
+        buckets_.resize(bucket + 1, 0);
+}
+
+void
+LatencySketch::add(std::uint64_t value_ns, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    unsigned b = bucketOf(value_ns);
+    grow(b);
+    buckets_[b] += count;
+    count_ += count;
+    sum_ += value_ns * count;
+    min_ = std::min(min_, value_ns);
+    max_ = std::max(max_, value_ns);
+}
+
+void
+LatencySketch::merge(const LatencySketch &o)
+{
+    if (o.count_ == 0)
+        return;
+    if (o.buckets_.size() > buckets_.size())
+        buckets_.resize(o.buckets_.size(), 0);
+    for (std::size_t i = 0; i < o.buckets_.size(); ++i)
+        buckets_[i] += o.buckets_[i];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+}
+
+void
+LatencySketch::clear()
+{
+    buckets_.clear();
+    count_ = 0;
+    sum_ = 0;
+    min_ = UINT64_MAX;
+    max_ = 0;
+}
+
+double
+LatencySketch::mean() const
+{
+    return count_ ? static_cast<double>(sum_) /
+                        static_cast<double>(count_)
+                  : 0.0;
+}
+
+std::uint64_t
+LatencySketch::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (q < 0)
+        q = 0;
+    if (q > 1)
+        q = 1;
+    // Nearest-rank, 1-based: rank = ceil(q * count), with an epsilon
+    // guard so exact products (0.5 * 4) don't round up off a one-ulp
+    // FP excess. Rank 1 for q = 0 — the minimum.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_) - 1e-9));
+    rank = std::max<std::uint64_t>(1, std::min(rank, count_));
+    // The extreme ranks ARE the tracked extremes — exact, not a
+    // bucket midpoint.
+    if (rank == 1)
+        return min_;
+    if (rank == count_)
+        return max_;
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        cumulative += buckets_[b];
+        if (cumulative >= rank) {
+            std::uint64_t mid = bucketMid(static_cast<unsigned>(b));
+            return std::clamp(mid, min_, max_);
+        }
+    }
+    panic("LatencySketch: rank %llu beyond bucket mass %llu",
+          static_cast<unsigned long long>(rank),
+          static_cast<unsigned long long>(cumulative));
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>>
+LatencySketch::sparse() const
+{
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> out;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        if (buckets_[b])
+            out.emplace_back(static_cast<std::uint32_t>(b),
+                             buckets_[b]);
+    }
+    return out;
+}
+
+bool
+LatencySketch::operator==(const LatencySketch &o) const
+{
+    if (count_ != o.count_ || sum_ != o.sum_ || max_ != o.max_ ||
+        (count_ && min_ != o.min_))
+        return false;
+    std::size_t n = std::max(buckets_.size(), o.buckets_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t a = i < buckets_.size() ? buckets_[i] : 0;
+        std::uint64_t b = i < o.buckets_.size() ? o.buckets_[i] : 0;
+        if (a != b)
+            return false;
+    }
+    return true;
+}
+
+} // namespace nvsim::obs

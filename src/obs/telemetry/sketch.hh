@@ -1,0 +1,110 @@
+/**
+ * @file
+ * LatencySketch: a deterministic log-linear percentile sketch
+ * (HDR-histogram style) over non-negative integer latencies in
+ * nanoseconds.
+ *
+ * Bucket layout: values 0..63 get one exact bucket each. Above that,
+ * every power-of-two octave [2^m, 2^(m+1)) is split into 64 linear
+ * sub-buckets, so a bucket spanning [lo, lo + w) always has
+ * w <= lo / 64. Quantiles report the bucket midpoint, so the error of
+ * a reported quantile against the true sample value is at most w/2,
+ * i.e. a relative error of at most 1/128 (~0.79%) — comfortably
+ * inside the documented <= 2% per-bucket bound (values below 64 are
+ * exact). quantile(0) and quantile(1) are exact: the sketch tracks
+ * min/max and clamps every representative into [min, max].
+ *
+ * Merging is element-wise bucket addition, which is exactly
+ * associative and commutative: merging per-worker sketches in any
+ * order or grouping equals the single-worker sketch bit for bit. This
+ * is what keeps --jobs=N telemetry output byte-identical to serial.
+ *
+ * Memory: the bucket array is grown lazily to the highest touched
+ * bucket; the full range (2^63) needs 3776 buckets (~30 KiB).
+ */
+
+#ifndef NVSIM_OBS_TELEMETRY_SKETCH_HH
+#define NVSIM_OBS_TELEMETRY_SKETCH_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace nvsim::obs
+{
+
+/** Streaming log-linear percentile sketch (see file comment). */
+class LatencySketch
+{
+  public:
+    /** log2 of the sub-buckets per octave. */
+    static constexpr unsigned kSubBits = 6;
+    static constexpr unsigned kSubBuckets = 1u << kSubBits;  // 64
+
+    /**
+     * Largest possible bucket index + 1: 64 exact buckets plus one
+     * octave of 64 sub-buckets for each msb position 6..63.
+     */
+    static constexpr unsigned kMaxBuckets =
+        kSubBuckets * (65 - kSubBits);
+
+    /**
+     * Documented per-bucket relative-error bound of a reported
+     * quantile (test_telemetry verifies it against exact percentiles).
+     */
+    static constexpr double kRelativeErrorBound = 0.02;
+
+    /** Index of the bucket containing @p v. */
+    static unsigned bucketOf(std::uint64_t v);
+
+    /** Inclusive lower bound of bucket @p b. */
+    static std::uint64_t bucketLow(unsigned b);
+
+    /** Exclusive upper bound of bucket @p b. */
+    static std::uint64_t bucketHigh(unsigned b);
+
+    /** Representative (midpoint) of bucket @p b. */
+    static std::uint64_t bucketMid(unsigned b);
+
+    /** Record @p count occurrences of @p value_ns. */
+    void add(std::uint64_t value_ns, std::uint64_t count = 1);
+
+    /** Element-wise merge; exact, associative, commutative. */
+    void merge(const LatencySketch &o);
+
+    void clear();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    bool empty() const { return count_ == 0; }
+    /** Exact extremes of the recorded values (0 when empty). */
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const;
+
+    /**
+     * Value at quantile @p q in [0, 1]: the representative of the
+     * bucket holding the sample of rank ceil(q * count), clamped into
+     * [min, max]. 0 when empty.
+     */
+    std::uint64_t quantile(double q) const;
+
+    /** Sparse (bucket, count) view, ascending bucket index. */
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> sparse() const;
+
+    bool operator==(const LatencySketch &o) const;
+    bool operator!=(const LatencySketch &o) const { return !(*this == o); }
+
+  private:
+    void grow(unsigned bucket);
+
+    std::vector<std::uint64_t> buckets_;  //!< sized lazily
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = UINT64_MAX;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace nvsim::obs
+
+#endif // NVSIM_OBS_TELEMETRY_SKETCH_HH

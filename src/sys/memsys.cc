@@ -7,6 +7,7 @@
 #include "core/rng.hh"
 #include "obs/causal.hh"
 #include "obs/observer.hh"
+#include "obs/telemetry/telemetry.hh"
 
 namespace nvsim
 {
@@ -200,6 +201,25 @@ MemorySystem::detachObserver()
     for (auto &ch : channels_)
         ch.cache().setProfiler(nullptr);
     obs_ = nullptr;
+}
+
+void
+MemorySystem::attachTelemetry(obs::TelemetryRun *telemetry)
+{
+    if (tel_ == telemetry)
+        return;
+    // Close the open epoch so the collector starts on a boundary, and
+    // baseline its snapshots against our cumulative counters (which
+    // may be nonzero after a warmup phase).
+    finishEpoch();
+    tel_ = telemetry;
+    if (!tel_)
+        return;
+    telScratch_.clear();
+    for (const auto &ch : channels_)
+        telScratch_.push_back(ch.counters());
+    tel_->prime(telScratch_.data(),
+                static_cast<unsigned>(telScratch_.size()));
 }
 
 std::uint32_t
@@ -447,8 +467,11 @@ MemorySystem::issueToImc(MemRequestKind kind, Addr line_addr,
     unsigned ch_idx = channelOf(phys);
     ChannelController &ch = channels_[ch_idx];
     AccessResult res = ch.handle(req, poolOf(phys));
-    if (charge_demand)
+    if (charge_demand) {
         epochLatencyWork_ += res.latency;
+        if (tel_)
+            tel_->noteLatency(res.latency);
+    }
     if (obs_) {
         obs_->noteRequest(charge_demand, res.outcome,
                           res.actions.total(), res.latency);
@@ -471,6 +494,8 @@ MemorySystem::touchLine(unsigned thread, CpuOp op, Addr line_addr)
         epochLoadBytes_ += kLineSize;
         if (lr.hit) {
             epochLatencyWork_ += config_.llcHitLatency;
+            if (tel_)
+                tel_->noteLatency(config_.llcHitLatency);
             if (obs_)
                 obs_->noteLlcHit();
         } else {
@@ -566,14 +591,19 @@ MemorySystem::fastRange(unsigned thread, CpuOp op, Addr first,
             if (two_lm) {
                 Addr end = local + n * kLineSize;
                 for (Addr ll = local; ll < end; ll += kLineSize) {
-                    epochLatencyWork_ += ch.handleFast(
+                    double lat = ch.handleFast(
                         MemRequestKind::LlcWrite, ll, tid, pool);
+                    epochLatencyWork_ += lat;
+                    if (tel_)
+                        tel_->noteLatency(lat);
                 }
             } else {
                 double lat = ch.handleFastRun1lm(
                     MemRequestKind::LlcWrite, local, n, tid, pool);
                 for (std::uint64_t i = 0; i < n; ++i)
                     epochLatencyWork_ += lat;
+                if (tel_)
+                    tel_->noteLatency(lat, n);
             }
         } else {
             const bool is_store = op == CpuOp::Store;
@@ -593,6 +623,8 @@ MemorySystem::fastRange(unsigned thread, CpuOp op, Addr first,
                     pool);
                 for (std::uint64_t i = 0; i < run_lines; ++i)
                     epochLatencyWork_ += lat;
+                if (tel_)
+                    tel_->noteLatency(lat, run_lines);
                 run_lines = 0;
             };
             Addr ll = local;
@@ -602,14 +634,22 @@ MemorySystem::fastRange(unsigned thread, CpuOp op, Addr first,
                 if (lr.hit) {
                     flush_run();
                     epochLatencyWork_ += config_.llcHitLatency;
+                    if (tel_)
+                        tel_->noteLatency(config_.llcHitLatency);
                     continue;
                 }
                 if (two_lm) {
-                    epochLatencyWork_ += ch.handleFast(
+                    double lat = ch.handleFast(
                         MemRequestKind::LlcRead, ll, tid, pool);
+                    epochLatencyWork_ += lat;
+                    if (tel_)
+                        tel_->noteLatency(lat);
                     if (lr.evictedDirty) {
-                        epochLatencyWork_ += fastIssue(
+                        double vlat = fastIssue(
                             MemRequestKind::LlcWrite, lr.victim, thread);
+                        epochLatencyWork_ += vlat;
+                        if (tel_)
+                            tel_->noteLatency(vlat);
                     }
                 } else {
                     if (!run_lines)
@@ -617,8 +657,11 @@ MemorySystem::fastRange(unsigned thread, CpuOp op, Addr first,
                     ++run_lines;
                     if (lr.evictedDirty) {
                         flush_run();
-                        epochLatencyWork_ += fastIssue(
+                        double vlat = fastIssue(
                             MemRequestKind::LlcWrite, lr.victim, thread);
+                        epochLatencyWork_ += vlat;
+                        if (tel_)
+                            tel_->noteLatency(vlat);
                     }
                 }
             }
@@ -785,6 +828,17 @@ MemorySystem::finishEpoch()
         }
     }
 
+    if (tel_ && had_activity && dt > 0) {
+        // The telemetry collector diffs against its own snapshots, so
+        // it just needs the cumulative per-channel blocks.
+        telScratch_.clear();
+        for (const auto &ch : channels_)
+            telScratch_.push_back(ch.counters());
+        tel_->onEpoch(now_ - dt, now_, epochDemandBytes_,
+                      telScratch_.data(),
+                      static_cast<unsigned>(telScratch_.size()));
+    }
+
     if ((recordTrace_ || obs_) && had_activity && dt > 0) {
         PerfCounters total = counters();
         PerfCounters d = total.delta(lastSample_);
@@ -793,11 +847,9 @@ MemorySystem::finishEpoch()
             obs::EpochSample s;
             s.t0 = now_ - dt;
             s.t1 = now_;
-            s.dramRead = d.dramRead;
-            s.dramWrite = d.dramWrite;
-            s.nvramRead = d.nvramRead;
-            s.nvramWrite = d.nvramWrite;
             s.demandBytes = epochDemandBytes_;
+            s.maintenance = maintEnabled_;
+            s.delta = d;
             obs_->noteEpoch(s);
         }
         if (recordTrace_) {
@@ -896,6 +948,8 @@ MemorySystem::resetCounters()
     now_ = 0;
     if (obs_)
         obs_->onCountersReset(prior_now);
+    if (tel_)
+        tel_->onCountersReset();
 }
 
 PerfCounters

@@ -44,6 +44,7 @@ namespace nvsim
 namespace obs
 {
 class Observer;
+class TelemetryRun;
 } // namespace obs
 
 /** A named allocation in the simulated physical address space. */
@@ -184,6 +185,20 @@ class MemorySystem
     void detachObserver();
     obs::Observer *observer() { return obs_; }
 
+    /**
+     * Attach a telemetry collector (obs/telemetry/telemetry.hh): at
+     * every epoch boundary it receives the per-channel counter blocks,
+     * and every demand request's latency feeds its percentile sketch.
+     * Unlike attachObserver() this does NOT force the per-line access
+     * engine — the batched engine reports identical bulk latencies —
+     * so telemetry collection keeps full sweep performance. Closes the
+     * open epoch first so the collector starts on a clean boundary.
+     * Not owned; must outlive the system or be detached first.
+     */
+    void attachTelemetry(obs::TelemetryRun *telemetry);
+    void detachTelemetry() { tel_ = nullptr; }
+    obs::TelemetryRun *telemetry() { return tel_; }
+
     const SystemConfig &config() const { return config_; }
     const Llc &llc() const { return llc_; }
     Llc &llc() { return llc_; }
@@ -306,6 +321,8 @@ class MemorySystem
     bool batched_;  //!< accessRange engine (see setBatchedAccess)
     TimeSeries trace_;
     obs::Observer *obs_ = nullptr;  //!< optional, not owned
+    obs::TelemetryRun *tel_ = nullptr;  //!< optional, not owned
+    std::vector<PerfCounters> telScratch_;  //!< per-channel blocks
 
     // Fault state. faultEnabled_ caches config_.fault.enabled() so the
     // hot paths pay one predictable branch on a fault-free machine.

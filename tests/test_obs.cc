@@ -152,11 +152,12 @@ TEST(Prometheus, WritesScalarsFormulasAndHistograms)
     obs::writePrometheus(reg, os, "nvsim", "run=\"r1\"");
     std::string text = os.str();
 
-    EXPECT_NE(text.find("# TYPE nvsim_imc0_reads counter"),
+    // Scalars are counters and carry the conventional _total suffix.
+    EXPECT_NE(text.find("# TYPE nvsim_imc0_reads_total counter"),
               std::string::npos);
     // Extra (session-level) labels render first, then group labels.
     EXPECT_NE(
-        text.find("nvsim_imc0_reads{run=\"r1\",channel=\"0\"} 7"),
+        text.find("nvsim_imc0_reads_total{run=\"r1\",channel=\"0\"} 7"),
         std::string::npos);
     EXPECT_NE(text.find("# TYPE nvsim_imc0_rate gauge"),
               std::string::npos);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/timeseries.hh"
 
 using namespace nvsim;
@@ -55,4 +57,65 @@ TEST(TimeSeries, WindowAverageDegenerate)
     ASSERT_EQ(smooth.size(), 1u);
     EXPECT_DOUBLE_EQ(smooth[0].value, 3.0);
     EXPECT_TRUE(ts.windowAverage("missing", 1.0).empty());
+}
+
+// --------------------------------------------------------------------
+// Ring: the storage behind both TimeSeries and telemetry windows
+
+TEST(Ring, UnboundedNeverEvicts)
+{
+    Ring<int> r;
+    for (int i = 0; i < 100; ++i)
+        r.push(i);
+    EXPECT_EQ(r.size(), 100u);
+    EXPECT_EQ(r.dropped(), 0u);
+    EXPECT_EQ(r.capacity(), 0u);
+    EXPECT_EQ(r[0], 0);
+    EXPECT_EQ(r.back(), 99);
+}
+
+TEST(Ring, BoundedEvictsOldestAndCountsDrops)
+{
+    Ring<int> r(3);
+    for (int i = 0; i < 8; ++i)
+        r.push(i);
+    EXPECT_EQ(r.size(), 3u);
+    EXPECT_EQ(r.dropped(), 5u);
+    // Logical indexing: [0] is the oldest retained element.
+    EXPECT_EQ(r[0], 5);
+    EXPECT_EQ(r[1], 6);
+    EXPECT_EQ(r[2], 7);
+    EXPECT_EQ(r.back(), 7);
+
+    // Oldest-to-newest range-for.
+    std::vector<int> seen;
+    for (int v : r)
+        seen.push_back(v);
+    EXPECT_EQ(seen, (std::vector<int>{5, 6, 7}));
+}
+
+TEST(Ring, ClearResetsDropAccounting)
+{
+    Ring<int> r(2);
+    for (int i = 0; i < 5; ++i)
+        r.push(i);
+    EXPECT_EQ(r.dropped(), 3u);
+    r.clear();
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.dropped(), 0u);
+    r.push(42);
+    EXPECT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0], 42);
+    EXPECT_EQ(r.dropped(), 0u);
+}
+
+TEST(Ring, BackIsMutable)
+{
+    Ring<int> r(2);
+    r.push(1);
+    r.push(2);
+    r.push(3);  // evicts 1
+    r.back() = 7;
+    EXPECT_EQ(r[1], 7);
+    EXPECT_EQ(r[0], 2);
 }

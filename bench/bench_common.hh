@@ -79,6 +79,39 @@ timeArg(const std::string &value, const char *flag)
     return v;
 }
 
+/** Real-valued argument (e.g. a z-score threshold). */
+inline double
+realArg(const std::string &value, const char *flag)
+{
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        fatal("%s wants a number, got '%s'", flag, value.c_str());
+    return v;
+}
+
+/**
+ * Flags that cannot change any simulated result — output paths,
+ * worker counts, report sizes. They are excluded from the provenance
+ * manifest so the same experiment writes byte-identical artifacts at
+ * any --jobs=N or output filename.
+ */
+inline bool
+manifestNeutral(const char *arg)
+{
+    static const char *const kNeutral[] = {
+        "--jobs=",          "--stats-json=",  "--stats-prom=",
+        "--perfetto=",      "--set-heatmap=", "--causal-trace=",
+        "--folded-stacks=", "--telemetry=",   "--telemetry-json=",
+        "--anomaly-report=", "--top-sets=",
+    };
+    for (const char *prefix : kNeutral) {
+        if (std::strncmp(arg, prefix, std::strlen(prefix)) == 0)
+            return true;
+    }
+    return false;
+}
+
 /** Consume one observability flag; false if @p arg is not one. */
 inline bool
 parseObsFlag(const char *arg, obs::SessionOptions &opts)
@@ -120,6 +153,16 @@ parseObsFlag(const char *arg, obs::SessionOptions &opts)
     if (matchFlag(arg, "--telemetry-ring=", &value)) {
         opts.telemetry.ringWindows = static_cast<std::size_t>(
             numberArg(value, "--telemetry-ring="));
+        return true;
+    }
+    if (matchFlag(arg, "--anomaly-report=",
+                  &opts.telemetry.anomalyJsonPath)) {
+        return true;
+    }
+    if (matchFlag(arg, "--anomaly-z=", &value)) {
+        opts.telemetry.anomalyZ = realArg(value, "--anomaly-z=");
+        if (opts.telemetry.anomalyZ <= 0)
+            fatal("--anomaly-z= must be positive");
         return true;
     }
     return false;
@@ -170,7 +213,11 @@ benchUsage()
            "                      (default 4096; oldest evicted first)\n"
            "  --slo=SPEC          objectives, e.g.\n"
            "                      'p99_ns<2000;eff_gbs>10@95%'; the\n"
-           "                      report prints PASS/FAIL per run";
+           "                      report prints PASS/FAIL per run\n"
+           "  --anomaly-report=FILE per-window anomaly detector\n"
+           "                      firings as nvsim-anomaly-v1 JSON\n"
+           "  --anomaly-z=Z       robust z-score firing threshold\n"
+           "                      (default 6.0)";
 }
 
 /**
@@ -185,31 +232,70 @@ benchUsage()
  * MemorySystem the bench builds uses the requested engine.
  */
 inline BenchOptions
-parseBenchOptions(int argc, char **argv)
+parseBenchArgs(int &argc, char **argv, bool keep_unknown)
 {
     BenchOptions opts;
+    obs::RunManifest &man = opts.obs.telemetry.manifest;
+    if (argc > 0 && argv[0]) {
+        const char *slash = std::strrchr(argv[0], '/');
+        man.bench = slash ? slash + 1 : argv[0];
+    }
+    int kept = 1;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         std::string value;
-        if (detail::parseObsFlag(arg, opts.obs))
-            continue;
-        if (detail::matchFlag(arg, "--config=", &opts.configPath))
-            continue;
-        if (detail::matchFlag(arg, "--jobs=", &value)) {
+        bool known = true;
+        if (detail::parseObsFlag(arg, opts.obs)) {
+        } else if (detail::matchFlag(arg, "--config=",
+                                     &opts.configPath)) {
+        } else if (detail::matchFlag(arg, "--jobs=", &value)) {
             opts.jobs = static_cast<unsigned>(
                 detail::numberArg(value, "--jobs="));
             if (opts.jobs == 0)
                 fatal("--jobs= must be >= 1");
-            continue;
-        }
-        if (std::strcmp(arg, "--per-line") == 0) {
+        } else if (std::strcmp(arg, "--per-line") == 0) {
             opts.perLine = true;
+        } else {
+            known = false;
+        }
+        if (!known) {
+            if (!keep_unknown)
+                fatal("unknown argument '%s'\n%s", arg, benchUsage());
+            argv[kept++] = argv[i];
             continue;
         }
-        fatal("unknown argument '%s'\n%s", arg, benchUsage());
+        // Provenance: record the flags that can change results;
+        // result-neutral ones (outputs, --jobs=) would break the
+        // byte-identical-at-any-jobs guarantee.
+        if (!detail::manifestNeutral(arg))
+            man.flags.push_back(arg);
     }
+    if (keep_unknown) {
+        argc = kept;
+        argv[argc] = nullptr;
+    }
+    man.causalSeed = opts.obs.causalSeed;
+    man.readEnvironment();
     MemorySystem::setBatchedAccessDefault(!opts.perLine);
     return opts;
+}
+
+inline BenchOptions
+parseBenchOptions(int argc, char **argv)
+{
+    return parseBenchArgs(argc, argv, false);
+}
+
+/**
+ * parseBenchOptions for binaries that share argv with another flag
+ * parser (the google-benchmark suite): consumes every nvsim flag,
+ * compacts argv in place to the remaining arguments, and updates
+ * @p argc — pass the compacted argv on to benchmark::Initialize().
+ */
+inline BenchOptions
+parseBenchOptionsPartial(int &argc, char **argv)
+{
+    return parseBenchArgs(argc, argv, true);
 }
 
 /**

@@ -5,16 +5,21 @@
  * guard the simulator's throughput (the figure benches stream hundreds
  * of millions of lines) rather than reproducing a paper result.
  *
- * This binary deliberately does NOT take the shared bench flags
- * (--telemetry=, --jobs=, ...): BENCHMARK_MAIN() owns argv and rejects
- * unknown flags, and the google-benchmark harness re-runs each body an
+ * The binary shares the nvsim flag set with the figure benches:
+ * parseBenchOptionsPartial() consumes --config=/--jobs=/observability
+ * flags and compacts argv before benchmark::Initialize() sees it, so
+ * nvsim and --benchmark_* flags coexist. The obs::Session exists for
+ * its provenance side: requested artifacts (telemetry JSON, Prometheus
+ * text, Perfetto trace) carry the run manifest, and --config= reshapes
+ * the platform under BM_MemorySystem*. Per-run telemetry is still not
+ * attached inside benchmark bodies — the harness re-runs each body an
  * adaptive number of times, which would fold warmup iterations into
- * any attached telemetry windows. Use the figure benches for
- * observability output.
+ * the windows; use the figure benches for windowed observability.
  */
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
 #include "core/lfsr.hh"
 #include "imc/dram_cache.hh"
 #include "kernels/pattern.hh"
@@ -24,6 +29,15 @@ using namespace nvsim;
 
 namespace
 {
+
+/** Parsed nvsim flags, shared with the benchmark bodies. */
+const bench::BenchOptions *g_opts = nullptr;
+
+SystemConfig
+platformConfig()
+{
+    return g_opts ? bench::benchConfig(*g_opts) : SystemConfig{};
+}
 
 void
 BM_LfsrNext(benchmark::State &state)
@@ -79,7 +93,7 @@ BENCHMARK(BM_DramCacheMissStream);
 void
 BM_MemorySystemLoadLine(benchmark::State &state)
 {
-    SystemConfig cfg;
+    SystemConfig cfg = platformConfig();
     cfg.mode = static_cast<MemoryMode>(state.range(0));
     cfg.scale = 4096;
     auto sys_sys = makeSystem(cfg);
@@ -102,7 +116,7 @@ BENCHMARK(BM_MemorySystemLoadLine)
 void
 BM_MemorySystemNtStoreLine(benchmark::State &state)
 {
-    SystemConfig cfg;
+    SystemConfig cfg = platformConfig();
     cfg.mode = MemoryMode::TwoLm;
     cfg.scale = 4096;
     auto sys_sys = makeSystem(cfg);
@@ -122,4 +136,18 @@ BENCHMARK(BM_MemorySystemNtStoreLine);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts =
+        bench::parseBenchOptionsPartial(argc, argv);
+    g_opts = &opts;
+    obs::Session session(opts.obs);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    session.write();
+    return 0;
+}

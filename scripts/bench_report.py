@@ -7,7 +7,7 @@ scratch directory, extracts the headline metrics from their CSVs and
 console tables, exercises the causal tracer at two seeds, times the
 sweep/access engines against each other, runs the maintenance
 interference sweep, and writes everything to one JSON file (default
-BENCH_PR7.json):
+BENCH_PR8.json):
 
   - fig2: peak bandwidth per figure/variant (GB/s);
   - fig4: per-scenario effective bandwidth and device-traffic split;
@@ -25,7 +25,9 @@ BENCH_PR7.json):
     under faults);
   - telemetry: the epoch-telemetry engine's whole-run percentiles and
     counter totals on fig4, plus the proof that --jobs=N telemetry
-    exports are byte-identical to serial;
+    exports are byte-identical to serial, plus the telemetry document
+    itself (aggregate windows; per-channel blocks stripped for size) so
+    two reports can be diffed by tools/nvsim_inspect;
   - host_phases: per-phase host wall-clock from the NVSIM_HOST_PROFILE
     profiler (sweep batches, observability/telemetry writes);
   - host_calibration: seconds for a fixed CPU-bound workload, the
@@ -44,11 +46,19 @@ comparable across differently loaded hosts, so each report records a
 host_calibration yardstick (fixed CPU-bound workload, best of 5) and
 the gate compares seconds-per-calibration-second. A baseline without
 the yardstick gets its wall-clock metrics skipped (with a note)
-rather than producing noise-driven verdicts.
+rather than producing noise-driven verdicts. The yardstick is also
+exported to every bench invocation as NVSIM_HOST_CALIBRATION, so the
+provenance manifests embedded in their artifacts carry it.
+
+When the gate fires and both reports embed a telemetry document, the
+gate shells out to tools/nvsim_inspect (--inspect=PATH overrides the
+auto-detected build/tools/nvsim_inspect) to diff the two documents, so
+the failure names the offending windows and blames a counter family
+instead of just printing a percentage.
 
 Usage:
     python3 scripts/bench_report.py [build_dir] [out.json]
-        [--against PREV.json] [--threshold 0.10]
+        [--against PREV.json] [--threshold 0.10] [--inspect PATH]
 """
 
 import argparse
@@ -70,10 +80,19 @@ TIMINGS = []
 # host-profile: <phase> <calls> <seconds> lines seen on stderr.
 HOST_PHASES = defaultdict(lambda: {"calls": 0, "seconds": 0.0})
 
+# The host-calibration yardstick, measured once in main() and exported
+# to every bench as NVSIM_HOST_CALIBRATION so their provenance
+# manifests record it. One fixed string per session keeps the
+# telemetry byte-identity checks honest.
+CALIBRATION = None
+
 
 def run_bench(build, name, scratch, *flags, env=None):
     exe = Path(build) / "bench" / name
     run_env = dict(os.environ, **(env or {}))
+    if CALIBRATION is not None:
+        run_env.setdefault("NVSIM_HOST_CALIBRATION",
+                           f"{CALIBRATION:.6f}")
     t0 = time.monotonic()
     proc = subprocess.run([str(exe), *flags], cwd=scratch, env=run_env,
                           capture_output=True, text=True, check=True)
@@ -248,6 +267,14 @@ def telemetry_section(build, scratch):
                      .read_text())
     first = (tel["runs"][0].get("telemetry", {})
              if tel.get("runs") else {})
+    # Embed the document itself so the next PR's perf gate can diff
+    # the two telemetry timelines with nvsim_inspect. Per-channel
+    # window blocks are dropped for size; the aggregate series carry
+    # everything the gate needs to name windows and blame families.
+    doc = json.loads(json.dumps(tel))
+    for run in doc.get("runs", []):
+        for window in run.get("telemetry", {}).get("windows", []):
+            window.pop("per_channel", None)
     return {
         "schema": tel.get("schema"),
         "num_runs": len(tel.get("runs", [])),
@@ -258,6 +285,7 @@ def telemetry_section(build, scratch):
             runs["serial"]["csv_sha256"] == runs["parallel"]["csv_sha256"]
             and runs["serial"]["json_sha256"]
             == runs["parallel"]["json_sha256"],
+        "doc": doc,
     }
 
 
@@ -300,7 +328,29 @@ def gate_metrics(report):
     return out
 
 
-def perf_gate(report, against_path, threshold):
+def inspect_diff(inspect, prev, report):
+    """Diff the embedded telemetry docs with nvsim_inspect, so a gate
+    failure names the regressing windows and blames a counter family.
+    Best-effort: silently skipped when either side predates the
+    embedded doc or the binary is missing."""
+    prev_doc = prev.get("telemetry", {}).get("doc")
+    cur_doc = report.get("telemetry", {}).get("doc")
+    if not (inspect and Path(inspect).exists() and prev_doc and cur_doc):
+        return
+    with tempfile.TemporaryDirectory() as tmp:
+        a = Path(tmp) / "baseline_tel.json"
+        b = Path(tmp) / "current_tel.json"
+        a.write_text(json.dumps(prev_doc))
+        b.write_text(json.dumps(cur_doc))
+        proc = subprocess.run(
+            [str(inspect), "diff", str(a), str(b), "--top=5"],
+            capture_output=True, text=True)
+    print("telemetry diff (baseline -> current), via nvsim_inspect:")
+    for line in proc.stdout.splitlines():
+        print(f"  {line}")
+
+
+def perf_gate(report, against_path, threshold, inspect=None):
     """Compare to the previous report; list of regression strings."""
     prev = json.loads(Path(against_path).read_text())
     cur_m, prev_m = gate_metrics(report), gate_metrics(prev)
@@ -337,6 +387,8 @@ def perf_gate(report, against_path, threshold):
              "no host_calibration" if skipped else ""))
     for r in regressions:
         print(f"  REGRESSION {r}")
+    if regressions:
+        inspect_diff(inspect, prev, report)
     return regressions
 
 
@@ -344,17 +396,24 @@ def main():
     parser = argparse.ArgumentParser(
         description="bench report + optional perf-regression gate")
     parser.add_argument("build", nargs="?", default="build")
-    parser.add_argument("out", nargs="?", default="BENCH_PR7.json")
+    parser.add_argument("out", nargs="?", default="BENCH_PR8.json")
     parser.add_argument("--against", metavar="PREV.json",
                         help="previous report to gate against")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="relative regression budget (default 0.10)")
+    parser.add_argument("--inspect", metavar="PATH",
+                        help="nvsim_inspect binary for gate-failure "
+                        "diffs (default: <build>/tools/nvsim_inspect)")
     args = parser.parse_args()
     build = Path(args.build).resolve()
     out = Path(args.out)
+    inspect = args.inspect or str(build / "tools" / "nvsim_inspect")
     if not (build / "bench" / "bench_fig2_nvram_bw").exists():
         print(f"no benches under {build}/bench — build first", file=sys.stderr)
         return 2
+
+    global CALIBRATION
+    CALIBRATION = host_calibration()
 
     with tempfile.TemporaryDirectory() as tmp:
         scratch = Path(tmp)
@@ -403,7 +462,7 @@ def main():
         report["host_phases"] = {
             k: {"calls": v["calls"], "seconds": round(v["seconds"], 6)}
             for k, v in sorted(HOST_PHASES.items())}
-        report["host_calibration"] = host_calibration()
+        report["host_calibration"] = CALIBRATION
         report["timings"] = TIMINGS
 
     out.write_text(json.dumps(report, indent=2) + "\n")
@@ -420,7 +479,8 @@ def main():
     if not ok:
         return 1
     if args.against:
-        if perf_gate(report, args.against, args.threshold):
+        if perf_gate(report, args.against, args.threshold,
+                     inspect=inspect):
             return 1
     return 0
 

@@ -208,13 +208,77 @@ diff "$teld_dir/jobs1/tel.json" "$teld_dir/jobs4/tel.json"
 rm -rf "$teld_dir"
 echo "telemetry determinism passed: exports byte-identical."
 
+# Differential-telemetry smoke: two identical invocations must diff
+# empty (exit 0); a perturbed maintenance config must diff non-empty
+# (exit 1) with the regression blamed on the maintenance counter
+# family. Also smokes the anomalies/manifest subcommands and the
+# --anomaly-report= bench flag.
+echo "=== diff smoke (nvsim_inspect over telemetry artifacts) ==="
+inspect="$root/build/tools/nvsim_inspect"
+diff_dir=$(mktemp -d)
+for tag in a b; do
+    mkdir -p "$diff_dir/$tag"
+    (cd "$diff_dir/$tag" && \
+        "$root/build/bench/bench_fig4_2lm_microbench" --jobs=2 \
+        --telemetry-json=tel.json > /dev/null)
+done
+"$inspect" diff "$diff_dir/a/tel.json" "$diff_dir/b/tel.json"
+echo "identical-input diff is empty (exit 0)."
+cat > "$diff_dir/maint_on.json" <<'EOF'
+{
+  "maintenance": {
+    "seed": 1,
+    "refresh": {"trefi": 7.8e-6, "trfc": 350e-9},
+    "scrub": {"interval": 1e-3, "correctable": 0, "uncorrectable": 0,
+              "retire_threshold": 2, "retire_capacity": 64},
+    "rowhammer": {"threshold": 0, "tracker_entries": 64,
+                  "row_bytes": 8192, "blast_radius": 2,
+                  "refresh_latency": 60e-9, "window": 64e-3}
+  }
+}
+EOF
+mkdir -p "$diff_dir/maint"
+(cd "$diff_dir/maint" && \
+    "$root/build/bench/bench_fig4_2lm_microbench" --jobs=2 \
+    --config="$diff_dir/maint_on.json" --telemetry-json=tel.json \
+    > /dev/null)
+set +e
+"$inspect" diff "$diff_dir/a/tel.json" "$diff_dir/maint/tel.json" \
+    --json="$diff_dir/diff.json" > "$diff_dir/diff.txt"
+diff_rc=$?
+set -e
+test "$diff_rc" -eq 1
+grep -q 'blame maintenance' "$diff_dir/diff.txt"
+grep -q 'maintenance_stall_ns' "$diff_dir/diff.txt"
+grep -q 'config hash' "$diff_dir/diff.txt"
+python3 -m json.tool "$diff_dir/diff.json" > /dev/null
+"$inspect" manifest "$diff_dir/a/tel.json" | \
+    grep -q 'bench: bench_fig4_2lm_microbench'
+"$inspect" anomalies "$diff_dir/a/tel.json" > /dev/null || true
+(cd "$diff_dir/a" && "$root/build/bench/bench_fig4_2lm_microbench" \
+    --jobs=2 --anomaly-report=anoms.json > /dev/null)
+python3 -m json.tool "$diff_dir/a/anoms.json" > /dev/null
+grep -q '"schema":"nvsim-anomaly-v1"' "$diff_dir/a/anoms.json"
+(cd "$diff_dir" && "$root/build/bench/bench_micro_gbench" \
+    --telemetry-json=micro_tel.json --benchmark_filter=BM_LfsrNext \
+    > /dev/null)
+"$inspect" manifest "$diff_dir/micro_tel.json" | \
+    grep -q 'bench: bench_micro_gbench'
+rm -rf "$diff_dir"
+echo "diff smoke passed: empty on identical runs, maintenance blamed" \
+     "on perturbation."
+
 # Prometheus strict lint: the exposition-format rules scrapers only
 # half-enforce (one TYPE per family, counters end _total, histogram
-# le monotonic with +Inf == _count, no duplicate samples).
+# le monotonic with +Inf == _count, no duplicate samples, info-style
+# families are gauges with value 1 and labeled). The export must also
+# carry the nvsim_build_info provenance gauge.
 echo "=== prometheus strict lint ==="
 prom_dir=$(mktemp -d)
 (cd "$prom_dir" && "$root/build/bench/bench_fig4_2lm_microbench" \
     --stats-prom=stats.prom --telemetry-json=tel.json > /dev/null)
+grep -q '^nvsim_build_info{' "$prom_dir/stats.prom"
+grep -q 'config_hash="0x' "$prom_dir/stats.prom"
 python3 "$root/scripts/prom_lint.py" "$prom_dir/stats.prom"
 rm -rf "$prom_dir"
 echo "prometheus lint passed: exposition is strictly valid."
@@ -224,25 +288,29 @@ echo "prometheus lint passed: exposition is strictly valid."
 # checked-in report. NVSIM_PERF_GATE=off skips the comparison (for
 # hosts whose wall-clock is incomparable to the recorded baseline);
 # the report itself is always written.
-echo "=== bench report + perf gate (BENCH_PR7.json) ==="
+echo "=== bench report + perf gate (BENCH_PR8.json) ==="
 python3 "$root/scripts/bench_report.py" "$root/build" \
-    "$root/BENCH_PR7.json"
+    "$root/BENCH_PR8.json"
 if [ "${NVSIM_PERF_GATE:-on}" = "off" ]; then
     echo "perf gate skipped (NVSIM_PERF_GATE=off)."
-elif [ ! -f "$root/BENCH_PR6.json" ]; then
-    echo "perf gate skipped (no BENCH_PR6.json baseline)."
+elif [ ! -f "$root/BENCH_PR7.json" ]; then
+    echo "perf gate skipped (no BENCH_PR7.json baseline)."
 else
-    python3 - "$root/BENCH_PR7.json" "$root/BENCH_PR6.json" <<'EOF'
+    python3 - "$root/BENCH_PR8.json" "$root/BENCH_PR7.json" \
+        "$root/build/tools/nvsim_inspect" <<'EOF'
 import json, os, sys
 sys.path.insert(0, os.path.join(os.path.dirname(sys.argv[1]), "scripts"))
 from bench_report import perf_gate
 report = json.loads(open(sys.argv[1]).read())
-if perf_gate(report, sys.argv[2], 0.10):
+if perf_gate(report, sys.argv[2], 0.10, inspect=sys.argv[3]):
     sys.exit(1)
 EOF
     # Gate self-test: a tampered baseline whose serial seconds are 10x
     # faster than reality must trip the gate — proving it can fail.
-    python3 - "$root/BENCH_PR7.json" <<'EOF'
+    # The inspect hook runs on the tampered baseline too, exercising
+    # the named-windows diff path end to end.
+    python3 - "$root/BENCH_PR8.json" \
+        "$root/build/tools/nvsim_inspect" <<'EOF'
 import copy, json, os, sys, tempfile
 sys.path.insert(0, os.path.join(os.path.dirname(sys.argv[1]), "scripts"))
 from bench_report import perf_gate
@@ -254,7 +322,7 @@ for bench in fast.get("engine_comparison", {}).values():
 with tempfile.NamedTemporaryFile("w", suffix=".json") as f:
     json.dump(fast, f)
     f.flush()
-    if not perf_gate(report, f.name, 0.10):
+    if not perf_gate(report, f.name, 0.10, inspect=sys.argv[2]):
         print("perf-gate self-test FAILED: injected 10x slowdown "
               "not detected")
         sys.exit(1)

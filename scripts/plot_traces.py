@@ -8,11 +8,19 @@ them into PNGs resembling the paper's figures. Files written by
 rendered as a self-contained flamegraph SVG instead — no matplotlib
 needed for those.
 
+JSON artifacts are dispatched on their "schema" field: an
+nvsim-telemetry-diff-v1 report (nvsim_inspect diff --json=...) becomes
+a per-window signed relative-delta heatmap, and an nvsim-anomaly-v1
+report (--anomaly-report=) can be overlaid on the telemetry plot as
+markers at the windows where a detector fired.
+
 Usage:
     python3 scripts/plot_traces.py fig5_traces.csv [out.png]
     python3 scripts/plot_traces.py fig2_nvram_bw.csv
     python3 scripts/plot_traces.py fig4_folded.txt [out.svg]
     python3 scripts/plot_traces.py tel.csv          # --telemetry= series
+    python3 scripts/plot_traces.py tel.csv --anomalies=anoms.json
+    python3 scripts/plot_traces.py diff.json [out.png]
 
 Requires matplotlib for the CSV plots (not needed for the simulation
 itself, nor for the flamegraph).
@@ -20,6 +28,7 @@ itself, nor for the flamegraph).
 
 import csv
 import html
+import json
 import sys
 import zlib
 from collections import defaultdict
@@ -122,11 +131,13 @@ def plot_sweep(header, rows, out):
     print(f"wrote {out}")
 
 
-def plot_telemetry(header, rows, out):
+def plot_telemetry(header, rows, out, anomalies=None):
     """--telemetry= windowed series (run,window,t0,t1,channel,metric,
     value): bandwidth rates on top, latency percentiles below, one
     line per run. Only the aggregate ("all") channel is drawn; the
-    per-channel rows carry the same metrics at finer grain."""
+    per-channel rows carry the same metrics at finer grain. With
+    anomalies (an nvsim-anomaly-v1 document), detector firings are
+    drawn as vertical markers at the windows that fired."""
     import matplotlib
 
     matplotlib.use("Agg")
@@ -135,8 +146,12 @@ def plot_telemetry(header, rows, out):
     rates = ("eff_gbs", "dram_gbs", "nvram_gbs")
     pcts = ("p50_ns", "p99_ns")
     series = defaultdict(lambda: ([], []))
-    for run, _window, t0, _t1, channel, metric, value in rows:
-        if channel != "all" or metric not in rates + pcts:
+    window_t0 = {}  # (run, window index) -> plotted time (ms)
+    for run, window, t0, _t1, channel, metric, value in rows:
+        if channel != "all":
+            continue
+        window_t0[(run, int(window))] = float(t0) * 1e3
+        if metric not in rates + pcts:
             continue
         xs, ys = series[(run, metric)]
         xs.append(float(t0) * 1e3)
@@ -154,6 +169,27 @@ def plot_telemetry(header, rows, out):
     for (run, metric), (xs, ys) in sorted(series.items()):
         ax = axes[1] if metric in pcts and have_pcts else axes[0]
         ax.plot(xs, ys, label=f"{run}:{metric}", linewidth=0.9)
+
+    shown = missed = 0
+    for run_entry in (anomalies or {}).get("runs", []):
+        label = run_entry.get("label", "")
+        for a in run_entry.get("anomalies", []):
+            t = window_t0.get((label, int(a["window"])))
+            if t is None:
+                missed += 1
+                continue
+            shown += 1
+            for ax in axes:
+                ax.axvline(t, color="red", linewidth=0.6, alpha=0.5)
+            axes[0].annotate(a["metric"], (t, 0.98),
+                             xycoords=("data", "axes fraction"),
+                             fontsize=5, rotation=90, color="red",
+                             ha="right", va="top")
+    if anomalies is not None:
+        print(f"anomaly overlay: {shown} firing(s) drawn"
+              + (f", {missed} outside the CSV's windows" if missed
+                 else ""))
+
     axes[0].set_ylabel("GB/s")
     axes[0].legend(fontsize=6, ncol=2)
     if have_pcts:
@@ -161,6 +197,49 @@ def plot_telemetry(header, rows, out):
         axes[1].set_yscale("log")
         axes[1].legend(fontsize=6, ncol=2)
     axes[-1].set_xlabel("simulated time (ms)")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_diff(doc, out):
+    """nvsim-telemetry-diff-v1 report -> per-run heatmap of signed
+    relative deltas, one row per changed (channel, metric) series and
+    one column per window. Red = grew in B, blue = shrank."""
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    runs = [r for r in doc.get("runs", []) if r.get("entries")]
+    if not runs:
+        print("diff report has no changed series; nothing to plot")
+        return
+
+    fig, axes = plt.subplots(len(runs), 1,
+                             figsize=(10, 3.0 * len(runs)),
+                             squeeze=False)
+    for ax, run in zip((a for row in axes for a in row), runs):
+        entries = run["entries"]
+        keys = sorted({(e["channel"], e["metric"]) for e in entries})
+        windows = sorted({int(e["window"]) for e in entries})
+        kidx = {k: i for i, k in enumerate(keys)}
+        widx = {w: i for i, w in enumerate(windows)}
+        grid = [[0.0] * len(windows) for _ in keys]
+        for e in entries:
+            signed = e["rel"] if e["delta"] >= 0 else -e["rel"]
+            grid[kidx[(e["channel"], e["metric"])]][
+                widx[int(e["window"])]] = signed
+        im = ax.imshow(grid, aspect="auto", cmap="coolwarm",
+                       vmin=-1.0, vmax=1.0, interpolation="nearest")
+        ax.set_yticks(range(len(keys)))
+        ax.set_yticklabels([f"{c}:{m}" for c, m in keys], fontsize=5)
+        ax.set_xticks(range(len(windows)))
+        ax.set_xticklabels(windows, fontsize=5)
+        ax.set_xlabel("window", fontsize=7)
+        ax.set_title(f"run '{run['label']}' — signed relative delta "
+                     "(B vs A)", fontsize=8)
+        fig.colorbar(im, ax=ax, fraction=0.03)
     fig.tight_layout()
     fig.savefig(out, dpi=150)
     print(f"wrote {out}")
@@ -268,17 +347,48 @@ def plot_folded(path, out):
     print(f"wrote {out}")
 
 
+def is_json(path):
+    with open(path) as f:
+        head = f.read(64).lstrip()
+    return head.startswith("{")
+
+
 def main():
-    if len(sys.argv) < 2:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    flags = [a for a in sys.argv[1:] if a.startswith("--")]
+    anomalies = None
+    for flag in flags:
+        if flag.startswith("--anomalies="):
+            with open(flag.split("=", 1)[1]) as f:
+                anomalies = json.load(f)
+            if anomalies.get("schema") != "nvsim-anomaly-v1":
+                print(f"{flag}: not an nvsim-anomaly-v1 document")
+                return 1
+        else:
+            print(f"unknown flag {flag}")
+            return 2
+    if not args:
         print(__doc__)
         return 2
-    path = sys.argv[1]
+    path = args[0]
+    if is_json(path):
+        out = (args[1] if len(args) > 1
+               else path.rsplit(".", 1)[0] + ".png")
+        with open(path) as f:
+            doc = json.load(f)
+        schema = doc.get("schema", "")
+        if schema == "nvsim-telemetry-diff-v1":
+            plot_diff(doc, out)
+            return 0
+        print(f"don't know how to plot schema '{schema}'; "
+              "diff reports (nvsim-telemetry-diff-v1) are supported")
+        return 1
     if is_folded(path):
-        out = (sys.argv[2] if len(sys.argv) > 2
+        out = (args[1] if len(args) > 1
                else path.rsplit(".", 1)[0] + ".svg")
         plot_folded(path, out)
         return 0
-    out = sys.argv[2] if len(sys.argv) > 2 else path.rsplit(".", 1)[0] + ".png"
+    out = args[1] if len(args) > 1 else path.rsplit(".", 1)[0] + ".png"
     header, rows = load(path)
     if header[:2] == ["time", "channel"]:
         plot_trace(header, rows, out)
@@ -288,7 +398,7 @@ def main():
         plot_heatmap(header, rows, out)
     elif header == ["run", "window", "t0", "t1", "channel", "metric",
                     "value"]:
-        plot_telemetry(header, rows, out)
+        plot_telemetry(header, rows, out, anomalies)
     else:
         print(f"don't know how to plot columns {header}; "
               "see EXPERIMENTS.md for the semantics")

@@ -14,7 +14,10 @@ up as silently dropped samples:
     le= values are monotonically increasing with cumulative counts,
     an le="+Inf" bucket exists and equals _count;
   - no duplicate (name, labels) sample, labels are well-formed, and
-    every value parses as a float.
+    every value parses as a float;
+  - info-style families (name ending _info, e.g. nvsim_build_info) are
+    gauges whose samples all have value 1 and at least one label — the
+    payload is the labels, by convention.
 
 Usage: python3 scripts/prom_lint.py FILE [FILE...]; exits nonzero with
 one line per violation.
@@ -153,6 +156,32 @@ def lint(path):
             samples.append((lineno, name, labels, m.group("value")))
 
     errors.extend(check_histograms(types, samples))
+    errors.extend(check_info_metrics(types, samples))
+    return errors
+
+
+def check_info_metrics(types, samples):
+    """Info-metric convention: gauge, value exactly 1, labeled."""
+    errors = []
+    for fam, kind in types.items():
+        if fam.endswith("_info") and kind != "gauge":
+            errors.append(
+                f"info family '{fam}' has type '{kind}' (must be "
+                "gauge)")
+    for lineno, name, labels, value in samples:
+        if not name.endswith("_info"):
+            continue
+        try:
+            if float(value) != 1.0:
+                errors.append(
+                    f"line {lineno}: info sample '{name}' has value "
+                    f"{value} (must be exactly 1)")
+        except ValueError:
+            pass  # already reported as a non-float value
+        if not labels:
+            errors.append(
+                f"line {lineno}: info sample '{name}' carries no "
+                "labels (the labels are the payload)")
     return errors
 
 

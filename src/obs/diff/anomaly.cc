@@ -1,0 +1,156 @@
+#include "obs/diff/anomaly.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/logging.hh"
+#include "imc/counters.hh"
+#include "obs/json.hh"
+#include "obs/telemetry/telemetry.hh"
+
+namespace nvsim::obs
+{
+
+namespace
+{
+
+std::string
+num(double v)
+{
+    return strprintf("%.9g", v);
+}
+
+/** Counters whose per-second rate is a storm signal worth watching. */
+const PerfField kRateFields[] = {
+    PerfField::targetedRefreshes, PerfField::scrubReads,
+    PerfField::throttledEpochs,   PerfField::retries,
+};
+
+} // namespace
+
+const std::vector<std::string> &
+anomalyMetrics()
+{
+    static const std::vector<std::string> kMetrics = [] {
+        std::vector<std::string> m = {
+            "eff_gbs",
+            "p99_ns",
+            "amplification",
+            "maint_duty",
+        };
+        for (PerfField f : kRateFields) {
+            m.push_back(std::string(PerfCounters::fieldName(
+                            static_cast<std::size_t>(f))) +
+                        "_rate");
+        }
+        return m;
+    }();
+    return kMetrics;
+}
+
+bool
+anomalyMetricValue(const TelemetryWindow &w, const std::string &metric,
+                   double *out)
+{
+    constexpr const char *kSuffix = "_rate";
+    constexpr std::size_t kSuffixLen = 5;
+    if (metric.size() > kSuffixLen &&
+        metric.compare(metric.size() - kSuffixLen, kSuffixLen,
+                       kSuffix) == 0) {
+        std::string field = metric.substr(0, metric.size() - kSuffixLen);
+        for (std::size_t f = 0; f < PerfCounters::numFields(); ++f) {
+            if (field == PerfCounters::fieldName(f)) {
+                if (w.activeS <= 0)
+                    return false;
+                *out = w.all[f] / w.activeS;
+                return true;
+            }
+        }
+        return false;
+    }
+    return TelemetryRun::windowMetric(w, metric, out);
+}
+
+std::size_t
+AnomalyReport::countAt(std::int64_t window) const
+{
+    std::size_t n = 0;
+    for (const Anomaly &a : anomalies)
+        n += a.window == window;
+    return n;
+}
+
+std::string
+AnomalyReport::json() const
+{
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < anomalies.size(); ++i) {
+        const Anomaly &a = anomalies[i];
+        os << (i ? "," : "") << "{\"window\":" << a.window
+           << ",\"metric\":\"" << jsonEscape(a.metric)
+           << "\",\"value\":" << num(a.value)
+           << ",\"expected\":" << num(a.expected)
+           << ",\"z\":" << num(a.z) << '}';
+    }
+    os << ']';
+    return os.str();
+}
+
+AnomalyReport
+detectAnomalies(const std::vector<const TelemetryWindow *> &windows,
+                const AnomalyOptions &opts)
+{
+    const std::vector<std::string> &metrics = anomalyMetrics();
+
+    // One EWMA state per metric; window-major iteration keeps the
+    // report naturally ordered by (window, metric list order).
+    struct State
+    {
+        double mu = 0;    //!< EWMA mean
+        double dev = 0;   //!< EWMA of |residual| (MAD proxy)
+        unsigned n = 0;   //!< observations folded so far
+    };
+    std::vector<State> states(metrics.size());
+
+    AnomalyReport report;
+    for (const TelemetryWindow *w : windows) {
+        for (std::size_t m = 0; m < metrics.size(); ++m) {
+            double x = 0;
+            if (!anomalyMetricValue(*w, metrics[m], &x))
+                continue;
+            State &s = states[m];
+            if (s.n == 0) {
+                // Seed from the first observation: a flat series has
+                // zero residuals forever and can never fire.
+                s.mu = x;
+            } else if (s.n >= opts.warmup) {
+                double scale =
+                    std::max({1.4826 * s.dev,
+                              opts.relFloor * std::fabs(s.mu), 1e-12});
+                double z = std::fabs(x - s.mu) / scale;
+                if (z > opts.z) {
+                    report.anomalies.push_back(
+                        Anomaly{w->index, metrics[m], x, s.mu, z});
+                }
+            }
+            double r = x - s.mu;
+            s.mu += opts.alpha * r;
+            s.dev += opts.alpha * (std::fabs(r) - s.dev);
+            ++s.n;
+        }
+    }
+    return report;
+}
+
+AnomalyReport
+detectAnomalies(const TelemetryRun &run, const AnomalyOptions &opts)
+{
+    std::vector<const TelemetryWindow *> ws;
+    for (const TelemetryWindow &w : run.windows())
+        ws.push_back(&w);
+    return detectAnomalies(ws, opts);
+}
+
+} // namespace nvsim::obs

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Online anomaly detection over telemetry windows.
+ *
+ * One detector per monitored metric streams the per-window series in
+ * window order through an EWMA mean plus an EWMA of absolute
+ * residuals (a streaming MAD proxy), and flags a window whose robust
+ * z-score
+ *
+ *   z = |x - mu| / max(1.4826 * dev, rel_floor * |mu|, tiny)
+ *
+ * exceeds the threshold. The mean is seeded with the first observed
+ * value and detection only arms after a warmup count, so a flat
+ * series can never fire (its residuals are identically zero) while a
+ * step — throttle onset collapsing eff_gbs, a RowHammer targeted-
+ * refresh storm, scrub interference inflating maint_duty — fires on
+ * the first stepped window. The relative floor keeps benign FP-level
+ * wiggle on large means from producing unbounded z.
+ *
+ * Monitored series are the derived window metrics that the paper's
+ * failure modes move (eff_gbs, p99_ns, amplification, maint_duty)
+ * plus per-active-second rates of the maintenance/fault storm
+ * counters (`<counter>_rate`). Detection is a pure fold over the
+ * window ring — deterministic, byte-identical at any --jobs=N — and
+ * runs identically over live TelemetryRun windows and windows
+ * reloaded from a telemetry JSON (diff/teldoc.hh), which is what lets
+ * `nvsim_inspect anomalies` reproduce the in-process report exactly.
+ */
+
+#ifndef NVSIM_OBS_DIFF_ANOMALY_HH
+#define NVSIM_OBS_DIFF_ANOMALY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvsim::obs
+{
+
+class TelemetryRun;
+struct TelemetryWindow;
+
+/** Detector knobs (defaults fit the 1 ms telemetry window). */
+struct AnomalyOptions
+{
+    double z = 6.0;        //!< robust z-score firing threshold
+    double alpha = 0.3;    //!< EWMA gain for mean and deviation
+    unsigned warmup = 3;   //!< observations before detection arms
+    double relFloor = 0.02;  //!< scale floor as a fraction of |mean|
+};
+
+/** One detector firing. */
+struct Anomaly
+{
+    std::int64_t window = 0;  //!< window index that fired
+    std::string metric;       //!< monitored series name
+    double value = 0;         //!< observed value
+    double expected = 0;      //!< EWMA mean before this window
+    double z = 0;             //!< robust z-score
+};
+
+/** All firings of one run, ordered by (window, metric list order). */
+struct AnomalyReport
+{
+    std::vector<Anomaly> anomalies;
+
+    bool empty() const { return anomalies.empty(); }
+
+    /** Firings in window @p window (the SLO `anomalies` metric). */
+    std::size_t countAt(std::int64_t window) const;
+
+    /** JSON array of firing objects (deterministic %.9g numbers). */
+    std::string json() const;
+};
+
+/**
+ * Monitored series names: derived window metrics plus
+ * `<counter>_rate` per-active-second counter rates.
+ */
+const std::vector<std::string> &anomalyMetrics();
+
+/**
+ * Value of monitored series @p metric in window @p w; false when it
+ * does not apply (empty sketch, zero active time).
+ */
+bool anomalyMetricValue(const TelemetryWindow &w,
+                        const std::string &metric, double *out);
+
+/** Run the detectors over @p windows (must be in window order). */
+AnomalyReport
+detectAnomalies(const std::vector<const TelemetryWindow *> &windows,
+                const AnomalyOptions &opts);
+
+/** Convenience front-end over a live run's window ring. */
+AnomalyReport detectAnomalies(const TelemetryRun &run,
+                              const AnomalyOptions &opts);
+
+} // namespace nvsim::obs
+
+#endif // NVSIM_OBS_DIFF_ANOMALY_HH

@@ -145,6 +145,14 @@ JsonWriter::field(const std::string &k, bool v)
 }
 
 void
+JsonWriter::rawField(const std::string &k, const std::string &raw_json)
+{
+    separator();
+    key(k);
+    out_ << raw_json;
+}
+
+void
 JsonWriter::value(double v)
 {
     separator();

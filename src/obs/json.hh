@@ -45,6 +45,12 @@ class JsonWriter
     void field(const std::string &key, std::uint64_t value);
     void field(const std::string &key, int value);
     void field(const std::string &key, bool value);
+    /**
+     * Pre-rendered JSON emitted verbatim as the value of @p key —
+     * for embedding a document another renderer produced (e.g. a
+     * RunManifest). The caller guarantees @p raw_json is valid JSON.
+     */
+    void rawField(const std::string &key, const std::string &raw_json);
     /** Array element. */
     void value(double v);
     void value(std::uint64_t v);

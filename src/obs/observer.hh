@@ -37,6 +37,7 @@
 #include "imc/counters.hh"
 #include "mem/request.hh"
 #include "obs/heatmap.hh"
+#include "obs/manifest.hh"
 #include "obs/perfetto.hh"
 #include "obs/prometheus.hh"
 #include "obs/stats.hh"
@@ -83,6 +84,10 @@ class Observer
     /** Request heatmap collection before attaching. */
     void enableHeatmap() { wantHeatmap_ = true; }
     bool heatmapWanted() const { return wantHeatmap_; }
+
+    /** Per-run provenance (set by MemorySystem::attachObserver). */
+    void setProvenance(ConfigDigest d) { provenance_ = std::move(d); }
+    const ConfigDigest &provenance() const { return provenance_; }
 
     /**
      * Create (once) the shared set profiler for caches of @p num_sets
@@ -186,6 +191,7 @@ class Observer
 
     std::string runLabel_;
     Registry registry_;
+    ConfigDigest provenance_;
     bool wantHeatmap_ = false;
     std::unique_ptr<SetProfiler> setProfiler_;
     PerfettoTracer *tracer_ = nullptr;  //!< not owned; may be null

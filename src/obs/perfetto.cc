@@ -161,6 +161,8 @@ PerfettoTracer::writeJson(std::ostream &out) const
     }
 
     json.endArray();
+    if (!metadataJson_.empty())
+        json.rawField("metadata", metadataJson_);
     if (dropped_ > 0)
         json.field("droppedEvents",
                    static_cast<std::uint64_t>(dropped_));

@@ -31,6 +31,7 @@ enum class Track : std::uint32_t {
     Dma = 3,      //!< DMA engine transfers
     CausalDemand = 4,   //!< sampled demand-request spans (obs/causal)
     CausalDevices = 5,  //!< induced device-access spans (obs/causal)
+    Anomalies = 6,  //!< anomaly-detector instants (obs/diff/anomaly)
     Channel0 = 16,  //!< per-channel instants: Channel0 + channel index
 };
 
@@ -68,6 +69,16 @@ class PerfettoTracer
     void nameTrack(Track track, const std::string &name);
 
     /**
+     * Attach a pre-rendered JSON object emitted as the document's
+     * top-level "metadata" value (the run provenance manifest;
+     * Perfetto surfaces it in the trace-info view). Empty = omitted.
+     */
+    void setMetadataJson(std::string raw_json)
+    {
+        metadataJson_ = std::move(raw_json);
+    }
+
+    /**
      * Shift all subsequently recorded timestamps by @p seconds —
      * used to lay several runs (each starting at simulated t=0) end
      * to end on one timeline.
@@ -101,6 +112,7 @@ class PerfettoTracer
 
     std::vector<Event> events_;
     std::vector<std::pair<std::uint32_t, std::string>> trackNames_;
+    std::string metadataJson_;
     std::size_t dropped_ = 0;
     double timeBase_ = 0;
     double horizon_ = 0;

@@ -8,6 +8,7 @@
 #include "core/hostprof.hh"
 #include "core/logging.hh"
 #include "obs/causal.hh"
+#include "obs/diff/anomaly.hh"
 #include "obs/json.hh"
 
 namespace nvsim::obs
@@ -40,6 +41,8 @@ Session::Session(SessionOptions opts)
             tracer_.nameTrack(Track::CausalDemand, "causal demand");
             tracer_.nameTrack(Track::CausalDevices, "causal devices");
         }
+        if (opts_.telemetry.any())
+            tracer_.nameTrack(Track::Anomalies, "anomalies");
     }
 }
 
@@ -113,10 +116,24 @@ Session::endRun()
                 if (TelemetryRun::windowMetric(win, "p99_ns", &v))
                     tracer_.counter("tel_p99_ns", t, v);
             }
+            // Detector firings as instants at the window end, so a
+            // throttle onset or refresh storm is visible in the UI
+            // next to the counter track that moved.
+            AnomalyOptions aopts;
+            aopts.z = opts_.telemetry.anomalyZ;
+            AnomalyReport report =
+                detectAnomalies(*currentTel_, aopts);
+            for (const Anomaly &a : report.anomalies) {
+                double t = static_cast<double>(a.window + 1) * w;
+                tracer_.instant(Track::Anomalies,
+                                "anomaly:" + a.metric, t);
+            }
         }
         currentTel_ = nullptr;
     }
     current_->seal();
+    buildInfo_.emplace_back(current_->runLabel(),
+                            current_->provenance());
     runsJson_.emplace_back(current_->runLabel(),
                            rstrip(current_->statsJson()));
     mergePrometheus(promFamilies_, current_->promFamilies());
@@ -198,7 +215,37 @@ Session::writeFiles(bool from_destructor)
     if (!opts_.statsPromPath.empty()) {
         std::ofstream ofs;
         if (open(opts_.statsPromPath, ofs)) {
-            renderPrometheus(promFamilies_, ofs);
+            // Info-style provenance gauge: value is the constant 1,
+            // the payload is the labels (Prometheus convention for
+            // build/version metadata; prom_lint.py checks the shape).
+            const RunManifest &m = opts_.telemetry.manifest;
+            PromFamily info;
+            info.name = "nvsim_build_info";
+            info.type = "gauge";
+            info.help = "run provenance manifest (constant 1; the "
+                        "payload is the labels)";
+            for (const auto &[label, digest] : buildInfo_) {
+                PromSample s;
+                s.name = info.name;
+                s.labels = strprintf(
+                    "run=\"%s\",bench=\"%s\",config_hash=\"%s\","
+                    "mode=\"%s\",scale=\"%llu\",seed=\"%llu\","
+                    "schema=\"%s\"",
+                    promEscapeLabel(label).c_str(),
+                    promEscapeLabel(m.bench).c_str(),
+                    promEscapeLabel(digest.hash).c_str(),
+                    promEscapeLabel(digest.mode).c_str(),
+                    static_cast<unsigned long long>(digest.scale),
+                    static_cast<unsigned long long>(m.causalSeed),
+                    RunManifest::kSchema);
+                s.value = 1;
+                info.samples.push_back(std::move(s));
+            }
+            std::vector<PromFamily> families;
+            if (!info.samples.empty())
+                families.push_back(std::move(info));
+            mergePrometheus(families, promFamilies_);
+            renderPrometheus(families, ofs);
             inform("obs: wrote Prometheus text to %s",
                    opts_.statsPromPath.c_str());
         }
@@ -207,6 +254,8 @@ Session::writeFiles(bool from_destructor)
     if (!opts_.perfettoPath.empty()) {
         std::ofstream ofs;
         if (open(opts_.perfettoPath, ofs)) {
+            tracer_.setMetadataJson(opts_.telemetry.manifest.json(
+                opts_.telemetry.windowSeconds, "nvsim-telemetry-v1"));
             tracer_.writeJson(ofs);
             if (tracer_.dropped() > 0)
                 warn("obs: trace event cap reached; dropped %zu events",

@@ -146,6 +146,8 @@ class Session
 
     std::vector<std::pair<std::string, std::string>> runsJson_;
     std::vector<PromFamily> promFamilies_;
+    /** (run label, config digest) per ended run: nvsim_build_info. */
+    std::vector<std::pair<std::string, ConfigDigest>> buildInfo_;
     std::vector<std::string> heatRows_;
     std::vector<std::pair<std::string, std::string>> causalRuns_;
     std::vector<std::string> foldedLines_;

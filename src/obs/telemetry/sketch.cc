@@ -147,6 +147,30 @@ LatencySketch::sparse() const
     return out;
 }
 
+LatencySketch
+LatencySketch::fromSparse(
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>> &buckets,
+    std::uint64_t min_ns, std::uint64_t max_ns, std::uint64_t sum_ns)
+{
+    LatencySketch s;
+    for (auto [b, c] : buckets) {
+        if (b >= kMaxBuckets)
+            fatal("LatencySketch: bucket %u out of range (max %u)",
+                  static_cast<unsigned>(b), kMaxBuckets);
+        if (c == 0)
+            continue;
+        s.grow(b);
+        s.buckets_[b] += c;
+        s.count_ += c;
+    }
+    if (s.count_ > 0) {
+        s.min_ = min_ns;
+        s.max_ = max_ns;
+        s.sum_ = sum_ns;
+    }
+    return s;
+}
+
 bool
 LatencySketch::operator==(const LatencySketch &o) const
 {

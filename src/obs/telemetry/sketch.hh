@@ -92,6 +92,21 @@ class LatencySketch
     /** Sparse (bucket, count) view, ascending bucket index. */
     std::vector<std::pair<std::uint32_t, std::uint64_t>> sparse() const;
 
+    /**
+     * Reconstruct a sketch from its exported sparse bucket view plus
+     * the exact extremes and sum (the nvsim-telemetry-v1 "latency"
+     * object carries all four). The result compares equal
+     * (operator==) to the sketch that produced the export, so rank
+     * queries on a loaded artifact are exact to bucket resolution —
+     * what makes cross-run rank diffs (obs/diff) exact rather than
+     * re-quantized.
+     */
+    static LatencySketch
+    fromSparse(const std::vector<std::pair<std::uint32_t,
+                                           std::uint64_t>> &buckets,
+               std::uint64_t min_ns, std::uint64_t max_ns,
+               std::uint64_t sum_ns);
+
     bool operator==(const LatencySketch &o) const;
     bool operator!=(const LatencySketch &o) const { return !(*this == o); }
 

@@ -8,6 +8,7 @@
 
 #include "core/hostprof.hh"
 #include "core/logging.hh"
+#include "obs/diff/anomaly.hh"
 #include "obs/json.hh"
 
 namespace nvsim::obs
@@ -359,21 +360,35 @@ jsonLatency(std::ostream &os, const LatencySketch &s)
 {
     os << "{\"count\":" << s.count()
        << ",\"min_ns\":" << s.min() << ",\"max_ns\":" << s.max()
+       << ",\"sum_ns\":" << s.sum()
        << ",\"mean_ns\":" << num(s.mean())
        << ",\"p50_ns\":" << s.quantile(0.5)
        << ",\"p90_ns\":" << s.quantile(0.9)
        << ",\"p99_ns\":" << s.quantile(0.99)
-       << ",\"p999_ns\":" << s.quantile(0.999) << '}';
+       << ",\"p999_ns\":" << s.quantile(0.999);
+    // The sparse bucket array makes the sketch itself round-trip
+    // (LatencySketch::fromSparse), so offline rank diffs are exact.
+    os << ",\"sketch\":[";
+    bool first = true;
+    for (auto [b, c] : s.sparse()) {
+        os << (first ? "" : ",") << '[' << b << ',' << c << ']';
+        first = false;
+    }
+    os << "]}";
 }
 
 /** One run's JSON object (sans label, which the caller writes). */
 std::string
-jsonChunk(const TelemetryRun &run, const SloResult *slo)
+jsonChunk(const TelemetryRun &run, const SloResult *slo,
+          const AnomalyReport &anoms)
 {
     std::ostringstream os;
     os << "{\"channels\":" << run.numChannels()
        << ",\"window_s\":" << num(run.windowSeconds())
        << ",\"windows_dropped\":" << run.windowsDropped();
+
+    if (!run.provenance().empty())
+        os << ",\"config\":" << run.provenance().json();
 
     os << ",\"totals\":{";
     bool first = true;
@@ -388,6 +403,8 @@ jsonChunk(const TelemetryRun &run, const SloResult *slo)
 
     os << ",\"latency\":";
     jsonLatency(os, run.runSketch());
+
+    os << ",\"anomalies\":" << anoms.json();
 
     if (slo) {
         os << ",\"slo\":{\"pass\":" << (slo->pass ? "true" : "false")
@@ -415,6 +432,8 @@ jsonChunk(const TelemetryRun &run, const SloResult *slo)
                   run.windowSeconds())
            << ",\"active_s\":" << num(w.activeS)
            << ",\"epochs\":" << num(w.epochs);
+        if (w.demandBytes != 0)
+            os << ",\"demand_bytes\":" << num(w.demandBytes);
         for (const char *m :
              {"eff_gbs", "dram_gbs", "nvram_gbs", "amplification",
               "maint_duty"}) {
@@ -432,6 +451,23 @@ jsonChunk(const TelemetryRun &run, const SloResult *slo)
             firstC = false;
         }
         os << '}';
+        // Per-channel deltas (sparse objects, channel order), so the
+        // cross-run diff can attribute a delta to a channel.
+        os << ",\"per_channel\":[";
+        for (unsigned c = 0; c < run.numChannels(); ++c) {
+            os << (c ? "," : "") << '{';
+            bool firstF = true;
+            for (std::size_t f = 0; f < TelemetryRun::kFields; ++f) {
+                double v = w.perChannel[c * TelemetryRun::kFields + f];
+                if (v == 0)
+                    continue;
+                os << (firstF ? "" : ",") << '"'
+                   << PerfCounters::fieldName(f) << "\":" << num(v);
+                firstF = false;
+            }
+            os << '}';
+        }
+        os << ']';
         if (!w.sketch.empty()) {
             os << ",\"latency\":";
             jsonLatency(os, w.sketch);
@@ -463,17 +499,21 @@ TelemetrySession::writeFiles(bool from_destructor)
         std::string csv;
         std::string json;
         SloResult slo;
+        AnomalyReport anomalies;
     };
+    AnomalyOptions anomalyOpts;
+    anomalyOpts.z = opts_.anomalyZ;
     std::vector<Rendered> rendered;
     rendered.reserve(runs_.size());
     for (const auto &r : runs_) {
         Rendered out;
         out.run = r.get();
+        out.anomalies = detectAnomalies(*r, anomalyOpts);
         if (!slo_.empty())
-            out.slo = evaluateSlo(slo_, *r);
+            out.slo = evaluateSlo(slo_, *r, &out.anomalies);
         out.csv = csvChunk(*r);
-        out.json =
-            jsonChunk(*r, slo_.empty() ? nullptr : &out.slo);
+        out.json = jsonChunk(*r, slo_.empty() ? nullptr : &out.slo,
+                             out.anomalies);
         rendered.push_back(std::move(out));
     }
     std::sort(rendered.begin(), rendered.end(),
@@ -523,7 +563,10 @@ TelemetrySession::writeFiles(bool from_destructor)
         std::ofstream ofs;
         if (open(opts_.jsonPath, ofs)) {
             ofs << "{\"schema\":\"nvsim-telemetry-v1\",\"window_s\":"
-                << num(opts_.windowSeconds) << ",\"runs\":[";
+                << num(opts_.windowSeconds) << ",\"manifest\":"
+                << opts_.manifest.json(opts_.windowSeconds,
+                                       "nvsim-telemetry-v1")
+                << ",\"runs\":[";
             for (std::size_t i = 0; i < rendered.size(); ++i) {
                 if (i)
                     ofs << ',';
@@ -534,6 +577,31 @@ TelemetrySession::writeFiles(bool from_destructor)
             ofs << "\n]}\n";
             inform("telemetry: wrote JSON to %s",
                    opts_.jsonPath.c_str());
+        }
+    }
+
+    if (!opts_.anomalyJsonPath.empty()) {
+        std::ofstream ofs;
+        if (open(opts_.anomalyJsonPath, ofs)) {
+            ofs << "{\"schema\":\"nvsim-anomaly-v1\",\"z\":"
+                << num(opts_.anomalyZ) << ",\"manifest\":"
+                << opts_.manifest.json(opts_.windowSeconds,
+                                       "nvsim-telemetry-v1")
+                << ",\"runs\":[";
+            for (std::size_t i = 0; i < rendered.size(); ++i) {
+                if (i)
+                    ofs << ',';
+                ofs << "\n{\"label\":\""
+                    << jsonEscape(rendered[i].run->label()) << '"';
+                if (!rendered[i].run->provenance().empty())
+                    ofs << ",\"config\":"
+                        << rendered[i].run->provenance().json();
+                ofs << ",\"anomalies\":"
+                    << rendered[i].anomalies.json() << '}';
+            }
+            ofs << "\n]}\n";
+            inform("telemetry: wrote anomaly report to %s",
+                   opts_.anomalyJsonPath.c_str());
         }
     }
 

@@ -45,6 +45,7 @@
 
 #include "core/timeseries.hh"
 #include "imc/counters.hh"
+#include "obs/manifest.hh"
 #include "obs/telemetry/sketch.hh"
 #include "obs/telemetry/slo.hh"
 
@@ -60,11 +61,17 @@ struct TelemetryOptions
     double windowSeconds = 1e-3;    //!< --telemetry-window=
     std::size_t ringWindows = 4096; //!< --telemetry-ring= (0 = all)
 
+    /** Session provenance, embedded in every artifact (manifest.hh). */
+    RunManifest manifest;
+
+    std::string anomalyJsonPath;  //!< --anomaly-report= JSON file
+    double anomalyZ = 6.0;        //!< --anomaly-z= robust z threshold
+
     bool
     any() const
     {
         return !csvPath.empty() || !jsonPath.empty() ||
-               !sloSpec.empty();
+               !sloSpec.empty() || !anomalyJsonPath.empty();
     }
 };
 
@@ -93,6 +100,12 @@ class TelemetryRun
     const std::string &label() const { return label_; }
     double windowSeconds() const { return window_; }
     unsigned numChannels() const { return nch_; }
+
+    /** @name Per-run provenance (set by MemorySystem at attach). */
+    ///@{
+    void setProvenance(ConfigDigest d) { provenance_ = std::move(d); }
+    const ConfigDigest &provenance() const { return provenance_; }
+    ///@}
 
     /** @name Hot-path hooks (wired by MemorySystem) */
     ///@{
@@ -165,6 +178,7 @@ class TelemetryRun
     double window_;
     unsigned nch_ = 0;
     bool finished_ = false;
+    ConfigDigest provenance_;
 
     Ring<TelemetryWindow> windows_;
     std::vector<std::uint64_t> snapshots_;  //!< nch * kFields

@@ -16,6 +16,14 @@ namespace
 {
 /** Process-wide engine default for new systems (--per-line flag). */
 bool g_batched_default = true;
+
+/** Provenance digest of the full config (any knob changes the hash). */
+obs::ConfigDigest
+configDigest(const SystemConfig &config)
+{
+    return {obs::digestHex(obs::fnv1a64(config.toJson())),
+            memoryModeName(config.mode), config.scale};
+}
 } // namespace
 
 void
@@ -82,6 +90,8 @@ MemorySystem::attachObserver(obs::Observer *observer)
     obs_ = observer;
     if (!obs_)
         return;
+
+    obs_->setProvenance(configDigest(config_));
 
     // Wire the set-conflict profiler into every channel's cache (all
     // channels share one geometry, so one profiler sums across them).
@@ -220,6 +230,7 @@ MemorySystem::attachTelemetry(obs::TelemetryRun *telemetry)
         telScratch_.push_back(ch.counters());
     tel_->prime(telScratch_.data(),
                 static_cast<unsigned>(telScratch_.size()));
+    tel_->setProvenance(configDigest(config_));
 }
 
 std::uint32_t

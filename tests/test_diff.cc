@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Differential-telemetry and anomaly-detector tests: a self-diff of
+ * identical artifacts is empty; an injected counter perturbation is
+ * detected, localized to its window/channel, and blamed on the right
+ * counter family; manifest mismatches are diagnostics rather than
+ * crashes; the EWMA/robust-z detector fires on a seeded step and
+ * never on a flat series; and rank diffs over reconstructed sketches
+ * are exact at bucket resolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "kernels/kernels.hh"
+#include "obs/diff/anomaly.hh"
+#include "obs/diff/diff.hh"
+#include "obs/diff/teldoc.hh"
+#include "obs/session.hh"
+#include "obs/telemetry/slo.hh"
+#include "sys/memsys.hh"
+
+using namespace nvsim;
+using namespace nvsim::obs;
+
+namespace
+{
+
+constexpr std::size_t kF = kNumPerfFields;
+
+std::size_t
+fidx(PerfField f)
+{
+    return static_cast<std::size_t>(f);
+}
+
+/** A synthetic window with steady demand and maintenance activity. */
+TelemetryWindow
+steadyWindow(std::int64_t index)
+{
+    TelemetryWindow w;
+    w.index = index;
+    w.activeS = 1e-3;
+    w.epochs = 1;
+    w.demandBytes = 1e6;
+    w.all[fidx(PerfField::llcReads)] = 1000;
+    w.all[fidx(PerfField::dramRead)] = 900;
+    w.all[fidx(PerfField::nvramRead)] = 100;
+    w.all[fidx(PerfField::targetedRefreshes)] = 4;
+    w.all[fidx(PerfField::maintenanceStallNs)] = 2000;
+    w.perChannel.assign(kF, 0.0);
+    for (std::size_t f = 0; f < kF; ++f)
+        w.perChannel[f] = w.all[f];
+    w.sketch.add(500, 100);
+    w.sketch.add(2000, 1);
+    return w;
+}
+
+/** A synthetic single-channel run of @p n steady windows. */
+TelRun
+steadyRun(const std::string &label, int n)
+{
+    TelRun r;
+    r.label = label;
+    r.channels = 1;
+    r.windowS = 1e-3;
+    r.config = {"0xdeadbeefdeadbeef", "2lm", 8192};
+    for (int i = 0; i < n; ++i) {
+        TelemetryWindow w = steadyWindow(i);
+        for (std::size_t f = 0; f < kF; ++f)
+            r.totals[f] += w.all[f];
+        r.latency.merge(w.sketch);
+        r.windows.push_back(std::move(w));
+    }
+    return r;
+}
+
+TelDoc
+docOf(TelRun run)
+{
+    TelDoc d;
+    d.schema = "nvsim-telemetry-v1";
+    d.windowS = run.windowS;
+    d.hasManifest = true;
+    d.manifest.bench = "synthetic";
+    d.runs.push_back(std::move(run));
+    return d;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// diffTelemetry
+
+TEST(Diff, SelfDiffIsEmpty)
+{
+    TelDoc a = docOf(steadyRun("r", 6));
+    TelDoc b = docOf(steadyRun("r", 6));
+    DiffReport report = diffTelemetry(a, b, {});
+    EXPECT_TRUE(report.empty());
+    EXPECT_EQ(report.comparability, Comparability::Comparable);
+    EXPECT_TRUE(report.diagnostics.empty());
+    ASSERT_EQ(report.runs.size(), 1u);
+    EXPECT_TRUE(report.runs[0].entries.empty());
+    EXPECT_TRUE(report.runs[0].rankDiffs.empty());
+    EXPECT_TRUE(report.runs[0].families.empty());
+    EXPECT_NE(report.text({}).find("identical"), std::string::npos);
+}
+
+TEST(Diff, PerturbationIsLocalizedAndBlamed)
+{
+    TelDoc a = docOf(steadyRun("r", 6));
+    TelDoc b = docOf(steadyRun("r", 6));
+    // A maintenance storm in window 3: targeted refreshes spike and
+    // drag bank-stall time with them.
+    TelemetryWindow &w = b.runs[0].windows[3];
+    std::size_t tr = fidx(PerfField::targetedRefreshes);
+    std::size_t st = fidx(PerfField::maintenanceStallNs);
+    w.all[tr] += 200;
+    w.all[st] += 90000;
+    w.perChannel[tr] += 200;
+    w.perChannel[st] += 90000;
+    b.runs[0].totals[tr] += 200;
+    b.runs[0].totals[st] += 90000;
+
+    DiffReport report = diffTelemetry(a, b, {});
+    EXPECT_FALSE(report.empty());
+    ASSERT_EQ(report.runs.size(), 1u);
+    const RunDiff &rd = report.runs[0];
+
+    // Both changed counters appear, on the aggregate and the channel
+    // (plus the derived maint_duty they move) — all pinned to window
+    // 3, and nothing else changed.
+    ASSERT_GE(rd.entries.size(), 4u);
+    bool sawAll = false, sawCh0 = false;
+    for (const DiffEntry &e : rd.entries) {
+        EXPECT_EQ(e.window, 3);
+        EXPECT_TRUE(e.metric == "targeted_refreshes" ||
+                    e.metric == "maintenance_stall_ns" ||
+                    e.metric == "maint_duty")
+            << e.metric;
+        EXPECT_GT(e.delta, 0.0);
+        sawAll = sawAll || e.channel == "all";
+        sawCh0 = sawCh0 || e.channel == "ch0";
+    }
+    EXPECT_TRUE(sawAll);
+    EXPECT_TRUE(sawCh0);
+
+    // The family summary blames maintenance, led by the counter whose
+    // run total moved the most in relative terms (the refresh storm
+    // explains the stall delta, per the cause taxonomy).
+    ASSERT_FALSE(rd.families.empty());
+    EXPECT_EQ(rd.families[0].family, "maintenance");
+    EXPECT_EQ(rd.families[0].dominant, "targeted_refreshes");
+    EXPECT_NE(rd.families[0].cause.find("TargetedRefresh"),
+              std::string::npos);
+
+    std::string text = report.text({});
+    EXPECT_NE(text.find("blame maintenance"), std::string::npos);
+    EXPECT_NE(text.find("maintenance_stall_ns"), std::string::npos);
+    EXPECT_NE(text.find("window 3"), std::string::npos);
+
+    std::string json = report.json({});
+    EXPECT_NE(json.find("\"nvsim-telemetry-diff-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"family\":\"maintenance\""),
+              std::string::npos);
+}
+
+TEST(Diff, ManifestMismatchIsDiagnosticNotFatal)
+{
+    TelDoc a = docOf(steadyRun("r", 4));
+    TelDoc b = docOf(steadyRun("r", 4));
+    b.manifest.causalSeed = 7;
+    b.manifest.flags = {"--per-line"};
+    b.runs[0].config.hash = "0x0123456789abcdef";
+
+    DiffReport report = diffTelemetry(a, b, {});
+    // Metrics identical, but the provenance differences are reported
+    // and make the comparison non-empty.
+    EXPECT_EQ(report.comparability, Comparability::Diagnostics);
+    EXPECT_FALSE(report.empty());
+    ASSERT_EQ(report.runs.size(), 1u);
+    EXPECT_TRUE(report.runs[0].configMismatch);
+    EXPECT_TRUE(report.runs[0].entries.empty());
+    std::string all;
+    for (const std::string &d : report.diagnostics)
+        all += d + "\n";
+    EXPECT_NE(all.find("seed"), std::string::npos);
+    EXPECT_NE(all.find("flags"), std::string::npos);
+    EXPECT_NE(all.find("config hash"), std::string::npos);
+}
+
+TEST(Diff, WindowGeometryMismatchIsIncomparable)
+{
+    TelDoc a = docOf(steadyRun("r", 4));
+    TelDoc b = docOf(steadyRun("r", 4));
+    b.windowS = 2e-3;
+    DiffReport report = diffTelemetry(a, b, {});
+    EXPECT_EQ(report.comparability, Comparability::Incomparable);
+    EXPECT_TRUE(report.runs.empty());
+    EXPECT_FALSE(report.empty());
+
+    DiffOptions force;
+    force.force = true;
+    DiffReport forced = diffTelemetry(a, b, force);
+    EXPECT_EQ(forced.comparability, Comparability::Incomparable);
+    EXPECT_EQ(forced.runs.size(), 1u);  // --force diffs anyway
+}
+
+TEST(Diff, UnmatchedRunLabelsAreReported)
+{
+    TelDoc a = docOf(steadyRun("left", 3));
+    TelDoc b = docOf(steadyRun("right", 3));
+    DiffReport report = diffTelemetry(a, b, {});
+    EXPECT_FALSE(report.empty());
+    ASSERT_EQ(report.onlyInA.size(), 1u);
+    ASSERT_EQ(report.onlyInB.size(), 1u);
+    EXPECT_EQ(report.onlyInA[0], "left");
+    EXPECT_EQ(report.onlyInB[0], "right");
+}
+
+TEST(Diff, MissingWindowCountsAsDifference)
+{
+    TelDoc a = docOf(steadyRun("r", 5));
+    TelDoc b = docOf(steadyRun("r", 4));  // window 4 never produced
+    // Equalize the run-level aggregates so only the window absence
+    // itself differs.
+    a.runs[0].totals = b.runs[0].totals;
+    a.runs[0].latency = b.runs[0].latency;
+    DiffReport report = diffTelemetry(a, b, {});
+    ASSERT_EQ(report.runs.size(), 1u);
+    EXPECT_FALSE(report.runs[0].entries.empty());
+    for (const DiffEntry &e : report.runs[0].entries)
+        EXPECT_EQ(e.window, 4);
+}
+
+// --------------------------------------------------------------------
+// Rank diffs: exact to bucket resolution
+
+TEST(Diff, RankDiffExactAtBucketBoundaries)
+{
+    // The [128, 256) octave has 2-wide sub-buckets: 129 and 130 land
+    // in adjacent buckets, so the p50/p90 ranks must differ; 128 and
+    // 129 share a bucket, so the rank diff must be exactly empty even
+    // though the raw samples differ. The 100/1000 padding pins min
+    // and max so the sketch's [min, max] clamp cannot leak the raw
+    // values back into the percentile representatives.
+    auto runWith = [](std::uint64_t x) {
+        TelRun r = steadyRun("r", 1);
+        r.latency.clear();
+        r.latency.add(100, 90);
+        r.latency.add(x, 100);
+        r.latency.add(1000, 10);
+        r.windows[0].sketch = r.latency;
+        return r;
+    };
+    ASSERT_NE(LatencySketch::bucketOf(129), LatencySketch::bucketOf(130));
+    ASSERT_EQ(LatencySketch::bucketOf(128), LatencySketch::bucketOf(129));
+
+    DiffReport differs = diffTelemetry(docOf(runWith(129)),
+                                       docOf(runWith(130)), {});
+    ASSERT_EQ(differs.runs.size(), 1u);
+    ASSERT_FALSE(differs.runs[0].rankDiffs.empty());
+    for (const RankDiff &rk : differs.runs[0].rankDiffs) {
+        EXPECT_TRUE(rk.rank == "p50_ns" || rk.rank == "p90_ns")
+            << rk.rank;
+        EXPECT_NE(rk.a, rk.b);
+    }
+
+    DiffReport same = diffTelemetry(docOf(runWith(128)),
+                                    docOf(runWith(129)), {});
+    ASSERT_EQ(same.runs.size(), 1u);
+    EXPECT_TRUE(same.runs[0].rankDiffs.empty());
+    EXPECT_TRUE(same.empty())
+        << "values within one bucket must diff empty";
+}
+
+TEST(Sketch, FromSparseRoundTripsExactly)
+{
+    LatencySketch s;
+    std::uint64_t state = 99;
+    for (int i = 0; i < 5000; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        s.add(state % 3000000, 1 + state % 3);
+    }
+    LatencySketch back = LatencySketch::fromSparse(
+        s.sparse(), s.min(), s.max(), s.sum());
+    EXPECT_EQ(back, s);
+    EXPECT_EQ(back.quantile(0.999), s.quantile(0.999));
+    EXPECT_EQ(back.min(), s.min());
+    EXPECT_EQ(back.max(), s.max());
+}
+
+// --------------------------------------------------------------------
+// Anomaly detection
+
+namespace
+{
+
+std::vector<const TelemetryWindow *>
+pointersTo(const std::vector<TelemetryWindow> &windows)
+{
+    std::vector<const TelemetryWindow *> ptrs;
+    for (const TelemetryWindow &w : windows)
+        ptrs.push_back(&w);
+    return ptrs;
+}
+
+} // namespace
+
+TEST(Anomaly, FlatSeriesNeverFires)
+{
+    std::vector<TelemetryWindow> windows;
+    for (int i = 0; i < 50; ++i)
+        windows.push_back(steadyWindow(i));
+    AnomalyReport report = detectAnomalies(pointersTo(windows), {});
+    EXPECT_TRUE(report.empty());
+}
+
+TEST(Anomaly, SeededStepFiresAtTheStepWindow)
+{
+    // Steady maintenance background, then a targeted-refresh storm
+    // from window 30 on (the RowHammer-mitigation failure mode).
+    std::vector<TelemetryWindow> windows;
+    for (int i = 0; i < 40; ++i) {
+        TelemetryWindow w = steadyWindow(i);
+        if (i >= 30) {
+            w.all[fidx(PerfField::targetedRefreshes)] += 400;
+            w.all[fidx(PerfField::maintenanceStallNs)] += 150000;
+        }
+        windows.push_back(std::move(w));
+    }
+    AnomalyReport report = detectAnomalies(pointersTo(windows), {});
+    ASSERT_FALSE(report.empty());
+    bool storm = false;
+    std::size_t at30 = 0;
+    for (const Anomaly &a : report.anomalies) {
+        EXPECT_GE(a.window, 30);
+        EXPECT_GE(a.z, 6.0);
+        if (a.window == 30)
+            ++at30;
+        if (a.window == 30 && a.metric == "targeted_refreshes_rate")
+            storm = true;
+    }
+    EXPECT_TRUE(storm) << "storm onset not flagged at window 30";
+    EXPECT_EQ(report.countAt(30), at30);
+    EXPECT_EQ(report.countAt(0), 0u);
+    EXPECT_NE(report.json().find("targeted_refreshes_rate"),
+              std::string::npos);
+}
+
+TEST(Anomaly, SloAnomaliesPredicateCountsFirings)
+{
+    SloSpec spec = SloSpec::parse("anomalies<1");
+    ASSERT_EQ(spec.objectives.size(), 1u);
+    EXPECT_EQ(spec.objectives[0].metric, "anomalies");
+
+    // A live run with quiet windows: no firings, objective holds.
+    TelemetryOptions topts;
+    topts.csvPath = "unused.csv";
+    topts.windowSeconds = 1e-3;
+    TelemetryRun run("r", topts);
+    PerfCounters zero;
+    run.prime(&zero, 1);
+    std::uint64_t cum = 0;
+    for (int e = 0; e < 6; ++e) {
+        run.noteLatency(1e-6, 8);
+        cum += 100;
+        PerfCounters c;
+        c.dramRead = cum;
+        run.onEpoch(e * 1e-3, (e + 1) * 1e-3 - 1e-7, 512, &c, 1);
+    }
+    run.finish();
+
+    AnomalyReport quiet = detectAnomalies(run, {});
+    EXPECT_TRUE(quiet.empty());
+    EXPECT_TRUE(evaluateSlo(spec, run, &quiet).pass);
+    EXPECT_TRUE(evaluateSlo(spec, run, nullptr).pass);
+
+    // One fabricated firing makes the objective fail in that window.
+    AnomalyReport noisy = quiet;
+    noisy.anomalies.push_back({2, "eff_gbs", 0.0, 10.0, 9.0});
+    SloResult bad = evaluateSlo(spec, run, &noisy);
+    EXPECT_FALSE(bad.pass);
+    ASSERT_EQ(bad.objectives.size(), 1u);
+    EXPECT_EQ(bad.objectives[0].worstWindow, 2);
+}
+
+// --------------------------------------------------------------------
+// End to end: session JSON -> teldoc -> self-diff
+
+namespace
+{
+
+SystemConfig
+smallCfg()
+{
+    SystemConfig c;
+    c.mode = MemoryMode::TwoLm;
+    c.scale = 8192;
+    c.epochBytes = 64 * kKiB;
+    return c;
+}
+
+void
+writeSession(const std::string &json)
+{
+    SessionOptions opts;
+    opts.telemetry.jsonPath = json;
+    opts.telemetry.windowSeconds = 1e-4;
+    opts.telemetry.manifest.bench = "test_diff";
+    Session session(opts);
+    for (const char *label : {"alpha", "beta"}) {
+        MemorySystem sys(smallCfg());
+        Region arr = sys.allocate(sys.config().dramTotal() * 2, "arr");
+        primeDirty(sys, arr, 4);
+        sys.resetCounters();
+        if (Observer *o = session.beginRun(label))
+            sys.attachObserver(o);
+        if (TelemetryRun *tel = session.beginTelemetryRun(label))
+            sys.attachTelemetry(tel);
+        KernelConfig k;
+        k.op = KernelOp::ReadModifyWrite;
+        k.threads = 4;
+        runKernel(sys, arr, k);
+        session.endRun();
+    }
+    session.write();
+}
+
+} // namespace
+
+TEST(DiffEndToEnd, ExportedArtifactSelfDiffsEmpty)
+{
+    std::string dir = ::testing::TempDir();
+    writeSession(dir + "diff_tel_a.json");
+    writeSession(dir + "diff_tel_b.json");
+
+    TelDoc a = loadTelemetryDoc(dir + "diff_tel_a.json");
+    TelDoc b = loadTelemetryDoc(dir + "diff_tel_b.json");
+    EXPECT_TRUE(a.hasManifest);
+    EXPECT_EQ(a.manifest.bench, "test_diff");
+    ASSERT_EQ(a.runs.size(), 2u);
+    EXPECT_FALSE(a.runs[0].config.empty());
+    EXPECT_FALSE(a.runs[0].latency.empty());
+    EXPECT_FALSE(a.runs[0].windows.empty());
+
+    DiffReport report = diffTelemetry(a, b, {});
+    EXPECT_TRUE(report.empty()) << report.text({});
+
+    // The reloaded windows drive the detectors identically to the
+    // in-process run: at minimum, cleanly and deterministically.
+    AnomalyReport r1 = detectAnomalies(pointersTo(a.runs[0].windows), {});
+    AnomalyReport r2 = detectAnomalies(pointersTo(a.runs[0].windows), {});
+    EXPECT_EQ(r1.json(), r2.json());
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Extension experiment: intra-run channel-shard scaling. One fixed
+ * 2LM microbench workload is replayed at --shard-threads 1/2/4/8 and
+ * timed; the run at every width must leave the machine in a
+ * bit-identical state (counters, simulated clock, amplification), so
+ * the table doubles as an end-to-end determinism check. On hosts with
+ * idle cores the multi-threaded rows should show wall-clock speedup;
+ * on a saturated or single-core host the requirement is only that the
+ * sharded rows do not regress materially (the epoch barrier is the
+ * whole overhead).
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/csv.hh"
+#include "core/units.hh"
+#include "kernels/kernels.hh"
+
+using namespace nvsim;
+using namespace nvsim::bench;
+
+namespace
+{
+
+const unsigned kWidths[] = {1, 2, 4, 8};
+
+struct Point
+{
+    double seconds;       //!< host wall-clock for the workload
+    double simNow;        //!< simulated clock after the workload
+    double amplification;
+    std::uint64_t counterSum;  //!< fold of every uncore counter
+};
+
+SystemConfig
+workloadConfig(const SystemConfig &base)
+{
+    SystemConfig cfg = base;
+    cfg.mode = MemoryMode::TwoLm;
+    cfg.scale = 512;  // big enough that per-epoch work dominates
+    return cfg;
+}
+
+Point
+runAt(const SystemConfig &base, unsigned shard_threads)
+{
+    MemorySystem sys(workloadConfig(base));
+    sys.setShardThreads(shard_threads);
+
+    // Oversubscribe the DRAM cache so the channels do real miss work:
+    // a read-modify-write sweep plus a random read pass, twice.
+    Region r = sys.allocateIn(MemPool::Nvram,
+                              sys.config().dramTotal() +
+                                  sys.config().dramTotal() / 2,
+                              "working-set");
+    KernelConfig rmw;
+    rmw.op = KernelOp::ReadModifyWrite;
+    rmw.threads = 8;
+    KernelConfig rnd;
+    rnd.op = KernelOp::ReadOnly;
+    rnd.pattern = AccessPattern::Random;
+    rnd.threads = 8;
+
+    auto t0 = std::chrono::steady_clock::now();
+    for (int pass = 0; pass < 2; ++pass) {
+        runKernel(sys, r, rmw);
+        runKernel(sys, r, rnd);
+    }
+    sys.quiesce();
+    auto t1 = std::chrono::steady_clock::now();
+
+    Point pt{};
+    pt.seconds = std::chrono::duration<double>(t1 - t0).count();
+    pt.simNow = sys.now();
+    pt.amplification = sys.nvramWriteAmplification();
+    sys.counters().forEachField(
+        [&](const char *, const char *, std::uint64_t v) {
+            pt.counterSum = pt.counterSum * 1099511628211ull + v;
+        });
+    return pt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = parseBenchOptions(argc, argv);
+    obs::Session session(opts.obs);
+    banner("Extension: intra-run channel-shard scaling (2LM microbench)",
+           "simulated results are byte-identical at every width; "
+           "wall-clock improves when the host has idle cores");
+
+    CsvWriter csv("scaling_threads.csv");
+    csv.row(std::vector<std::string>{"shard_threads", "seconds",
+                                     "speedup", "identical"});
+
+    SystemConfig base = benchConfig(opts);
+    std::vector<Point> points;
+    for (unsigned n : kWidths)
+        points.push_back(runAt(base, n));
+
+    Table t({"shard threads", "wall-clock (s)", "speedup", "identical"});
+    for (std::size_t i = 0; i < std::size(kWidths); ++i) {
+        const Point &p = points[i];
+        const Point &ref = points[0];
+        bool same = p.simNow == ref.simNow &&
+                    p.amplification == ref.amplification &&
+                    p.counterSum == ref.counterSum;
+        if (!same)
+            fatal("shard width %u diverged from the serial run "
+                  "(now %.17g vs %.17g)",
+                  kWidths[i], p.simNow, ref.simNow);
+        t.row({fmt("%u", kWidths[i]), fmt("%.3f", p.seconds),
+               fmt("%.2fx", ref.seconds / p.seconds),
+               same ? "yes" : "NO"});
+        csv.row(std::vector<std::string>{
+            fmt("%u", kWidths[i]), fmt("%f", p.seconds),
+            fmt("%f", ref.seconds / p.seconds), same ? "yes" : "no"});
+    }
+    t.print();
+
+    csv.close();
+    session.write();
+    std::printf("\nrows written to scaling_threads.csv\n");
+    return 0;
+}

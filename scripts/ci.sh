@@ -23,21 +23,31 @@ run_suite() {
 run_suite build -DNVSIM_SANITIZE=OFF
 run_suite build-asan -DNVSIM_SANITIZE=ON
 
-# ThreadSanitizer pass over the sweep engine: the pool tests plus one
-# real parallel bench run. Scoped to the concurrency-bearing targets —
-# the full suite is single-threaded and already covered above.
-echo "=== TSan suite (sweep pool) ==="
+# ThreadSanitizer pass over the concurrency engines: the sweep/shard
+# pool tests plus real bench runs exercising both the inter-run sweep
+# (--jobs) and the intra-run channel shard (--shard-threads), the
+# latter on both the plain microbench and the maintenance/fault sweep
+# (RNG-bearing per-channel state). Scoped to the concurrency-bearing
+# targets — the full suite is single-threaded and already covered.
+echo "=== TSan suite (sweep pool + channel shard) ==="
 cmake -B "$root/build-tsan" -S "$root" -DNVSIM_SANITIZE=thread
 cmake --build "$root/build-tsan" -j "$jobs" \
-    --target test_exec test_access_range bench_fig4_2lm_microbench
-# Run the two binaries directly: the tree only builds these targets,
-# and ctest would trip over every other test's _NOT_BUILT placeholder.
+    --target test_exec test_access_range bench_fig4_2lm_microbench \
+    bench_fault_degradation
+# Run the binaries directly: the tree only builds these targets, and
+# ctest would trip over every other test's _NOT_BUILT placeholder.
 "$root/build-tsan/tests/test_exec"
 "$root/build-tsan/tests/test_access_range"
 tsan_dir=$(mktemp -d)
 (cd "$tsan_dir" && \
     "$root/build-tsan/bench/bench_fig4_2lm_microbench" --jobs=4 \
     > bench.log)
+(cd "$tsan_dir" && \
+    "$root/build-tsan/bench/bench_fig4_2lm_microbench" --jobs=1 \
+    --shard-threads=4 > bench_shard.log)
+(cd "$tsan_dir" && \
+    "$root/build-tsan/bench/bench_fault_degradation" \
+    --shard-threads=4 > fault_shard.log)
 rm -rf "$tsan_dir"
 echo "TSan suite passed: no data races reported."
 
@@ -60,6 +70,22 @@ diff -r "$det_dir/jobs1" "$det_dir/jobs4"
 diff -r "$det_dir/jobs1" "$det_dir/perline"
 rm -rf "$det_dir"
 echo "determinism smoke passed: outputs byte-identical."
+
+# Shard byte-diff: the intra-run channel shard must reproduce the
+# serial run byte-for-byte — console, CSV, and the telemetry exports
+# (counter totals, latency percentiles, per-window series) alike.
+echo "=== shard determinism (--shard-threads byte-diff) ==="
+shard_dir=$(mktemp -d)
+for n in 1 4; do
+    mkdir -p "$shard_dir/shard$n"
+    (cd "$shard_dir/shard$n" && \
+        "$root/build/bench/bench_fig4_2lm_microbench" --jobs=1 \
+        --shard-threads=$n --telemetry=tel.csv \
+        --telemetry-json=tel.json > stdout.txt)
+done
+diff -r "$shard_dir/shard1" "$shard_dir/shard4"
+rm -rf "$shard_dir"
+echo "shard determinism passed: outputs byte-identical at any width."
 
 # Observability smoke: one bench run with every obs output enabled;
 # both JSON artifacts must parse (json.tool exits nonzero otherwise).
@@ -288,15 +314,15 @@ echo "prometheus lint passed: exposition is strictly valid."
 # checked-in report. NVSIM_PERF_GATE=off skips the comparison (for
 # hosts whose wall-clock is incomparable to the recorded baseline);
 # the report itself is always written.
-echo "=== bench report + perf gate (BENCH_PR8.json) ==="
+echo "=== bench report + perf gate (BENCH_PR9.json) ==="
 python3 "$root/scripts/bench_report.py" "$root/build" \
-    "$root/BENCH_PR8.json"
+    "$root/BENCH_PR9.json"
 if [ "${NVSIM_PERF_GATE:-on}" = "off" ]; then
     echo "perf gate skipped (NVSIM_PERF_GATE=off)."
-elif [ ! -f "$root/BENCH_PR7.json" ]; then
-    echo "perf gate skipped (no BENCH_PR7.json baseline)."
+elif [ ! -f "$root/BENCH_PR8.json" ]; then
+    echo "perf gate skipped (no BENCH_PR8.json baseline)."
 else
-    python3 - "$root/BENCH_PR8.json" "$root/BENCH_PR7.json" \
+    python3 - "$root/BENCH_PR9.json" "$root/BENCH_PR8.json" \
         "$root/build/tools/nvsim_inspect" <<'EOF'
 import json, os, sys
 sys.path.insert(0, os.path.join(os.path.dirname(sys.argv[1]), "scripts"))
@@ -309,7 +335,7 @@ EOF
     # faster than reality must trip the gate — proving it can fail.
     # The inspect hook runs on the tampered baseline too, exercising
     # the named-windows diff path end to end.
-    python3 - "$root/BENCH_PR8.json" \
+    python3 - "$root/BENCH_PR9.json" \
         "$root/build/tools/nvsim_inspect" <<'EOF'
 import copy, json, os, sys, tempfile
 sys.path.insert(0, os.path.join(os.path.dirname(sys.argv[1]), "scripts"))

@@ -1,0 +1,164 @@
+#include "exec/shard.hh"
+
+#include "core/hostprof.hh"
+#include "core/logging.hh"
+
+namespace nvsim::exec
+{
+
+ShardPool::ShardPool(unsigned threads) : threads_(threads ? threads : 1)
+{
+    if (threads_ < 2)
+        return;
+    workers_.reserve(threads_);
+    for (unsigned i = 0; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ShardPool::~ShardPool()
+{
+    if (workers_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ShardPool::run(std::size_t n, const std::function<void(std::size_t)> &task)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty()) {
+        for (std::size_t i = 0; i < n; ++i)
+            task(i);
+        return;
+    }
+
+    std::uint64_t batch;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        task_ = &task;
+        batchSize_ = n;
+        completed_ = 0;
+        batch = ++batchId_;
+        claim_.store(stamp(batch, 0), std::memory_order_relaxed);
+    }
+    workCv_.notify_all();
+
+    // The caller helps: with more channels than workers the extra
+    // claim keeps the pool busy, and with the common one-epoch batch
+    // it avoids an idle producer thread.
+    while (true) {
+        std::size_t i = claimIndex(batch, n);
+        if (i == SIZE_MAX)
+            break;
+        task(i);
+        std::lock_guard<std::mutex> lock(m_);
+        ++completed_;
+    }
+
+    std::unique_lock<std::mutex> lock(m_);
+    doneCv_.wait(lock, [this] { return completed_ == batchSize_; });
+    task_ = nullptr;
+}
+
+void
+ShardPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        const std::function<void(std::size_t)> *task = nullptr;
+        std::size_t n = 0;
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            workCv_.wait(lock, [&] {
+                return stop_ || (task_ != nullptr && batchId_ != seen);
+            });
+            if (stop_)
+                return;
+            seen = batchId_;
+            task = task_;
+            n = batchSize_;
+        }
+        // claimIndex() refuses stale claims: once a newer run() has
+        // restamped claim_, this worker's loop ends without touching
+        // the (by then destroyed) task object it copied for `seen`.
+        while (true) {
+            std::size_t i = claimIndex(seen, n);
+            if (i == SIZE_MAX)
+                break;
+            (*task)(i);
+            std::lock_guard<std::mutex> lock(m_);
+            if (++completed_ == n)
+                doneCv_.notify_all();
+        }
+    }
+}
+
+ShardEngine::ShardEngine(unsigned threads, unsigned channels)
+    : pool_(threads), queues_(channels), cursor_(channels, 0),
+      deltas_(channels)
+{
+}
+
+void
+ShardEngine::execute(ChannelController *channels)
+{
+    HostPhase phase("shard.exec");
+    pool_.run(queues_.size(), [&](std::size_t c) {
+        std::vector<ShardOp> &q = queues_[c];
+        if (q.empty())
+            return;
+        ChannelController &ch = channels[c];
+        // Counter bumps go to this channel's aligned delta block: the
+        // worker's hot-path stores never touch another channel's cache
+        // lines, and the merge below owns the real counters.
+        ch.redirectCounters(&deltas_[c].block);
+        for (ShardOp &op : q) {
+            switch (op.mode) {
+              case ShardOpMode::Fast:
+                op.latency =
+                    ch.handleFast(op.kind, op.local, op.thread, op.pool);
+                break;
+              case ShardOpMode::Run1lm:
+                op.latency = ch.handleFastRun1lm(op.kind, op.local,
+                                                 op.lines, op.thread,
+                                                 op.pool);
+                break;
+              case ShardOpMode::Full: {
+                MemRequest req{op.kind, op.local, op.thread};
+                AccessResult res = ch.handle(req, op.pool);
+                op.latency = res.latency;
+                op.fault = res.fault;
+                break;
+              }
+            }
+        }
+        ch.redirectCounters(nullptr);
+    });
+
+    // Deterministic merge: fixed channel order, on the calling thread,
+    // after the batch barrier — never inside the epoch.
+    for (std::size_t c = 0; c < queues_.size(); ++c) {
+        channels[c].counters() += deltas_[c].block;
+        deltas_[c].block = PerfCounters{};
+    }
+}
+
+void
+ShardEngine::clear()
+{
+    for (auto &q : queues_)
+        q.clear();
+    for (auto &c : cursor_)
+        c = 0;
+    order_.clear();
+    dmaPoison_.clear();
+}
+
+} // namespace nvsim::exec

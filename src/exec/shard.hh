@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Intra-run channel shard engine.
+ *
+ * SweepRunner (exec/sweep.hh) parallelizes *across* sweep points; this
+ * engine parallelizes *inside* one run. The epoch-analytic model makes
+ * channels independent between epoch boundaries: every piece of
+ * channel state — the 2LM cache policy, the DRAM/NVRAM devices, the
+ * per-channel fault RNG stream, the scrub and RowHammer engines, the
+ * PerfCounters block — belongs to exactly one ChannelController, and
+ * `now_` only advances when MemorySystem::finishEpoch() closes the
+ * epoch. So a run can record its channel work, execute it on a worker
+ * pool with one thread owning each channel, and join at the epoch
+ * barrier — as long as the handful of *global* effects (the
+ * floating-point accumulation into epochLatencyWork_, the telemetry
+ * latency sketch, poison tracking and the FaultLog) are applied in the
+ * original arrival order.
+ *
+ * That is the record-and-replay contract implemented here:
+ *
+ *  - the calling thread runs the front end (LLC, translation, epoch
+ *    byte accounting) as usual, but instead of calling into the
+ *    ChannelController it pushes a ShardOp into the target channel's
+ *    queue and an entry into a global arrival-order log;
+ *  - execute() runs every channel's queued ops in queue order on the
+ *    worker pool (one channel never splits across threads, so
+ *    per-channel RNG/scrub/RowHammer sequences are untouched), each
+ *    worker writing its counter bumps into a cache-line-aligned
+ *    per-channel PerfCounterDelta block — no atomics or locks inside
+ *    an epoch — and then merges the delta blocks into the channels'
+ *    real counters in fixed channel order;
+ *  - drain() replays the arrival-order log on the calling thread,
+ *    handing each op's recorded latency/fault result (and the LLC-hit
+ *    and DMA-poison markers) back to MemorySystem, which applies the
+ *    global side effects in exactly the order the serial engine would
+ *    have.
+ *
+ * Floating-point addition is not associative, so the replay — not a
+ * per-channel partial sum — is what keeps counters, CSVs, telemetry
+ * JSON and traces byte-identical at any --shard-threads=N, the same
+ * contract --jobs=N established for sweeps (DESIGN.md section 13).
+ */
+
+#ifndef NVSIM_EXEC_SHARD_HH
+#define NVSIM_EXEC_SHARD_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "imc/channel.hh"
+
+namespace nvsim::exec
+{
+
+/**
+ * Persistent worker pool for channel batches. The same dispatch
+ * protocol as SweepRunner (mutex + condition variables, an atomic
+ * claim index, results synchronized by the batch-completion barrier),
+ * but owned by one MemorySystem and reused every epoch, so the only
+ * per-epoch cost is one wakeup/join round. Tasks must not throw: a
+ * channel batch has nowhere safe to surface an exception mid-epoch.
+ */
+class ShardPool
+{
+  public:
+    /** @param threads worker threads; values < 2 run batches inline. */
+    explicit ShardPool(unsigned threads);
+    ~ShardPool();
+
+    ShardPool(const ShardPool &) = delete;
+    ShardPool &operator=(const ShardPool &) = delete;
+
+    unsigned threads() const { return threads_; }
+
+    /** Run task(0..n-1) across the pool; returns when all are done. */
+    void run(std::size_t n, const std::function<void(std::size_t)> &task);
+
+  private:
+    void workerLoop();
+
+    unsigned threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex m_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    const std::function<void(std::size_t)> *task_ = nullptr;
+    std::size_t batchSize_ = 0;
+    std::uint64_t batchId_ = 0;
+    std::size_t completed_ = 0;
+    bool stop_ = false;
+    /**
+     * Work claims, batch-stamped: (batchId mod 2^32) << 32 | next
+     * index. A single word makes "claim the next index *of my batch*"
+     * one CAS — a worker that woke for an earlier batch can never
+     * claim (and run its dangling task pointer on) an index that a
+     * newer run() reset, because the stamp no longer matches.
+     */
+    std::atomic<std::uint64_t> claim_{0};
+
+    static std::uint64_t
+    stamp(std::uint64_t batch, std::size_t index)
+    {
+        return (batch << 32) | static_cast<std::uint32_t>(index);
+    }
+
+    /**
+     * Claim the next index of @p batch, or SIZE_MAX when the batch is
+     * exhausted or no longer current. @p n is the batch's size.
+     */
+    std::size_t
+    claimIndex(std::uint64_t batch, std::size_t n)
+    {
+        std::uint64_t cur = claim_.load(std::memory_order_relaxed);
+        while (true) {
+            if ((cur >> 32) != (batch & 0xffffffffu))
+                return SIZE_MAX;
+            const std::size_t i = cur & 0xffffffffu;
+            if (i >= n)
+                return SIZE_MAX;
+            if (claim_.compare_exchange_weak(cur, cur + 1,
+                                             std::memory_order_relaxed))
+                return i;
+        }
+    }
+};
+
+/** Which ChannelController entry point executes a recorded op. */
+enum class ShardOpMode : std::uint8_t {
+    Full,    //!< handle(): reference path, fault/maintenance plumbing
+    Fast,    //!< handleFast(): one line, batched 2LM path
+    Run1lm,  //!< handleFastRun1lm(): a coalesced 1LM device run
+};
+
+/**
+ * One recorded channel request. The front end fills the routing
+ * fields; the worker executing the owning channel's queue fills
+ * `latency` (and `fault` for Full ops) from the controller's result.
+ */
+struct ShardOp
+{
+    Addr local = 0;            //!< channel-local line address
+    Addr phys = 0;             //!< physical line (poison/fault records)
+    std::uint64_t lines = 1;   //!< run length (Run1lm), else 1
+    double latency = 0;        //!< result: per-line demand latency
+    RequestFaults fault;       //!< result: fault side effects (Full)
+    MemRequestKind kind = MemRequestKind::LlcRead;
+    MemPool pool = MemPool::Nvram;
+    std::uint16_t thread = 0;
+    ShardOpMode mode = ShardOpMode::Fast;
+    bool chargeDemand = true;
+};
+
+/**
+ * Per-channel counter delta block. Cache-line aligned so adjacent
+ * channels' deltas never false-share while workers bump them; the
+ * block itself is the X-macro-generated PerfCounters, so the merge is
+ * the generated operator+= in fixed channel order.
+ */
+struct alignas(64) PerfCounterDelta
+{
+    PerfCounters block;
+};
+
+/** The record side of the engine: queues plus the arrival-order log. */
+class ShardEngine
+{
+  public:
+    ShardEngine(unsigned threads, unsigned channels);
+
+    unsigned threads() const { return pool_.threads(); }
+
+    /** Any recorded work not yet executed and drained? */
+    bool pending() const { return !order_.empty(); }
+
+    /** Record one channel request in arrival order. */
+    void
+    pushOp(unsigned ch, const ShardOp &op)
+    {
+        queues_[ch].push_back(op);
+        order_.push_back(static_cast<std::uint32_t>(ch));
+    }
+
+    /** Record an LLC hit's latency contribution in arrival order. */
+    void pushLlcHit() { order_.push_back(kLlcHit); }
+
+    /** Record a DMA poison-propagation check in arrival order. */
+    void
+    pushDmaPoison(Addr src, Addr dst)
+    {
+        dmaPoison_.push_back({src, dst});
+        order_.push_back(kDmaPoison);
+    }
+
+    /**
+     * Parallel phase: execute every queued op against its channel in
+     * queue order, one worker per channel, counters redirected into
+     * the per-channel delta blocks; then (serially, back on the
+     * calling thread) merge the deltas into the channels' real
+     * counters in fixed channel order.
+     */
+    void execute(ChannelController *channels);
+
+    /**
+     * Ordered replay: after execute(), walk the arrival-order log and
+     * hand every record to its callback in original program order —
+     * op_fn(channel_index, op) for channel requests, hit_fn() for LLC
+     * hits, dma_fn(src, dst) for DMA poison checks. Clears all queues.
+     */
+    template <typename OpFn, typename HitFn, typename DmaFn>
+    void
+    drain(OpFn &&op_fn, HitFn &&hit_fn, DmaFn &&dma_fn)
+    {
+        std::size_t dma_at = 0;
+        for (std::uint32_t rec : order_) {
+            if (rec == kLlcHit) {
+                hit_fn();
+            } else if (rec == kDmaPoison) {
+                dma_fn(dmaPoison_[dma_at].src, dmaPoison_[dma_at].dst);
+                ++dma_at;
+            } else {
+                op_fn(rec, queues_[rec][cursor_[rec]++]);
+            }
+        }
+        clear();
+    }
+
+  private:
+    void clear();
+
+    static constexpr std::uint32_t kLlcHit = 0xffffffffu;
+    static constexpr std::uint32_t kDmaPoison = 0xfffffffeu;
+
+    struct DmaPoisonRec
+    {
+        Addr src;
+        Addr dst;
+    };
+
+    ShardPool pool_;
+    std::vector<std::vector<ShardOp>> queues_;  //!< per channel
+    std::vector<std::size_t> cursor_;           //!< drain position
+    std::vector<PerfCounterDelta> deltas_;      //!< per channel
+    std::vector<std::uint32_t> order_;          //!< arrival-order log
+    std::vector<DmaPoisonRec> dmaPoison_;
+};
+
+} // namespace nvsim::exec
+
+#endif // NVSIM_EXEC_SHARD_HH

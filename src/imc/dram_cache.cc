@@ -1,5 +1,7 @@
 #include "imc/dram_cache.hh"
 
+#include <algorithm>
+
 #include "core/logging.hh"
 #include "obs/heatmap.hh"
 
@@ -20,7 +22,11 @@ DirectMappedTagEccPolicy::DirectMappedTagEccPolicy(
               "apply a SystemConfig scale factor to shrink capacities",
               static_cast<unsigned long long>(numSets_ * ways_));
     }
-    ways_store_.assign(numSets_ * ways_, Way{});
+    const std::size_t entries = numSets_ * ways_;
+    wayTag_.assign(entries, kInvalidTag);
+    wayLru_.assign(entries, 0);
+    wayDirty_.assign(entries, 0);
+    wayRetired_.assign(entries, 0);
     if ((numSets_ & (numSets_ - 1)) == 0) {
         setMask_ = numSets_ - 1;
         setShift_ = 0;
@@ -51,50 +57,34 @@ DirectMappedTagEccPolicy::addrOf(std::uint64_t set, std::uint64_t tag) const
     return (tag * numSets_ + set) * kLineSize;
 }
 
-DirectMappedTagEccPolicy::Way *
-DirectMappedTagEccPolicy::find(std::uint64_t set, std::uint64_t tag)
-{
-    Way *base = &ways_store_[set * ways_];
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-const DirectMappedTagEccPolicy::Way *
+DirectMappedTagEccPolicy::WayIdx
 DirectMappedTagEccPolicy::find(std::uint64_t set, std::uint64_t tag) const
 {
-    const Way *base = &ways_store_[set * ways_];
+    // The probe loop touches only the tag words (empty ways hold
+    // kInvalidTag) — the point of the structure-of-arrays layout.
+    const WayIdx base = set * ways_;
     for (unsigned w = 0; w < ways_; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return &base[w];
+        if (wayTag_[base + w] == tag)
+            return base + w;
     }
-    return nullptr;
+    return kNoWay;
 }
 
-DirectMappedTagEccPolicy::Way &
-DirectMappedTagEccPolicy::victimWay(std::uint64_t set)
+DirectMappedTagEccPolicy::WayIdx
+DirectMappedTagEccPolicy::victimWay(std::uint64_t set) const
 {
-    Way *base = &ways_store_[set * ways_];
-    Way *victim = nullptr;
+    const WayIdx base = set * ways_;
+    WayIdx victim = kNoWay;
     for (unsigned w = 0; w < ways_; ++w) {
-        if (base[w].retired)
+        if (wayRetired_[base + w])
             continue;
-        if (!base[w].valid)
-            return base[w];
-        if (!victim || base[w].lru < victim->lru)
-            victim = &base[w];
+        if (!wayValid(base + w))
+            return base + w;
+        if (victim == kNoWay || wayLru_[base + w] < wayLru_[victim])
+            victim = base + w;
     }
     // Precondition: !setRetired(set), so one serviceable way exists.
-    return *victim;
-}
-
-void
-DirectMappedTagEccPolicy::touchLru(std::uint64_t set, Way &way)
-{
-    (void)set;
-    way.lru = ++lruClock_;
+    return victim;
 }
 
 bool
@@ -124,17 +114,17 @@ DirectMappedTagEccPolicy::bypassWrite(Addr addr, CacheResult &result)
     result.wroteBack = true;
 }
 
-DirectMappedTagEccPolicy::Way &
+DirectMappedTagEccPolicy::WayIdx
 DirectMappedTagEccPolicy::missHandler(Addr addr, std::uint64_t set,
                                       std::uint64_t tag,
                                       CacheResult &result)
 {
-    Way &victim = victimWay(set);
-    if (victim.valid) {
+    const WayIdx victim = victimWay(set);
+    if (wayValid(victim)) {
         if (profiler_)
             profiler_->noteEviction(set);
-        Addr victim_addr = addrOf(set, victim.tag);
-        if (victim.dirty) {
+        Addr victim_addr = addrOf(set, wayTag_[victim]);
+        if (wayDirty_[victim]) {
             // Write the dirty victim back to NVRAM.
             result.actions.nvramWrites += 1;
             result.victim = victim_addr;
@@ -155,10 +145,9 @@ DirectMappedTagEccPolicy::missHandler(Addr addr, std::uint64_t set,
     result.fill = lineBase(addr);
     result.filled = true;
 
-    victim.valid = true;
-    victim.dirty = false;
-    victim.tag = tag;
-    touchLru(set, victim);
+    wayDirty_[victim] = 0;
+    wayTag_[victim] = tag;  // a real tag: the way is now valid
+    touchLru(victim);
     ddo_->noteInsert(lineBase(addr));
     return victim;
 }
@@ -174,9 +163,9 @@ DirectMappedTagEccPolicy::read(Addr addr)
     // together (tag lives in the ECC bits).
     result.actions.dramReads = 1;
 
-    if (Way *way = find(set, tag)) {
+    if (WayIdx way = find(set, tag); way != kNoWay) {
         result.outcome = CacheOutcome::Hit;
-        touchLru(set, *way);
+        touchLru(way);
         if (profiler_)
             profiler_->noteHit(set);
         return result;
@@ -197,15 +186,15 @@ DirectMappedTagEccPolicy::write(Addr addr)
     splitAddr(addr, set, tag);
     CacheResult result;
 
-    Way *way = find(set, tag);
+    WayIdx way = find(set, tag);
 
     // Dirty Data Optimization: forward the write straight to DRAM
     // without a tag check when the policy knows the line is resident.
-    if (ddo_->check(lineBase(addr), way != nullptr)) {
+    if (ddo_->check(lineBase(addr), way != kNoWay)) {
         result.outcome = CacheOutcome::DdoHit;
         result.actions.dramWrites = 1;
-        way->dirty = true;
-        touchLru(set, *way);
+        wayDirty_[way] = 1;
+        touchLru(way);
         if (profiler_)
             profiler_->noteHit(set);
         return result;
@@ -214,7 +203,7 @@ DirectMappedTagEccPolicy::write(Addr addr)
     // Tag check: one DRAM read (tag rides in ECC bits).
     result.actions.dramReads = 1;
 
-    if (!way) {
+    if (way == kNoWay) {
         if (profiler_)
             profiler_->noteMiss(set);
         if (!params_.insertOnWriteMiss ||
@@ -230,7 +219,7 @@ DirectMappedTagEccPolicy::write(Addr addr)
         // Insert on miss: the miss handler runs first (NVRAM fetch +
         // DRAM insert), then the demand data is written. This is the
         // second DRAM write observed in Figure 4b.
-        way = &missHandler(addr, set, tag, result);
+        way = missHandler(addr, set, tag, result);
     } else {
         result.outcome = CacheOutcome::Hit;
         if (profiler_)
@@ -238,8 +227,8 @@ DirectMappedTagEccPolicy::write(Addr addr)
     }
 
     result.actions.dramWrites += 1;
-    way->dirty = true;
-    touchLru(set, *way);
+    wayDirty_[way] = 1;
+    touchLru(way);
     return result;
 }
 
@@ -250,22 +239,22 @@ DirectMappedTagEccPolicy::corruptTag(Addr addr)
     splitAddr(addr, set, tag);
     TagCorruption tc;
 
-    Way *way = find(set, tag);
-    if (!way) {
+    WayIdx way = find(set, tag);
+    if (way == kNoWay) {
         if (setRetired(set))
             return tc;  // nothing serviceable left to corrupt
-        way = &victimWay(set);
+        way = victimWay(set);
     }
-    if (!way->valid)
+    if (!wayValid(way))
         return tc;
 
     tc.dropped = true;
-    tc.wasDirty = way->dirty;
-    tc.line = addrOf(set, way->tag);
+    tc.wasDirty = wayDirty_[way] != 0;
+    tc.line = addrOf(set, wayTag_[way]);
     // Keep the DDO tracker consistent: the line is gone, later writes
     // must not elide their tag check.
     ddo_->noteEvict(tc.line);
-    *way = Way{};
+    clearWay(way);
     return tc;
 }
 
@@ -275,23 +264,22 @@ DirectMappedTagEccPolicy::retireFrame(Addr frame)
     // The scrubber walks device frames; fold the frame index onto the
     // way store (for the direct-mapped geometry this is exactly the
     // set the frame backs).
-    std::uint64_t idx = lineIndex(frame) % (numSets_ * ways_);
-    Way &way = ways_store_[idx];
+    WayIdx idx = lineIndex(frame) % (numSets_ * ways_);
     TagCorruption tc;
-    if (way.retired)
+    if (wayRetired_[idx])
         return tc;
-    if (way.valid) {
+    if (wayValid(idx)) {
         tc.dropped = true;
-        tc.wasDirty = way.dirty;
-        tc.line = addrOf(idx / ways_, way.tag);
+        tc.wasDirty = wayDirty_[idx] != 0;
+        tc.line = addrOf(idx / ways_, wayTag_[idx]);
         // Keep the DDO tracker consistent: the line is gone, later
         // writes must not elide their tag check.
         ddo_->noteEvict(tc.line);
         if (profiler_)
             profiler_->noteEviction(idx / ways_);
     }
-    way = Way{};
-    way.retired = true;
+    clearWay(idx);
+    wayRetired_[idx] = 1;
     ++retiredWays_;
     return tc;
 }
@@ -299,21 +287,23 @@ DirectMappedTagEccPolicy::retireFrame(Addr frame)
 bool
 DirectMappedTagEccPolicy::resident(Addr addr) const
 {
-    return find(setOf(addr), tagOf(addr)) != nullptr;
+    return find(setOf(addr), tagOf(addr)) != kNoWay;
 }
 
 bool
 DirectMappedTagEccPolicy::residentDirty(Addr addr) const
 {
-    const Way *way = find(setOf(addr), tagOf(addr));
-    return way && way->dirty;
+    WayIdx way = find(setOf(addr), tagOf(addr));
+    return way != kNoWay && wayDirty_[way];
 }
 
 void
 DirectMappedTagEccPolicy::invalidateAll()
 {
-    for (auto &way : ways_store_)
-        way = Way{};
+    std::fill(wayTag_.begin(), wayTag_.end(), kInvalidTag);
+    std::fill(wayLru_.begin(), wayLru_.end(), 0);
+    std::fill(wayDirty_.begin(), wayDirty_.end(), 0);
+    std::fill(wayRetired_.begin(), wayRetired_.end(), 0);
     // A reboot remaps retired rows onto spares: retirement clears too.
     retiredWays_ = 0;
     // Recreate the DDO policy so no stale insert knowledge survives.

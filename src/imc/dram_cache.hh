@@ -105,15 +105,29 @@ class DirectMappedTagEccPolicy : public CachePolicy
     obs::SetProfiler *profiler() override { return profiler_; }
 
   protected:
-    struct Way
-    {
-        std::uint64_t tag = 0;
-        std::uint32_t lru = 0;
-        bool valid = false;
-        bool dirty = false;
-        /** Mapped out by the scrub retirement ladder; never refilled. */
-        bool retired = false;
-    };
+    /**
+     * Handle into the structure-of-arrays line-state store: the flat
+     * index set * ways + way, or kNoWay for "not found". Line state
+     * is kept as parallel arrays (tag, LRU stamp, dirty, retired)
+     * rather than an array of per-way structs: the hot probe loop
+     * reads only the tag words (an empty way holds kInvalidTag, so
+     * there is no separate valid byte to fetch), packing eight
+     * candidate tags per hardware cache line instead of walking
+     * 24-byte padded structs — and the dirty/retired sideband stays
+     * out of the probe path entirely.
+     */
+    using WayIdx = std::uint64_t;
+    static constexpr WayIdx kNoWay = ~static_cast<WayIdx>(0);
+
+    /**
+     * Tag value marking an empty way. Real tags are lineIndex /
+     * numSets for in-range physical addresses, orders of magnitude
+     * below 2^64, so the all-ones word is never a live tag.
+     */
+    static constexpr std::uint64_t kInvalidTag =
+        ~static_cast<std::uint64_t>(0);
+
+    bool wayValid(WayIdx w) const { return wayTag_[w] != kInvalidTag; }
 
     /**
      * Insertion gate consulted on every miss. The stock controller
@@ -160,16 +174,15 @@ class DirectMappedTagEccPolicy : public CachePolicy
         }
     }
 
-    /** Find the way holding @p tag in @p set, or nullptr. */
-    Way *find(std::uint64_t set, std::uint64_t tag);
-    const Way *find(std::uint64_t set, std::uint64_t tag) const;
+    /** Find the way holding @p tag in @p set, or kNoWay. */
+    WayIdx find(std::uint64_t set, std::uint64_t tag) const;
 
     /**
      * LRU victim among @p set's serviceable ways. Retired ways are
      * skipped; callers must check setRetired() first (the precondition
      * is that at least one way is serviceable).
      */
-    Way &victimWay(std::uint64_t set);
+    WayIdx victimWay(std::uint64_t set) const;
 
     /** Every way of @p set is retired (forced-bypass set). */
     bool
@@ -177,30 +190,55 @@ class DirectMappedTagEccPolicy : public CachePolicy
     {
         if (retiredWays_ == 0)
             return false;  // keep the maintenance-off path branch-cheap
-        const Way *base = &ways_store_[set * ways_];
+        const std::uint8_t *base = &wayRetired_[set * ways_];
         for (unsigned w = 0; w < ways_; ++w) {
-            if (!base[w].retired)
+            if (!base[w])
                 return false;
         }
         return true;
     }
 
-    void touchLru(std::uint64_t set, Way &way);
+    /**
+     * Stamp @p w most-recently-used. A direct-mapped cache has no
+     * replacement choice, so the stamp (and its extra cache-line
+     * store on every hit) is skipped entirely for ways == 1.
+     */
+    void
+    touchLru(WayIdx w)
+    {
+        if (ways_ > 1)
+            wayLru_[w] = ++lruClock_;
+    }
+
+    /** Reset one way's state to empty (all fields, retirement included). */
+    void
+    clearWay(WayIdx w)
+    {
+        wayTag_[w] = kInvalidTag;
+        wayLru_[w] = 0;
+        wayDirty_[w] = 0;
+        wayRetired_[w] = 0;
+    }
 
     /**
      * Run the Figure 3 miss handler: evict (writeback if dirty), fetch
      * the requested line from NVRAM and insert it clean. Updates
      * @p result's actions, outcome, victim and fill fields.
      */
-    Way &missHandler(Addr addr, std::uint64_t set, std::uint64_t tag,
-                     CacheResult &result);
+    WayIdx missHandler(Addr addr, std::uint64_t set, std::uint64_t tag,
+                       CacheResult &result);
 
     DramCacheParams params_;
     unsigned ways_;
     std::uint64_t numSets_;
     int setShift_ = -1;          //!< log2(numSets_) when a power of two
     std::uint64_t setMask_ = 0;  //!< numSets_ - 1 when a power of two
-    std::vector<Way> ways_store_;  //!< numSets_ * ways_ entries
+    // Structure-of-arrays line state, numSets_ * ways_ entries each;
+    // see WayIdx for the layout rationale.
+    std::vector<std::uint64_t> wayTag_;
+    std::vector<std::uint32_t> wayLru_;
+    std::vector<std::uint8_t> wayDirty_;
+    std::vector<std::uint8_t> wayRetired_;
     std::uint64_t retiredWays_ = 0;
     std::uint32_t lruClock_ = 0;
     std::unique_ptr<DdoPolicy> ddo_;

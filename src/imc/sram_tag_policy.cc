@@ -11,16 +11,16 @@ SramTagSetAssocPolicy::SramTagSetAssocPolicy(
 {
 }
 
-DirectMappedTagEccPolicy::Way &
+DirectMappedTagEccPolicy::WayIdx
 SramTagSetAssocPolicy::fill(Addr addr, std::uint64_t set,
                             std::uint64_t tag, CacheResult &result)
 {
-    Way &victim = victimWay(set);
-    if (victim.valid) {
+    const WayIdx victim = victimWay(set);
+    if (wayValid(victim)) {
         if (profiler_)
             profiler_->noteEviction(set);
-        Addr victim_addr = addrOf(set, victim.tag);
-        if (victim.dirty) {
+        Addr victim_addr = addrOf(set, wayTag_[victim]);
+        if (wayDirty_[victim]) {
             result.actions.nvramWrites += 1;
             result.victim = victim_addr;
             result.wroteBack = true;
@@ -37,11 +37,10 @@ SramTagSetAssocPolicy::fill(Addr addr, std::uint64_t set,
     result.fill = lineBase(addr);
     result.filled = true;
 
-    victim.valid = true;
-    victim.dirty = false;
-    victim.tag = tag;
+    wayDirty_[victim] = 0;
+    wayTag_[victim] = tag;  // a real tag: the way is now valid
     // Both LRU and FIFO stamp at insertion; they differ on hits.
-    touchLru(set, victim);
+    touchLru(victim);
     ddo_->noteInsert(lineBase(addr));
     return victim;
 }
@@ -54,13 +53,13 @@ SramTagSetAssocPolicy::read(Addr addr)
     CacheResult result;
     result.tagsInSram = true;
 
-    if (Way *way = find(set, tag)) {
+    if (WayIdx way = find(set, tag); way != kNoWay) {
         // The SRAM array answered the tag check; the only device
         // traffic is the data read itself.
         result.outcome = CacheOutcome::Hit;
         result.actions.dramReads = 1;
         if (lru_)
-            touchLru(set, *way);
+            touchLru(way);
         if (profiler_)
             profiler_->noteHit(set);
         return result;
@@ -86,12 +85,12 @@ SramTagSetAssocPolicy::write(Addr addr)
     CacheResult result;
     result.tagsInSram = true;
 
-    if (Way *way = find(set, tag)) {
+    if (WayIdx way = find(set, tag); way != kNoWay) {
         result.outcome = CacheOutcome::Hit;
         result.actions.dramWrites = 1;
-        way->dirty = true;
+        wayDirty_[way] = 1;
         if (lru_)
-            touchLru(set, *way);
+            touchLru(way);
         if (profiler_)
             profiler_->noteHit(set);
         return result;
@@ -111,9 +110,9 @@ SramTagSetAssocPolicy::write(Addr addr)
     }
     // Insert on miss, but — unlike tags-in-ECC — the demand data is
     // merged into the fill: one NVRAM fetch, one DRAM write total.
-    Way &way = fill(addr, set, tag, result);
+    WayIdx way = fill(addr, set, tag, result);
     result.actions.dramWrites += 1;
-    way.dirty = true;
+    wayDirty_[way] = 1;
     return result;
 }
 
@@ -124,15 +123,15 @@ SramTagSetAssocPolicy::corruptTag(Addr addr)
     splitAddr(addr, set, tag);
     TagCorruption tc;
 
-    Way *way = find(set, tag);
-    if (!way)
+    WayIdx way = find(set, tag);
+    if (way == kNoWay)
         return tc;  // tags are safe in SRAM; nothing resident was lost
 
     tc.dropped = true;
-    tc.wasDirty = way->dirty;
-    tc.line = addrOf(set, way->tag);
+    tc.wasDirty = wayDirty_[way] != 0;
+    tc.line = addrOf(set, wayTag_[way]);
     ddo_->noteEvict(tc.line);
-    *way = Way{};
+    clearWay(way);
     return tc;
 }
 

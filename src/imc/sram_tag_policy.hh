@@ -73,8 +73,8 @@ class SramTagSetAssocPolicy : public DirectMappedTagEccPolicy
      *  NVRAM and install the tag. Unlike the base missHandler this does
      *  NOT count the insert DRAM write — read and write misses account
      *  for it differently (writes merge it with the demand data). */
-    Way &fill(Addr addr, std::uint64_t set, std::uint64_t tag,
-              CacheResult &result);
+    WayIdx fill(Addr addr, std::uint64_t set, std::uint64_t tag,
+                CacheResult &result);
 
     bool lru_;  //!< true: LRU within the set; false: FIFO
 };

@@ -5,6 +5,7 @@
 
 #include "core/logging.hh"
 #include "core/rng.hh"
+#include "exec/shard.hh"
 #include "obs/causal.hh"
 #include "obs/observer.hh"
 #include "obs/telemetry/telemetry.hh"
@@ -16,6 +17,9 @@ namespace
 {
 /** Process-wide engine default for new systems (--per-line flag). */
 bool g_batched_default = true;
+
+/** Process-wide shard default for new systems (--shard-threads). */
+unsigned g_shard_threads_default = 1;
 
 /** Provenance digest of the full config (any knob changes the hash). */
 obs::ConfigDigest
@@ -30,6 +34,29 @@ void
 MemorySystem::setBatchedAccessDefault(bool on)
 {
     g_batched_default = on;
+}
+
+void
+MemorySystem::setShardThreadsDefault(unsigned n)
+{
+    g_shard_threads_default = n ? n : 1;
+}
+
+void
+MemorySystem::setShardThreads(unsigned n)
+{
+    if (n == 0)
+        n = 1;
+    if (n == shardThreads_)
+        return;
+    // Join the old pool's work before the engine changes shape.
+    syncShard();
+    shard_.reset();
+    shardThreads_ = n;
+    if (n > 1) {
+        shard_ =
+            std::make_unique<exec::ShardEngine>(n, numChannels());
+    }
 }
 
 MemorySystem::MemorySystem(const SystemConfig &config)
@@ -48,6 +75,8 @@ MemorySystem::MemorySystem(const SystemConfig &config)
         channels_.emplace_back(cp, config_.mode);
         online_.push_back(i);
     }
+    imap_.rebuild(config_.interleaveGranularity, online_.size());
+    setShardThreads(g_shard_threads_default);
 
     if (config_.mode == MemoryMode::OneLm) {
         dramPoolSize_ = config_.dramTotal();
@@ -86,6 +115,9 @@ MemorySystem::attachObserver(obs::Observer *observer)
 {
     if (obs_ == observer)
         return;
+    // Recorded shard work must land before the observer's formulas go
+    // live (and before shardActive() flips off under it).
+    syncShard();
     detachObserver();
     obs_ = observer;
     if (!obs_)
@@ -331,8 +363,7 @@ MemorySystem::channelOf(Addr addr) const
 {
     // Interleave over the *online* channels; with none offlined this
     // is the identity permutation over all channels.
-    return online_[(addr / config_.interleaveGranularity) %
-                   online_.size()];
+    return online_[imap_.pos(addr)];
 }
 
 Addr
@@ -375,6 +406,8 @@ MemorySystem::isPoisoned(Addr addr)
 {
     if (!faultEnabled_ && !maintEnabled_)
         return false;
+    // Pending shard replay may still create or clear poison.
+    syncShard();
     return poisoned_.count(lineBase(translate(addr))) != 0;
 }
 
@@ -443,15 +476,39 @@ MemorySystem::issueToImc(MemRequestKind kind, Addr line_addr,
                          unsigned thread, bool charge_demand)
 {
     // Virtual-to-physical first (the cache and DIMMs see physical
-    // addresses; translate() preserves the pool).
+    // addresses; translate() preserves the pool), then to the
+    // channel-local address: each channel sees every numChannels-th
+    // interleave chunk (over the online channels), compacted to a
+    // contiguous local space. The hardware indexes its DRAM cache
+    // (and DIMMs) with this local address, so a physically contiguous
+    // array uses every set.
     Addr phys = translate(line_addr);
+    Addr local;
+    unsigned ch_idx = online_[imap_.route(phys, local)];
+
+    if (shardActive()) {
+        // Record for the worker pool. The poison pre-check below never
+        // affects the channel's own handling, so it is deferred to the
+        // arrival-order replay in syncShard(), where poisoned_ carries
+        // the state the serial engine would have seen.
+        exec::ShardOp op;
+        op.local = local;
+        op.phys = phys;
+        op.kind = kind;
+        op.pool = poolOf(phys);
+        op.thread = static_cast<std::uint16_t>(thread);
+        op.mode = exec::ShardOpMode::Full;
+        op.chargeDemand = charge_demand;
+        shard_->pushOp(ch_idx, op);
+        return;
+    }
 
     if ((faultEnabled_ || maintEnabled_) && !poisoned_.empty()) {
         if (kind == MemRequestKind::LlcRead) {
             if (charge_demand && poisoned_.count(phys)) {
                 // Demand load of a poisoned line: machine check; the
                 // OS recovers the page (graceful degradation).
-                faultLog_.record(now_, channelOf(phys),
+                faultLog_.record(now_, ch_idx,
                                  FaultEventKind::PoisonConsumed, phys);
                 clearPoison(phys);
             }
@@ -461,21 +518,11 @@ MemorySystem::issueToImc(MemRequestKind kind, Addr line_addr,
         }
     }
 
-    // Then to the channel-local address: each channel sees every
-    // numChannels-th interleave chunk (over the online channels),
-    // compacted to a contiguous local space. The hardware indexes its
-    // DRAM cache (and DIMMs) with this local address, so a physically
-    // contiguous array uses every set.
-    Bytes gran = config_.interleaveGranularity;
-    Addr chunk = phys / (gran * online_.size());
-    Addr local = chunk * gran + phys % gran;
-
     MemRequest req{kind, local, static_cast<std::uint16_t>(thread)};
     obs::CausalTracer *causal =
         obs_ && charge_demand ? obs_->causal() : nullptr;
     if (causal)
         req.traced = causal->shouldSample();
-    unsigned ch_idx = channelOf(phys);
     ChannelController &ch = channels_[ch_idx];
     AccessResult res = ch.handle(req, poolOf(phys));
     if (charge_demand) {
@@ -504,11 +551,18 @@ MemorySystem::touchLine(unsigned thread, CpuOp op, Addr line_addr)
         LlcResult lr = llc_.access(line_addr, op == CpuOp::Store);
         epochLoadBytes_ += kLineSize;
         if (lr.hit) {
-            epochLatencyWork_ += config_.llcHitLatency;
-            if (tel_)
-                tel_->noteLatency(config_.llcHitLatency);
-            if (obs_)
-                obs_->noteLlcHit();
+            if (shardActive()) {
+                // The hit's latency contribution must interleave with
+                // the queued misses' in program order (floating-point
+                // accumulation), so it goes through the order log too.
+                shard_->pushLlcHit();
+            } else {
+                epochLatencyWork_ += config_.llcHitLatency;
+                if (tel_)
+                    tel_->noteLatency(config_.llcHitLatency);
+                if (obs_)
+                    obs_->noteLlcHit();
+            }
         } else {
             // Load miss or store RFO.
             issueToImc(MemRequestKind::LlcRead, line_addr, thread);
@@ -568,12 +622,106 @@ MemorySystem::accessRange(unsigned thread, CpuOp op, Addr addr,
     }
 }
 
+/**
+ * fastRangeImpl emitter: execute every event immediately against the
+ * channels and accumulate its latency — the classic serial engine.
+ */
+struct MemorySystem::ImmediateEmit
+{
+    MemorySystem &s;
+
+    void
+    single(unsigned ch_idx, Addr local, MemRequestKind kind,
+           std::uint16_t tid, MemPool pool)
+    {
+        double lat = s.channels_[ch_idx].handleFast(kind, local, tid,
+                                                    pool);
+        s.epochLatencyWork_ += lat;
+        if (s.tel_)
+            s.tel_->noteLatency(lat);
+    }
+
+    void
+    run(unsigned ch_idx, Addr local, std::uint64_t n,
+        MemRequestKind kind, std::uint16_t tid, MemPool pool)
+    {
+        double lat = s.channels_[ch_idx].handleFastRun1lm(kind, local, n,
+                                                          tid, pool);
+        // Line-by-line accumulation, in the per-line loop's order.
+        for (std::uint64_t i = 0; i < n; ++i)
+            s.epochLatencyWork_ += lat;
+        if (s.tel_)
+            s.tel_->noteLatency(lat, n);
+    }
+
+    void
+    hit()
+    {
+        s.epochLatencyWork_ += s.config_.llcHitLatency;
+        if (s.tel_)
+            s.tel_->noteLatency(s.config_.llcHitLatency);
+    }
+};
+
+/**
+ * fastRangeImpl emitter: record every event for the shard pool. The
+ * LLC hit marker rides the order log so its latency contribution
+ * replays interleaved with the misses' exactly as ImmediateEmit
+ * would have accumulated them.
+ */
+struct MemorySystem::ShardEmit
+{
+    MemorySystem &s;
+
+    void
+    single(unsigned ch_idx, Addr local, MemRequestKind kind,
+           std::uint16_t tid, MemPool pool)
+    {
+        exec::ShardOp op;
+        op.local = local;
+        op.kind = kind;
+        op.pool = pool;
+        op.thread = tid;
+        op.mode = exec::ShardOpMode::Fast;
+        s.shard_->pushOp(ch_idx, op);
+    }
+
+    void
+    run(unsigned ch_idx, Addr local, std::uint64_t n,
+        MemRequestKind kind, std::uint16_t tid, MemPool pool)
+    {
+        exec::ShardOp op;
+        op.local = local;
+        op.lines = n;
+        op.kind = kind;
+        op.pool = pool;
+        op.thread = tid;
+        op.mode = exec::ShardOpMode::Run1lm;
+        s.shard_->pushOp(ch_idx, op);
+    }
+
+    void hit() { s.shard_->pushLlcHit(); }
+};
+
 void
 MemorySystem::fastRange(unsigned thread, CpuOp op, Addr first,
                         std::uint64_t lines)
 {
+    if (shardActive()) {
+        ShardEmit emit{*this};
+        fastRangeImpl(thread, op, first, lines, emit);
+    } else {
+        ImmediateEmit emit{*this};
+        fastRangeImpl(thread, op, first, lines, emit);
+    }
+}
+
+template <typename Emit>
+void
+MemorySystem::fastRangeImpl(unsigned thread, CpuOp op, Addr first,
+                            std::uint64_t lines, Emit &emit)
+{
     const Bytes gran = config_.interleaveGranularity;
-    const std::size_t n_online = online_.size();
     const bool two_lm = config_.mode == MemoryMode::TwoLm;
     const std::uint16_t tid = static_cast<std::uint16_t>(thread);
 
@@ -592,8 +740,8 @@ MemorySystem::fastRange(unsigned thread, CpuOp op, Addr first,
         std::uint64_t n = (seg_end - a) / kLineSize;
 
         MemPool pool = a < dramPoolSize_ ? MemPool::Dram : MemPool::Nvram;
-        ChannelController &ch = channels_[channelOf(a)];
-        Addr local = (a / (gran * n_online)) * gran + a % gran;
+        Addr local;
+        const unsigned ch_idx = online_[imap_.route(a, local)];
 
         if (op == CpuOp::NtStore) {
             for (Addr la = a; la < seg_end; la += kLineSize)
@@ -601,20 +749,12 @@ MemorySystem::fastRange(unsigned thread, CpuOp op, Addr first,
             epochNtStoreBytes_ += n * kLineSize;
             if (two_lm) {
                 Addr end = local + n * kLineSize;
-                for (Addr ll = local; ll < end; ll += kLineSize) {
-                    double lat = ch.handleFast(
-                        MemRequestKind::LlcWrite, ll, tid, pool);
-                    epochLatencyWork_ += lat;
-                    if (tel_)
-                        tel_->noteLatency(lat);
-                }
+                for (Addr ll = local; ll < end; ll += kLineSize)
+                    emit.single(ch_idx, ll, MemRequestKind::LlcWrite,
+                                tid, pool);
             } else {
-                double lat = ch.handleFastRun1lm(
-                    MemRequestKind::LlcWrite, local, n, tid, pool);
-                for (std::uint64_t i = 0; i < n; ++i)
-                    epochLatencyWork_ += lat;
-                if (tel_)
-                    tel_->noteLatency(lat, n);
+                emit.run(ch_idx, local, n, MemRequestKind::LlcWrite,
+                         tid, pool);
             }
         } else {
             const bool is_store = op == CpuOp::Store;
@@ -629,14 +769,15 @@ MemorySystem::fastRange(unsigned thread, CpuOp op, Addr first,
             auto flush_run = [&]() {
                 if (!run_lines)
                     return;
-                double lat = ch.handleFastRun1lm(
-                    MemRequestKind::LlcRead, run_local, run_lines, tid,
-                    pool);
-                for (std::uint64_t i = 0; i < run_lines; ++i)
-                    epochLatencyWork_ += lat;
-                if (tel_)
-                    tel_->noteLatency(lat, run_lines);
+                emit.run(ch_idx, run_local, run_lines,
+                         MemRequestKind::LlcRead, tid, pool);
                 run_lines = 0;
+            };
+            auto issue_victim = [&](Addr victim) {
+                Addr vlocal;
+                unsigned vch = online_[imap_.route(victim, vlocal)];
+                emit.single(vch, vlocal, MemRequestKind::LlcWrite, tid,
+                            poolOf(victim));
             };
             Addr ll = local;
             for (Addr la = a; la < seg_end;
@@ -644,35 +785,21 @@ MemorySystem::fastRange(unsigned thread, CpuOp op, Addr first,
                 LlcResult lr = llc_.access(la, is_store);
                 if (lr.hit) {
                     flush_run();
-                    epochLatencyWork_ += config_.llcHitLatency;
-                    if (tel_)
-                        tel_->noteLatency(config_.llcHitLatency);
+                    emit.hit();
                     continue;
                 }
                 if (two_lm) {
-                    double lat = ch.handleFast(
-                        MemRequestKind::LlcRead, ll, tid, pool);
-                    epochLatencyWork_ += lat;
-                    if (tel_)
-                        tel_->noteLatency(lat);
-                    if (lr.evictedDirty) {
-                        double vlat = fastIssue(
-                            MemRequestKind::LlcWrite, lr.victim, thread);
-                        epochLatencyWork_ += vlat;
-                        if (tel_)
-                            tel_->noteLatency(vlat);
-                    }
+                    emit.single(ch_idx, ll, MemRequestKind::LlcRead,
+                                tid, pool);
+                    if (lr.evictedDirty)
+                        issue_victim(lr.victim);
                 } else {
                     if (!run_lines)
                         run_local = ll;
                     ++run_lines;
                     if (lr.evictedDirty) {
                         flush_run();
-                        double vlat = fastIssue(
-                            MemRequestKind::LlcWrite, lr.victim, thread);
-                        epochLatencyWork_ += vlat;
-                        if (tel_)
-                            tel_->noteLatency(vlat);
+                        issue_victim(lr.victim);
                     }
                 }
             }
@@ -682,16 +809,6 @@ MemorySystem::fastRange(unsigned thread, CpuOp op, Addr first,
         a = seg_end;
         left -= n;
     }
-}
-
-double
-MemorySystem::fastIssue(MemRequestKind kind, Addr phys, unsigned thread)
-{
-    Bytes gran = config_.interleaveGranularity;
-    Addr chunk = phys / (gran * online_.size());
-    Addr local = chunk * gran + phys % gran;
-    return channels_[channelOf(phys)].handleFast(
-        kind, local, static_cast<std::uint16_t>(thread), poolOf(phys));
 }
 
 void
@@ -711,12 +828,20 @@ MemorySystem::dmaCopy(Addr dst, Addr src, Bytes bytes)
         llc_.invalidateLine(d);
         issueToImc(MemRequestKind::LlcWrite, d, 0,
                    /*charge_demand=*/false);
-        if (faultEnabled_ && !poisoned_.empty()) {
+        if (faultEnabled_) {
             // Poison flows through DMA copies: the engine moves the
             // poisoned payload without consuming it (no machine check
-            // until a core load touches the destination).
-            if (poisoned_.count(lineBase(translate(s))))
+            // until a core load touches the destination). Sharded, the
+            // check rides the order log — poisoned_ only reaches this
+            // copy's state during the replay, so testing it now would
+            // read a stale set.
+            if (shardActive()) {
+                shard_->pushDmaPoison(lineBase(translate(s)),
+                                      lineBase(translate(d)));
+            } else if (!poisoned_.empty() &&
+                       poisoned_.count(lineBase(translate(s)))) {
                 addPoison(lineBase(translate(d)), /*propagated=*/true);
+            }
         }
         epochDemandBytes_ += kLineSize;
         epochDmaBytes_ += 2 * kLineSize;
@@ -759,8 +884,82 @@ MemorySystem::advanceEpoch()
 }
 
 void
+MemorySystem::syncShard()
+{
+    if (!shard_ || !shard_->pending())
+        return;
+
+    // Parallel phase: one worker per channel executes that channel's
+    // queued ops in order; counter deltas merge at the batch barrier.
+    shard_->execute(channels_.data());
+
+    // Ordered replay of the global effects. now_ is constant within an
+    // epoch, so the FaultLog timestamps written here are the ones the
+    // serial engine would have recorded at issue time.
+    const bool fm = faultEnabled_ || maintEnabled_;
+    shard_->drain(
+        [&](unsigned ch_idx, exec::ShardOp &op) {
+            switch (op.mode) {
+              case exec::ShardOpMode::Full:
+                // The deferred issue-side poison pre-check (see
+                // issueToImc): it must see poisoned_ as of this op's
+                // position in program order, and it must precede this
+                // op's own fault notes.
+                if (fm && !poisoned_.empty()) {
+                    if (op.kind == MemRequestKind::LlcRead) {
+                        if (op.chargeDemand &&
+                            poisoned_.count(op.phys)) {
+                            faultLog_.record(
+                                now_, ch_idx,
+                                FaultEventKind::PoisonConsumed,
+                                op.phys);
+                            clearPoison(op.phys);
+                        }
+                    } else {
+                        clearPoison(op.phys);
+                    }
+                }
+                if (op.chargeDemand) {
+                    epochLatencyWork_ += op.latency;
+                    if (tel_)
+                        tel_->noteLatency(op.latency);
+                }
+                if (fm && op.fault.any()) {
+                    noteRequestFaults(op.fault, op.kind, op.phys,
+                                      ch_idx, op.chargeDemand);
+                }
+                break;
+              case exec::ShardOpMode::Fast:
+                epochLatencyWork_ += op.latency;
+                if (tel_)
+                    tel_->noteLatency(op.latency);
+                break;
+              case exec::ShardOpMode::Run1lm:
+                for (std::uint64_t i = 0; i < op.lines; ++i)
+                    epochLatencyWork_ += op.latency;
+                if (tel_)
+                    tel_->noteLatency(op.latency, op.lines);
+                break;
+            }
+        },
+        [&] {
+            epochLatencyWork_ += config_.llcHitLatency;
+            if (tel_)
+                tel_->noteLatency(config_.llcHitLatency);
+        },
+        [&](Addr src, Addr dst) {
+            if (poisoned_.count(src))
+                addPoison(dst, /*propagated=*/true);
+        });
+}
+
+void
 MemorySystem::finishEpoch()
 {
+    // Join the shard barrier first: the epoch solver below reads the
+    // drained channel traffic and the replayed latency work.
+    syncShard();
+
     // Resource-side: each channel moves its epoch traffic in parallel
     // with the others. With faults or maintenance enabled the drained
     // epochs are kept so the throttle automata can observe the epoch's
@@ -941,6 +1140,9 @@ MemorySystem::quiesce()
     llc_.flush([this](Addr line) {
         issueToImc(MemRequestKind::LlcWrite, line, 0);
     });
+    // The flush may have recorded shard work: execute it before the
+    // write buffers drain, or the drained state would miss it.
+    syncShard();
     for (auto &ch : channels_)
         ch.drainBuffers();
     finishEpoch();
@@ -966,6 +1168,7 @@ MemorySystem::resetCounters()
 PerfCounters
 MemorySystem::counters() const
 {
+    const_cast<MemorySystem *>(this)->syncShard();
     PerfCounters total;
     for (const auto &ch : channels_)
         total += ch.counters();
@@ -989,6 +1192,7 @@ MemorySystem::offlineChannel(unsigned idx)
 
     channels_[idx].drainBuffers();
     online_.erase(it);
+    imap_.rebuild(config_.interleaveGranularity, online_.size());
 
     // The interleave map changed: every channel-local address now means
     // a different physical line, so all 2LM cache contents (and the
@@ -1009,6 +1213,7 @@ MemorySystem::offlineChannel(unsigned idx)
 double
 MemorySystem::nvramWriteAmplification() const
 {
+    const_cast<MemorySystem *>(this)->syncShard();
     Bytes demand = 0, media = 0;
     for (const auto &ch : channels_) {
         const NvramEpoch &t = ch.nvram().total();

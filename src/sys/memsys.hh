@@ -41,6 +41,11 @@
 namespace nvsim
 {
 
+namespace exec
+{
+class ShardEngine;
+} // namespace exec
+
 namespace obs
 {
 class Observer;
@@ -124,6 +129,25 @@ class MemorySystem
     static void setBatchedAccessDefault(bool on);
 
     /**
+     * Shard this run's channel work across @p n worker threads
+     * (exec/shard.hh): demand access runs, maintenance, fault
+     * injection and the telemetry latency feed execute per channel in
+     * parallel and join at a deterministic epoch barrier, where
+     * per-channel counter deltas merge in fixed channel order and the
+     * global effects (latency-work accumulation, poison, FaultLog,
+     * telemetry) replay in original arrival order. Counters, CSVs,
+     * telemetry JSON and traces are byte-identical at any n — the
+     * --jobs=N contract, applied inside one run. n <= 1 disables
+     * sharding (the classic immediate engine, zero overhead). An
+     * attached Observer bypasses sharding, as it does batching.
+     */
+    void setShardThreads(unsigned n);
+    unsigned shardThreads() const { return shardThreads_; }
+
+    /** Process-wide default for newly constructed systems. */
+    static void setShardThreadsDefault(unsigned n);
+
+    /**
      * Asynchronous bulk copy through the DMA engines (Section VII-B's
      * future direction). Generates the same device traffic as a CPU
      * copy but occupies no CPU issue slots or MLP: the copy overlaps
@@ -196,15 +220,31 @@ class MemorySystem
      * Not owned; must outlive the system or be detached first.
      */
     void attachTelemetry(obs::TelemetryRun *telemetry);
-    void detachTelemetry() { tel_ = nullptr; }
+    // Pending shard replay still feeds the collector's sketch: land it
+    // before unwiring.
+    void
+    detachTelemetry()
+    {
+        syncShard();
+        tel_ = nullptr;
+    }
     obs::TelemetryRun *telemetry() { return tel_; }
 
     const SystemConfig &config() const { return config_; }
     const Llc &llc() const { return llc_; }
     Llc &llc() { return llc_; }
-    ChannelController &channel(unsigned i) { return channels_[i]; }
-    const ChannelController &channel(unsigned i) const
+    // Channel accessors join the shard barrier first: recorded but
+    // unexecuted work must land before anyone reads channel state.
+    ChannelController &
+    channel(unsigned i)
     {
+        syncShard();
+        return channels_[i];
+    }
+    const ChannelController &
+    channel(unsigned i) const
+    {
+        const_cast<MemorySystem *>(this)->syncShard();
         return channels_[i];
     }
     unsigned numChannels() const
@@ -221,13 +261,23 @@ class MemorySystem
     /** @name Faults and graceful degradation */
     ///@{
     /** Machine-level record of injections, poison flow and throttling. */
-    const FaultLog &faultLog() const { return faultLog_; }
+    const FaultLog &
+    faultLog() const
+    {
+        const_cast<MemorySystem *>(this)->syncShard();
+        return faultLog_;
+    }
 
     /** Is the line at @p addr (virtual) currently poisoned? */
     bool isPoisoned(Addr addr);
 
     /** Number of currently poisoned lines. */
-    std::size_t poisonedLines() const { return poisoned_.size(); }
+    std::size_t
+    poisonedLines() const
+    {
+        const_cast<MemorySystem *>(this)->syncShard();
+        return poisoned_.size();
+    }
 
     /**
      * Take channel @p idx offline (a failed DIMM / disabled channel):
@@ -268,17 +318,47 @@ class MemorySystem
      * Batched engine behind accessRange(): @p lines consecutive lines
      * from @p first, guaranteed not to cross an epoch boundary. Only
      * called when translate() is the identity, no observer is attached
-     * and faults are disabled.
+     * and faults are disabled. Dispatches fastRangeImpl with either
+     * the immediate emitter (execute each line now) or the shard
+     * emitter (record it for the worker pool).
      */
     void fastRange(unsigned thread, CpuOp op, Addr first,
                    std::uint64_t lines);
 
+    struct ImmediateEmit;
+    struct ShardEmit;
+
     /**
-     * Fast-path issue of one line at an arbitrary physical address
-     * (LLC dirty victims): interleave math plus ChannelController::
-     * handleFast. Returns the request latency.
+     * The batched engine's shared body: segment the line run by
+     * interleave chunk and pool, then hand every LLC outcome (device
+     * single, coalesced 1LM device run, dirty-victim writeback, LLC
+     * hit) to the emitter. Both emitters see the identical event
+     * sequence, which is what keeps sharded output byte-identical.
      */
-    double fastIssue(MemRequestKind kind, Addr phys, unsigned thread);
+    template <typename Emit>
+    void fastRangeImpl(unsigned thread, CpuOp op, Addr first,
+                       std::uint64_t lines, Emit &emit);
+
+    /**
+     * Is channel work being recorded for the shard pool right now?
+     * An attached observer needs its per-request hooks in program
+     * order on one thread, so it forces the immediate engine — the
+     * same rule that disables batching.
+     */
+    bool
+    shardActive() const
+    {
+        return shard_ != nullptr && obs_ == nullptr;
+    }
+
+    /**
+     * Epoch-barrier join: execute all recorded channel work on the
+     * worker pool, merge the per-channel counter deltas in fixed
+     * channel order, then replay the global effects (latency work,
+     * telemetry, poison, FaultLog, DMA poison propagation) in original
+     * arrival order. No-op when nothing is recorded.
+     */
+    void syncShard();
 
     void finishEpoch();
     void maybeFinishEpoch();
@@ -317,8 +397,74 @@ class MemorySystem
     double epochComputeFloor_ = 0;  //!< min duration from compute
     PerfCounters lastSample_;       //!< counters at last epoch boundary
 
+    /**
+     * Per-run cached channel-interleave routing. channelOf() and the
+     * channel-local address each cost integer divisions when computed
+     * from config_ every line; caching the granularity's log2 (when it
+     * is a power of two, the common case) and the online-channel count
+     * turns the per-line routing into shift/mask plus ONE division —
+     * and both engines share it, so the per-line and batched paths
+     * provably route identically. Rebuilt whenever online_ changes.
+     */
+    struct InterleaveMap
+    {
+        Addr gran = 1;
+        Addr granMask = 0;
+        int granShift = -1;  //!< >= 0 iff gran is a power of two
+        std::size_t nOnline = 1;
+
+        void
+        rebuild(Addr granularity, std::size_t n_online)
+        {
+            gran = granularity ? granularity : 1;
+            nOnline = n_online ? n_online : 1;
+            granShift = -1;
+            granMask = 0;
+            if ((gran & (gran - 1)) == 0) {
+                granMask = gran - 1;
+                granShift = 0;
+                while ((Addr{1} << granShift) != gran)
+                    ++granShift;
+            }
+        }
+
+        /** Interleave position (index into online_) of @p phys. */
+        std::size_t
+        pos(Addr phys) const
+        {
+            const Addr chunk =
+                granShift >= 0 ? phys >> granShift : phys / gran;
+            return static_cast<std::size_t>(chunk % nOnline);
+        }
+
+        /**
+         * Position plus channel-local address. Pow2 path: one udiv
+         * (quotient and remainder of chunk / nOnline come from the
+         * same division); local = floor(chunk / n) * gran + offset,
+         * identical to the historical
+         * (phys / (gran * n)) * gran + phys % gran
+         * by the nested floor-division identity.
+         */
+        std::size_t
+        route(Addr phys, Addr &local) const
+        {
+            if (granShift >= 0) {
+                const Addr chunk = phys >> granShift;
+                const Addr q = chunk / nOnline;
+                local = (q << granShift) | (phys & granMask);
+                return static_cast<std::size_t>(chunk - q * nOnline);
+            }
+            const Addr chunk = phys / gran;
+            local = (chunk / nOnline) * gran + phys % gran;
+            return static_cast<std::size_t>(chunk % nOnline);
+        }
+    };
+
     bool recordTrace_ = true;
     bool batched_;  //!< accessRange engine (see setBatchedAccess)
+    unsigned shardThreads_ = 1;
+    std::unique_ptr<exec::ShardEngine> shard_;  //!< nullptr when off
+    InterleaveMap imap_;
     TimeSeries trace_;
     obs::Observer *obs_ = nullptr;  //!< optional, not owned
     obs::TelemetryRun *tel_ = nullptr;  //!< optional, not owned

@@ -204,3 +204,35 @@ TEST(AccessRangeEquivalence, EngineToggleMidRun)
     }
     expectIdentical(batched, toggled);
 }
+
+TEST(AccessRangeEquivalence, NonPowerOfTwoChannelGrid)
+{
+    // The cached interleave mapping has a fast shift/mask path for
+    // power-of-two granules and a general division path; both engines
+    // route through the same map. A 5-channel socket with a non-pow2
+    // granule after offlining exercises the general path end to end:
+    // batched and per-line engines must still agree exactly.
+    for (MemoryMode mode : {MemoryMode::OneLm, MemoryMode::TwoLm}) {
+        SCOPED_TRACE(memoryModeName(mode));
+        SystemConfig cfg = config(mode);
+        cfg.channelsPerSocket = 5;
+        MemorySystem batched(cfg);
+        MemorySystem per_line(cfg);
+        per_line.setBatchedAccess(false);
+        KernelConfig k;
+        k.op = KernelOp::ReadModifyWrite;
+        k.threads = 3;
+        for (MemorySystem *sys : {&batched, &per_line}) {
+            Region r = sys->allocateIn(MemPool::Nvram, 6 * kMiB, "arr");
+            runKernel(*sys, r, k);
+            // Offline a channel mid-run: the map is rebuilt with 4
+            // online channels but chunk positions keyed off the
+            // original granule, then traffic resumes on both engines.
+            sys->offlineChannel(2);
+            sys->access(0, CpuOp::Load, r.base + 777, 2 * kMiB);
+            sys->access(1, CpuOp::NtStore, r.base + 64, 1 * kMiB);
+            sys->quiesce();
+        }
+        expectIdentical(batched, per_line);
+    }
+}

@@ -56,7 +56,7 @@ streamBandwidth(MemorySystem &sys, const Region &r, int passes)
     for (int p = 0; p < passes; ++p) {
         for (Addr a = r.base; a + kChunk <= r.base + r.size;
              a += kChunk)
-            sys.access(0, CpuOp::Load, a, kChunk);
+            sys.submit({0, CpuOp::Load, a, kChunk});
     }
     sys.quiesce();
     return static_cast<double>(passes) * r.size / sys.now();

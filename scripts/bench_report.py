@@ -6,8 +6,8 @@ bench_table1_amplification from an existing build tree inside a
 scratch directory, extracts the headline metrics from their CSVs and
 console tables, exercises the causal tracer at two seeds, times the
 sweep/access engines against each other, runs the maintenance
-interference sweep, and writes everything to one JSON file (default
-BENCH_PR9.json):
+interference sweep and the queued-controller load sweep, and writes
+everything to one JSON file (default BENCH_PR10.json):
 
   - fig2: peak bandwidth per figure/variant (GB/s);
   - fig4: per-scenario effective bandwidth and device-traffic split;
@@ -26,6 +26,12 @@ BENCH_PR9.json):
     the bench_fault_degradation maintenance sweep, plus the headline
     verdicts (2LM inflates faster under maintenance, degrades faster
     under faults);
+  - queue_scaling: the bench_queue_load sweep — whole-run p50/p99
+    demand latency per offered load under the FR-FCFS queued
+    controller next to the queue-off analytic row, with the verdicts
+    (the analytic row is queue-quiet, the saturated p99 exceeds its
+    p50, and p99 grows super-linearly across the load axis) and the
+    proof the queued sweep is --jobs-byte-identical;
   - telemetry: the epoch-telemetry engine's whole-run percentiles and
     counter totals on fig4, plus the proof that --jobs=N telemetry
     exports are byte-identical to serial, plus the telemetry document
@@ -321,6 +327,61 @@ def telemetry_section(build, scratch):
     }
 
 
+def queue_scaling_section(build, scratch):
+    """Queued-controller load sweep: tail latency vs offered load.
+
+    Parses queue_load.csv into one entry per sweep point and distills
+    the acceptance verdicts: the analytic (queue-off) row reports zero
+    queue wait, the saturated tail exceeds its median, and the p99
+    grows super-linearly along the offered-load axis (the growth
+    across the sweep outruns the load ratio). A second run at
+    --jobs=N must digest identically — the queued drain is part of
+    the determinism contract, not an exception to it.
+    """
+    ncpu = os.cpu_count() or 1
+    runs = {}
+    for tag, jobs in [("serial", 1), ("parallel", ncpu)]:
+        sub = scratch / f"queue_{tag}"
+        sub.mkdir()
+        run_bench(build, "bench_queue_load", sub, f"--jobs={jobs}")
+        runs[tag] = digest(sub / "queue_load.csv")
+    _, rows = read_csv(scratch / "queue_serial" / "queue_load.csv")
+    points = {}
+    queued = []
+    analytic_quiet = False
+    for (sched, offered, eff, p50, p99, p999, qwait, conflicts, hits,
+         drains) in rows:
+        key = f"{sched}@{offered}" if float(offered) > 0 else sched
+        point = {
+            "offered_gbs": float(offered),
+            "effective_gbs": float(eff),
+            "p50_ns": float(p50),
+            "p99_ns": float(p99),
+            "p999_ns": float(p999),
+            "queue_wait_ns": int(qwait),
+            "bank_conflicts": int(conflicts),
+            "row_buffer_hits": int(hits),
+            "write_drains": int(drains),
+        }
+        points[key] = point
+        if sched == "analytic":
+            analytic_quiet = point["queue_wait_ns"] == 0
+        else:
+            queued.append(point)
+    lo, hi = queued[0], queued[-1]
+    load_ratio = hi["offered_gbs"] / lo["offered_gbs"]
+    p99_growth = hi["p99_ns"] / lo["p99_ns"] if lo["p99_ns"] else 0.0
+    return {
+        "points": points,
+        "analytic_row_queue_quiet": analytic_quiet,
+        "tail_exceeds_median_at_saturation": hi["p99_ns"] > hi["p50_ns"],
+        "p99_growth": round(p99_growth, 2),
+        "load_ratio": round(load_ratio, 2),
+        "p99_superlinear": p99_growth > load_ratio,
+        "jobs_byte_identical": runs["serial"] == runs["parallel"],
+    }
+
+
 def host_calibration():
     """Seconds for a fixed CPU-bound workload (best of 5).
 
@@ -357,6 +418,11 @@ def gate_metrics(report):
         if isinstance(metrics, dict) and "effective" in metrics:
             out[f"fig4/{key}/effective_gbs"] = (metrics["effective"],
                                                 False, False)
+    qs = report.get("queue_scaling", {}).get("points", {})
+    for key, point in qs.items():
+        if point.get("p99_ns"):
+            out[f"queue_scaling/{key}/p99_ns"] = (point["p99_ns"],
+                                                  True, False)
     return out
 
 
@@ -428,7 +494,7 @@ def main():
     parser = argparse.ArgumentParser(
         description="bench report + optional perf-regression gate")
     parser.add_argument("build", nargs="?", default="build")
-    parser.add_argument("out", nargs="?", default="BENCH_PR9.json")
+    parser.add_argument("out", nargs="?", default="BENCH_PR10.json")
     parser.add_argument("--against", metavar="PREV.json",
                         help="previous report to gate against")
     parser.add_argument("--threshold", type=float, default=0.10,
@@ -484,6 +550,7 @@ def main():
         report["shard_scaling"] = shard_scaling_section(build, scratch)
         report["maintenance"] = maintenance_section(build, scratch)
         report["telemetry"] = telemetry_section(build, scratch)
+        report["queue_scaling"] = queue_scaling_section(build, scratch)
 
         # One profiled run so host_phases is populated even when the
         # environment doesn't export NVSIM_HOST_PROFILE.
@@ -507,7 +574,11 @@ def main():
           and engines_ok
           and report["shard_scaling"]["csv_identical_across_widths"]
           and report["maintenance"]["two_lm_inflates_faster"]
-          and report["telemetry"]["jobs_byte_identical"])
+          and report["telemetry"]["jobs_byte_identical"]
+          and report["queue_scaling"]["jobs_byte_identical"]
+          and report["queue_scaling"]["analytic_row_queue_quiet"]
+          and report["queue_scaling"]["tail_exceeds_median_at_saturation"]
+          and report["queue_scaling"]["p99_superlinear"])
     print(f"wrote {out}"
           + ("" if ok else " (WARNING: determinism checks failed)"))
     if not ok:

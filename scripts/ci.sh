@@ -33,7 +33,7 @@ echo "=== TSan suite (sweep pool + channel shard) ==="
 cmake -B "$root/build-tsan" -S "$root" -DNVSIM_SANITIZE=thread
 cmake --build "$root/build-tsan" -j "$jobs" \
     --target test_exec test_access_range bench_fig4_2lm_microbench \
-    bench_fault_degradation
+    bench_fault_degradation bench_queue_load
 # Run the binaries directly: the tree only builds these targets, and
 # ctest would trip over every other test's _NOT_BUILT placeholder.
 "$root/build-tsan/tests/test_exec"
@@ -48,6 +48,9 @@ tsan_dir=$(mktemp -d)
 (cd "$tsan_dir" && \
     "$root/build-tsan/bench/bench_fault_degradation" \
     --shard-threads=4 > fault_shard.log)
+(cd "$tsan_dir" && \
+    "$root/build-tsan/bench/bench_queue_load" --jobs=2 \
+    --shard-threads=4 > queue_shard.log)
 rm -rf "$tsan_dir"
 echo "TSan suite passed: no data races reported."
 
@@ -294,6 +297,85 @@ rm -rf "$diff_dir"
 echo "diff smoke passed: empty on identical runs, maintenance blamed" \
      "on perturbation."
 
+# Queue-off golden byte-diff: a config that spells out the whole
+# controller block explicitly — the analytic scheduler plus non-default
+# queue geometry — must reproduce the golden figure outputs byte for
+# byte. The queue knobs are dead until a queued scheduler is selected;
+# the analytic path is the same code the goldens were recorded on.
+echo "=== queue-off golden byte-diff (explicit analytic controller) ==="
+qoff_dir=$(mktemp -d)
+cat > "$qoff_dir/queue_off.json" <<'EOF'
+{
+  "controller": {
+    "scheduler": "analytic",
+    "read_queue_entries": 8,
+    "write_queue_entries": 24,
+    "banks": 8,
+    "row_bytes": 4096,
+    "drain_high_watermark": 20,
+    "drain_low_watermark": 4,
+    "starvation_cap": 4,
+    "bank_conflict_penalty": 45e-9,
+    "offered_gbs": 100
+  }
+}
+EOF
+(cd "$qoff_dir" && \
+    "$root/build/bench/bench_fig2_nvram_bw" --jobs=1 \
+        --config=queue_off.json > /dev/null && \
+    "$root/build/bench/bench_fig4_2lm_microbench" --jobs=1 \
+        --config=queue_off.json > /dev/null)
+diff "$root/tests/golden/fig2_nvram_bw.csv" "$qoff_dir/fig2_nvram_bw.csv"
+diff "$root/tests/golden/fig4_2lm_microbench.csv" \
+     "$qoff_dir/fig4_2lm_microbench.csv"
+rm -rf "$qoff_dir"
+echo "queue-off byte-diff passed: analytic controller equals the seed."
+
+# Saturated-channel smoke: the queued-controller load sweep must show
+# the tail pulling away from the median as the offered load crosses
+# the channel service knee (the bench's own verdict line), report
+# nonzero queue activity, and stay byte-identical across --jobs and
+# --shard-threads — the deferred epoch-end drain is part of the
+# determinism contract.
+echo "=== queue smoke (bench_queue_load saturation + determinism) ==="
+ql_dir=$(mktemp -d)
+for variant in "jobs1 --jobs=1" "jobs4 --jobs=4" \
+               "shard4 --jobs=1 --shard-threads=4"; do
+    name=${variant%% *}
+    flags=${variant#* }
+    mkdir -p "$ql_dir/$name"
+    # shellcheck disable=SC2086  # flags is a word list by design
+    (cd "$ql_dir/$name" && \
+        "$root/build/bench/bench_queue_load" $flags > stdout.txt)
+done
+diff -r "$ql_dir/jobs1" "$ql_dir/jobs4"
+diff -r "$ql_dir/jobs1" "$ql_dir/shard4"
+grep -q "tail stretches under load (as expected)" \
+    "$ql_dir/jobs1/stdout.txt"
+grep -q "^analytic,0,.*,0,0,0,0$" "$ql_dir/jobs1/queue_load.csv"
+awk -F, 'NR > 2 && $7 == 0 { exit 1 }' "$ql_dir/jobs1/queue_load.csv"
+# The telemetry SLO report must see the same tail: fig4 under a
+# saturating FR-FCFS controller, whole-run p99 > p50 in the exported
+# sketch (the analytic engine reports p99 == p50 by construction).
+cat > "$ql_dir/frfcfs_sat.json" <<'EOF'
+{ "controller": { "scheduler": "frfcfs", "offered_gbs": 8 } }
+EOF
+(cd "$ql_dir" && "$root/build/bench/bench_fig4_2lm_microbench" \
+    --jobs=1 --config=frfcfs_sat.json --telemetry-json=tel.json \
+    --slo='p99_ns>1000@50%' > slo.log)
+grep -q '=== SLO report:' "$ql_dir/slo.log"
+grep -q 'PASS' "$ql_dir/slo.log"
+python3 - "$ql_dir/tel.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+lats = [r["telemetry"]["latency"] for r in doc["runs"]]
+assert lats, "no telemetry runs in tel.json"
+assert any(l["p99_ns"] > l["p50_ns"] for l in lats), \
+    "saturated queued runs show no tail (p99 == p50 everywhere)"
+EOF
+rm -rf "$ql_dir"
+echo "queue smoke passed: saturated p99 > p50, outputs byte-identical."
+
 # Prometheus strict lint: the exposition-format rules scrapers only
 # half-enforce (one TYPE per family, counters end _total, histogram
 # le monotonic with +Inf == _count, no duplicate samples, info-style
@@ -314,15 +396,15 @@ echo "prometheus lint passed: exposition is strictly valid."
 # checked-in report. NVSIM_PERF_GATE=off skips the comparison (for
 # hosts whose wall-clock is incomparable to the recorded baseline);
 # the report itself is always written.
-echo "=== bench report + perf gate (BENCH_PR9.json) ==="
+echo "=== bench report + perf gate (BENCH_PR10.json) ==="
 python3 "$root/scripts/bench_report.py" "$root/build" \
-    "$root/BENCH_PR9.json"
+    "$root/BENCH_PR10.json"
 if [ "${NVSIM_PERF_GATE:-on}" = "off" ]; then
     echo "perf gate skipped (NVSIM_PERF_GATE=off)."
-elif [ ! -f "$root/BENCH_PR8.json" ]; then
-    echo "perf gate skipped (no BENCH_PR8.json baseline)."
+elif [ ! -f "$root/BENCH_PR9.json" ]; then
+    echo "perf gate skipped (no BENCH_PR9.json baseline)."
 else
-    python3 - "$root/BENCH_PR9.json" "$root/BENCH_PR8.json" \
+    python3 - "$root/BENCH_PR10.json" "$root/BENCH_PR9.json" \
         "$root/build/tools/nvsim_inspect" <<'EOF'
 import json, os, sys
 sys.path.insert(0, os.path.join(os.path.dirname(sys.argv[1]), "scripts"))
@@ -335,7 +417,7 @@ EOF
     # faster than reality must trip the gate — proving it can fail.
     # The inspect hook runs on the tampered baseline too, exercising
     # the named-windows diff path end to end.
-    python3 - "$root/BENCH_PR9.json" \
+    python3 - "$root/BENCH_PR10.json" \
         "$root/build/tools/nvsim_inspect" <<'EOF'
 import copy, json, os, sys, tempfile
 sys.path.insert(0, os.path.join(os.path.dirname(sys.argv[1]), "scripts"))

@@ -110,11 +110,11 @@ EmbeddingWorkload::runBatch()
                 hot_hits += row < hotRows_;
 
                 Addr addr = rowAddr(t, row);
-                sys_.access(thread, CpuOp::Load, addr,
-                            config_.rowBytes);
+                sys_.submit({thread, CpuOp::Load, addr,
+                             config_.rowBytes});
                 if (config_.updateRows) {
-                    sys_.access(thread, CpuOp::Store, addr,
-                                config_.rowBytes);
+                    sys_.submit({thread, CpuOp::Store, addr,
+                                 config_.rowBytes});
                 }
                 ++result.lookups;
             }

@@ -87,14 +87,14 @@ class SimArray
     T
     read(std::size_t i, unsigned thread) const
     {
-        sys_->access(thread, CpuOp::Load, addr(i), sizeof(T));
+        sys_->submit({thread, CpuOp::Load, addr(i), sizeof(T)});
         return data_[i];
     }
 
     void
     write(std::size_t i, T v, unsigned thread)
     {
-        sys_->access(thread, CpuOp::Store, addr(i), sizeof(T));
+        sys_->submit({thread, CpuOp::Store, addr(i), sizeof(T)});
         data_[i] = v;
     }
 
@@ -128,7 +128,7 @@ class GraphWorkload
     std::uint64_t
     edgeBegin(Node v, unsigned thread)
     {
-        sys_.access(thread, CpuOp::Load, offsetsBase_ + v * 8, 16);
+        sys_.submit({thread, CpuOp::Load, offsetsBase_ + v * 8, 16});
         return graph_.edgeBegin(v);
     }
 
@@ -143,7 +143,7 @@ class GraphWorkload
     Node
     edgeDest(std::uint64_t e, unsigned thread)
     {
-        sys_.access(thread, CpuOp::Load, edgesBase_ + e * 4, 4);
+        sys_.submit({thread, CpuOp::Load, edgesBase_ + e * 4, 4});
         return graph_.edgeDest(e);
     }
     ///@}

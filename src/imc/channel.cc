@@ -32,9 +32,16 @@ ChannelController::ChannelController(const ChannelParams &params,
         nvram_.setFaultPlan(&faultPlan_);
     // A demand access that lands during a REF waits out the residual
     // tRFC; fold the expected stall into the DRAM load-to-use latency
-    // once (exactly zero when refresh is off).
-    if (maint_.enabled())
+    // once (exactly zero when refresh is off). The queued controller
+    // models refresh as per-bank occupancy windows instead, so folding
+    // the epoch-mean stall there would bill refresh twice.
+    if (maint_.enabled() && !params_.controller.queued())
         lat_.dram += maint_.refreshDemandStall();
+    if (params_.controller.queued()) {
+        txq_ = std::make_unique<ChannelTxQueue>(
+            params_.controller, params_.busBandwidth,
+            params_.maintenance.refresh);
+    }
 }
 
 ChannelController::ChannelController(ChannelController &&o) noexcept
@@ -42,7 +49,8 @@ ChannelController::ChannelController(ChannelController &&o) noexcept
       dram_(std::move(o.dram_)), nvram_(std::move(o.nvram_)),
       cache_(std::move(o.cache_)), lat_(o.lat_), counters_(o.counters_),
       epochMisses_(o.epochMisses_), faultPlan_(std::move(o.faultPlan_)),
-      throttle_(o.throttle_), maint_(std::move(o.maint_))
+      throttle_(o.throttle_), maint_(std::move(o.maint_)),
+      txq_(std::move(o.txq_))
 {
     // The moved NvramDevice still points at o's plan; re-wire it.
     nvram_.setFaultPlan(faultPlan_.enabled() ? &faultPlan_ : nullptr);
@@ -421,10 +429,50 @@ ChannelController::drainEpoch()
     return e;
 }
 
-double
-ChannelController::missServiceTime() const
+bool
+ChannelController::willAccept(TransactionKind kind) const
 {
-    return cache_->missServiceTime(lat_);
+    return !txq_ || txq_->willAccept(kind);
+}
+
+void
+ChannelController::enqueue(const Transaction &tx)
+{
+    if (!txq_)
+        fatal("ChannelController::enqueue without a queued controller "
+              "(scheduler 'analytic'); configure controller.scheduler");
+    txq_->enqueue(tx);
+}
+
+void
+ChannelController::tick(double until)
+{
+    if (txq_)
+        txq_->tick(until);
+}
+
+void
+ChannelController::setCompletionHandler(CompletionHandler handler)
+{
+    if (txq_)
+        txq_->setCompletionHandler(std::move(handler));
+}
+
+void
+ChannelController::drainQueues()
+{
+    if (!txq_)
+        return;
+    txq_->drainAll();
+    TxQueueStats s = txq_->takeStats();
+    if (s.readQueueWait > 0) {
+        counters_.queueWaitNs += static_cast<std::uint64_t>(
+            std::llround(s.readQueueWait * 1e9));
+    }
+    counters_.bankConflicts += s.bankConflicts;
+    counters_.rowBufferHits += s.rowBufferHits;
+    counters_.writeDrains += s.writeDrains;
+    txq_->resetEpoch();
 }
 
 double
@@ -463,7 +511,8 @@ ChannelController::epochTime(const ChannelEpoch &epoch) const
     // misses, each holding an entry for the serial tag-check + fetch.
     double t_mshr = 0;
     if (params_.missHandlerEntries > 0) {
-        t_mshr = static_cast<double>(epoch.misses) * missServiceTime() /
+        t_mshr = static_cast<double>(epoch.misses) *
+                 cache_->missServiceTime(lat_) /
                  static_cast<double>(params_.missHandlerEntries);
     }
 
@@ -577,6 +626,20 @@ ChannelController::regStats(obs::Group &g)
                       });
     }
 
+    if (txq_) {
+        obs::Group &queue = g.child("queue");
+        queue.formula("read_depth", "read-queue occupancy", [this] {
+            return static_cast<double>(txq_->readDepth());
+        });
+        queue.formula("write_depth", "WPQ occupancy", [this] {
+            return static_cast<double>(txq_->writeDepth());
+        });
+        queue.formula("draining",
+                      "1 while a WPQ drain burst is active", [this] {
+                          return txq_->draining() ? 1.0 : 0.0;
+                      });
+    }
+
     obs::Group &throttle = g.child("throttle");
     throttle.formula("engaged", "1 while the thermal throttle is engaged",
                      [this] { return throttle_.engaged() ? 1.0 : 0.0; });
@@ -595,6 +658,11 @@ ChannelController::reset()
     faultPlan_ = FaultPlan(params_.fault, params_.index);
     throttle_.reset();
     maint_.reset();
+    if (txq_) {
+        txq_->drainAll();
+        txq_->takeStats();
+        txq_->resetEpoch();
+    }
     drainEpoch();
     drainBuffers();
     drainEpoch();

@@ -19,6 +19,8 @@
 #include "fault/fault.hh"
 #include "imc/cache_policy.hh"
 #include "imc/counters.hh"
+#include "imc/scheduler.hh"
+#include "imc/transaction.hh"
 #include "mem/dram.hh"
 #include "mem/maintenance/maintenance.hh"
 #include "mem/nvram.hh"
@@ -58,6 +60,8 @@ struct ChannelParams
     FaultConfig fault;
     /** DRAM self-management (refresh/scrub/RowHammer; all-off default). */
     MaintenanceConfig maintenance;
+    /** Queued-controller selection and geometry ("analytic" = off). */
+    ControllerConfig controller;
     /** Index of this channel in the system (fault-stream derivation). */
     unsigned index = 0;
 };
@@ -184,6 +188,44 @@ class ChannelController
                             MemPool pool);
     ///@}
 
+    /** @name Queued transaction surface
+     * Active when the `controller` config selects a real scheduler
+     * (anything but "analytic"). The MemorySystem computes each
+     * request's analytic service component through the cache-policy
+     * seam as usual, then enqueues it here; latency emerges from
+     * queue/bank/bus occupancy and is reported through the completion
+     * handler as a CompletionInfo. With the degenerate "analytic"
+     * scheduler no queue exists and these are inert: willAccept()
+     * always true, tick()/drainQueues() no-ops, enqueue() fatal.
+     */
+    ///@{
+    /** Is a real queue engine in the path? */
+    bool queuedMode() const { return txq_ != nullptr; }
+
+    /** Backpressure probe for @p kind's queue. */
+    bool willAccept(TransactionKind kind) const;
+
+    /** Hand one transaction to the queue engine (queued mode only). */
+    void enqueue(const Transaction &tx);
+
+    /** Service queued transactions issuing no later than @p until. */
+    void tick(double until);
+
+    /**
+     * Epoch barrier: service everything queued, fold the engine's
+     * statistics into the perf counters (queueWaitNs, bankConflicts,
+     * rowBufferHits, writeDrains) and reset the epoch-relative clock.
+     * Runs on the merging thread, like noteMaintenanceEpoch.
+     */
+    void drainQueues();
+
+    /** Completion callback; fires once per transaction, issue order. */
+    void setCompletionHandler(CompletionHandler handler);
+
+    /** The queue engine, for tests/stats (nullptr when analytic). */
+    const ChannelTxQueue *txQueue() const { return txq_.get(); }
+    ///@}
+
     /** Quiesce: flush NVRAM write buffers. */
     void drainBuffers();
 
@@ -196,9 +238,6 @@ class ChannelController
      * (with write-stream contention), and the miss handler occupancy.
      */
     double epochTime(const ChannelEpoch &epoch) const;
-
-    /** Service time of one 2LM miss in the miss handler (seconds). */
-    double missServiceTime() const;
 
     /**
      * Feed the thermal-throttle automaton one epoch observation: the
@@ -302,6 +341,8 @@ class ChannelController
     FaultPlan faultPlan_;
     ThrottleState throttle_;
     MaintenanceEngine maint_;
+    /** Queue engine; nullptr under the degenerate analytic scheduler. */
+    std::unique_ptr<ChannelTxQueue> txq_;
 };
 
 } // namespace nvsim

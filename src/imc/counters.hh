@@ -32,7 +32,8 @@ namespace nvsim
  * The full counter set: X(member, snake_name, description). Fault /
  * degradation events (the block from correctableErrors down) are zero
  * on a fault-free machine; the maintenance block (refreshSlots down)
- * is zero while the maintenance subsystem is off.
+ * is zero while the maintenance subsystem is off; the queue block
+ * (queueWaitNs down) is zero unless the queued controller is enabled.
  */
 #define NVSIM_PERF_COUNTER_FIELDS(X)                                     \
     X(dramRead, dram_read, "CAS.RD: 64 B DRAM reads")                    \
@@ -66,7 +67,13 @@ namespace nvsim
     X(targetedRefreshes, targeted_refreshes,                             \
       "RowHammer targeted-refresh mitigations fired")                    \
     X(maintenanceStallNs, maintenance_stall_ns,                          \
-      "nanoseconds of DRAM bank time lost to maintenance")
+      "nanoseconds of DRAM bank time lost to maintenance")               \
+    X(queueWaitNs, queue_wait_ns,                                        \
+      "nanoseconds demand reads spent waiting in the read queue")        \
+    X(bankConflicts, bank_conflicts,                                     \
+      "issues that paid a row-buffer conflict penalty")                  \
+    X(rowBufferHits, row_buffer_hits, "issues into an open row")         \
+    X(writeDrains, write_drains, "WPQ drain bursts entered")
 
 /** Number of counters in NVSIM_PERF_COUNTER_FIELDS. */
 inline constexpr std::size_t kNumPerfFields = 0

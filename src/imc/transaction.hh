@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The transaction surface of the queued channel controller.
+ *
+ * The analytic model answers "what does one access cost?" with a
+ * single double. A queued controller cannot: latency depends on what
+ * else is in flight, so the unit of exchange becomes a Transaction
+ * that is enqueued, scheduled against bank/bus occupancy, and
+ * completed through a callback carrying the full timing story. These
+ * types are that story — shared by the controller (imc/channel.hh),
+ * the queue engine (imc/scheduler.hh) and the MemorySystem front end.
+ */
+
+#ifndef NVSIM_IMC_TRANSACTION_HH
+#define NVSIM_IMC_TRANSACTION_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "core/types.hh"
+
+namespace nvsim
+{
+
+/** Which controller queue a transaction enters. */
+enum class TransactionKind : std::uint8_t {
+    Read,   //!< demand read: occupies the read queue until served
+    Write,  //!< posted write: parks in the write-pending queue (WPQ)
+};
+
+const char *transactionKindName(TransactionKind kind);
+
+/** One queued channel request, as the MemorySystem submits it. */
+struct Transaction
+{
+    Addr addr = 0;           //!< channel-local line address
+    double arrival = 0;      //!< seconds since epoch start
+    /**
+     * Analytic service component: the device round-trip seconds this
+     * request needs once it issues, as computed by the cache policy
+     * seam (CachePolicy::demandLatency / missServiceTime). The
+     * scheduler composes queue wait and bank penalties on top, so the
+     * queue-off limit of the model is exactly the analytic cost.
+     */
+    double service = 0;
+    TransactionKind kind = TransactionKind::Read;
+    std::uint16_t thread = 0;
+    /** Demand traffic (true) vs interference-only (DMA, maintenance). */
+    bool chargeDemand = true;
+    /** Caller cookie, returned untouched in the completion callback
+     *  (the MemorySystem uses it to index deferred causal records). */
+    std::int32_t tag = -1;
+};
+
+/** Additive decomposition of one transaction's load-to-use time. */
+struct LatencyBreakdown
+{
+    double service = 0;      //!< analytic device round-trip seconds
+    double queueWait = 0;    //!< enqueue-to-issue seconds
+    double bankPenalty = 0;  //!< row-buffer conflict seconds
+
+    double total() const { return service + queueWait + bankPenalty; }
+};
+
+/** Everything the controller knows about a completed transaction. */
+struct CompletionInfo
+{
+    double enqueueTime = 0;   //!< arrival at the controller (epoch s)
+    double issueTime = 0;     //!< left the queue for the devices
+    double completeTime = 0;  //!< data returned / write accepted
+    LatencyBreakdown latency;
+    bool rowBufferHit = false;   //!< issued into an open row
+    bool bankConflict = false;   //!< paid the row-conflict penalty
+    bool drainStalled = false;   //!< waited behind a WPQ drain burst
+    std::uint32_t queueDepth = 0; //!< same-queue occupancy at enqueue
+};
+
+/** Completion callback: fires once per transaction, in issue order. */
+using CompletionHandler =
+    std::function<void(const Transaction &, const CompletionInfo &)>;
+
+} // namespace nvsim
+
+#endif // NVSIM_IMC_TRANSACTION_HH

@@ -143,16 +143,16 @@ runKernel(MemorySystem &sys, const Region &region,
                     Bytes len = got * config.granularity;
                     switch (config.op) {
                       case KernelOp::ReadOnly:
-                        sys.access(t, CpuOp::Load, base, len);
+                        sys.submit({t, CpuOp::Load, base, len});
                         demand += len;
                         break;
                       case KernelOp::WriteOnly:
-                        sys.access(t, store_op, base, len);
+                        sys.submit({t, store_op, base, len});
                         demand += len;
                         break;
                       case KernelOp::ReadModifyWrite:
-                        sys.access(t, CpuOp::Load, base, len);
-                        sys.access(t, store_op, base, len);
+                        sys.submit({t, CpuOp::Load, base, len});
+                        sys.submit({t, store_op, base, len});
                         demand += 2 * len;
                         break;
                     }
@@ -162,20 +162,20 @@ runKernel(MemorySystem &sys, const Region &region,
                     Addr base = slice + idxbuf[i] * config.granularity;
                     switch (config.op) {
                       case KernelOp::ReadOnly:
-                        sys.access(t, CpuOp::Load, base,
-                                   config.granularity);
+                        sys.submit({t, CpuOp::Load, base,
+                                    config.granularity});
                         demand += config.granularity;
                         break;
                       case KernelOp::WriteOnly:
-                        sys.access(t, store_op, base,
-                                   config.granularity);
+                        sys.submit({t, store_op, base,
+                                    config.granularity});
                         demand += config.granularity;
                         break;
                       case KernelOp::ReadModifyWrite:
-                        sys.access(t, CpuOp::Load, base,
-                                   config.granularity);
-                        sys.access(t, store_op, base,
-                                   config.granularity);
+                        sys.submit({t, CpuOp::Load, base,
+                                    config.granularity});
+                        sys.submit({t, store_op, base,
+                                    config.granularity});
                         demand += 2 * config.granularity;
                         break;
                     }

@@ -59,6 +59,12 @@ accessCauseName(AccessCause cause)
         return "patrol_scrub";
       case AccessCause::TargetedRefresh:
         return "targeted_refresh";
+      case AccessCause::QueueWait:
+        return "queue_wait";
+      case AccessCause::WriteDrain:
+        return "write_drain";
+      case AccessCause::BankConflict:
+        return "bank_conflict";
     }
     return "unknown";
 }

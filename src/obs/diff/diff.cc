@@ -221,6 +221,11 @@ counterFamily(std::size_t f)
       case PerfField::targetedRefreshes:
       case PerfField::maintenanceStallNs:
         return "maintenance";
+      case PerfField::queueWaitNs:
+      case PerfField::bankConflicts:
+      case PerfField::rowBufferHits:
+      case PerfField::writeDrains:
+        return "queue";
     }
     return "unknown";
 }
@@ -275,6 +280,14 @@ counterCause(std::size_t f)
       case PerfField::maintenanceStallNs:
         return "maintenance bank-time stall changed (see refresh/"
                "scrub/TargetedRefresh counters)";
+      case PerfField::queueWaitNs:
+        return "QueueWait: controller queue occupancy changed";
+      case PerfField::bankConflicts:
+        return "BankConflict: row-buffer locality worsened";
+      case PerfField::rowBufferHits:
+        return "row-buffer locality shifted";
+      case PerfField::writeDrains:
+        return "WriteDrain: WPQ drain-burst cadence changed";
     }
     return "";
 }

@@ -31,6 +31,7 @@ SystemConfig::channelParams() const
     p.policy = policy;
     p.fault = fault;  // the caller sets p.index per channel
     p.maintenance = maintenance;
+    p.controller = controller;
 
     // Size the recent-insert tracker relative to the LLC: a dirty line
     // written back after a full LLC residency must still be remembered,
@@ -80,6 +81,7 @@ SystemConfig::validate() const
     policy.validate();
     fault.validate();
     maintenance.validate();
+    controller.validate();
     if (maintenance.scrub.enabled() &&
         maintenance.scrub.retireCapacity >
             scaledDramPerDimm() / kLineSize) {

@@ -57,6 +57,14 @@ struct SystemConfig
      */
     MaintenanceConfig maintenance;
 
+    /**
+     * Queued channel controller (read queue / WPQ / banks behind a
+     * ChannelScheduler). The default "analytic" scheduler is the
+     * degenerate pass-through: no queues are built and output is
+     * byte-identical to the pre-queue model.
+     */
+    ControllerConfig controller;
+
     /** 2LM cache options. */
     DdoConfig ddo;
     unsigned cacheWays = 1;

@@ -268,6 +268,23 @@ parseMaintenance(const JsonValue &v, MaintenanceConfig &p)
 }
 
 void
+parseController(const JsonValue &v, ControllerConfig &p)
+{
+    KeyChecker k(v, "controller");
+    setString(k.get("scheduler"), p.scheduler);
+    setUnsigned(k.get("read_queue_entries"), p.readQueueEntries);
+    setUnsigned(k.get("write_queue_entries"), p.writeQueueEntries);
+    setUnsigned(k.get("banks"), p.banks);
+    setU64(k.get("row_bytes"), p.rowBytes);
+    setUnsigned(k.get("drain_high_watermark"), p.drainHighWatermark);
+    setUnsigned(k.get("drain_low_watermark"), p.drainLowWatermark);
+    setUnsigned(k.get("starvation_cap"), p.starvationCap);
+    setDouble(k.get("bank_conflict_penalty"), p.bankConflictPenalty);
+    setDouble(k.get("offered_gbs"), p.offeredGBs);
+    k.finish();
+}
+
+void
 parseLlc(const JsonValue &v, SystemConfig &c)
 {
     KeyChecker k(v, "llc");
@@ -295,6 +312,8 @@ configFromRoot(const JsonValue &root)
         parseFault(*v, c.fault);
     if (const JsonValue *v = k.get("maintenance"))
         parseMaintenance(*v, c.maintenance);
+    if (const JsonValue *v = k.get("controller"))
+        parseController(*v, c.controller);
     if (const JsonValue *v = k.get("ddo"))
         parseDdo(*v, c.ddo);
     if (const JsonValue *v = k.get("policy"))
@@ -418,6 +437,23 @@ SystemConfig::toJson() const
     w.field("refresh_latency", maintenance.rowhammer.refreshLatency);
     w.field("window", maintenance.rowhammer.window);
     w.endObject();
+    w.endObject();
+
+    w.beginObject("controller");
+    w.field("scheduler", controller.scheduler);
+    w.field("read_queue_entries",
+            std::uint64_t(controller.readQueueEntries));
+    w.field("write_queue_entries",
+            std::uint64_t(controller.writeQueueEntries));
+    w.field("banks", std::uint64_t(controller.banks));
+    w.field("row_bytes", std::uint64_t(controller.rowBytes));
+    w.field("drain_high_watermark",
+            std::uint64_t(controller.drainHighWatermark));
+    w.field("drain_low_watermark",
+            std::uint64_t(controller.drainLowWatermark));
+    w.field("starvation_cap", std::uint64_t(controller.starvationCap));
+    w.field("bank_conflict_penalty", controller.bankConflictPenalty);
+    w.field("offered_gbs", controller.offeredGBs);
     w.endObject();
 
     w.beginObject("ddo");

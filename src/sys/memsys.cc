@@ -78,6 +78,20 @@ MemorySystem::MemorySystem(const SystemConfig &config)
     imap_.rebuild(config_.interleaveGranularity, online_.size());
     setShardThreads(g_shard_threads_default);
 
+    queued_ = config_.controller.queued();
+    if (queued_) {
+        // Read completions land their queue-adjusted latency here; the
+        // channels never move after construction (reserve above), so
+        // capturing `this` and the index is stable.
+        for (unsigned i = 0; i < numChannels(); ++i) {
+            channels_[i].setCompletionHandler(
+                [this, i](const Transaction &tx,
+                          const CompletionInfo &info) {
+                    onTxComplete(i, tx, info);
+                });
+        }
+    }
+
     if (config_.mode == MemoryMode::OneLm) {
         dramPoolSize_ = config_.dramTotal();
     } else {
@@ -525,15 +539,35 @@ MemorySystem::issueToImc(MemRequestKind kind, Addr line_addr,
         req.traced = causal->shouldSample();
     ChannelController &ch = channels_[ch_idx];
     AccessResult res = ch.handle(req, poolOf(phys));
-    if (charge_demand) {
+    if (queued_) {
+        // Queued controller: the channel already moved the data (its
+        // counters, cache state and fault draws are the analytic
+        // model's), but the request's latency is decided by queue
+        // occupancy at the epoch drain. Log it in arrival order.
+        QueuedDemandRec rec;
+        rec.service = res.latency;
+        rec.local = local;
+        rec.ch = ch_idx;
+        rec.thread = static_cast<std::uint16_t>(thread);
+        rec.kind = kind == MemRequestKind::LlcRead ? 1 : 2;
+        rec.chargeDemand = charge_demand;
+        if (req.traced) {
+            rec.causal = static_cast<std::int32_t>(txCausal_.size());
+            txCausal_.push_back({kind, res.outcome, res.breakdown});
+        }
+        txLog_.push_back(rec);
+    } else if (charge_demand) {
         epochLatencyWork_ += res.latency;
         if (tel_)
             tel_->noteLatency(res.latency);
     }
     if (obs_) {
+        // noteRequest carries the analytic (service) latency even in
+        // queued mode: it feeds outcome/action counts; the queue-aware
+        // totals reach the causal tracer and telemetry at the drain.
         obs_->noteRequest(charge_demand, res.outcome,
                           res.actions.total(), res.latency);
-        if (req.traced) {
+        if (req.traced && !queued_) {
             causal->record(kind, res.outcome, res.breakdown, now_,
                            res.latency, ch_idx);
         }
@@ -556,6 +590,14 @@ MemorySystem::touchLine(unsigned thread, CpuOp op, Addr line_addr)
                 // the queued misses' in program order (floating-point
                 // accumulation), so it goes through the order log too.
                 shard_->pushLlcHit();
+            } else if (queued_) {
+                // Same program-order rule for the queued drain: the
+                // hit accumulates at its txLog_ position.
+                QueuedDemandRec rec;
+                rec.kind = 0;
+                txLog_.push_back(rec);
+                if (obs_)
+                    obs_->noteLlcHit();
             } else {
                 epochLatencyWork_ += config_.llcHitLatency;
                 if (tel_)
@@ -585,20 +627,30 @@ MemorySystem::touchLine(unsigned thread, CpuOp op, Addr line_addr)
 void
 MemorySystem::access(unsigned thread, CpuOp op, Addr addr, Bytes size)
 {
-    accessRange(thread, op, addr, size);
+    submit({thread, op, addr, size});
 }
 
 void
 MemorySystem::accessRange(unsigned thread, CpuOp op, Addr addr,
                           Bytes size)
 {
-    Addr first = lineBase(addr);
-    Addr last = lineBase(addr + (size ? size - 1 : 0));
+    submit({thread, op, addr, size});
+}
+
+void
+MemorySystem::submit(const AccessBatch &batch)
+{
+    const unsigned thread = batch.thread;
+    const CpuOp op = batch.op;
+    Addr first = lineBase(batch.addr);
+    Addr last =
+        lineBase(batch.addr + (batch.size ? batch.size - 1 : 0));
 
     // The reference per-line engine: required whenever per-request
     // hooks may fire (observer, faults), addresses are remapped
-    // (scattered pages), or batching is disabled.
-    if (!batched_ || obs_ || faultEnabled_ || maintEnabled_ ||
+    // (scattered pages), requests must be logged for the queued
+    // controller, or batching is disabled.
+    if (!batched_ || obs_ || faultEnabled_ || maintEnabled_ || queued_ ||
         config_.scatterPages) {
         for (Addr line = first; line <= last; line += kLineSize)
             touchLine(thread, op, line);
@@ -919,7 +971,21 @@ MemorySystem::syncShard()
                         clearPoison(op.phys);
                     }
                 }
-                if (op.chargeDemand) {
+                if (queued_) {
+                    // Queued + sharded: the replay reconstructs the
+                    // arrival-order log the serial queued engine would
+                    // have built (DMA traffic rides along as
+                    // interference, chargeDemand=false).
+                    QueuedDemandRec rec;
+                    rec.service = op.latency;
+                    rec.local = op.local;
+                    rec.ch = ch_idx;
+                    rec.thread = op.thread;
+                    rec.kind =
+                        op.kind == MemRequestKind::LlcRead ? 1 : 2;
+                    rec.chargeDemand = op.chargeDemand;
+                    txLog_.push_back(rec);
+                } else if (op.chargeDemand) {
                     epochLatencyWork_ += op.latency;
                     if (tel_)
                         tel_->noteLatency(op.latency);
@@ -943,9 +1009,15 @@ MemorySystem::syncShard()
             }
         },
         [&] {
-            epochLatencyWork_ += config_.llcHitLatency;
-            if (tel_)
-                tel_->noteLatency(config_.llcHitLatency);
+            if (queued_) {
+                QueuedDemandRec rec;
+                rec.kind = 0;
+                txLog_.push_back(rec);
+            } else {
+                epochLatencyWork_ += config_.llcHitLatency;
+                if (tel_)
+                    tel_->noteLatency(config_.llcHitLatency);
+            }
         },
         [&](Addr src, Addr dst) {
             if (poisoned_.count(src))
@@ -953,12 +1025,111 @@ MemorySystem::syncShard()
         });
 }
 
+double
+MemorySystem::offeredBandwidth() const
+{
+    if (config_.controller.offeredGBs > 0)
+        return config_.controller.offeredGBs * 1e9;
+    return static_cast<double>(activeThreads_) *
+           config_.threadIssueBandwidth;
+}
+
+void
+MemorySystem::onTxComplete(unsigned ch_idx, const Transaction &tx,
+                           const CompletionInfo &info)
+{
+    const double total = info.latency.total();
+    if (tx.kind == TransactionKind::Read && tx.chargeDemand) {
+        epochLatencyWork_ += total;
+        if (tel_)
+            tel_->noteLatency(total);
+    }
+    if (tx.tag < 0 || !obs_)
+        return;
+    obs::CausalTracer *causal = obs_->causal();
+    if (!causal)
+        return;
+    // Emit the deferred causal record with the queue's spans appended:
+    // the analytic breakdown captured at issue, plus what the request
+    // actually waited for at the controller.
+    PendingCausal &pc =
+        txCausal_[static_cast<std::size_t>(tx.tag)];
+    CausalBreakdown b = pc.breakdown;
+    if (info.latency.queueWait > 0) {
+        b.add(info.drainStalled ? AccessCause::WriteDrain
+                                : AccessCause::QueueWait,
+              MemPool::Dram, info.latency.queueWait);
+    }
+    if (info.latency.bankPenalty > 0) {
+        b.add(AccessCause::BankConflict, MemPool::Dram,
+              info.latency.bankPenalty);
+    }
+    causal->record(pc.kind, pc.outcome, b, now_, total, ch_idx);
+}
+
+void
+MemorySystem::runQueuedDrain()
+{
+    if (!queued_)
+        return;
+    if (txLog_.empty()) {
+        txCausal_.clear();
+        return;
+    }
+
+    // Offered-load clock: demand arrives at the controllers at the
+    // rate the demand side can issue it, one line per tick across the
+    // interleave. LLC hits never reach a controller, so they do not
+    // advance the clock.
+    const double gap = static_cast<double>(kLineSize) /
+                       offeredBandwidth();
+    double arrival = 0;
+    for (const QueuedDemandRec &rec : txLog_) {
+        if (rec.kind == 0) {
+            epochLatencyWork_ += config_.llcHitLatency;
+            if (tel_)
+                tel_->noteLatency(config_.llcHitLatency);
+            continue;
+        }
+        Transaction tx;
+        tx.addr = rec.local;
+        tx.arrival = arrival;
+        arrival += gap;
+        tx.service = rec.service;
+        tx.kind = rec.kind == 1 ? TransactionKind::Read
+                                : TransactionKind::Write;
+        tx.thread = rec.thread;
+        tx.chargeDemand = rec.chargeDemand;
+        tx.tag = rec.causal;
+        if (tx.kind == TransactionKind::Write && tx.chargeDemand) {
+            // Posted write: the CPU-visible cost is the analytic
+            // accept time, charged at the write's program-order
+            // position; the WPQ residency below is pure interference.
+            epochLatencyWork_ += rec.service;
+            if (tel_)
+                tel_->noteLatency(rec.service);
+        }
+        channels_[rec.ch].enqueue(tx);
+    }
+
+    // Fixed channel order: the single accumulation point that keeps
+    // queued output byte-identical at any --jobs / --shard-threads.
+    for (auto &ch : channels_)
+        ch.drainQueues();
+    txLog_.clear();
+    txCausal_.clear();
+}
+
 void
 MemorySystem::finishEpoch()
 {
     // Join the shard barrier first: the epoch solver below reads the
-    // drained channel traffic and the replayed latency work.
+    // drained channel traffic and the replayed latency work. Then the
+    // queued controller replays the epoch's arrival log through the
+    // channel queues, folding queue wait into the latency work and the
+    // queue counters before anything samples them.
     syncShard();
+    runQueuedDrain();
 
     // Resource-side: each channel moves its epoch traffic in parallel
     // with the others. With faults or maintenance enabled the drained

@@ -8,7 +8,7 @@
  *   MemorySystem sys(config);
  *   Addr a = sys.allocate(bytes, "array");
  *   sys.setActiveThreads(24);
- *   sys.access(tid, CpuOp::Load, a + off, 64);
+ *   sys.submit({tid, CpuOp::Load, a + off, 64});
  *   ...
  *   sys.quiesce();
  *   PerfCounters c = sys.counters();
@@ -67,6 +67,21 @@ struct Region
     }
 };
 
+/**
+ * One demand access, as submit() consumes it: a thread's operation
+ * over a byte range, split into 64 B lines by the engine. The single
+ * unit of work for every access engine — per-line reference, batched,
+ * sharded, queued — so callers no longer choose an engine by method
+ * name.
+ */
+struct AccessBatch
+{
+    unsigned thread = 0;
+    CpuOp op = CpuOp::Load;
+    Addr addr = 0;
+    Bytes size = 0;
+};
+
 /** The simulated machine. */
 class MemorySystem
 {
@@ -97,20 +112,24 @@ class MemorySystem
      * All sizes are in bytes; accesses are split into 64 B lines.
      */
     ///@{
+    /**
+     * THE demand entry point: walk the run of consecutive lines
+     * covering [addr, addr + size). The engine behind it is chosen
+     * here, not by the caller: the batched fast path when nothing
+     * needs per-request hooks, the per-line reference loop whenever an
+     * observer is attached, faults/maintenance are enabled, pages are
+     * scattered, the queued controller is configured, or batching is
+     * disabled via setBatchedAccess() — all bit-identical where they
+     * overlap. With the queued controller the request's analytic
+     * service cost becomes a Transaction enqueued at the channel and
+     * its latency emerges from queue occupancy at the epoch drain.
+     */
+    void submit(const AccessBatch &batch);
+
+    /** Deprecated: thin wrapper over submit(); migrate this PR. */
     void access(unsigned thread, CpuOp op, Addr addr, Bytes size);
 
-    /**
-     * Batched access: walk the run of consecutive lines covering
-     * [addr, addr + size) in one call. Semantically identical to
-     * access() — counters, cache/buffer state, epoch boundaries and
-     * accumulated latency work are bit-identical to the per-line loop
-     * — but the per-line LLC set/tag math, channel-interleave
-     * division, observer/fault branches and epoch checks are hoisted
-     * out of the inner loop and device traffic is applied in
-     * block-accumulated updates. Falls back to the per-line loop
-     * whenever an observer is attached, faults are enabled, pages are
-     * scattered, or batching is disabled via setBatchedAccess().
-     */
+    /** Deprecated: thin wrapper over submit(); migrate this PR. */
     void accessRange(unsigned thread, CpuOp op, Addr addr, Bytes size);
 
     /** Fast path: one already line-aligned line. */
@@ -373,6 +392,56 @@ class MemorySystem
     void addPoison(Addr phys_line, bool propagated);
     void clearPoison(Addr phys_line);
 
+    /** @name Queued controller (config_.controller.queued())
+     * In queued mode every demand event is logged in arrival order
+     * during the epoch — the channels still run their analytic model
+     * immediately (counters, faults, device state are identical) but
+     * latency accumulation is deferred. At the epoch boundary
+     * runQueuedDrain() replays the log single-threaded: LLC hits and
+     * posted writes accumulate at their log position, reads are
+     * enqueued as Transactions (arrival clock spaced by the offered
+     * bandwidth) and their latency — analytic service plus queue wait
+     * plus bank penalty — lands via onTxComplete() when the per-channel
+     * queues drain in fixed channel order. One accumulation point, so
+     * output is byte-identical at any --jobs / --shard-threads.
+     */
+    ///@{
+    /** One arrival-ordered demand event awaiting the epoch drain. */
+    struct QueuedDemandRec
+    {
+        double service = 0;        //!< analytic channel latency (s)
+        Addr local = 0;            //!< channel-local address
+        std::uint32_t ch = 0;      //!< channel index
+        std::uint16_t thread = 0;  //!< issuing thread
+        std::uint8_t kind = 0;     //!< 0 = LLC hit, 1 = read, 2 = write
+        bool chargeDemand = true;  //!< false for DMA interference
+        std::int32_t causal = -1;  //!< index into txCausal_, or -1
+    };
+
+    /** Causal-trace state captured at issue, emitted at completion. */
+    struct PendingCausal
+    {
+        MemRequestKind kind = MemRequestKind::LlcRead;
+        CacheOutcome outcome = CacheOutcome::Hit;
+        CausalBreakdown breakdown;
+    };
+
+    /** Replay txLog_ through the channel queues; epoch boundary only. */
+    void runQueuedDrain();
+
+    /** Completion callback from channel @p ch_idx's transaction queue. */
+    void onTxComplete(unsigned ch_idx, const Transaction &tx,
+                      const CompletionInfo &info);
+
+    /**
+     * Bytes/second of demand the queued controller sees: the explicit
+     * controller.offered_gbs knob when set, otherwise the demand-side
+     * aggregate issue capability (activeThreads x per-thread issue
+     * bandwidth).
+     */
+    double offeredBandwidth() const;
+    ///@}
+
     SystemConfig config_;
     std::vector<ChannelController> channels_;
     Llc llc_;
@@ -478,6 +547,11 @@ class MemorySystem
     // so it forces the same reference paths fault injection does.
     bool maintEnabled_ = false;
     FaultLog faultLog_;
+    // Cached config_.controller.queued(): forces the reference engine
+    // and redirects latency accumulation through txLog_.
+    bool queued_ = false;
+    std::vector<QueuedDemandRec> txLog_;   //!< arrival-ordered events
+    std::vector<PendingCausal> txCausal_;  //!< deferred causal spans
     std::unordered_set<Addr> poisoned_;     //!< poisoned phys lines
     std::vector<unsigned> online_;          //!< online channel indices
     std::vector<ChannelEpoch> epochScratch_;

@@ -182,7 +182,7 @@ replay(MemorySystem &sys, const std::string &path)
     while (reader.next(rec)) {
         switch (rec.kind) {
           case TraceRecord::Kind::Access:
-            sys.access(rec.thread, rec.op, rec.addr, rec.size);
+            sys.submit({rec.thread, rec.op, rec.addr, rec.size});
             break;
           case TraceRecord::Kind::EpochMarker:
             sys.advanceEpoch();

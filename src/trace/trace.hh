@@ -96,10 +96,16 @@ class RecordingSystem
     }
 
     void
+    submit(const AccessBatch &batch)
+    {
+        writer_.access(batch.thread, batch.op, batch.addr, batch.size);
+        sys_.submit(batch);
+    }
+
+    void
     access(unsigned thread, CpuOp op, Addr addr, Bytes size)
     {
-        writer_.access(thread, op, addr, size);
-        sys_.access(thread, op, addr, size);
+        submit({thread, op, addr, size});
     }
 
     void

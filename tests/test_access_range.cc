@@ -172,14 +172,14 @@ TEST(AccessRangeEquivalence, UnalignedAndOddSizes)
             // Unaligned bases, odd sizes, zero size (one line), ranges
             // spanning many interleave chunks, and a mid-run epoch
             // boundary (the region is larger than epochBytes).
-            sys->access(0, CpuOp::Load, r.base + 3, 1);
-            sys->access(1, CpuOp::Store, r.base + 130, 517);
-            sys->access(2, CpuOp::NtStore, r.base + 5 * kLineSize + 7,
-                        200);
-            sys->access(0, CpuOp::Load, r.base + 4096 - 32, 64);
-            sys->access(3, CpuOp::Load, r.base + 1000, 0);
-            sys->access(1, CpuOp::Load, r.base, 6 * kMiB);
-            sys->access(2, CpuOp::NtStore, r.base + 123, 3 * kMiB);
+            sys->submit({0, CpuOp::Load, r.base + 3, 1});
+            sys->submit({1, CpuOp::Store, r.base + 130, 517});
+            sys->submit({2, CpuOp::NtStore, r.base + 5 * kLineSize + 7,
+                        200});
+            sys->submit({0, CpuOp::Load, r.base + 4096 - 32, 64});
+            sys->submit({3, CpuOp::Load, r.base + 1000, 0});
+            sys->submit({1, CpuOp::Load, r.base, 6 * kMiB});
+            sys->submit({2, CpuOp::NtStore, r.base + 123, 3 * kMiB});
             sys->quiesce();
         }
         expectIdentical(batched, per_line);
@@ -229,8 +229,8 @@ TEST(AccessRangeEquivalence, NonPowerOfTwoChannelGrid)
             // online channels but chunk positions keyed off the
             // original granule, then traffic resumes on both engines.
             sys->offlineChannel(2);
-            sys->access(0, CpuOp::Load, r.base + 777, 2 * kMiB);
-            sys->access(1, CpuOp::NtStore, r.base + 64, 1 * kMiB);
+            sys->submit({0, CpuOp::Load, r.base + 777, 2 * kMiB});
+            sys->submit({1, CpuOp::NtStore, r.base + 64, 1 * kMiB});
             sys->quiesce();
         }
         expectIdentical(batched, per_line);

@@ -163,8 +163,9 @@ TEST(ChannelEpochTime, MissHandlerBoundsTwoLmMissStreams)
     // 512 lines > 64 cache lines: every access after the first pass is
     // a miss; in fact all 512 are compulsory misses here.
     EXPECT_EQ(e.misses, 512u);
-    double expect =
-        512.0 * ch.missServiceTime() / p.missHandlerEntries;
+    double expect = 512.0 *
+                    ch.cache().missServiceTime(deviceLatencies(p)) /
+                    p.missHandlerEntries;
     EXPECT_NEAR(ch.epochTime(e), expect, expect * 1e-9);
 }
 

@@ -60,7 +60,19 @@ TEST(Counters, FieldListMatchesStructLayout)
     // struct holds exactly the listed uint64 counters, nothing else.
     static_assert(sizeof(PerfCounters) ==
                   PerfCounters::numFields() * sizeof(std::uint64_t));
-    EXPECT_EQ(PerfCounters::numFields(), 23u);
+    EXPECT_EQ(PerfCounters::numFields(), 27u);
+}
+
+TEST(Counters, QueueCountersAreInTheList)
+{
+    // The queued-controller counters ride the same X-macro, so traces,
+    // CSV dumps and telemetry get them without extra plumbing.
+    PerfCounters c = distinct();
+    auto named = c.named();
+    for (const char *name : {"queue_wait_ns", "bank_conflicts",
+                             "row_buffer_hits", "write_drains"}) {
+        EXPECT_EQ(named.count(name), 1u) << name;
+    }
 }
 
 TEST(Counters, MaintenanceCountersAreInTheList)

@@ -47,7 +47,7 @@ TEST(DmaCopy, InvalidatesDestinationInLlc)
     MemorySystem sys(cfgWith(8e9));
     Region dst = sys.allocateIn(MemPool::Dram, kMiB, "dst");
     Region src = sys.allocateIn(MemPool::Nvram, kMiB, "src");
-    sys.access(0, CpuOp::Load, dst.base, kLineSize);  // cache dst line
+    sys.submit({0, CpuOp::Load, dst.base, kLineSize});  // cache dst line
     ASSERT_TRUE(sys.llc().resident(dst.base));
     sys.dmaCopy(dst.base, src.base, kLineSize);
     EXPECT_FALSE(sys.llc().resident(dst.base));

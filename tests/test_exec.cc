@@ -281,14 +281,14 @@ driveMixed(MemorySystem &sys)
     Region a = sys.allocate(768 * kKiB, "a");
     Region b = sys.allocate(256 * kKiB, "b");
     sys.setActiveThreads(4);
-    sys.accessRange(0, CpuOp::Load, a.base, a.size);
-    sys.accessRange(1, CpuOp::Store, b.base, b.size);
+    sys.submit({0, CpuOp::Load, a.base, a.size});
+    sys.submit({1, CpuOp::Store, b.base, b.size});
     // Re-touch a prefix: LLC hits interleave with misses, so the
     // hit-latency markers must replay in order.
-    sys.accessRange(0, CpuOp::Load, a.base, 96 * kKiB);
-    sys.accessRange(2, CpuOp::NtStore, a.base + 128 * kKiB, 128 * kKiB);
+    sys.submit({0, CpuOp::Load, a.base, 96 * kKiB});
+    sys.submit({2, CpuOp::NtStore, a.base + 128 * kKiB, 128 * kKiB});
     sys.dmaCopy(b.base, a.base, 32 * kKiB);
-    sys.accessRange(3, CpuOp::Load, b.base, b.size);
+    sys.submit({3, CpuOp::Load, b.base, b.size});
     sys.quiesce();
 }
 
@@ -377,15 +377,15 @@ TEST(ShardDeterminism, FuzzReplayAtRandomThreadCounts)
               case 0:
               case 1:
               case 2:
-                sys.accessRange(tid, CpuOp::Load, reg.base + off, len);
+                sys.submit({tid, CpuOp::Load, reg.base + off, len});
                 break;
               case 3:
               case 4:
-                sys.accessRange(tid, CpuOp::Store, reg.base + off, len);
+                sys.submit({tid, CpuOp::Store, reg.base + off, len});
                 break;
               case 5:
-                sys.accessRange(tid, CpuOp::NtStore, reg.base + off,
-                                len);
+                sys.submit({tid, CpuOp::NtStore, reg.base + off,
+                                len});
                 break;
               case 6:
                 sys.dmaCopy(b.base + off % (reg.size / 2),
@@ -419,15 +419,15 @@ TEST(ShardDeterminism, ThreadCountCanChangeMidRun)
     Region b = sys.allocate(256 * kKiB, "b");
     sys.setActiveThreads(4);
     sys.setShardThreads(4);
-    sys.accessRange(0, CpuOp::Load, a.base, a.size);
+    sys.submit({0, CpuOp::Load, a.base, a.size});
     sys.setShardThreads(2);  // joins the open batch, then re-pools
-    sys.accessRange(1, CpuOp::Store, b.base, b.size);
-    sys.accessRange(0, CpuOp::Load, a.base, 96 * kKiB);
+    sys.submit({1, CpuOp::Store, b.base, b.size});
+    sys.submit({0, CpuOp::Load, a.base, 96 * kKiB});
     sys.setShardThreads(1);  // back to the immediate engine
-    sys.accessRange(2, CpuOp::NtStore, a.base + 128 * kKiB, 128 * kKiB);
+    sys.submit({2, CpuOp::NtStore, a.base + 128 * kKiB, 128 * kKiB});
     sys.setShardThreads(5);
     sys.dmaCopy(b.base, a.base, 32 * kKiB);
-    sys.accessRange(3, CpuOp::Load, b.base, b.size);
+    sys.submit({3, CpuOp::Load, b.base, b.size});
     sys.quiesce();
     expectIdentical(base, digest(sys));
 }
@@ -441,7 +441,7 @@ TEST(ShardDeterminism, MidEpochReadsJoinTheBarrier)
     sharded.setShardThreads(4);
     for (MemorySystem *sys : {&serial, &sharded}) {
         Region a = sys->allocate(256 * kKiB, "a");
-        sys->accessRange(0, CpuOp::Load, a.base, a.size);
+        sys->submit({0, CpuOp::Load, a.base, a.size});
     }
     // No quiesce: both systems sit mid-epoch with work in flight. The
     // accessors must join the shard barrier and agree exactly.

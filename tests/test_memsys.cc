@@ -100,7 +100,7 @@ TEST(MemorySystem, AccessAdvancesTime)
     Region r = sys.allocate(4 * kMiB, "arr");
     EXPECT_DOUBLE_EQ(sys.now(), 0.0);
     for (Addr a = 0; a < r.size; a += kLineSize)
-        sys.access(0, CpuOp::Load, r.base + a, kLineSize);
+        sys.submit({0, CpuOp::Load, r.base + a, kLineSize});
     sys.quiesce();
     EXPECT_GT(sys.now(), 0.0);
 }
@@ -109,7 +109,7 @@ TEST(MemorySystem, MultiLineAccessTouchesEveryLine)
 {
     MemorySystem sys(smallConfig(MemoryMode::TwoLm));
     Region r = sys.allocate(kMiB, "arr");
-    sys.access(0, CpuOp::Load, r.base, 512);
+    sys.submit({0, CpuOp::Load, r.base, 512});
     sys.quiesce();
     EXPECT_EQ(sys.counters().llcReads, 8u);  // 512 B = 8 lines
 }
@@ -119,7 +119,7 @@ TEST(MemorySystem, UnalignedAccessCoversStraddledLines)
     MemorySystem sys(smallConfig(MemoryMode::TwoLm));
     Region r = sys.allocate(kMiB, "arr");
     // 8 bytes spanning a line boundary -> two lines.
-    sys.access(0, CpuOp::Load, r.base + 60, 8);
+    sys.submit({0, CpuOp::Load, r.base + 60, 8});
     sys.quiesce();
     EXPECT_EQ(sys.counters().llcReads, 2u);
 }
@@ -128,9 +128,9 @@ TEST(MemorySystem, LlcFiltersRepeatedAccesses)
 {
     MemorySystem sys(smallConfig(MemoryMode::TwoLm));
     Region r = sys.allocate(kMiB, "arr");
-    sys.access(0, CpuOp::Load, r.base, kLineSize);
-    sys.access(0, CpuOp::Load, r.base, kLineSize);
-    sys.access(0, CpuOp::Load, r.base, kLineSize);
+    sys.submit({0, CpuOp::Load, r.base, kLineSize});
+    sys.submit({0, CpuOp::Load, r.base, kLineSize});
+    sys.submit({0, CpuOp::Load, r.base, kLineSize});
     sys.quiesce();
     // Only the first access reaches the IMC.
     EXPECT_EQ(sys.counters().llcReads, 1u);
@@ -140,8 +140,8 @@ TEST(MemorySystem, NtStoreBypassesLlc)
 {
     MemorySystem sys(smallConfig(MemoryMode::TwoLm));
     Region r = sys.allocate(kMiB, "arr");
-    sys.access(0, CpuOp::NtStore, r.base, kLineSize);
-    sys.access(0, CpuOp::NtStore, r.base, kLineSize);
+    sys.submit({0, CpuOp::NtStore, r.base, kLineSize});
+    sys.submit({0, CpuOp::NtStore, r.base, kLineSize});
     sys.quiesce();
     EXPECT_EQ(sys.counters().llcWrites, 2u);
     EXPECT_FALSE(sys.llc().resident(r.base));
@@ -156,7 +156,7 @@ TEST(MemorySystem, StandardStoreWritesBackOnEviction)
     // LLC writes downstream.
     Bytes span = sys.llc().capacity() * 4;
     for (Addr a = 0; a < span; a += kLineSize)
-        sys.access(0, CpuOp::Store, r.base + a, kLineSize);
+        sys.submit({0, CpuOp::Store, r.base + a, kLineSize});
     sys.quiesce();
     EXPECT_GT(sys.counters().llcWrites, 0u);
 }
@@ -167,7 +167,7 @@ TEST(MemorySystem, CountersAggregateAcrossChannels)
     MemorySystem sys(cfg);
     Region r = sys.allocate(8 * kMiB, "arr");
     for (Addr a = 0; a < r.size; a += kLineSize)
-        sys.access(0, CpuOp::Load, r.base + a, kLineSize);
+        sys.submit({0, CpuOp::Load, r.base + a, kLineSize});
     sys.quiesce();
     PerfCounters agg = sys.counters();
     PerfCounters manual;
@@ -188,8 +188,8 @@ TEST(MemorySystem, MoreThreadsFinishFaster)
         Region r = sys.allocateIn(MemPool::Nvram, 8 * kMiB, "arr");
         sys.setActiveThreads(threads);
         for (Addr a = 0; a < r.size; a += kLineSize) {
-            sys.access(a / kLineSize % threads, CpuOp::Load, r.base + a,
-                       kLineSize);
+            sys.submit({a / kLineSize % threads, CpuOp::Load, r.base + a,
+                       kLineSize});
         }
         sys.quiesce();
         return sys.now();
@@ -215,13 +215,13 @@ TEST(MemorySystem, ResetCountersKeepsCacheState)
 {
     MemorySystem sys(smallConfig(MemoryMode::TwoLm));
     Region r = sys.allocate(kMiB, "arr");
-    sys.access(0, CpuOp::Load, r.base, kLineSize);
+    sys.submit({0, CpuOp::Load, r.base, kLineSize});
     sys.advanceEpoch();  // (not quiesce: that would flush the LLC)
     sys.resetCounters();
     EXPECT_EQ(sys.counters().demand(), 0u);
     EXPECT_DOUBLE_EQ(sys.now(), 0.0);
     // LLC still warm: the next access is filtered before the IMC.
-    sys.access(0, CpuOp::Load, r.base, kLineSize);
+    sys.submit({0, CpuOp::Load, r.base, kLineSize});
     sys.advanceEpoch();
     EXPECT_EQ(sys.counters().llcReads, 0u);
 }
@@ -232,7 +232,7 @@ TEST(MemorySystem, TraceRecordsBandwidthChannels)
     MemorySystem sys(cfg);
     Region r = sys.allocate(4 * kMiB, "arr");
     for (Addr a = 0; a < r.size; a += kLineSize)
-        sys.access(0, CpuOp::Load, r.base + a, kLineSize);
+        sys.submit({0, CpuOp::Load, r.base + a, kLineSize});
     sys.quiesce();
     const TimeSeries &ts = sys.trace();
     EXPECT_FALSE(ts.channel("dram_read_bw").empty());

@@ -60,7 +60,7 @@ TEST_P(MemSysFuzz, InvariantsHoldUnderRandomTraffic)
         if (addr + size > arr.base + arr.size)
             size = kLineSize;
         CpuOp op = static_cast<CpuOp>(rng.below(3));
-        sys.access(thread, op, addr, size);
+        sys.submit({thread, op, addr, size});
         issued_lines += size / kLineSize;
 
         if (rng.below(1000) == 0) {
@@ -173,8 +173,8 @@ TEST_P(MemSysFaultFuzz, FaultsNeverBreakInvariants)
         Bytes size = (1 + rng.below(4)) * kLineSize;
         if (addr + size > arr.base + arr.size)
             size = kLineSize;
-        sys.access(thread, static_cast<CpuOp>(rng.below(3)), addr,
-                   size);
+        sys.submit({thread, static_cast<CpuOp>(rng.below(3)), addr,
+                   size});
 
         if (rng.below(2000) == 0) {
             sys.advanceEpoch();
@@ -246,11 +246,11 @@ TEST(MemSysFaultFuzz, FaultReplayDeterminism)
         sys.setActiveThreads(4);
         Rng rng(77);
         for (int i = 0; i < 20000; ++i) {
-            sys.access(static_cast<unsigned>(rng.below(4)),
+            sys.submit({static_cast<unsigned>(rng.below(4)),
                        static_cast<CpuOp>(rng.below(3)),
                        arr.base +
                            rng.below(arr.size / kLineSize) * kLineSize,
-                       kLineSize);
+                       kLineSize});
         }
         sys.quiesce();
         return std::make_tuple(
@@ -341,8 +341,8 @@ TEST_P(MemSysMaintenanceFuzz, MaintenanceNeverBreaksInvariants)
         Bytes size = (1 + rng.below(4)) * kLineSize;
         if (addr + size > arr.base + arr.size)
             size = kLineSize;
-        sys.access(thread, static_cast<CpuOp>(rng.below(3)), addr,
-                   size);
+        sys.submit({thread, static_cast<CpuOp>(rng.below(3)), addr,
+                   size});
 
         if (rng.below(2000) == 0) {
             sys.advanceEpoch();
@@ -428,10 +428,10 @@ TEST(MemSysMaintenanceFuzz, UncorrectableScrubEscalatesButConserves)
     sys.setActiveThreads(4);
     Rng rng(99);
     for (int i = 0; i < 30000; ++i) {
-        sys.access(static_cast<unsigned>(rng.below(4)),
+        sys.submit({static_cast<unsigned>(rng.below(4)),
                    static_cast<CpuOp>(rng.below(3)),
                    arr.base + rng.below(arr.size / kLineSize) * kLineSize,
-                   kLineSize);
+                   kLineSize});
     }
     sys.quiesce();
 
@@ -466,11 +466,11 @@ TEST(MemSysMaintenanceFuzz, MaintenanceReplayDeterminism)
         sys.setActiveThreads(4);
         Rng rng(77);
         for (int i = 0; i < 20000; ++i) {
-            sys.access(static_cast<unsigned>(rng.below(4)),
+            sys.submit({static_cast<unsigned>(rng.below(4)),
                        static_cast<CpuOp>(rng.below(3)),
                        arr.base +
                            rng.below(arr.size / kLineSize) * kLineSize,
-                       kLineSize);
+                       kLineSize});
         }
         sys.quiesce();
         const PerfCounters c = sys.counters();
@@ -498,11 +498,11 @@ TEST(MemSysFuzz, ReplayDeterminism)
         sys.setActiveThreads(4);
         Rng rng(77);
         for (int i = 0; i < 20000; ++i) {
-            sys.access(static_cast<unsigned>(rng.below(4)),
+            sys.submit({static_cast<unsigned>(rng.below(4)),
                        static_cast<CpuOp>(rng.below(3)),
                        arr.base +
                            rng.below(arr.size / kLineSize) * kLineSize,
-                       kLineSize);
+                       kLineSize});
         }
         sys.quiesce();
         return std::make_tuple(sys.counters().deviceAccesses(),

@@ -394,7 +394,7 @@ TEST(ObserverEndToEnd, ResetCountersDropsWarmupSamples)
     obs::Observer obs;
     sys.attachObserver(&obs);
 
-    sys.access(0, CpuOp::Load, arr.base, 64 * kLineSize);
+    sys.submit({0, CpuOp::Load, arr.base, 64 * kLineSize});
     sys.quiesce();
     const obs::Stat *st = obs.root()
                               .child("requests")
